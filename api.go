@@ -1,0 +1,404 @@
+package adhocconsensus
+
+import (
+	"fmt"
+
+	"adhocconsensus/internal/backoff"
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/core"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/runtime"
+	"adhocconsensus/internal/valueset"
+)
+
+// Value is a consensus input/decision value: an index into the value domain
+// {0, ..., Domain-1}.
+type Value = model.Value
+
+// ProcessID identifies a process (1-based in reports).
+type ProcessID = model.ProcessID
+
+// Algorithm selects one of the paper's consensus algorithms.
+type Algorithm int
+
+// The four algorithms of Section 7.
+const (
+	// AlgorithmPropose is Algorithm 1: alternating propose/veto rounds,
+	// constant-time after stabilization; requires a majority-complete
+	// eventually-accurate detector (maj-◇AC) and eventual collision
+	// freedom.
+	AlgorithmPropose Algorithm = iota + 1
+	// AlgorithmBitByBit is Algorithm 2: one round per value bit; works
+	// with the weakest useful detector (0-◇AC) under eventual collision
+	// freedom; O(lg|V|) rounds after stabilization.
+	AlgorithmBitByBit
+	// AlgorithmTreeWalk is Algorithm 3: lockstep walk of a BST over the
+	// value domain; requires an always-accurate zero-complete detector
+	// (0-AC) but NO message delivery guarantee and no contention manager.
+	AlgorithmTreeWalk
+	// AlgorithmLeaderRelay is the §7.3 non-anonymous algorithm: elect a
+	// leader over the (small) identifier space by Algorithm 2, then relay
+	// the leader's value; O(min{lg|V|, lg|I|}) rounds.
+	AlgorithmLeaderRelay
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmPropose:
+		return "propose-veto (Alg 1)"
+	case AlgorithmBitByBit:
+		return "bit-by-bit (Alg 2)"
+	case AlgorithmTreeWalk:
+		return "tree-walk (Alg 3)"
+	case AlgorithmLeaderRelay:
+		return "leader-relay (§7.3)"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// DetectorClass re-exports the collision detector classes of Figure 1.
+type DetectorClass = detector.Class
+
+// The detector classes (completeness × accuracy). See Figure 1 of the
+// paper; DetectorAuto picks the weakest class the chosen algorithm
+// tolerates.
+var (
+	DetectorAC      = detector.AC
+	DetectorMajAC   = detector.MajAC
+	DetectorHalfAC  = detector.HalfAC
+	DetectorZeroAC  = detector.ZeroAC
+	DetectorOAC     = detector.OAC
+	DetectorMajOAC  = detector.MajOAC
+	DetectorHalfOAC = detector.HalfOAC
+	DetectorZeroOAC = detector.ZeroOAC
+)
+
+// ContentionMode selects the contention manager.
+type ContentionMode int
+
+// Contention manager choices.
+const (
+	// ContentionAuto picks what the algorithm expects: a wake-up service
+	// for Algorithms 1/2 and leader-relay, none for the tree walk.
+	ContentionAuto ContentionMode = iota
+	// ContentionWakeUp stabilizes to one (rotating) active process at
+	// round Stable.
+	ContentionWakeUp
+	// ContentionLeader stabilizes to one fixed active process at Stable.
+	ContentionLeader
+	// ContentionBackoff runs the binary-exponential-backoff substrate; the
+	// stabilization round is then probabilistic.
+	ContentionBackoff
+	// ContentionNone advises everyone active every round.
+	ContentionNone
+)
+
+// LossMode selects the channel's loss behavior.
+type LossMode int
+
+// Channel loss models.
+const (
+	// LossNone delivers everything.
+	LossNone LossMode = iota
+	// LossProbabilistic drops each delivery independently with probability
+	// P (the 20–50% regimes of the empirical studies in §1.1).
+	LossProbabilistic
+	// LossCapture models the capture effect: in a collision each receiver
+	// locks onto at most one transmission.
+	LossCapture
+	// LossDrop loses every cross-process message forever (the no-ECF
+	// environment of Algorithm 3).
+	LossDrop
+)
+
+// Crash schedules a permanent crash failure.
+type Crash struct {
+	Process   ProcessID
+	Round     int
+	AfterSend bool // crash after broadcasting in Round rather than before
+}
+
+// Config assembles a consensus run. Zero values select sensible defaults:
+// an honest detector of the weakest class the algorithm tolerates, a
+// wake-up service stable from round 1 (when the algorithm uses one), a
+// lossless channel with ECF from round 1, and 100k max rounds.
+type Config struct {
+	// Algorithm picks the protocol. Required.
+	Algorithm Algorithm
+	// Values holds each process's initial value; len(Values) is the number
+	// of processes. Required, non-empty.
+	Values []Value
+	// Domain is |V|. Defaults to max(Values)+1.
+	Domain uint64
+	// IDs are unique identifiers for AlgorithmLeaderRelay (defaults to
+	// distinct indices drawn from IDSpace).
+	IDs []Value
+	// IDSpace is |I| for AlgorithmLeaderRelay. Defaults to 2^48 (MAC-like).
+	IDSpace uint64
+
+	// DetectorClass overrides the detector class (zero value = auto).
+	DetectorClass DetectorClass
+	// DetectorRace is the first accurate round for eventually-accurate
+	// classes. Defaults to 1.
+	DetectorRace int
+	// FalsePositiveRate makes the detector report spurious collisions with
+	// this probability whenever its class allows (before DetectorRace).
+	FalsePositiveRate float64
+
+	// Contention selects the manager; Stable is its stabilization round
+	// (default 1).
+	Contention ContentionMode
+	Stable     int
+
+	// Loss selects the channel model; LossP parameterizes it. ECFRound is
+	// the round from which a lone broadcaster is always heard (default 1;
+	// set 0 to disable ECF — required honest for AlgorithmTreeWalk only).
+	Loss     LossMode
+	LossP    float64
+	ECFRound int
+
+	// Crashes schedules failures.
+	Crashes []Crash
+
+	// Seed drives every random component (loss, noise, backoff).
+	Seed int64
+	// MaxRounds bounds the run (default 100000).
+	MaxRounds int
+	// UseGoroutines runs the goroutine-per-process runtime instead of the
+	// deterministic in-loop engine. Both produce identical executions.
+	UseGoroutines bool
+}
+
+// Report is the outcome of a consensus run.
+type Report struct {
+	// Agreed is the decided value (valid when Decided is true).
+	Agreed Value
+	// Decided reports whether all correct processes decided.
+	Decided bool
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Decisions maps each decided process to its value and decision round.
+	Decisions map[ProcessID]Decision
+	// Execution exposes the full recorded execution for inspection.
+	Execution *model.Execution
+}
+
+// Decision re-exports the per-process decision record.
+type Decision = model.Decision
+
+// Run executes the configured system.
+func (c Config) Run() (*Report, error) {
+	cfg, err := c.build()
+	if err != nil {
+		return nil, err
+	}
+	var res *engine.Result
+	if c.UseGoroutines {
+		res, err = runtime.Run(*cfg)
+	} else {
+		res, err = engine.Run(*cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{
+		Decided:   res.AllDecided,
+		Rounds:    res.Rounds,
+		Decisions: res.Decisions,
+		Execution: res.Execution,
+	}
+	if vals := res.Execution.DecidedValues(); len(vals) == 1 {
+		report.Agreed = vals[0]
+	} else if len(vals) > 1 {
+		return nil, fmt.Errorf("adhocconsensus: agreement violated (%v) — the environment is outside the algorithm's requirements", vals)
+	}
+	return report, nil
+}
+
+// build translates the public configuration into an engine configuration.
+func (c Config) build() (*engine.Config, error) {
+	if len(c.Values) == 0 {
+		return nil, fmt.Errorf("adhocconsensus: Values must be non-empty")
+	}
+	domainSize := c.Domain
+	if domainSize == 0 {
+		for _, v := range c.Values {
+			if uint64(v) >= domainSize {
+				domainSize = uint64(v) + 1
+			}
+		}
+	}
+	domain, err := valueset.NewDomain(domainSize)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range c.Values {
+		if !domain.Contains(v) {
+			return nil, fmt.Errorf("adhocconsensus: value %d of process %d outside domain of size %d", v, i+1, domainSize)
+		}
+	}
+
+	procs := make(map[model.ProcessID]model.Automaton, len(c.Values))
+	initial := make(map[model.ProcessID]model.Value, len(c.Values))
+	switch c.Algorithm {
+	case AlgorithmPropose:
+		for i, v := range c.Values {
+			procs[model.ProcessID(i+1)] = core.NewAlg1(v)
+		}
+	case AlgorithmBitByBit:
+		for i, v := range c.Values {
+			procs[model.ProcessID(i+1)] = core.NewAlg2(domain, v)
+		}
+	case AlgorithmTreeWalk:
+		for i, v := range c.Values {
+			procs[model.ProcessID(i+1)] = core.NewAlg3(domain, v)
+		}
+	case AlgorithmLeaderRelay:
+		idSpaceSize := c.IDSpace
+		if idSpaceSize == 0 {
+			idSpaceSize = 1 << 48
+		}
+		idSpace, err := valueset.NewDomain(idSpaceSize)
+		if err != nil {
+			return nil, err
+		}
+		ids := c.IDs
+		if len(ids) == 0 {
+			ids, err = valueset.RandomIDs(len(c.Values), idSpace, c.Seed+1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(ids) != len(c.Values) {
+			return nil, fmt.Errorf("adhocconsensus: %d IDs for %d processes", len(ids), len(c.Values))
+		}
+		seen := make(map[Value]bool, len(ids))
+		for _, id := range ids {
+			if seen[id] {
+				return nil, fmt.Errorf("adhocconsensus: duplicate ID %d", id)
+			}
+			seen[id] = true
+		}
+		for i, v := range c.Values {
+			procs[model.ProcessID(i+1)] = core.NewNonAnon(idSpace, domain, ids[i], v)
+		}
+	default:
+		return nil, fmt.Errorf("adhocconsensus: unknown algorithm %v", c.Algorithm)
+	}
+	for i, v := range c.Values {
+		initial[model.ProcessID(i+1)] = v
+	}
+
+	det, err := c.buildDetector()
+	if err != nil {
+		return nil, err
+	}
+	manager, err := c.buildContention()
+	if err != nil {
+		return nil, err
+	}
+	adversary, err := c.buildLoss()
+	if err != nil {
+		return nil, err
+	}
+	crashes := make(model.Schedule, len(c.Crashes))
+	for _, cr := range c.Crashes {
+		when := model.CrashBeforeSend
+		if cr.AfterSend {
+			when = model.CrashAfterSend
+		}
+		crashes[cr.Process] = model.Crash{Round: cr.Round, Time: when}
+	}
+
+	return &engine.Config{
+		Procs:     procs,
+		Initial:   initial,
+		Detector:  det,
+		CM:        manager,
+		Loss:      adversary,
+		Crashes:   crashes,
+		MaxRounds: c.MaxRounds,
+	}, nil
+}
+
+// buildDetector resolves the detector class and behavior.
+func (c Config) buildDetector() (*detector.Detector, error) {
+	class := c.DetectorClass
+	if class == (DetectorClass{}) {
+		switch c.Algorithm {
+		case AlgorithmPropose:
+			class = detector.MajOAC
+		case AlgorithmTreeWalk:
+			class = detector.ZeroAC
+		default:
+			class = detector.ZeroOAC
+		}
+	}
+	race := c.DetectorRace
+	if race == 0 {
+		race = 1
+	}
+	var behavior detector.Behavior = detector.Honest{}
+	if c.FalsePositiveRate > 0 {
+		behavior = detector.Noisy{P: c.FalsePositiveRate, Rng: newRng(c.Seed + 2)}
+	}
+	return detector.New(class, detector.WithRace(race), detector.WithBehavior(behavior)), nil
+}
+
+// buildContention resolves the contention manager.
+func (c Config) buildContention() (cm.Service, error) {
+	stable := c.Stable
+	if stable == 0 {
+		stable = 1
+	}
+	mode := c.Contention
+	if mode == ContentionAuto {
+		if c.Algorithm == AlgorithmTreeWalk {
+			mode = ContentionNone
+		} else {
+			mode = ContentionWakeUp
+		}
+	}
+	switch mode {
+	case ContentionWakeUp:
+		return cm.WakeUp{Stable: stable}, nil
+	case ContentionLeader:
+		return cm.NewLeaderElection(stable), nil
+	case ContentionBackoff:
+		return backoff.New(c.Seed + 3), nil
+	case ContentionNone:
+		return cm.NoCM{}, nil
+	default:
+		return nil, fmt.Errorf("adhocconsensus: unknown contention mode %d", mode)
+	}
+}
+
+// buildLoss resolves the loss adversary and the ECF wrapper.
+func (c Config) buildLoss() (loss.Adversary, error) {
+	var base loss.Adversary
+	switch c.Loss {
+	case LossNone:
+		base = loss.None{}
+	case LossProbabilistic:
+		base = loss.NewProbabilistic(c.LossP, c.Seed+4)
+	case LossCapture:
+		base = loss.NewCapture(c.LossP, c.LossP/4, c.Seed+4)
+	case LossDrop:
+		base = loss.Drop{}
+	default:
+		return nil, fmt.Errorf("adhocconsensus: unknown loss mode %d", c.Loss)
+	}
+	ecf := c.ECFRound
+	if ecf == 0 && c.Algorithm != AlgorithmTreeWalk && c.Loss != LossDrop {
+		ecf = 1
+	}
+	if ecf > 0 {
+		return loss.ECF{Base: base, From: ecf}, nil
+	}
+	return base, nil
+}

@@ -1,0 +1,232 @@
+package adhocconsensus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresValues(t *testing.T) {
+	if _, err := (Config{Algorithm: AlgorithmPropose}).Run(); err == nil {
+		t.Fatal("empty Values accepted")
+	}
+}
+
+func TestRunRejectsUnknownAlgorithm(t *testing.T) {
+	if _, err := (Config{Values: []Value{1}}).Run(); err == nil {
+		t.Fatal("zero algorithm accepted")
+	}
+}
+
+func TestRunRejectsValueOutsideDomain(t *testing.T) {
+	cfg := Config{Algorithm: AlgorithmBitByBit, Values: []Value{9}, Domain: 4}
+	if _, err := cfg.Run(); err == nil {
+		t.Fatal("out-of-domain value accepted")
+	}
+}
+
+func TestDefaultsSolveConsensus(t *testing.T) {
+	for _, alg := range []Algorithm{
+		AlgorithmPropose, AlgorithmBitByBit, AlgorithmTreeWalk, AlgorithmLeaderRelay,
+	} {
+		t.Run(alg.String(), func(t *testing.T) {
+			report, err := Config{
+				Algorithm: alg,
+				Values:    []Value{3, 7, 7, 1},
+				Domain:    16,
+				MaxRounds: 5000,
+			}.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !report.Decided {
+				t.Fatal("not all processes decided")
+			}
+			want := map[Value]bool{3: true, 7: true, 1: true}
+			if !want[report.Agreed] {
+				t.Fatalf("agreed on %d, not an initial value", report.Agreed)
+			}
+			if len(report.Decisions) != 4 {
+				t.Fatalf("decisions = %d, want 4", len(report.Decisions))
+			}
+		})
+	}
+}
+
+func TestDomainDefaultsToMaxValue(t *testing.T) {
+	report, err := Config{
+		Algorithm: AlgorithmBitByBit,
+		Values:    []Value{5, 11},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Agreed != 5 && report.Agreed != 11 {
+		t.Fatalf("agreed on %d", report.Agreed)
+	}
+}
+
+func TestGoroutineRuntimeMatchesEngine(t *testing.T) {
+	base := Config{
+		Algorithm: AlgorithmBitByBit,
+		Values:    []Value{4, 9, 2},
+		Domain:    32,
+		Loss:      LossProbabilistic,
+		LossP:     0.3,
+		ECFRound:  8,
+		Stable:    8,
+		Seed:      5,
+	}
+	eng, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gor := base
+	gor.UseGoroutines = true
+	rt, err := gor.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Rounds != rt.Rounds || eng.Agreed != rt.Agreed {
+		t.Fatalf("engine (%d rounds, %d) != runtime (%d rounds, %d)",
+			eng.Rounds, eng.Agreed, rt.Rounds, rt.Agreed)
+	}
+}
+
+func TestNoisyLossyRun(t *testing.T) {
+	report, err := Config{
+		Algorithm:         AlgorithmBitByBit,
+		Values:            []Value{1, 2, 3, 4, 5},
+		Domain:            64,
+		Loss:              LossCapture,
+		LossP:             0.4,
+		ECFRound:          12,
+		Stable:            12,
+		DetectorRace:      12,
+		FalsePositiveRate: 0.2,
+		Seed:              42,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Decided {
+		t.Fatal("did not decide after stabilization")
+	}
+}
+
+func TestTreeWalkNoECF(t *testing.T) {
+	report, err := Config{
+		Algorithm: AlgorithmTreeWalk,
+		Values:    []Value{12, 60, 33},
+		Domain:    64,
+		Loss:      LossDrop,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Decided {
+		t.Fatal("tree walk failed under total loss")
+	}
+}
+
+func TestCrashConfig(t *testing.T) {
+	report, err := Config{
+		Algorithm: AlgorithmPropose,
+		Values:    []Value{5, 6, 7},
+		Domain:    8,
+		Stable:    4,
+		Crashes:   []Crash{{Process: 1, Round: 2, AfterSend: true}},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Decided {
+		t.Fatal("survivors did not decide")
+	}
+	if _, ok := report.Decisions[1]; ok {
+		t.Fatal("crashed process recorded a decision")
+	}
+}
+
+func TestBackoffContention(t *testing.T) {
+	report, err := Config{
+		Algorithm:  AlgorithmBitByBit,
+		Values:     []Value{9, 9, 2, 14},
+		Domain:     16,
+		Contention: ContentionBackoff,
+		Seed:       3,
+		MaxRounds:  5000,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Decided {
+		t.Fatal("backoff-driven run did not decide")
+	}
+}
+
+func TestLeaderRelayExplicitIDs(t *testing.T) {
+	report, err := Config{
+		Algorithm: AlgorithmLeaderRelay,
+		Values:    []Value{100, 200, 300},
+		Domain:    1 << 20,
+		IDSpace:   8,
+		IDs:       []Value{1, 4, 6},
+		MaxRounds: 2000,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Decided {
+		t.Fatal("leader relay did not decide")
+	}
+}
+
+func TestLeaderRelayRejectsDuplicateIDs(t *testing.T) {
+	_, err := Config{
+		Algorithm: AlgorithmLeaderRelay,
+		Values:    []Value{1, 2},
+		Domain:    4,
+		IDSpace:   8,
+		IDs:       []Value{3, 3},
+	}.Run()
+	if err == nil || !strings.Contains(err.Error(), "duplicate ID") {
+		t.Fatalf("duplicate IDs accepted: %v", err)
+	}
+}
+
+func TestLeaderRelayRejectsIDCountMismatch(t *testing.T) {
+	_, err := Config{
+		Algorithm: AlgorithmLeaderRelay,
+		Values:    []Value{1, 2},
+		Domain:    4,
+		IDs:       []Value{3},
+	}.Run()
+	if err == nil {
+		t.Fatal("mismatched ID count accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for _, alg := range []Algorithm{AlgorithmPropose, AlgorithmBitByBit, AlgorithmTreeWalk, AlgorithmLeaderRelay, Algorithm(99)} {
+		if alg.String() == "" {
+			t.Fatal("empty algorithm name")
+		}
+	}
+}
+
+func TestExecutionExposed(t *testing.T) {
+	report, err := Config{
+		Algorithm: AlgorithmPropose,
+		Values:    []Value{2, 2},
+		Domain:    4,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Execution == nil || report.Execution.NumRounds() != report.Rounds {
+		t.Fatal("execution not exposed correctly")
+	}
+	if err := report.Execution.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+package adhocconsensus
+
+// The benchmark harness: one benchmark per table/figure of EXPERIMENTS.md
+// (BenchmarkT1..T9, BenchmarkA1..A3), each regenerating its experiment and
+// failing if the experiment's internal paper-shape checks fail, plus
+// micro-benchmarks for the simulator itself. Run:
+//
+//	go test -bench=. -benchmem .
+//
+// Custom metrics: "rounds" reports the rounds-to-decide of the headline
+// configuration in the benchmark, so regressions in algorithmic behavior
+// (not just CPU time) are visible in benchstat diffs.
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/core"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/experiments"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/multiset"
+	"adhocconsensus/internal/runtime"
+	"adhocconsensus/internal/valueset"
+)
+
+// benchTable runs an experiment table per iteration and fails the benchmark
+// if the experiment's internal checks fail.
+func benchTable(b *testing.B, fn func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		table, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !table.Pass {
+			b.Fatalf("experiment checks failed:\n%s", table)
+		}
+	}
+}
+
+// BenchmarkT1ClassMatrix regenerates Figure 1 + the §1.5 solvability matrix.
+func BenchmarkT1ClassMatrix(b *testing.B) { benchTable(b, experiments.T1ClassMatrix) }
+
+// BenchmarkT2Alg1Termination measures Theorem 1 (Alg 1 ≤ CST+2).
+func BenchmarkT2Alg1Termination(b *testing.B) { benchTable(b, experiments.T2Alg1Termination) }
+
+// BenchmarkT3Alg2ValueSweep measures Theorem 2 (Alg 2 ≤ CST+2(lg|V|+1)).
+func BenchmarkT3Alg2ValueSweep(b *testing.B) { benchTable(b, experiments.T3Alg2ValueSweep) }
+
+// BenchmarkT4Alg3NoCF measures Theorem 3 (Alg 3 ≤ 8·lg|V| after failures).
+func BenchmarkT4Alg3NoCF(b *testing.B) { benchTable(b, experiments.T4Alg3NoCF) }
+
+// BenchmarkT5NonAnonCrossover measures the §7.3 min{lg|V|, lg|I|} result.
+func BenchmarkT5NonAnonCrossover(b *testing.B) { benchTable(b, experiments.T5Crossover) }
+
+// BenchmarkT6HalfACLowerBound runs the Theorem 6 pigeonhole + composition.
+func BenchmarkT6HalfACLowerBound(b *testing.B) { benchTable(b, experiments.T6HalfACLowerBound) }
+
+// BenchmarkT7NoCFLowerBound runs the Theorem 7 non-anonymous search.
+func BenchmarkT7NoCFLowerBound(b *testing.B) { benchTable(b, experiments.T7NonAnonLowerBound) }
+
+// BenchmarkT8MajHalfGap runs the majority/half single-message separation.
+func BenchmarkT8MajHalfGap(b *testing.B) { benchTable(b, experiments.T8MajHalfGap) }
+
+// BenchmarkT9Impossibility runs the Theorem 4/8/9 constructions.
+func BenchmarkT9Impossibility(b *testing.B) { benchTable(b, experiments.T9Impossibility) }
+
+// BenchmarkA1NoVetoAblation runs the veto-phase ablation.
+func BenchmarkA1NoVetoAblation(b *testing.B) { benchTable(b, experiments.A1NoVetoAblation) }
+
+// BenchmarkA2LossRateSweep runs the empirical-loss-rate sweep.
+func BenchmarkA2LossRateSweep(b *testing.B) { benchTable(b, experiments.A2LossRateSweep) }
+
+// BenchmarkA3Substrates measures the backoff and round-sync substrates.
+func BenchmarkA3Substrates(b *testing.B) { benchTable(b, experiments.A3Substrates) }
+
+// BenchmarkM1MultihopFlood measures the multihop flooding extension.
+func BenchmarkM1MultihopFlood(b *testing.B) { benchTable(b, experiments.M1MultihopFlood) }
+
+// --- micro-benchmarks of the simulator and library ---
+
+// BenchmarkEngineRoundThroughput measures raw simulated rounds per second
+// in the deterministic engine (Algorithm 2, 8 processes, lossy channel).
+func BenchmarkEngineRoundThroughput(b *testing.B) {
+	benchRounds(b, false)
+}
+
+// BenchmarkRuntimeRoundThroughput is the goroutine runtime counterpart,
+// quantifying the cost of the channel barrier per round.
+func BenchmarkRuntimeRoundThroughput(b *testing.B) {
+	benchRounds(b, true)
+}
+
+func benchRounds(b *testing.B, goroutines bool) {
+	b.Helper()
+	const roundsPerRun = 256
+	d := valueset.MustDomain(1 << 16)
+	b.ReportAllocs()
+	totalRounds := 0
+	for i := 0; i < b.N; i++ {
+		procs := make(map[model.ProcessID]model.Automaton, 8)
+		initial := make(map[model.ProcessID]model.Value, 8)
+		for p := 1; p <= 8; p++ {
+			procs[model.ProcessID(p)] = core.NewAlg2(d, model.Value(p*31))
+			initial[model.ProcessID(p)] = model.Value(p * 31)
+		}
+		cfg := engine.Config{
+			Procs:          procs,
+			Initial:        initial,
+			Detector:       detector.New(detector.ZeroOAC, detector.WithRace(roundsPerRun+1)),
+			Loss:           loss.NewProbabilistic(0.3, int64(i)),
+			MaxRounds:      roundsPerRun,
+			RunFullHorizon: true,
+		}
+		var (
+			res *engine.Result
+			err error
+		)
+		if goroutines {
+			res, err = runtime.Run(cfg)
+		} else {
+			res, err = engine.Run(cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalRounds += res.Rounds
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalRounds), "ns/round")
+}
+
+// BenchmarkAlg2Decide measures end-to-end time-to-consensus by |V|.
+func BenchmarkAlg2Decide(b *testing.B) {
+	for _, size := range []uint64{16, 1 << 16, 1 << 32} {
+		b.Run(valueSizeName(size), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				report, err := Config{
+					Algorithm: AlgorithmBitByBit,
+					Values:    []Value{1, Value(size - 1), Value(size / 2)},
+					Domain:    size,
+				}.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = report.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkAlg3Decide measures the no-ECF tree walk by |V|.
+func BenchmarkAlg3Decide(b *testing.B) {
+	for _, size := range []uint64{16, 1 << 16, 1 << 32} {
+		b.Run(valueSizeName(size), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				report, err := Config{
+					Algorithm: AlgorithmTreeWalk,
+					Values:    []Value{1, Value(size - 1), Value(size / 2)},
+					Domain:    size,
+					Loss:      LossDrop,
+				}.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = report.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+func valueSizeName(size uint64) string {
+	switch {
+	case size >= 1<<30:
+		return "V=2^32"
+	case size >= 1<<15:
+		return "V=2^16"
+	default:
+		return "V=16"
+	}
+}
+
+// BenchmarkMultisetUnion measures the receive-set workhorse.
+func BenchmarkMultisetUnion(b *testing.B) {
+	x := multiset.New[model.Message]()
+	y := multiset.New[model.Message]()
+	for i := 0; i < 32; i++ {
+		x.Add(model.Message{Kind: model.KindEstimate, Value: model.Value(i)})
+		y.Add(model.Message{Kind: model.KindVote, Value: model.Value(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.Union(y).Len() != 64 {
+			b.Fatal("union wrong")
+		}
+	}
+}
+
+// BenchmarkDetectorAdvise measures per-advice overhead across classes.
+func BenchmarkDetectorAdvise(b *testing.B) {
+	for _, class := range []detector.Class{detector.AC, detector.HalfAC, detector.ZeroOAC} {
+		b.Run(class.Name, func(b *testing.B) {
+			d := detector.New(class, detector.WithRace(100))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.Advise(i%200+1, 1, 8, i%9)
+			}
+		})
+	}
+}

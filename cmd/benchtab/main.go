@@ -1,0 +1,75 @@
+// Command benchtab regenerates every table of EXPERIMENTS.md: the Figure-1
+// solvability matrix, the termination-bound measurements for Theorems 1–3
+// and §7.3, the executable lower bounds (Theorems 4, 6, 7, 8, 9), and the
+// ablations. Run with no arguments for all tables, or name experiments:
+//
+//	benchtab            # everything
+//	benchtab T3 T8 A1   # a subset
+//
+// The tables are produced by the same internal/experiments code the test
+// suite and the bench harness use.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"adhocconsensus/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	type experiment struct {
+		id string
+		fn func() (*experiments.Table, error)
+	}
+	all := []experiment{
+		{"T1", experiments.T1ClassMatrix},
+		{"T2", experiments.T2Alg1Termination},
+		{"T3", experiments.T3Alg2ValueSweep},
+		{"T4", experiments.T4Alg3NoCF},
+		{"T5", experiments.T5Crossover},
+		{"T6", experiments.T6HalfACLowerBound},
+		{"T7", experiments.T7NonAnonLowerBound},
+		{"T8", experiments.T8MajHalfGap},
+		{"T9", experiments.T9Impossibility},
+		{"A1", experiments.A1NoVetoAblation},
+		{"A2", experiments.A2LossRateSweep},
+		{"A3", experiments.A3Substrates},
+		{"M1", experiments.M1MultihopFlood},
+	}
+	want := make(map[string]bool, len(args))
+	for _, a := range args {
+		want[strings.ToUpper(a)] = true
+	}
+	ran := 0
+	failed := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		table, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Println(table)
+		ran++
+		if !table.Pass {
+			failed++
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %v (valid: T1..T9, A1..A3, M1)", args)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed their internal checks", failed)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"T8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLowercaseID(t *testing.T) {
+	if err := run([]string{"t8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"T99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Command consensus-sim runs one consensus execution and prints the
+// decision, round count, and (optionally) the full round-by-round trace.
+//
+// Examples:
+//
+//	consensus-sim -alg bitbybit -values 3,7,7,1 -domain 16
+//	consensus-sim -alg treewalk -values 12,60,33 -domain 64 -loss drop -trace
+//	consensus-sim -alg propose -values 5,9 -loss prob -p 0.4 -cst 12 -seed 7
+//	consensus-sim -alg leaderrelay -values 100,200,300 -domain 1048576 -idspace 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"adhocconsensus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("consensus-sim", flag.ContinueOnError)
+	var (
+		algName   = fs.String("alg", "bitbybit", "algorithm: propose | bitbybit | treewalk | leaderrelay")
+		valuesCSV = fs.String("values", "3,7,7,1", "comma-separated initial values, one per process")
+		domain    = fs.Uint64("domain", 0, "|V| (default: max value + 1)")
+		idSpace   = fs.Uint64("idspace", 0, "|I| for leaderrelay (default 2^48)")
+		lossName  = fs.String("loss", "none", "loss model: none | prob | capture | drop")
+		lossP     = fs.Float64("p", 0.3, "loss probability for prob/capture")
+		cst       = fs.Int("cst", 1, "communication stabilization round (ECF, wake-up, accuracy)")
+		fpRate    = fs.Float64("fp", 0, "detector false positive rate before stabilization")
+		backoff   = fs.Bool("backoff", false, "use the backoff contention manager instead of a pinned wake-up service")
+		seed      = fs.Int64("seed", 1, "seed for all randomized components")
+		maxRounds = fs.Int("rounds", 100000, "maximum rounds to execute")
+		trace     = fs.Bool("trace", false, "print the full execution trace")
+		jsonOut   = fs.Bool("json", false, "dump the execution as JSON to stdout")
+		gor       = fs.Bool("goroutines", false, "run the goroutine-per-process runtime")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var alg adhocconsensus.Algorithm
+	switch strings.ToLower(*algName) {
+	case "propose", "alg1":
+		alg = adhocconsensus.AlgorithmPropose
+	case "bitbybit", "alg2":
+		alg = adhocconsensus.AlgorithmBitByBit
+	case "treewalk", "alg3":
+		alg = adhocconsensus.AlgorithmTreeWalk
+	case "leaderrelay", "nonanon":
+		alg = adhocconsensus.AlgorithmLeaderRelay
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+
+	var values []adhocconsensus.Value
+	for _, part := range strings.Split(*valuesCSV, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q: %w", part, err)
+		}
+		values = append(values, adhocconsensus.Value(v))
+	}
+
+	var lossMode adhocconsensus.LossMode
+	switch strings.ToLower(*lossName) {
+	case "none":
+		lossMode = adhocconsensus.LossNone
+	case "prob", "probabilistic":
+		lossMode = adhocconsensus.LossProbabilistic
+	case "capture":
+		lossMode = adhocconsensus.LossCapture
+	case "drop":
+		lossMode = adhocconsensus.LossDrop
+	default:
+		return fmt.Errorf("unknown loss model %q", *lossName)
+	}
+
+	cfg := adhocconsensus.Config{
+		Algorithm:         alg,
+		Values:            values,
+		Domain:            *domain,
+		IDSpace:           *idSpace,
+		Loss:              lossMode,
+		LossP:             *lossP,
+		ECFRound:          *cst,
+		Stable:            *cst,
+		DetectorRace:      *cst,
+		FalsePositiveRate: *fpRate,
+		Seed:              *seed,
+		MaxRounds:         *maxRounds,
+		UseGoroutines:     *gor,
+	}
+	if *backoff {
+		cfg.Contention = adhocconsensus.ContentionBackoff
+	}
+	if alg == adhocconsensus.AlgorithmTreeWalk {
+		cfg.ECFRound = 0 // the tree walk needs no delivery guarantee
+	}
+
+	report, err := cfg.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm : %v\n", alg)
+	fmt.Printf("processes : %d\n", len(values))
+	fmt.Printf("rounds    : %d\n", report.Rounds)
+	fmt.Printf("decided   : %v\n", report.Decided)
+	if report.Decided {
+		fmt.Printf("agreed on : %d\n", uint64(report.Agreed))
+	}
+	for id := 1; id <= len(values); id++ {
+		if d, ok := report.Decisions[adhocconsensus.ProcessID(id)]; ok {
+			fmt.Printf("  p%d decided %d at round %d\n", id, uint64(d.Value), d.Round)
+		} else {
+			fmt.Printf("  p%d undecided\n", id)
+		}
+	}
+	if *trace {
+		fmt.Println("\ntrace:")
+		fmt.Print(report.Execution.String())
+	}
+	if *jsonOut {
+		if err := report.Execution.WriteJSON(os.Stdout); err != nil {
+			return fmt.Errorf("json export: %w", err)
+		}
+	}
+	return nil
+}

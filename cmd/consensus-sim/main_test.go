@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("default run failed: %v", err)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	tests := [][]string{
+		{"-alg", "propose", "-values", "5,9"},
+		{"-alg", "bitbybit", "-values", "5,9", "-domain", "16"},
+		{"-alg", "treewalk", "-values", "5,9", "-domain", "16", "-loss", "drop"},
+		{"-alg", "leaderrelay", "-values", "5,9", "-domain", "1048576", "-idspace", "16"},
+	}
+	for _, args := range tests {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunFlagVariants(t *testing.T) {
+	tests := [][]string{
+		{"-values", "1,2", "-loss", "prob", "-p", "0.3", "-cst", "8", "-seed", "3"},
+		{"-values", "1,2", "-loss", "capture", "-fp", "0.2", "-cst", "8"},
+		{"-values", "1,2", "-backoff", "-rounds", "5000"},
+		{"-values", "1,2", "-trace"},
+		{"-values", "1,2", "-json"},
+		{"-values", "1,2", "-goroutines"},
+	}
+	for _, args := range tests {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown algorithm", []string{"-alg", "paxos"}},
+		{"unknown loss", []string{"-loss", "wormhole"}},
+		{"bad value", []string{"-values", "1,x"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Fatal("bad input accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRunEachTheorem(t *testing.T) {
+	for _, theorem := range []int{4, 6, 7, 8, 9} {
+		t.Run(fmt.Sprintf("theorem-%d", theorem), func(t *testing.T) {
+			args := []string{"-theorem", fmt.Sprint(theorem), "-vspace", "64", "-horizon", "200"}
+			if err := run(args); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownTheorem(t *testing.T) {
+	if err := run([]string{"-theorem", "11"}); err == nil {
+		t.Fatal("unknown theorem accepted")
+	}
+}
+
+func TestRunBadDomain(t *testing.T) {
+	if err := run([]string{"-vspace", "0"}); err == nil {
+		t.Fatal("empty domain accepted")
+	}
+}

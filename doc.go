@@ -1,0 +1,52 @@
+// Package adhocconsensus is a library for fault-tolerant consensus in
+// single-hop wireless ad hoc networks with unreliable broadcast, receiver-
+// side collision detectors, and contention managers — a full implementation
+// of "Consensus and Collision Detectors in Wireless Ad Hoc Networks"
+// (Chockler, Demirbas, Gilbert, Newport, Nolte; PODC 2005 / Newport's MIT
+// thesis, 2006).
+//
+// # The model
+//
+// Processes run in synchronized rounds over a single-hop radio channel on
+// which ANY receiver may lose ANY subset of the messages broadcast in a
+// round (the paper's deliberate break from the "total collision model").
+// Two services tame the chaos:
+//
+//   - a collision detector returns, each round, either ± ("you may have
+//     lost a message") or null, and is classified by completeness (when ±
+//     is guaranteed) × accuracy (when null is guaranteed) — the classes AC,
+//     maj-AC, half-AC, 0-AC and their eventually-accurate ◇ variants;
+//   - a contention manager advises each process active or passive, and
+//     eventually stabilizes on a single active broadcaster (wake-up
+//     service / leader election service), realizable by backoff.
+//
+// # The algorithms
+//
+// Four consensus algorithms cover the solvable corner of the model:
+//
+//   - AlgorithmPropose (Alg 1): constant rounds after stabilization, needs
+//     majority completeness.
+//   - AlgorithmBitByBit (Alg 2): O(lg|V|) rounds, needs only zero
+//     completeness — the weakest useful detector.
+//   - AlgorithmTreeWalk (Alg 3): works with NO delivery guarantee at all
+//     (collision notifications are the only channel), needs an accurate
+//     detector.
+//   - AlgorithmLeaderRelay (§7.3): non-anonymous, O(min{lg|V|, lg|I|}).
+//
+// The matching lower bounds (Theorems 4–9) are executable in
+// internal/lowerbound and demonstrated by cmd/lowerbound.
+//
+// # Quick start
+//
+//	report, err := adhocconsensus.Config{
+//	    Algorithm: adhocconsensus.AlgorithmBitByBit,
+//	    Values:    []adhocconsensus.Value{3, 7, 7, 1},
+//	    Domain:    16,
+//	}.Run()
+//	if err != nil { ... }
+//	fmt.Println("agreed on", report.Agreed, "in", report.Rounds, "rounds")
+//
+// See examples/ for realistic scenarios (sensor calibration, clusterhead
+// election, pre-aggregation voting) and cmd/benchtab for the experiment
+// harness that regenerates every table of EXPERIMENTS.md.
+package adhocconsensus

@@ -1,0 +1,60 @@
+// Calibration: the sensor-network scenario from the paper's §1.4 — devices
+// in one region must agree on a calibration offset for their sensors,
+// because readings calibrated against different offsets cannot be
+// aggregated.
+//
+// The radio is realistic: 35% message loss, capture effect, a detector that
+// emits false positives until the channel quiets down at round 20, and one
+// node that crashes mid-protocol. Algorithm 1 still settles within two
+// rounds of stabilization because its detector is majority-complete.
+//
+//	go run ./examples/calibration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adhocconsensus"
+)
+
+func main() {
+	// Each node proposes the offset (in millivolts, here quantized to
+	// {0..1023}) it measured against the reference source.
+	measuredOffsets := []adhocconsensus.Value{512, 509, 514, 512, 510, 508}
+
+	const channelQuietFrom = 20 // higher-level coordination quiets neighbors by here
+
+	report, err := adhocconsensus.Config{
+		Algorithm: adhocconsensus.AlgorithmPropose, // constant-round after stabilization
+		Values:    measuredOffsets,
+		Domain:    1024,
+
+		Loss:     adhocconsensus.LossCapture,
+		LossP:    0.35,
+		ECFRound: channelQuietFrom,
+
+		Stable:            channelQuietFrom,
+		DetectorRace:      channelQuietFrom,
+		FalsePositiveRate: 0.25,
+
+		// Node 3's battery dies right after it broadcasts in round 5.
+		Crashes: []adhocconsensus.Crash{{Process: 3, Round: 5, AfterSend: true}},
+
+		Seed: 2025,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cluster calibration offset: %d mV\n", uint64(report.Agreed))
+	fmt.Printf("settled in %d rounds (channel stabilized at round %d)\n",
+		report.Rounds, channelQuietFrom)
+	for id := 1; id <= len(measuredOffsets); id++ {
+		if d, ok := report.Decisions[adhocconsensus.ProcessID(id)]; ok {
+			fmt.Printf("  sensor %d: offset %d (round %d)\n", id, uint64(d.Value), d.Round)
+		} else {
+			fmt.Printf("  sensor %d: crashed\n", id)
+		}
+	}
+}

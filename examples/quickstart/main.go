@@ -1,0 +1,30 @@
+// Quickstart: four wireless nodes agree on one value over an unreliable
+// broadcast channel, using Algorithm 2 (the weakest-detector algorithm)
+// with all defaults: lossless channel stabilized from round 1, honest
+// zero-complete eventually-accurate detector, wake-up service.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adhocconsensus"
+)
+
+func main() {
+	report, err := adhocconsensus.Config{
+		Algorithm: adhocconsensus.AlgorithmBitByBit,
+		Values:    []adhocconsensus.Value{3, 7, 7, 1},
+		Domain:    16, // values are drawn from {0, ..., 15}
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("agreed on %d in %d rounds\n", uint64(report.Agreed), report.Rounds)
+	for id, d := range report.Decisions {
+		fmt.Printf("  node %d decided at round %d\n", id, d.Round)
+	}
+}

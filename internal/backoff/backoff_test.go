@@ -1,0 +1,167 @@
+package backoff
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/core"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+func procRange(n int) []model.ProcessID {
+	out := make([]model.ProcessID, n)
+	for i := range out {
+		out[i] = model.ProcessID(i + 1)
+	}
+	return out
+}
+
+func allAlive(model.ProcessID) bool { return true }
+
+// driveStandalone runs the manager against a faithful channel: every
+// advised-active process broadcasts.
+func driveStandalone(m *Manager, procs []model.ProcessID, rounds int) model.CMTrace {
+	var trace model.CMTrace
+	for r := 1; r <= rounds; r++ {
+		adv := m.Advise(r, procs, allAlive)
+		broadcasters := 0
+		for _, a := range adv {
+			if a == model.CMActive {
+				broadcasters++
+			}
+		}
+		m.Observe(r, broadcasters)
+		trace = append(trace, adv)
+	}
+	return trace
+}
+
+// TestStabilizesToWakeUpService: the recorded advice trace must satisfy the
+// wake-up property within a reasonable horizon for a range of sizes and
+// seeds.
+func TestStabilizesToWakeUpService(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		for _, seed := range []int64{1, 2, 3} {
+			m := New(seed)
+			trace := driveStandalone(m, procRange(n), 300)
+			rwake, err := cm.WakeUpStabilization(trace)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if rwake > 250 {
+				t.Fatalf("n=%d seed=%d: stabilized too late (round %d)", n, seed, rwake)
+			}
+			if _, ok := m.Stabilized(); !ok {
+				t.Fatalf("n=%d seed=%d: Stabilized() = false after wake-up", n, seed)
+			}
+		}
+	}
+}
+
+// TestWinnerIsStickyAndSingle: after stabilization the same process stays
+// the lone active one — the trace also satisfies leader election from the
+// lock-in round.
+func TestWinnerIsStickyAndSingle(t *testing.T) {
+	m := New(7)
+	trace := driveStandalone(m, procRange(8), 400)
+	if _, err := cm.LeaderStabilization(trace); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWinnerCrashRestartsContention: when the locked-in winner dies the
+// manager re-opens contention and stabilizes on someone else.
+func TestWinnerCrashRestartsContention(t *testing.T) {
+	m := New(3)
+	procs := procRange(4)
+	driveStandalone(m, procs, 200)
+	winner, ok := m.Stabilized()
+	if !ok {
+		t.Fatal("did not stabilize")
+	}
+	aliveExceptWinner := func(id model.ProcessID) bool { return id != winner }
+	var second model.ProcessID
+	for r := 201; r <= 600; r++ {
+		adv := m.Advise(r, procs, aliveExceptWinner)
+		broadcasters := 0
+		for id, a := range adv {
+			if a == model.CMActive && id != winner {
+				broadcasters++
+			}
+		}
+		m.Observe(r, broadcasters)
+		if w, ok := m.Stabilized(); ok && w != winner {
+			second = w
+			break
+		}
+	}
+	if second == 0 {
+		t.Fatal("never re-stabilized after the winner crashed")
+	}
+}
+
+// TestDeterministicUnderSeed: identical seeds give identical advice.
+func TestDeterministicUnderSeed(t *testing.T) {
+	a, b := New(42), New(42)
+	procs := procRange(6)
+	ta := driveStandalone(a, procs, 100)
+	tb := driveStandalone(b, procs, 100)
+	for r := range ta {
+		for _, id := range procs {
+			if ta[r][id] != tb[r][id] {
+				t.Fatalf("round %d process %d: advice diverged", r+1, id)
+			}
+		}
+	}
+}
+
+// TestEndToEndWithAlg2: the full stack — Algorithm 2 driven by the backoff
+// manager on a real (ECF) channel with a 0-◇AC detector — must reach
+// consensus.
+func TestEndToEndWithAlg2(t *testing.T) {
+	d := valueset.MustDomain(64)
+	procs := map[model.ProcessID]model.Automaton{
+		1: core.NewAlg2(d, 10),
+		2: core.NewAlg2(d, 20),
+		3: core.NewAlg2(d, 30),
+		4: core.NewAlg2(d, 40),
+	}
+	res, err := engine.Run(engine.Config{
+		Procs:     procs,
+		Initial:   map[model.ProcessID]model.Value{1: 10, 2: 20, 3: 30, 4: 40},
+		Detector:  detector.New(detector.ZeroOAC),
+		CM:        New(11),
+		Loss:      loss.ECF{Base: loss.None{}, From: 1},
+		MaxRounds: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided {
+		t.Fatal("consensus not reached with the backoff manager")
+	}
+	if err := engine.CheckAgreement(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.CheckStrongValidity(res); err != nil {
+		t.Fatal(err)
+	}
+	// The recorded CM trace must satisfy the wake-up property.
+	if _, err := cm.WakeUpStabilization(res.Execution.CMTrace()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleProcessStabilizesImmediately: a lone contender wins in round 1.
+func TestSingleProcessStabilizesImmediately(t *testing.T) {
+	m := New(1)
+	trace := driveStandalone(m, procRange(1), 3)
+	rwake, err := cm.WakeUpStabilization(trace)
+	if err != nil || rwake != 1 {
+		t.Fatalf("lone contender: rwake=%d err=%v, want 1,nil", rwake, err)
+	}
+}

@@ -1,0 +1,52 @@
+package cm
+
+import (
+	"sort"
+
+	"adhocconsensus/internal/model"
+)
+
+// KWakeUp is the k-wake-up service sketched in Section 4.1: it guarantees
+// every process k consecutive rounds of being the only active process.
+// From round Stable the processes take turns in index order, each holding
+// an exclusive k-round window; after all windows the minimum process stays
+// the lone active one (so the trace is also a legal wake-up service trace).
+//
+// The paper notes that some problems — counting the number of anonymous
+// processes is its example — are solvable with a k-wake-up service but not
+// with a leader election service, because a single permanent leader can
+// never make the silent majority observable. Package counting demonstrates
+// exactly that separation.
+type KWakeUp struct {
+	Stable int
+	K      int
+	Pre    PreAdvice
+}
+
+// Advise implements Service.
+func (w KWakeUp) Advise(r int, procs []model.ProcessID, alive func(model.ProcessID) bool) map[model.ProcessID]model.CMAdvice {
+	stable := w.Stable
+	if stable < 1 {
+		stable = 1
+	}
+	k := w.K
+	if k < 1 {
+		k = 1
+	}
+	if r < stable {
+		pre := w.Pre
+		if pre == nil {
+			pre = PreNoneActive
+		}
+		return advise(procs, pre(r, procs))
+	}
+	sorted := make([]model.ProcessID, len(procs))
+	copy(sorted, procs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	window := (r - stable) / k
+	if window < len(sorted) {
+		return advise(procs, map[model.ProcessID]bool{sorted[window]: true})
+	}
+	return advise(procs, map[model.ProcessID]bool{minAlive(procs, alive): true})
+}

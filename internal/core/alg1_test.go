@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+)
+
+// TestAlg1CleanEnvironmentDecidesByCSTPlus2 is Theorem 1's bound in the
+// friendliest environment: CST = 1, so every process must decide by round 3
+// (CST may fall on a veto round, hence the +2 from the next proposal round).
+func TestAlg1CleanEnvironmentDecidesByCSTPlus2(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 33} {
+		e := env{class: detector.MajOAC, cmStable: 1, ecfFrom: 1}
+		procs, initial := alg1Procs(n, 5, 9, 2, 7)
+		res := run(t, e, procs, initial)
+		mustAgreeAndBeValid(t, res)
+		mustTerminateBy(t, res, nil, e.cst()+2)
+	}
+}
+
+// TestAlg1DecidesMinimumAfterStabilization checks the decided value is the
+// wake-up service's lone broadcaster's estimate (all estimates converge to
+// it in the first stable proposal round).
+func TestAlg1DecidesSomeInitialValue(t *testing.T) {
+	e := env{class: detector.MajOAC, cmStable: 1, ecfFrom: 1}
+	procs, initial := alg1Procs(4, 42, 17, 99, 3)
+	res := run(t, e, procs, initial)
+	mustAgreeAndBeValid(t, res)
+	vals := res.Execution.DecidedValues()
+	if len(vals) != 1 {
+		t.Fatalf("decided values = %v, want exactly one", vals)
+	}
+}
+
+// TestAlg1NoisyPrefixThenStabilization delays CST with pre-CST false
+// positives, all-active contention, and probabilistic loss: Theorem 1 still
+// bounds termination at CST+2.
+func TestAlg1NoisyPrefixThenStabilization(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		const cst = 13
+		e := env{
+			class:    detector.MajOAC,
+			behavior: detector.Noisy{P: 0.4, Rng: seededRng(seed)},
+			race:     cst,
+			cmStable: cst,
+			ecfFrom:  cst,
+			base:     loss.NewProbabilistic(0.35, seed),
+		}
+		procs, initial := alg1Procs(6, 11, 22, 33)
+		res := run(t, e, procs, initial)
+		mustAgreeAndBeValid(t, res)
+		// CST might fall mid-cycle; the bound counts from the next proposal
+		// round, so allow the cycle-alignment slack of 1.
+		mustTerminateBy(t, res, nil, cst+3)
+	}
+}
+
+// TestAlg1UniformValidity starts everyone with the same value: it must be
+// the only decision.
+func TestAlg1UniformValidity(t *testing.T) {
+	e := env{class: detector.MajOAC, cmStable: 1, ecfFrom: 1}
+	procs, initial := alg1Procs(5, 8)
+	res := run(t, e, procs, initial)
+	mustAgreeAndBeValid(t, res)
+	for id, d := range res.Decisions {
+		if d.Value != 8 {
+			t.Fatalf("process %d decided %d, want 8", id, d.Value)
+		}
+	}
+}
+
+// TestAlg1ToleratesCrashes exercises Theorem 1's any-number-of-failures
+// tolerance, including a leader crash mid-run.
+func TestAlg1ToleratesCrashes(t *testing.T) {
+	tests := []struct {
+		name    string
+		crashes model.Schedule
+	}{
+		{"leader crash before send", model.Schedule{1: {Round: 1, Time: model.CrashBeforeSend}}},
+		{"leader crash after send", model.Schedule{1: {Round: 1, Time: model.CrashAfterSend}}},
+		{"two crashes", model.Schedule{
+			2: {Round: 2, Time: model.CrashBeforeSend},
+			3: {Round: 3, Time: model.CrashAfterSend},
+		}},
+		{"all but one crash", model.Schedule{
+			1: {Round: 1}, 2: {Round: 2}, 3: {Round: 2}, 4: {Round: 3},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := env{class: detector.MajOAC, cmStable: 5, ecfFrom: 5, crashes: tt.crashes}
+			procs, initial := alg1Procs(5, 4, 6, 2, 9, 5)
+			res := run(t, e, procs, initial)
+			mustAgreeAndBeValid(t, res)
+			mustTerminateBy(t, res, tt.crashes, e.cst()+3)
+		})
+	}
+}
+
+// TestAlg1SafeUnderAdversarialMajOAC runs Algorithm 1 against minimal and
+// noisy legal maj-◇AC detectors plus capture-effect loss: agreement and
+// validity must survive any legal behavior of the class (termination is only
+// promised after CST, which the adversary here delays to the horizon).
+func TestAlg1SafeUnderAdversarialMajOAC(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23, 99} {
+		e := env{
+			class:    detector.MajOAC,
+			behavior: detector.Minimal{},
+			race:     500, // never within horizon
+			base:     loss.NewCapture(0.3, 0.1, seed),
+			maxR:     60,
+			fullHzn:  true,
+		}
+		procs, initial := alg1Procs(6, 1, 2, 3, 4, 5, 6)
+		res := run(t, e, procs, initial)
+		mustAgreeAndBeValid(t, res)
+	}
+}
+
+// TestAlg1UnsafeUnderHalfAC is the T8 experiment: the exact-half partition
+// adversary that majority completeness excludes but half completeness
+// permits. Two groups of equal size each hear only themselves; with a
+// minimal half-AC detector nobody ever sees a collision, both groups pass
+// silent veto rounds, and the groups decide different values — the
+// maj/half single-message gap made executable.
+func TestAlg1UnsafeUnderHalfAC(t *testing.T) {
+	const n = 4
+	procs := make(map[model.ProcessID]model.Automaton, n)
+	initial := make(map[model.ProcessID]model.Value, n)
+	for i := 1; i <= n; i++ {
+		v := model.Value(1)
+		if i > n/2 {
+			v = 2
+		}
+		procs[model.ProcessID(i)] = NewAlg1(v)
+		initial[model.ProcessID(i)] = v
+	}
+	e := env{
+		class:    detector.HalfAC,
+		behavior: detector.Minimal{},
+		base:     loss.Partition{GroupOf: loss.SplitAt(model.ProcessID(n/2 + 1)), Until: loss.NoRepair},
+		maxR:     10,
+	}
+	res := run(t, e, procs, initial)
+	if err := checkAgreementViolated(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlg1SafeUnderSamePartitionWithMajOAC re-runs the T8 adversary with a
+// majority-complete detector: the forced collision reports make both groups
+// veto forever instead of deciding wrongly.
+func TestAlg1SafeUnderSamePartitionWithMajOAC(t *testing.T) {
+	const n = 4
+	procs := make(map[model.ProcessID]model.Automaton, n)
+	initial := make(map[model.ProcessID]model.Value, n)
+	for i := 1; i <= n; i++ {
+		v := model.Value(1)
+		if i > n/2 {
+			v = 2
+		}
+		procs[model.ProcessID(i)] = NewAlg1(v)
+		initial[model.ProcessID(i)] = v
+	}
+	e := env{
+		class:    detector.MajAC,
+		behavior: detector.Minimal{},
+		base:     loss.Partition{GroupOf: loss.SplitAt(model.ProcessID(n/2 + 1)), Until: loss.NoRepair},
+		maxR:     40,
+		fullHzn:  true,
+	}
+	res := run(t, e, procs, initial)
+	mustAgreeAndBeValid(t, res)
+	if len(res.Decisions) != 0 {
+		t.Fatalf("processes decided during a permanent partition: %v", res.Decisions)
+	}
+}
+
+// TestAlg1NoVetoAblationUnsafe is the A1 ablation: without the veto phase,
+// even an honest maj-AC environment with a one-round partition produces an
+// agreement violation.
+func TestAlg1NoVetoAblationUnsafe(t *testing.T) {
+	procs := map[model.ProcessID]model.Automaton{
+		1: NewAlg1NoVeto(1), 2: NewAlg1NoVeto(1),
+		3: NewAlg1NoVeto(2), 4: NewAlg1NoVeto(2),
+	}
+	initial := map[model.ProcessID]model.Value{1: 1, 2: 1, 3: 2, 4: 2}
+	e := env{
+		class:    detector.HalfAC,
+		behavior: detector.Minimal{},
+		base:     loss.Partition{GroupOf: loss.SplitAt(3), Until: loss.NoRepair},
+		maxR:     10,
+	}
+	res := run(t, e, procs, initial)
+	if err := checkAgreementViolated(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlg1EstimateAccessor covers the trace accessor.
+func TestAlg1EstimateAccessor(t *testing.T) {
+	a := NewAlg1(7)
+	if a.Estimate() != 7 {
+		t.Fatalf("Estimate = %d, want 7", a.Estimate())
+	}
+}
+
+// TestAlg1HaltedStaysSilent checks a decided process never broadcasts again.
+func TestAlg1HaltedStaysSilent(t *testing.T) {
+	a := NewAlg1(3)
+	a.decided, a.halted = true, true
+	if m := a.Message(9, model.CMActive); m != nil {
+		t.Fatal("halted process broadcast")
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+// TestAlg2CleanEnvironmentBound is Theorem 2's bound with CST = 1: all
+// processes decide by CST + 2(⌈lg|V|⌉ + 1) across a sweep of value-set
+// sizes — the logarithmic shape of experiment T3.
+func TestAlg2CleanEnvironmentBound(t *testing.T) {
+	for _, size := range []uint64{2, 4, 16, 256, 65536, 1 << 32} {
+		d := valueset.MustDomain(size)
+		e := env{class: detector.ZeroOAC, cmStable: 1, ecfFrom: 1}
+		procs, initial := alg2Procs(5, d, 0, 1, model.Value(size-1))
+		res := run(t, e, procs, initial)
+		mustAgreeAndBeValid(t, res)
+		bound := e.cst() + 2*(d.BitWidth()+1)
+		mustTerminateBy(t, res, nil, bound)
+	}
+}
+
+// TestAlg2NoisyPrefixBound delays CST and checks the bound still holds
+// counted from CST (plus cycle-alignment slack: CST can land mid-cycle).
+func TestAlg2NoisyPrefixBound(t *testing.T) {
+	d := valueset.MustDomain(256)
+	for _, seed := range []int64{3, 11, 42} {
+		const cst = 17
+		e := env{
+			class:    detector.ZeroOAC,
+			behavior: detector.Noisy{P: 0.3, Rng: seededRng(seed)},
+			race:     cst,
+			cmStable: cst,
+			ecfFrom:  cst,
+			base:     loss.NewProbabilistic(0.4, seed),
+		}
+		procs, initial := alg2Procs(5, d, 200, 13, 77)
+		res := run(t, e, procs, initial)
+		mustAgreeAndBeValid(t, res)
+		// Worst case: CST lands one round into a cycle, so a full extra
+		// cycle may pass before the clean one (Lemma 13's accounting).
+		bound := cst + 2*(d.BitWidth()+1) + 1
+		mustTerminateBy(t, res, nil, bound)
+	}
+}
+
+// TestAlg2UniformValidity starts all processes with one value.
+func TestAlg2UniformValidity(t *testing.T) {
+	d := valueset.MustDomain(1024)
+	e := env{class: detector.ZeroOAC, cmStable: 1, ecfFrom: 1}
+	procs, initial := alg2Procs(7, d, 1000)
+	res := run(t, e, procs, initial)
+	mustAgreeAndBeValid(t, res)
+	for id, dec := range res.Decisions {
+		if dec.Value != 1000 {
+			t.Fatalf("process %d decided %d, want 1000", id, dec.Value)
+		}
+	}
+}
+
+// TestAlg2WorksUnderStrongerClasses: any detector class contained in 0-◇AC
+// (every Figure-1 class) must also drive Algorithm 2 correctly.
+func TestAlg2WorksUnderStrongerClasses(t *testing.T) {
+	d := valueset.MustDomain(64)
+	for _, class := range []detector.Class{
+		detector.AC, detector.MajAC, detector.HalfAC, detector.ZeroAC,
+		detector.OAC, detector.MajOAC, detector.HalfOAC, detector.ZeroOAC,
+	} {
+		t.Run(class.String(), func(t *testing.T) {
+			e := env{class: class, cmStable: 1, ecfFrom: 1}
+			procs, initial := alg2Procs(4, d, 10, 50)
+			res := run(t, e, procs, initial)
+			mustAgreeAndBeValid(t, res)
+			mustTerminateBy(t, res, nil, e.cst()+2*(d.BitWidth()+1))
+		})
+	}
+}
+
+// TestAlg2ToleratesCrashes: Theorem 2 holds for any number of crash
+// failures.
+func TestAlg2ToleratesCrashes(t *testing.T) {
+	d := valueset.MustDomain(128)
+	tests := []struct {
+		name    string
+		crashes model.Schedule
+	}{
+		{"first active crashes", model.Schedule{1: {Round: 1, Time: model.CrashAfterSend}}},
+		{"mid-propose crash", model.Schedule{2: {Round: 4, Time: model.CrashBeforeSend}}},
+		{"cascade", model.Schedule{
+			1: {Round: 2}, 2: {Round: 5, Time: model.CrashAfterSend}, 3: {Round: 9},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := env{class: detector.ZeroOAC, cmStable: 12, ecfFrom: 12, crashes: tt.crashes}
+			procs, initial := alg2Procs(5, d, 3, 90, 41)
+			res := run(t, e, procs, initial)
+			mustAgreeAndBeValid(t, res)
+			mustTerminateBy(t, res, tt.crashes, e.cst()+2*(d.BitWidth()+1)+1)
+		})
+	}
+}
+
+// TestAlg2SafeUnderAdversarialZeroOAC: agreement and validity must survive
+// any legal 0-◇AC behavior and arbitrary loss, even when the adversary
+// postpones stabilization past the horizon (termination not required).
+func TestAlg2SafeUnderAdversarialZeroOAC(t *testing.T) {
+	d := valueset.MustDomain(32)
+	adversaries := []struct {
+		name string
+		base loss.Adversary
+	}{
+		{"capture", loss.NewCapture(0.4, 0.2, 5)},
+		{"heavy probabilistic", loss.NewProbabilistic(0.6, 6)},
+		{"partition", loss.Partition{GroupOf: loss.SplitAt(3), Until: loss.NoRepair}},
+		{"alpha", loss.Alpha{}},
+	}
+	for _, tt := range adversaries {
+		t.Run(tt.name, func(t *testing.T) {
+			e := env{
+				class:    detector.ZeroOAC,
+				behavior: detector.Noisy{P: 0.2, Rng: seededRng(9)},
+				race:     1000,
+				base:     tt.base,
+				maxR:     120,
+				fullHzn:  true,
+			}
+			procs, initial := alg2Procs(4, d, 5, 21, 30, 31)
+			res := run(t, e, procs, initial)
+			mustAgreeAndBeValid(t, res)
+		})
+	}
+}
+
+// TestAlg2MatchesLowerBoundShape confirms the termination rounds grow
+// linearly in lg|V| (T3's shape check): doubling the bit width roughly
+// doubles rounds-after-CST.
+func TestAlg2MatchesLowerBoundShape(t *testing.T) {
+	for _, size := range []uint64{16, 256, 65536} {
+		d := valueset.MustDomain(size)
+		e := env{class: detector.ZeroOAC, cmStable: 1, ecfFrom: 1}
+		procs, initial := alg2Procs(3, d, 0, model.Value(size-1))
+		res := run(t, e, procs, initial)
+		// With CST = 1 the very first cycle is clean, so the run costs
+		// exactly one cycle: prepare + ⌈lg|V|⌉ bit rounds + accept.
+		if got, want := res.Execution.LastDecisionRound(), d.BitWidth()+2; got != want {
+			t.Fatalf("|V|=%d: decided at round %d, want exactly %d", size, got, want)
+		}
+	}
+}
+
+// TestAlg2SingleProcess decides its own value alone.
+func TestAlg2SingleProcess(t *testing.T) {
+	d := valueset.MustDomain(512)
+	e := env{class: detector.ZeroOAC, cmStable: 1, ecfFrom: 1}
+	procs, initial := alg2Procs(1, d, 300)
+	res := run(t, e, procs, initial)
+	mustAgreeAndBeValid(t, res)
+	if res.Decisions[1].Value != 300 {
+		t.Fatalf("lone process decided %d, want 300", res.Decisions[1].Value)
+	}
+}
+
+// TestAlg2CycleRounds covers the accessor used by experiment accounting.
+func TestAlg2CycleRounds(t *testing.T) {
+	a := NewAlg2(valueset.MustDomain(256), 0)
+	if a.CycleRounds() != 10 {
+		t.Fatalf("CycleRounds = %d, want 10 (8 bits + prepare + accept)", a.CycleRounds())
+	}
+	if a.Estimate() != 0 {
+		t.Fatal("Estimate accessor wrong")
+	}
+}

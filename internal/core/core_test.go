@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+// seededRng returns a deterministic generator for adversarial behaviors.
+func seededRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// checkAgreementViolated asserts that the run produced at least two distinct
+// decisions — used by the experiments that DEMONSTRATE unsafety.
+func checkAgreementViolated(res *engine.Result) error {
+	if vals := res.Execution.DecidedValues(); len(vals) < 2 {
+		return fmt.Errorf("expected an agreement violation, got decisions %v", vals)
+	}
+	return nil
+}
+
+// env bundles the environment knobs shared by the algorithm tests.
+type env struct {
+	class    detector.Class
+	behavior detector.Behavior
+	race     int // detector accuracy stabilization round
+	cmStable int // wake-up service stabilization round; 0 = NoCM
+	ecfFrom  int // ECF round; 0 = no ECF wrapper
+	base     loss.Adversary
+	crashes  model.Schedule
+	maxR     int
+	fullHzn  bool
+}
+
+// cst returns the communication stabilization time (Definition 20) implied
+// by the environment knobs.
+func (e env) cst() int {
+	cst := 1
+	for _, r := range []int{e.race, e.cmStable, e.ecfFrom} {
+		if r > cst {
+			cst = r
+		}
+	}
+	return cst
+}
+
+// run executes the given automata in the environment and sanity-checks the
+// recorded execution (Definition 11 legality, detector-class legality).
+func run(t *testing.T, e env, procs map[model.ProcessID]model.Automaton,
+	initial map[model.ProcessID]model.Value) *engine.Result {
+	t.Helper()
+	behavior := e.behavior
+	if behavior == nil {
+		behavior = detector.Honest{}
+	}
+	race := e.race
+	if race == 0 {
+		race = 1
+	}
+	var svc cm.Service = cm.NoCM{}
+	if e.cmStable > 0 {
+		svc = cm.WakeUp{Stable: e.cmStable}
+	}
+	var adversary loss.Adversary = loss.None{}
+	if e.base != nil {
+		adversary = e.base
+	}
+	if e.ecfFrom > 0 {
+		adversary = loss.ECF{Base: adversary, From: e.ecfFrom}
+	}
+	maxR := e.maxR
+	if maxR == 0 {
+		maxR = 2000
+	}
+	res, err := engine.Run(engine.Config{
+		Procs:          procs,
+		Initial:        initial,
+		Detector:       detector.New(e.class, detector.WithRace(race), detector.WithBehavior(behavior)),
+		CM:             svc,
+		Loss:           adversary,
+		Crashes:        e.crashes,
+		MaxRounds:      maxR,
+		RunFullHorizon: e.fullHzn,
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if err := res.Execution.Validate(); err != nil {
+		t.Fatalf("recorded execution violates Definition 11: %v", err)
+	}
+	if err := detector.CheckExecution(e.class, race, res.Execution); err != nil {
+		t.Fatalf("recorded advice violates the detector class: %v", err)
+	}
+	return res
+}
+
+// mustAgreeAndBeValid asserts the three consensus safety properties on a
+// finished run.
+func mustAgreeAndBeValid(t *testing.T, res *engine.Result) {
+	t.Helper()
+	if err := engine.CheckAgreement(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.CheckStrongValidity(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.CheckUniformValidity(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mustTerminateBy asserts all correct processes decided no later than round
+// bound.
+func mustTerminateBy(t *testing.T, res *engine.Result, crashes model.Schedule, bound int) {
+	t.Helper()
+	if err := engine.CheckTermination(res, crashes); err != nil {
+		t.Fatal(err)
+	}
+	if last := res.Execution.LastDecisionRound(); last > bound {
+		t.Fatalf("terminated at round %d, want <= %d", last, bound)
+	}
+}
+
+// alg1Procs builds n Algorithm 1 processes with the given initial values
+// (cycled if fewer values than processes).
+func alg1Procs(n int, values ...model.Value) (map[model.ProcessID]model.Automaton, map[model.ProcessID]model.Value) {
+	procs := make(map[model.ProcessID]model.Automaton, n)
+	initial := make(map[model.ProcessID]model.Value, n)
+	for i := 0; i < n; i++ {
+		v := values[i%len(values)]
+		procs[model.ProcessID(i+1)] = NewAlg1(v)
+		initial[model.ProcessID(i+1)] = v
+	}
+	return procs, initial
+}
+
+// alg2Procs builds n Algorithm 2 processes over the domain.
+func alg2Procs(n int, d valueset.Domain, values ...model.Value) (map[model.ProcessID]model.Automaton, map[model.ProcessID]model.Value) {
+	procs := make(map[model.ProcessID]model.Automaton, n)
+	initial := make(map[model.ProcessID]model.Value, n)
+	for i := 0; i < n; i++ {
+		v := values[i%len(values)]
+		procs[model.ProcessID(i+1)] = NewAlg2(d, v)
+		initial[model.ProcessID(i+1)] = v
+	}
+	return procs, initial
+}
+
+// alg3Procs builds n Algorithm 3 processes over the domain.
+func alg3Procs(n int, d valueset.Domain, values ...model.Value) (map[model.ProcessID]model.Automaton, map[model.ProcessID]model.Value) {
+	procs := make(map[model.ProcessID]model.Automaton, n)
+	initial := make(map[model.ProcessID]model.Value, n)
+	for i := 0; i < n; i++ {
+		v := values[i%len(values)]
+		procs[model.ProcessID(i+1)] = NewAlg3(d, v)
+		initial[model.ProcessID(i+1)] = v
+	}
+	return procs, initial
+}

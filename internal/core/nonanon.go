@@ -1,0 +1,303 @@
+package core
+
+import (
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+// NonAnon is the non-anonymous consensus algorithm sketched in Section 7.3,
+// for environments in E(0-◇AC, WS) under eventual collision freedom. It
+// beats Algorithm 2 exactly when the identifier space I is smaller than the
+// value set V, terminating in CST + O(min{lg|V|, lg|I|}) rounds:
+//
+//   - If |V| <= |I| it IS Algorithm 2, run on the values.
+//   - Otherwise, rounds are grouped into repeating triples. Phase-1 rounds
+//     run a leader election — Algorithm 2's prepare/propose/accept cycle
+//     over the identifier space, with each process's own ID as its initial
+//     estimate. The elected leader broadcasts its consensus value in
+//     phase-2 rounds; processes that miss it broadcast a veto in the
+//     following phase-3 round; a clean (silent, notification-free) phase-3
+//     round lets everyone who received the value decide it.
+//   - Leader crashes are detected as a silent phase-2 round — with a
+//     zero-complete detector, silence proves nobody broadcast
+//     (Corollary 1). Detection re-opens the election's prepare gate and
+//     re-arms estimates to fresh IDs, the paper's consecutive-instances
+//     scheme.
+//
+// Two refinements over the paper's informal sketch (which comes without
+// pseudocode or proof):
+//
+//  1. The sketch lets a non-leader decide on the FIRST phase-2 value it
+//     receives. If the leader crashes mid-dissemination before
+//     communication stabilizes, one process may decide the dead leader's
+//     value while a later leader disseminates a different one. Here every
+//     process ADOPTS a received leader value (a future leader disseminates
+//     its adopted value, not its original one) and decides only after a
+//     clean phase-3 round — by zero completeness, a clean phase-3 proves no
+//     veto was broadcast, hence every non-crashed process received and
+//     adopted the value.
+//
+//  2. The sketch runs "consecutive instances" of Algorithm 2; but fresh
+//     instances started at per-process decision times would lose the
+//     lockstep phase alignment Algorithm 2's safety argument needs. Here a
+//     single continuous election automaton cycles forever, aligned for all
+//     processes, electing (without halting) on each clean accept round;
+//     the prepare gate and the estimate re-arm give the same effect the
+//     paper intends.
+//
+// Both refinements preserve the paper's structure, message kinds, and the
+// CST + O(min{lg|V|, lg|I|}) bound, which the T5 benchmark measures.
+type NonAnon struct {
+	id model.Value
+
+	// plain is non-nil in the |V| <= |I| regime: the whole algorithm is
+	// Algorithm 2 on values.
+	plain *Alg2
+
+	// adopted is the value this process disseminates if elected: its own
+	// initial value until a leader value is received.
+	adopted model.Value
+
+	elect      *election
+	leader     model.Value
+	haveLeader bool
+	leaderDead bool
+	sawValue   bool // received the leader value in the current cycle's phase 2
+
+	decided  bool
+	decision model.Value
+	halted   bool
+}
+
+var (
+	_ model.Automaton = (*NonAnon)(nil)
+	_ model.Decider   = (*NonAnon)(nil)
+)
+
+// NewNonAnon returns a §7.3 process with the given unique identifier (drawn
+// from idDomain) and initial value (drawn from valDomain).
+func NewNonAnon(idDomain, valDomain valueset.Domain, id, initial model.Value) *NonAnon {
+	n := &NonAnon{id: id, adopted: initial}
+	if valDomain.Size <= idDomain.Size {
+		n.plain = NewAlg2(valDomain, initial)
+	} else {
+		n.elect = newElection(idDomain, id, n)
+	}
+	return n
+}
+
+// phaseOf maps a global round number to the triple phase: 1, 2, or 3.
+func phaseOf(r int) int { return (r-1)%3 + 1 }
+
+// isLeader reports whether this process currently believes it is the leader.
+func (n *NonAnon) isLeader() bool { return n.haveLeader && n.leader == n.id }
+
+// Message implements model.Automaton.
+func (n *NonAnon) Message(r int, cmAdvice model.CMAdvice) *model.Message {
+	if n.halted {
+		return nil
+	}
+	if n.plain != nil {
+		return n.plain.Message(r, cmAdvice)
+	}
+	switch phaseOf(r) {
+	case 1:
+		return n.elect.message(cmAdvice)
+	case 2:
+		if n.isLeader() {
+			return &model.Message{Kind: model.KindLeaderValue, Value: n.adopted}
+		}
+		return nil
+	default: // phase 3: veto unless this cycle's value arrived
+		if !n.sawValue {
+			return &model.Message{Kind: model.KindVeto}
+		}
+		return nil
+	}
+}
+
+// Deliver implements model.Automaton.
+func (n *NonAnon) Deliver(r int, recv *model.RecvSet, cd model.CDAdvice, cmAdvice model.CMAdvice) {
+	if n.halted {
+		return
+	}
+	if n.plain != nil {
+		n.plain.Deliver(r, recv, cd, cmAdvice)
+		if v, ok := n.plain.Decided(); ok {
+			n.decided = true
+			n.decision = v
+			n.halted = true
+		}
+		return
+	}
+	switch phaseOf(r) {
+	case 1:
+		n.elect.deliver(recv, cd)
+	case 2:
+		n.deliverValue(recv, cd)
+	default:
+		n.deliverVetoRound(recv, cd)
+	}
+}
+
+// installLeader is called by the election on each clean electing cycle.
+func (n *NonAnon) installLeader(id model.Value) {
+	n.leader = id
+	n.haveLeader = true
+	n.leaderDead = false
+}
+
+// leaderBelievedAlive gates the election's prepare broadcasts: contend for
+// leadership only while no installed leader is believed alive.
+func (n *NonAnon) leaderBelievedAlive() bool { return n.haveLeader && !n.leaderDead }
+
+// deliverValue handles a phase-2 round: receive/adopt the leader value, or
+// detect the leader's death from provable silence.
+func (n *NonAnon) deliverValue(recv *model.RecvSet, cd model.CDAdvice) {
+	n.sawValue = false
+	var got *model.Value
+	recv.Range(func(m model.Message, _ int) bool {
+		if m.Kind == model.KindLeaderValue {
+			v := m.Value
+			got = &v
+			return false
+		}
+		return true
+	})
+	switch {
+	case got != nil:
+		// Adopt regardless of whether our own election has caught up: a
+		// future leader must disseminate this value, not its original one.
+		n.adopted = *got
+		n.sawValue = true
+	case n.haveLeader && !n.isLeader() && recv.Len() == 0 && cd == model.CDNull:
+		// Provable silence (Corollary 1): the leader did not broadcast, so
+		// it crashed (or halted after full dissemination — in which case
+		// every process has already adopted its value). Re-arm the
+		// election.
+		n.leaderDead = true
+		n.elect.rearm()
+	}
+}
+
+// deliverVetoRound handles a phase-3 round: a clean round after a received
+// value is the decision trigger.
+func (n *NonAnon) deliverVetoRound(recv *model.RecvSet, cd model.CDAdvice) {
+	if n.sawValue && recv.Len() == 0 && cd == model.CDNull {
+		n.decided = true
+		n.decision = n.adopted
+		n.halted = true
+	}
+	n.sawValue = false
+}
+
+// Decided implements model.Decider.
+func (n *NonAnon) Decided() (model.Value, bool) { return n.decision, n.decided }
+
+// Halted implements model.Decider.
+func (n *NonAnon) Halted() bool { return n.halted }
+
+// Leader exposes the currently installed leader for tests: valid only when
+// ok is true.
+func (n *NonAnon) Leader() (model.Value, bool) { return n.leader, n.haveLeader }
+
+// election is the continuous leader-election automaton driven on phase-1
+// rounds: Algorithm 2's three-phase cycle over the identifier space, except
+// that electing does not halt the automaton — it keeps cycling so that all
+// processes stay phase-aligned forever, and a re-arm (after a leader death)
+// resets estimates to fresh IDs at the next cycle boundary.
+type election struct {
+	domain   valueset.Domain
+	width    int
+	id       model.Value
+	owner    *NonAnon
+	estimate model.Value
+
+	phase      alg2Phase
+	bit        int
+	decideFlag bool
+	pendingArm bool
+}
+
+func newElection(domain valueset.Domain, id model.Value, owner *NonAnon) *election {
+	return &election{
+		domain:   domain,
+		width:    domain.BitWidth(),
+		id:       id,
+		owner:    owner,
+		estimate: id,
+		phase:    alg2Prepare,
+	}
+}
+
+// rearm schedules an estimate reset to this process's own ID at the next
+// prepare boundary (mid-cycle resets would desynchronize the bit rounds).
+func (e *election) rearm() { e.pendingArm = true }
+
+// message produces this phase-1 round's broadcast, mirroring Alg2.Message
+// with the prepare gate applied.
+func (e *election) message(cmAdvice model.CMAdvice) *model.Message {
+	switch e.phase {
+	case alg2Prepare:
+		if e.pendingArm {
+			// Apply the re-arm at the cycle boundary, before this round's
+			// broadcast: a stale estimate must not re-propose the dead
+			// leader.
+			e.estimate = e.id
+			e.pendingArm = false
+		}
+		if cmAdvice != model.CMActive || e.owner.leaderBelievedAlive() {
+			return nil
+		}
+		return &model.Message{Kind: model.KindEstimate, Value: e.estimate}
+	case alg2Propose:
+		if valueset.Bit(e.estimate, e.bit, e.width) == 1 {
+			return &model.Message{Kind: model.KindVote}
+		}
+		return nil
+	case alg2Accept:
+		if !e.decideFlag {
+			return &model.Message{Kind: model.KindVeto}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// deliver advances the cycle, mirroring Alg2.Deliver except that electing
+// installs a leader instead of halting.
+func (e *election) deliver(recv *model.RecvSet, cd model.CDAdvice) {
+	switch e.phase {
+	case alg2Prepare:
+		if e.pendingArm {
+			// Fallback for a re-arm that raced past message(): normally
+			// message() already applied it at the cycle boundary.
+			e.estimate = e.id
+			e.pendingArm = false
+		}
+		values := estimateValues(recv)
+		if cd != model.CDCollision && len(values) > 0 {
+			e.estimate = minValue(values)
+		}
+		e.decideFlag = true
+		e.bit = 1
+		e.phase = alg2Propose
+
+	case alg2Propose:
+		if (recv.Len() > 0 || cd == model.CDCollision) &&
+			valueset.Bit(e.estimate, e.bit, e.width) == 0 {
+			e.decideFlag = false
+		}
+		e.bit++
+		if e.bit > e.width {
+			e.phase = alg2Accept
+		}
+
+	case alg2Accept:
+		if e.decideFlag && recv.Len() == 0 && cd != model.CDCollision {
+			e.owner.installLeader(e.estimate)
+		}
+		e.phase = alg2Prepare
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+// TestSoakRandomizedEnvironments throws randomized-but-legal environments
+// at each algorithm — random network size, initial values, detector
+// behavior within its class, loss adversary, stabilization times, and
+// crash schedules — and asserts the safety properties in every run.
+// Termination is not asserted (the random adversary may keep the
+// environment unstable for the whole horizon); safety must hold
+// regardless.
+func TestSoakRandomizedEnvironments(t *testing.T) {
+	const seeds = 60
+	domain := valueset.MustDomain(128)
+	algorithms := []struct {
+		name  string
+		class detector.Class
+		build func(v model.Value) model.Automaton
+	}{
+		{"alg1/maj-◇AC", detector.MajOAC, func(v model.Value) model.Automaton { return NewAlg1(v) }},
+		{"alg2/0-◇AC", detector.ZeroOAC, func(v model.Value) model.Automaton { return NewAlg2(domain, v) }},
+		{"alg3/0-AC", detector.ZeroAC, func(v model.Value) model.Automaton { return NewAlg3(domain, v) }},
+	}
+	for _, alg := range algorithms {
+		t.Run(alg.name, func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				n := 2 + rng.Intn(6)
+
+				procs := make(map[model.ProcessID]model.Automaton, n)
+				initial := make(map[model.ProcessID]model.Value, n)
+				for i := 1; i <= n; i++ {
+					v := model.Value(rng.Intn(int(domain.Size)))
+					procs[model.ProcessID(i)] = alg.build(v)
+					initial[model.ProcessID(i)] = v
+				}
+
+				// Random crash schedule: up to n-1 crashes.
+				crashes := make(model.Schedule)
+				for i := 1; i <= n-1; i++ {
+					if rng.Float64() < 0.3 {
+						when := model.CrashBeforeSend
+						if rng.Float64() < 0.5 {
+							when = model.CrashAfterSend
+						}
+						crashes[model.ProcessID(i)] = model.Crash{Round: 1 + rng.Intn(30), Time: when}
+					}
+				}
+
+				// Random adversary.
+				var adversary loss.Adversary
+				switch rng.Intn(4) {
+				case 0:
+					adversary = loss.NewProbabilistic(rng.Float64()*0.7, seed)
+				case 1:
+					adversary = loss.NewCapture(rng.Float64()*0.6, rng.Float64()*0.3, seed)
+				case 2:
+					adversary = loss.Partition{
+						GroupOf: loss.SplitAt(model.ProcessID(1 + rng.Intn(n))),
+						Until:   rng.Intn(40),
+					}
+				default:
+					adversary = loss.Drop{}
+				}
+
+				// Random detector behavior within the class. Accurate
+				// classes never get false positives (the window forbids
+				// them); eventually-accurate classes get noise before a
+				// random race.
+				race := 1 + rng.Intn(40)
+				var behavior detector.Behavior = detector.Honest{}
+				switch rng.Intn(3) {
+				case 0:
+					behavior = detector.Minimal{}
+				case 1:
+					behavior = detector.Noisy{P: rng.Float64() * 0.5, Rng: rng}
+				}
+
+				e := env{
+					class:    alg.class,
+					behavior: behavior,
+					race:     race,
+					cmStable: 1 + rng.Intn(40),
+					ecfFrom:  1 + rng.Intn(40),
+					base:     adversary,
+					crashes:  crashes,
+					maxR:     150,
+					fullHzn:  true,
+				}
+				if alg.name == "alg3/0-AC" {
+					e.cmStable = 0 // Algorithm 3 runs with NoCM
+					e.ecfFrom = 0  // and without ECF
+				}
+				res := run(t, e, procs, initial)
+				if err := checkSafetyOnly(res); err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, res.Execution.String())
+				}
+			}
+		})
+	}
+}
+
+// checkSafetyOnly verifies agreement and strong validity (not termination).
+func checkSafetyOnly(res *engine.Result) error {
+	if err := engine.CheckAgreement(res); err != nil {
+		return err
+	}
+	return engine.CheckStrongValidity(res)
+}

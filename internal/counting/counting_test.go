@@ -1,0 +1,119 @@
+package counting
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+)
+
+// runCount executes n counters under the given contention manager.
+func runCount(t *testing.T, n, k int, manager cm.Service, maxRounds int) []*Counter {
+	t.Helper()
+	counters := make([]*Counter, n)
+	procs := make(map[model.ProcessID]model.Automaton, n)
+	for i := 0; i < n; i++ {
+		counters[i] = NewCounter(k)
+		procs[model.ProcessID(i+1)] = counters[i]
+	}
+	_, err := engine.Run(engine.Config{
+		Procs:          procs,
+		Detector:       detector.New(detector.ZeroAC),
+		CM:             manager,
+		Loss:           loss.ECF{Base: loss.None{}, From: 1},
+		MaxRounds:      maxRounds,
+		RunFullHorizon: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return counters
+}
+
+// TestCountingWithKWakeUp: with a k-wake-up service every process counts
+// the exact region population, for a range of sizes and window lengths.
+func TestCountingWithKWakeUp(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 9} {
+		for _, k := range []int{1, 2, 4} {
+			counters := runCount(t, n, k, cm.KWakeUp{Stable: 1, K: k}, n*k+k+5)
+			for i, c := range counters {
+				if !c.Done() {
+					t.Fatalf("n=%d k=%d: counter %d not done", n, k, i+1)
+				}
+				if c.Count() != n {
+					t.Fatalf("n=%d k=%d: counter %d counted %d", n, k, i+1, c.Count())
+				}
+			}
+		}
+	}
+}
+
+// TestCountingFailsWithLeaderElection demonstrates the §4.1 separation:
+// under a leader election service the count is always 1 — the silent
+// processes are unobservable, so counting is not solvable with LS.
+func TestCountingFailsWithLeaderElection(t *testing.T) {
+	const n, k = 5, 2
+	counters := runCount(t, n, k, cm.NewLeaderElection(1), 40)
+	for i, c := range counters {
+		if !c.Done() {
+			t.Fatalf("counter %d not done", i+1)
+		}
+		if c.Count() != 1 {
+			t.Fatalf("counter %d counted %d; a permanent leader must hide everyone else", i+1, c.Count())
+		}
+	}
+}
+
+// TestCountingStableDelay: the count also works when the k-wake-up service
+// stabilizes late (passive prefix).
+func TestCountingStableDelay(t *testing.T) {
+	const n, k, stable = 4, 3, 10
+	counters := runCount(t, n, k, cm.KWakeUp{Stable: stable, K: k}, stable+n*k+k+5)
+	for i, c := range counters {
+		if !c.Done() || c.Count() != n {
+			t.Fatalf("counter %d: done=%v count=%d", i+1, c.Done(), c.Count())
+		}
+	}
+}
+
+// TestKWakeUpWindowsAreExclusiveAndComplete checks the service property
+// directly: every process gets k consecutive solo-active rounds.
+func TestKWakeUpWindowsAreExclusiveAndComplete(t *testing.T) {
+	procs := []model.ProcessID{4, 1, 9}
+	svc := cm.KWakeUp{Stable: 2, K: 3}
+	soloRounds := make(map[model.ProcessID]int)
+	for r := 1; r <= 2+3*3+2; r++ {
+		adv := svc.Advise(r, procs, nil)
+		var active []model.ProcessID
+		for id, a := range adv {
+			if a == model.CMActive {
+				active = append(active, id)
+			}
+		}
+		if r < 2 {
+			if len(active) != 0 {
+				t.Fatalf("round %d: pre-stable advice must be passive", r)
+			}
+			continue
+		}
+		if len(active) != 1 {
+			t.Fatalf("round %d: %d active processes", r, len(active))
+		}
+		soloRounds[active[0]]++
+	}
+	for _, id := range procs {
+		if soloRounds[id] < 3 {
+			t.Fatalf("process %d got %d solo rounds, want >= 3", id, soloRounds[id])
+		}
+	}
+}
+
+// TestCounterZeroK clamps to 1.
+func TestCounterZeroK(t *testing.T) {
+	if NewCounter(0).K != 1 {
+		t.Fatal("k not clamped")
+	}
+}

@@ -1,0 +1,444 @@
+package detector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adhocconsensus/internal/model"
+)
+
+func TestCompletenessForcesTruthTable(t *testing.T) {
+	tests := []struct {
+		name         string
+		c            Completeness
+		senders, rcv int
+		want         bool
+	}{
+		// complete: any loss forces a report
+		{"complete loses one", CompleteAll, 3, 2, true},
+		{"complete receives all", CompleteAll, 3, 3, false},
+		{"complete silence round", CompleteAll, 0, 0, false},
+
+		// majority: no STRICT majority forces a report
+		{"maj exactly half", CompleteMajority, 4, 2, true},
+		{"maj strict majority", CompleteMajority, 4, 3, false},
+		{"maj below half", CompleteMajority, 4, 1, true},
+		{"maj odd strict majority", CompleteMajority, 3, 2, false},
+		{"maj odd below", CompleteMajority, 3, 1, true},
+		{"maj silence", CompleteMajority, 0, 0, false},
+
+		// half: less than half forces a report; exactly half does NOT.
+		// This one-message gap is the Theorem 1 vs Theorem 6 separation.
+		{"half exactly half", CompleteHalf, 4, 2, false},
+		{"half below half", CompleteHalf, 4, 1, true},
+		{"half odd floor", CompleteHalf, 3, 1, true},
+		{"half odd ceil", CompleteHalf, 3, 2, false},
+		{"half silence", CompleteHalf, 0, 0, false},
+
+		// zero: only total loss forces a report
+		{"zero total loss", CompleteZero, 5, 0, true},
+		{"zero one received", CompleteZero, 5, 1, false},
+		{"zero silence", CompleteZero, 0, 0, false},
+
+		// none: never forces
+		{"none total loss", CompleteNone, 5, 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.c.Forces(tt.senders, tt.rcv); got != tt.want {
+				t.Errorf("%v.Forces(%d,%d) = %v, want %v", tt.c, tt.senders, tt.rcv, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMajHalfSingleMessageGap(t *testing.T) {
+	// For every even sender count, recv = c/2 is the only point where the
+	// two properties disagree.
+	for c := 2; c <= 40; c += 2 {
+		for recv := 0; recv <= c; recv++ {
+			maj := CompleteMajority.Forces(c, recv)
+			half := CompleteHalf.Forces(c, recv)
+			if recv == c/2 {
+				if !maj || half {
+					t.Fatalf("c=%d recv=%d: want maj=true half=false, got maj=%v half=%v", c, recv, maj, half)
+				}
+			} else if maj != half {
+				t.Fatalf("c=%d recv=%d: maj=%v half=%v disagree off the boundary", c, recv, maj, half)
+			}
+		}
+	}
+}
+
+func TestAccuracyForcesNull(t *testing.T) {
+	tests := []struct {
+		name         string
+		a            Accuracy
+		r, race      int
+		senders, rcv int
+		want         bool
+	}{
+		{"always accurate all received", AccuracyAlways, 1, 99, 3, 3, true},
+		{"always accurate with loss", AccuracyAlways, 1, 99, 3, 2, false},
+		{"eventual before race", AccuracyEventual, 4, 5, 3, 3, false},
+		{"eventual at race", AccuracyEventual, 5, 5, 3, 3, true},
+		{"eventual after race", AccuracyEventual, 9, 5, 3, 3, true},
+		{"none never", AccuracyNone, 100, 1, 3, 3, false},
+		{"silence round accurate", AccuracyAlways, 1, 1, 0, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.ForcesNull(tt.r, tt.race, tt.senders, tt.rcv); got != tt.want {
+				t.Errorf("ForcesNull = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestFigure1Lattice reproduces the containment structure of Figure 1: AC is
+// contained in every window class, 0-◇AC contains all Figure-1 classes, and
+// Lemma 1 (NoCD ⊆ NoACC) holds.
+func TestFigure1Lattice(t *testing.T) {
+	contains := func(sub, super Class) {
+		t.Helper()
+		if !sub.SubclassOf(super) {
+			t.Errorf("%s should be a subclass of %s", sub, super)
+		}
+	}
+	notContains := func(sub, super Class) {
+		t.Helper()
+		if sub.SubclassOf(super) {
+			t.Errorf("%s should NOT be a subclass of %s", sub, super)
+		}
+	}
+
+	// Completeness chain at fixed accuracy.
+	contains(AC, MajAC)
+	contains(MajAC, HalfAC)
+	contains(HalfAC, ZeroAC)
+	contains(OAC, MajOAC)
+	contains(MajOAC, HalfOAC)
+	contains(HalfOAC, ZeroOAC)
+
+	// Accuracy chain at fixed completeness.
+	contains(AC, OAC)
+	contains(MajAC, MajOAC)
+	contains(HalfAC, HalfOAC)
+	contains(ZeroAC, ZeroOAC)
+
+	// AC is the strongest, 0-◇AC the weakest window class (§7.2: "all other
+	// collision detector classes we consider, with the exception of NoCD
+	// and NoACC, are subsets of 0-◇AC").
+	for _, c := range Classes() {
+		if c == NoCD || c == NoACC {
+			continue
+		}
+		contains(AC, c)
+		contains(c, ZeroOAC)
+	}
+
+	// Lemma 1: NoCD ⊆ NoACC.
+	contains(NoCD, NoACC)
+	contains(AC, NoACC)
+
+	// Non-containments.
+	notContains(MajAC, AC)
+	notContains(ZeroOAC, ZeroAC)
+	notContains(OAC, MajAC)    // accuracy too weak
+	notContains(NoACC, ZeroAC) // no accuracy at all
+	notContains(NoCD, ZeroOAC) // always-± violates eventual accuracy
+	notContains(AC, NoCD)      // NoCD contains only the pinned detector
+	contains(NoCD, NoCD)
+}
+
+func TestSubclassReflexive(t *testing.T) {
+	for _, c := range Classes() {
+		if !c.SubclassOf(c) {
+			t.Errorf("%s not a subclass of itself", c)
+		}
+	}
+}
+
+func TestWindowForcedAdvice(t *testing.T) {
+	w := Window{ForcedCollision: true}
+	if adv, free := w.Advice(); free || adv != model.CDCollision {
+		t.Error("forced collision window wrong")
+	}
+	w = Window{ForcedNull: true}
+	if adv, free := w.Advice(); free || adv != model.CDNull {
+		t.Error("forced null window wrong")
+	}
+	w = Window{}
+	if _, free := w.Advice(); !free {
+		t.Error("unconstrained window must be free")
+	}
+}
+
+func TestNoCDAlwaysCollides(t *testing.T) {
+	d := New(NoCD, WithBehavior(Minimal{}))
+	for r := 1; r <= 5; r++ {
+		for _, tc := range []struct{ c, recv int }{{0, 0}, {1, 1}, {3, 0}} {
+			if got := d.Advise(r, 1, tc.c, tc.recv); got != model.CDCollision {
+				t.Fatalf("NoCD advice = %v, want ±", got)
+			}
+		}
+	}
+}
+
+func TestDetectorHonestDefault(t *testing.T) {
+	d := New(ZeroAC)
+	if got := d.Advise(1, 1, 3, 2); got != model.CDCollision {
+		t.Error("honest detector must report a real loss even when not forced")
+	}
+	if got := d.Advise(1, 1, 3, 3); got != model.CDNull {
+		t.Error("honest accurate detector must stay silent with no loss")
+	}
+}
+
+func TestDetectorMinimalHalfAC(t *testing.T) {
+	d := New(HalfAC, WithBehavior(Minimal{}))
+	// Exactly half lost: half completeness does not force, minimal stays
+	// silent — the adversarial behavior of Lemma 23 case 1(b).
+	if got := d.Advise(1, 1, 2, 1); got != model.CDNull {
+		t.Errorf("minimal half-AC with half loss = %v, want null", got)
+	}
+	// Below half: forced.
+	if got := d.Advise(1, 1, 3, 1); got != model.CDCollision {
+		t.Errorf("minimal half-AC below half = %v, want ±", got)
+	}
+	// Accuracy still enforced.
+	if got := d.Advise(1, 1, 2, 2); got != model.CDNull {
+		t.Errorf("accurate detector must not false-positive, got %v", got)
+	}
+}
+
+func TestDetectorEventualAccuracyRace(t *testing.T) {
+	d := New(ZeroOAC, WithRace(4), WithBehavior(MaxNoise{}))
+	// Before race: false positives allowed even when everything arrived.
+	if got := d.Advise(3, 1, 1, 1); got != model.CDCollision {
+		t.Errorf("pre-race noise suppressed: %v", got)
+	}
+	// From race on: accuracy forces null when all messages received.
+	if got := d.Advise(4, 1, 1, 1); got != model.CDNull {
+		t.Errorf("post-race false positive: %v", got)
+	}
+	// Completeness still forced post-race.
+	if got := d.Advise(9, 1, 2, 0); got != model.CDCollision {
+		t.Errorf("post-race total loss not reported: %v", got)
+	}
+	if d.Race() != 4 || d.Class() != ZeroOAC {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestNoisyBehavior(t *testing.T) {
+	n := Noisy{P: 1.0, Rng: rand.New(rand.NewSource(1))}
+	if got := n.Choose(1, 1, 1, 1); got != model.CDCollision {
+		t.Error("P=1 noisy must always false-positive when free")
+	}
+	n = Noisy{P: 0, Rng: rand.New(rand.NewSource(1))}
+	if got := n.Choose(1, 1, 1, 1); got != model.CDNull {
+		t.Error("P=0 noisy must never false-positive")
+	}
+	if got := (Noisy{}).Choose(1, 1, 2, 1); got != model.CDCollision {
+		t.Error("noisy must report real loss")
+	}
+}
+
+func TestFuncBehavior(t *testing.T) {
+	calls := 0
+	f := Func(func(r int, id model.ProcessID, c, recv int) model.CDAdvice {
+		calls++
+		return model.CDNull
+	})
+	d := New(NoACC, WithBehavior(f))
+	if got := d.Advise(1, 1, 2, 2); got != model.CDNull {
+		t.Error("func behavior not used")
+	}
+	if calls != 1 {
+		t.Error("func behavior not called")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if AC.String() != "AC" || NoCD.String() != "NoCD" {
+		t.Error("class names wrong")
+	}
+	if CompleteZero.String() != "0-complete" || AccuracyEventual.String() != "eventually-accurate" {
+		t.Error("property names wrong")
+	}
+}
+
+// --- validator tests ---
+
+func tt1(senders int, recv map[model.ProcessID]int) model.TransmissionTrace {
+	return model.TransmissionTrace{{Senders: senders, Received: recv}}
+}
+
+func cdt1(m map[model.ProcessID]model.CDAdvice) model.CDTrace {
+	return model.CDTrace{m}
+}
+
+func TestCheckTracesAccepts(t *testing.T) {
+	tt := tt1(2, map[model.ProcessID]int{1: 2, 2: 1})
+	cdt := cdt1(map[model.ProcessID]model.CDAdvice{1: model.CDNull, 2: model.CDCollision})
+	if err := CheckTraces(MajAC, 1, tt, cdt); err != nil {
+		t.Fatalf("legal trace rejected: %v", err)
+	}
+}
+
+func TestCheckTracesRejectsCompletenessViolation(t *testing.T) {
+	tt := tt1(3, map[model.ProcessID]int{1: 0})
+	cdt := cdt1(map[model.ProcessID]model.CDAdvice{1: model.CDNull})
+	err := CheckTraces(ZeroAC, 1, tt, cdt)
+	if err == nil {
+		t.Fatal("zero-completeness violation accepted")
+	}
+	if _, ok := err.(*PropertyError); !ok {
+		t.Fatalf("wrong error type: %T", err)
+	}
+}
+
+func TestCheckTracesRejectsAccuracyViolation(t *testing.T) {
+	tt := tt1(1, map[model.ProcessID]int{1: 1})
+	cdt := cdt1(map[model.ProcessID]model.CDAdvice{1: model.CDCollision})
+	if err := CheckTraces(ZeroAC, 1, tt, cdt); err == nil {
+		t.Fatal("accuracy violation accepted")
+	}
+	// Same trace is legal for an eventually-accurate detector with race 2.
+	if err := CheckTraces(ZeroOAC, 2, tt, cdt); err != nil {
+		t.Fatalf("pre-race false positive rejected: %v", err)
+	}
+}
+
+func TestCheckTracesHalfBoundary(t *testing.T) {
+	// Exactly half lost: legal null for half-AC, illegal for maj-AC.
+	tt := tt1(2, map[model.ProcessID]int{1: 1})
+	cdt := cdt1(map[model.ProcessID]model.CDAdvice{1: model.CDNull})
+	if err := CheckTraces(HalfAC, 1, tt, cdt); err != nil {
+		t.Fatalf("half-AC must allow silence at exactly half: %v", err)
+	}
+	if err := CheckTraces(MajAC, 1, tt, cdt); err == nil {
+		t.Fatal("maj-AC must forbid silence at exactly half")
+	}
+}
+
+func TestCheckTracesLengthMismatch(t *testing.T) {
+	tt := tt1(1, map[model.ProcessID]int{1: 1})
+	if err := CheckTraces(AC, 1, tt, model.CDTrace{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCheckTracesMissingAdvice(t *testing.T) {
+	tt := tt1(1, map[model.ProcessID]int{1: 1})
+	cdt := cdt1(map[model.ProcessID]model.CDAdvice{})
+	if err := CheckTraces(AC, 1, tt, cdt); err == nil {
+		t.Fatal("missing advice accepted")
+	}
+}
+
+func TestEarliestRace(t *testing.T) {
+	tt := model.TransmissionTrace{
+		{Senders: 1, Received: map[model.ProcessID]int{1: 1}},
+		{Senders: 1, Received: map[model.ProcessID]int{1: 1}},
+		{Senders: 1, Received: map[model.ProcessID]int{1: 1}},
+	}
+	cdt := model.CDTrace{
+		{1: model.CDCollision}, // false positive at round 1
+		{1: model.CDNull},
+		{1: model.CDNull},
+	}
+	if got := EarliestRace(tt, cdt); got != 2 {
+		t.Errorf("EarliestRace = %d, want 2", got)
+	}
+	cdt[2] = map[model.ProcessID]model.CDAdvice{1: model.CDCollision}
+	if got := EarliestRace(tt, cdt); got != 4 {
+		t.Errorf("EarliestRace = %d, want 4", got)
+	}
+	cdt = model.CDTrace{{1: model.CDNull}, {1: model.CDNull}, {1: model.CDNull}}
+	if got := EarliestRace(tt, cdt); got != 1 {
+		t.Errorf("EarliestRace = %d, want 1", got)
+	}
+}
+
+// --- property-based tests ---
+
+// TestQuickWindowNeverContradicts checks that no class ever forces both ±
+// and null for the same observation: the legal window is never empty.
+func TestQuickWindowNeverContradicts(t *testing.T) {
+	prop := func(rRaw, raceRaw uint8, sendersRaw, lostRaw uint8) bool {
+		r := int(rRaw%64) + 1
+		race := int(raceRaw%64) + 1
+		senders := int(sendersRaw % 20)
+		recv := senders - int(lostRaw)%(senders+1)
+		for _, c := range Classes() {
+			w := c.WindowFor(r, race, senders, recv)
+			if w.ForcedCollision && w.ForcedNull {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStrongerCompletenessForcesMore checks monotonicity of the
+// completeness hierarchy on every observation.
+func TestQuickStrongerCompletenessForcesMore(t *testing.T) {
+	chain := []Completeness{CompleteNone, CompleteZero, CompleteHalf, CompleteMajority, CompleteAll}
+	prop := func(sendersRaw, lostRaw uint8) bool {
+		senders := int(sendersRaw % 20)
+		recv := senders - int(lostRaw)%(senders+1)
+		for i := 0; i+1 < len(chain); i++ {
+			if chain[i].Forces(senders, recv) && !chain[i+1].Forces(senders, recv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHonestAdviceAlwaysLegal checks that an honest detector of any
+// class always produces advice that CheckTraces accepts.
+func TestQuickHonestAdviceAlwaysLegal(t *testing.T) {
+	prop := func(sendersRaw, lostRaw, raceRaw uint8) bool {
+		senders := int(sendersRaw % 10)
+		recv := senders - int(lostRaw)%(senders+1)
+		race := int(raceRaw%8) + 1
+		tt := tt1(senders, map[model.ProcessID]int{1: recv})
+		for _, c := range Classes() {
+			d := New(c, WithRace(race))
+			adv := d.Advise(1, 1, senders, recv)
+			cdt := cdt1(map[model.ProcessID]model.CDAdvice{1: adv})
+			if err := CheckTraces(c, race, tt, cdt); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSubclassTransitive checks the lattice relation is transitive.
+func TestQuickSubclassTransitive(t *testing.T) {
+	cs := Classes()
+	prop := func(ai, bi, ci uint8) bool {
+		a, b, c := cs[int(ai)%len(cs)], cs[int(bi)%len(cs)], cs[int(ci)%len(cs)]
+		if a.SubclassOf(b) && b.SubclassOf(c) {
+			return a.SubclassOf(c)
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

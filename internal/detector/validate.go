@@ -1,0 +1,78 @@
+package detector
+
+import (
+	"fmt"
+
+	"adhocconsensus/internal/model"
+)
+
+// PropertyError reports that a recorded advice trace violates a collision
+// detector property at a specific round and process (constraint 6 of
+// Definition 11).
+type PropertyError struct {
+	Class    Class
+	Round    int
+	Process  model.ProcessID
+	Property string
+	Detail   string
+}
+
+// Error implements the error interface.
+func (e *PropertyError) Error() string {
+	return fmt.Sprintf("detector class %s violated at round %d, process %d: %s: %s",
+		e.Class, e.Round, e.Process, e.Property, e.Detail)
+}
+
+// CheckTraces verifies that the collision-advice trace cdt is legal for a
+// detector of the given class with accuracy stabilization round race, with
+// respect to the transmission trace tt. This is the machine-checkable form
+// of "tCD ∈ E.CD(tT)" (Definition 11, constraint 6) for window-defined
+// classes.
+func CheckTraces(class Class, race int, tt model.TransmissionTrace, cdt model.CDTrace) error {
+	if len(tt) != len(cdt) {
+		return fmt.Errorf("detector: trace length mismatch: %d transmission rounds vs %d advice rounds",
+			len(tt), len(cdt))
+	}
+	for i := range tt {
+		r := i + 1
+		for id, recv := range tt[i].Received {
+			adv, ok := cdt[i][id]
+			if !ok {
+				return &PropertyError{class, r, id, "coverage", "no advice recorded"}
+			}
+			w := class.WindowFor(r, race, tt[i].Senders, recv)
+			if w.ForcedCollision && adv != model.CDCollision {
+				return &PropertyError{class, r, id, class.Completeness.String(),
+					fmt.Sprintf("received %d of %d but advice is %s", recv, tt[i].Senders, adv)}
+			}
+			if w.ForcedNull && adv != model.CDNull {
+				return &PropertyError{class, r, id, class.Accuracy.String(),
+					fmt.Sprintf("received all %d messages but advice is %s", tt[i].Senders, adv)}
+			}
+		}
+	}
+	return nil
+}
+
+// EarliestRace returns the smallest accuracy stabilization round for which
+// the advice trace satisfies eventual accuracy with respect to tt: the
+// round after the last false positive. It returns 1 if the trace is
+// accurate throughout, and len(tt)+1 if the final round contains a false
+// positive.
+func EarliestRace(tt model.TransmissionTrace, cdt model.CDTrace) int {
+	race := 1
+	for i := range tt {
+		for id, recv := range tt[i].Received {
+			if recv == tt[i].Senders && cdt[i][id] == model.CDCollision {
+				race = i + 2 // accurate only after this round
+			}
+		}
+	}
+	return race
+}
+
+// CheckExecution derives the traces of a recorded execution and checks them
+// against the class, a convenience for engine and algorithm tests.
+func CheckExecution(class Class, race int, e *model.Execution) error {
+	return CheckTraces(class, race, e.TransmissionTrace(), e.CDTrace())
+}

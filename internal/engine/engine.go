@@ -1,0 +1,280 @@
+// Package engine executes systems of the paper's formal model
+// (Definition 10): a set of process automata, a collision detector, a
+// contention manager, and a message-loss adversary, driven through
+// synchronized rounds. It records full executions (Definition 11) so that
+// algorithm tests can validate not just outcomes but the legality of the
+// environment itself.
+//
+// The engine is strictly deterministic: the same configuration (including
+// adversary and detector seeds) always yields the same execution. The
+// companion package runtime runs the identical model with one goroutine per
+// process and is equivalence-tested against this engine.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/multiset"
+)
+
+// DefaultMaxRounds bounds executions whose algorithms fail to terminate.
+const DefaultMaxRounds = 100000
+
+// Config assembles a runnable system.
+type Config struct {
+	// Procs maps process indices to their automata. Required.
+	Procs map[model.ProcessID]model.Automaton
+	// Initial records each process's initial consensus value, for validity
+	// checking and execution bookkeeping. Optional.
+	Initial map[model.ProcessID]model.Value
+	// Detector supplies collision advice. Defaults to an honest detector in
+	// class AC.
+	Detector *detector.Detector
+	// CM supplies contention advice. Defaults to NoCM (all active).
+	CM cm.Service
+	// Loss plans message delivery. Defaults to the lossless channel.
+	Loss loss.Adversary
+	// Crashes schedules permanent crash failures. Optional.
+	Crashes model.Schedule
+	// MaxRounds bounds the execution. Defaults to DefaultMaxRounds.
+	MaxRounds int
+	// RunFullHorizon keeps executing to MaxRounds even after every process
+	// has decided; used by lower-bound constructions that need fixed-length
+	// traces. Default false: stop once all live processes have decided.
+	RunFullHorizon bool
+}
+
+// Result reports the outcome of an execution.
+type Result struct {
+	// Execution is the full recorded execution prefix.
+	Execution *model.Execution
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Decisions maps processes to their decisions (value and round).
+	Decisions map[model.ProcessID]model.Decision
+	// AllDecided reports whether every non-crashed process decided.
+	AllDecided bool
+}
+
+// Run executes the configured system and returns the recorded execution.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Procs) == 0 {
+		return nil, fmt.Errorf("engine: no processes configured")
+	}
+	det := cfg.Detector
+	if det == nil {
+		det = detector.New(detector.AC)
+	}
+	manager := cfg.CM
+	if manager == nil {
+		manager = cm.NoCM{}
+	}
+	adversary := cfg.Loss
+	if adversary == nil {
+		adversary = loss.None{}
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
+	procs := make([]model.ProcessID, 0, len(cfg.Procs))
+	for id := range cfg.Procs {
+		procs = append(procs, id)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+
+	exec := model.NewExecution(procs, cfg.Initial)
+	halted := make(map[model.ProcessID]bool, len(procs))
+	decided := make(map[model.ProcessID]bool, len(procs))
+
+	rounds := 0
+	for r := 1; r <= maxRounds; r++ {
+		rounds = r
+		// A halted (decided) process no longer contends for the channel, so
+		// the contention manager treats it like a crashed one — a backoff
+		// implementation would observe the same thing.
+		aliveForCM := func(id model.ProcessID) bool {
+			return !cfg.Crashes.CrashedForSend(id, r) && !halted[id]
+		}
+		cmAdvice := manager.Advise(r, procs, aliveForCM)
+
+		// Message generation (the msg function of Definition 1).
+		sent := make(map[model.ProcessID]model.Message)
+		for _, id := range procs {
+			if cfg.Crashes.CrashedForSend(id, r) || halted[id] {
+				continue
+			}
+			if m := cfg.Procs[id].Message(r, cmAdvice[id]); m != nil {
+				sent[id] = *m
+			}
+		}
+		senders := make([]model.ProcessID, 0, len(sent))
+		for id := range sent {
+			senders = append(senders, id)
+		}
+		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+
+		plan := adversary.Plan(r, senders, procs)
+
+		// Delivery, collision advice, and state transitions.
+		views := make(map[model.ProcessID]model.View, len(procs))
+		for _, id := range procs {
+			if cfg.Crashes.CrashedForSend(id, r) {
+				// A crashed process receives nothing; its advice is still
+				// part of the formal CD trace and must be legal for the
+				// class, so it is computed like any other process's.
+				views[id] = model.View{
+					Crashed: true,
+					Recv:    multiset.New[model.Message](),
+					CD:      det.Advise(r, id, len(senders), 0),
+					CM:      cmAdvice[id],
+				}
+				continue
+			}
+			recv := multiset.New[model.Message]()
+			for _, snd := range senders {
+				msg := sent[snd]
+				if snd == id || plan(id, snd) {
+					recv.Add(msg)
+				}
+			}
+			advice := det.Advise(r, id, len(senders), recv.Len())
+
+			var sentMsg *model.Message
+			if m, ok := sent[id]; ok {
+				m := m
+				sentMsg = &m
+			}
+			views[id] = model.View{
+				Sent: sentMsg,
+				Recv: recv,
+				CD:   advice,
+				CM:   cmAdvice[id],
+			}
+
+			if cfg.Crashes.CrashedForDeliver(id, r) || halted[id] {
+				continue // crashed mid-round or already halted: no transition
+			}
+			cfg.Procs[id].Deliver(r, recv, advice, cmAdvice[id])
+		}
+		exec.Rounds = append(exec.Rounds, model.Round{Number: r, Views: views})
+
+		if obs, ok := manager.(cm.Observer); ok {
+			obs.Observe(r, len(senders))
+		}
+
+		// Decision bookkeeping and the halting test.
+		allDone := true
+		for _, id := range procs {
+			if cfg.Crashes.CrashedForDeliver(id, r) {
+				continue
+			}
+			d, ok := cfg.Procs[id].(model.Decider)
+			if !ok {
+				allDone = false
+				continue
+			}
+			if v, has := d.Decided(); has && !decided[id] {
+				decided[id] = true
+				exec.Decisions[id] = model.Decision{Value: v, Round: r}
+			}
+			if d.Halted() {
+				halted[id] = true
+			}
+			if !decided[id] {
+				allDone = false
+			}
+		}
+		if allDone && !cfg.RunFullHorizon {
+			break
+		}
+	}
+
+	allDecided := true
+	for _, id := range procs {
+		if cfg.Crashes.CrashedForDeliver(id, rounds) {
+			continue
+		}
+		if !decided[id] {
+			allDecided = false
+		}
+	}
+	return &Result{
+		Execution:  exec,
+		Rounds:     rounds,
+		Decisions:  exec.Decisions,
+		AllDecided: allDecided,
+	}, nil
+}
+
+// CheckAgreement verifies that no two processes decided different values
+// (consensus property 1).
+func CheckAgreement(res *Result) error {
+	vals := res.Execution.DecidedValues()
+	if len(vals) > 1 {
+		return fmt.Errorf("agreement violated: values %v decided", vals)
+	}
+	return nil
+}
+
+// CheckStrongValidity verifies that every decided value was some process's
+// initial value (consensus property 2, strong form).
+func CheckStrongValidity(res *Result) error {
+	initials := make(map[model.Value]bool, len(res.Execution.Initial))
+	for _, v := range res.Execution.Initial {
+		initials[v] = true
+	}
+	for id, d := range res.Decisions {
+		if !initials[d.Value] {
+			return fmt.Errorf("strong validity violated: process %d decided %d, not any process's initial value",
+				id, uint64(d.Value))
+		}
+	}
+	return nil
+}
+
+// CheckUniformValidity verifies the weaker uniform validity property: if all
+// initial values are equal, that value is the only decision.
+func CheckUniformValidity(res *Result) error {
+	var common *model.Value
+	uniform := true
+	for _, v := range res.Execution.Initial {
+		v := v
+		if common == nil {
+			common = &v
+		} else if *common != v {
+			uniform = false
+		}
+	}
+	if !uniform || common == nil {
+		return nil
+	}
+	for id, d := range res.Decisions {
+		if d.Value != *common {
+			return fmt.Errorf("uniform validity violated: all started with %d but process %d decided %d",
+				uint64(*common), id, uint64(d.Value))
+		}
+	}
+	return nil
+}
+
+// CheckTermination verifies that every correct (never-crashed) process
+// decided within the executed prefix.
+func CheckTermination(res *Result, crashes model.Schedule) error {
+	for _, id := range res.Execution.Procs {
+		if _, crashed := crashes[id]; crashed {
+			continue
+		}
+		if _, ok := res.Decisions[id]; !ok {
+			return fmt.Errorf("termination violated: correct process %d undecided after %d rounds",
+				id, res.Rounds)
+		}
+	}
+	return nil
+}

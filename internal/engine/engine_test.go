@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+)
+
+// beacon broadcasts est(value) every round it is active and records what it
+// observes. It never decides.
+type beacon struct {
+	value    model.Value
+	obeysCM  bool
+	seenCD   []model.CDAdvice
+	seenRecv []int
+}
+
+func (b *beacon) Message(_ int, adv model.CMAdvice) *model.Message {
+	if b.obeysCM && adv != model.CMActive {
+		return nil
+	}
+	return &model.Message{Kind: model.KindEstimate, Value: b.value}
+}
+
+func (b *beacon) Deliver(_ int, recv *model.RecvSet, cd model.CDAdvice, _ model.CMAdvice) {
+	b.seenCD = append(b.seenCD, cd)
+	b.seenRecv = append(b.seenRecv, recv.Len())
+}
+
+// decideAfter decides its value at the end of round k and halts one round
+// later.
+type decideAfter struct {
+	value   model.Value
+	round   int
+	cur     int
+	decided bool
+}
+
+func (d *decideAfter) Message(int, model.CMAdvice) *model.Message { return nil }
+
+func (d *decideAfter) Deliver(r int, _ *model.RecvSet, _ model.CDAdvice, _ model.CMAdvice) {
+	d.cur = r
+	if r >= d.round {
+		d.decided = true
+	}
+}
+
+func (d *decideAfter) Decided() (model.Value, bool) { return d.value, d.decided }
+func (d *decideAfter) Halted() bool                 { return d.decided && d.cur > d.round }
+
+func TestRunRequiresProcesses(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestLosslessDelivery(t *testing.T) {
+	b1 := &beacon{value: 1}
+	b2 := &beacon{value: 2}
+	res, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: b1, 2: b2},
+		MaxRounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", res.Rounds)
+	}
+	for i, n := range b1.seenRecv {
+		if n != 2 {
+			t.Fatalf("round %d: beacon1 received %d, want 2", i+1, n)
+		}
+	}
+	// Honest AC detector, nothing lost: all null advice.
+	for i, cd := range b2.seenCD {
+		if cd != model.CDNull {
+			t.Fatalf("round %d: advice %v, want null", i+1, cd)
+		}
+	}
+	if err := res.Execution.Validate(); err != nil {
+		t.Fatalf("execution invalid: %v", err)
+	}
+}
+
+func TestDropAdversarySelfDeliveryOnly(t *testing.T) {
+	b1 := &beacon{value: 1}
+	b2 := &beacon{value: 2}
+	res, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: b1, 2: b2},
+		Loss:      loss.Drop{},
+		MaxRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range b1.seenRecv {
+		if n != 1 {
+			t.Fatalf("round %d: received %d, want 1 (own message only)", i+1, n)
+		}
+	}
+	// Honest detector must report the losses.
+	for i, cd := range b1.seenCD {
+		if cd != model.CDCollision {
+			t.Fatalf("round %d: advice %v, want ±", i+1, cd)
+		}
+	}
+	if err := res.Execution.Validate(); err != nil {
+		t.Fatalf("execution invalid: %v", err)
+	}
+}
+
+func TestContentionManagerWiring(t *testing.T) {
+	b1 := &beacon{value: 1, obeysCM: true}
+	b2 := &beacon{value: 2, obeysCM: true}
+	res, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: b1, 2: b2},
+		CM:        cm.WakeUp{Stable: 1}, // only p1 active
+		MaxRounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := res.Execution.TransmissionTrace()
+	for i, rt := range tt {
+		if rt.Senders != 1 {
+			t.Fatalf("round %d: %d senders, want 1 (only the active process)", i+1, rt.Senders)
+		}
+	}
+	for i, n := range b2.seenRecv {
+		if n != 1 {
+			t.Fatalf("round %d: passive process received %d, want 1", i+1, n)
+		}
+	}
+}
+
+func TestCrashBeforeSendSilencesProcess(t *testing.T) {
+	b1 := &beacon{value: 1}
+	b2 := &beacon{value: 2}
+	res, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: b1, 2: b2},
+		Crashes:   model.Schedule{1: {Round: 2, Time: model.CrashBeforeSend}},
+		MaxRounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := res.Execution.TransmissionTrace()
+	if tt[0].Senders != 2 || tt[1].Senders != 1 || tt[2].Senders != 1 {
+		t.Fatalf("sender counts = %d,%d,%d, want 2,1,1", tt[0].Senders, tt[1].Senders, tt[2].Senders)
+	}
+	// The crashed process's automaton stops evolving.
+	if len(b1.seenRecv) != 1 {
+		t.Fatalf("crashed automaton delivered %d times, want 1", len(b1.seenRecv))
+	}
+	v, _ := res.Execution.View(1, 2)
+	if !v.Crashed {
+		t.Fatal("crash round view not marked crashed")
+	}
+	if err := res.Execution.Validate(); err != nil {
+		t.Fatalf("execution invalid: %v", err)
+	}
+}
+
+func TestCrashAfterSendBroadcastsOnceMore(t *testing.T) {
+	b1 := &beacon{value: 1}
+	b2 := &beacon{value: 2}
+	res, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: b1, 2: b2},
+		Crashes:   model.Schedule{1: {Round: 2, Time: model.CrashAfterSend}},
+		MaxRounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := res.Execution.TransmissionTrace()
+	if tt[1].Senders != 2 {
+		t.Fatalf("crash round senders = %d, want 2 (AfterSend broadcasts)", tt[1].Senders)
+	}
+	if tt[2].Senders != 1 {
+		t.Fatalf("post-crash senders = %d, want 1", tt[2].Senders)
+	}
+	// Deliver must not run in the crash round.
+	if len(b1.seenRecv) != 1 {
+		t.Fatalf("AfterSend crash delivered %d times, want 1", len(b1.seenRecv))
+	}
+	if err := res.Execution.Validate(); err != nil {
+		t.Fatalf("execution invalid: %v", err)
+	}
+}
+
+func TestDecisionsAndEarlyStop(t *testing.T) {
+	d1 := &decideAfter{value: 7, round: 2}
+	d2 := &decideAfter{value: 7, round: 4}
+	res, err := Run(Config{
+		Procs:   map[model.ProcessID]model.Automaton{1: d1, 2: d2},
+		Initial: map[model.ProcessID]model.Value{1: 7, 2: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 4 {
+		t.Fatalf("rounds = %d, want 4 (stop when all decided)", res.Rounds)
+	}
+	if !res.AllDecided {
+		t.Fatal("AllDecided = false")
+	}
+	if res.Decisions[1].Round != 2 || res.Decisions[2].Round != 4 {
+		t.Fatalf("decision rounds = %d,%d, want 2,4", res.Decisions[1].Round, res.Decisions[2].Round)
+	}
+	if err := CheckAgreement(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStrongValidity(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckUniformValidity(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTermination(res, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFullHorizon(t *testing.T) {
+	d1 := &decideAfter{value: 7, round: 1}
+	res, err := Run(Config{
+		Procs:          map[model.ProcessID]model.Automaton{1: d1},
+		MaxRounds:      6,
+		RunFullHorizon: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 6 {
+		t.Fatalf("rounds = %d, want 6 under RunFullHorizon", res.Rounds)
+	}
+}
+
+func TestHaltedProcessGoesSilent(t *testing.T) {
+	// decideAfter halts one round after deciding; from then on it must not
+	// broadcast... it never broadcasts, so instead check Deliver stops.
+	d1 := &decideAfter{value: 1, round: 2}
+	b2 := &beacon{value: 2}
+	res, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: d1, 2: b2},
+		MaxRounds: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 6 {
+		t.Fatalf("rounds = %d, want 6 (beacon never decides)", res.Rounds)
+	}
+	if d1.cur != 3 {
+		t.Fatalf("halted automaton last delivered round %d, want 3", d1.cur)
+	}
+}
+
+func TestMaxRoundsBoundsNonTerminatingRun(t *testing.T) {
+	b := &beacon{value: 1}
+	res, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: b},
+		MaxRounds: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 9 || res.AllDecided {
+		t.Fatalf("rounds=%d allDecided=%v, want 9,false", res.Rounds, res.AllDecided)
+	}
+}
+
+func TestDetectorClassWiring(t *testing.T) {
+	// Zero-complete minimal detector: losing one of two messages is not
+	// reported, losing all is.
+	b1 := &beacon{value: 1}
+	b2 := &beacon{value: 2}
+	b3 := &beacon{value: 3, obeysCM: true} // silent listener
+	adv := loss.Func(func(r int, senders, procs []model.ProcessID) loss.DeliveryFunc {
+		return func(rcv, snd model.ProcessID) bool {
+			if rcv != 3 {
+				return true
+			}
+			// p3 loses one message in round 1 and all messages in round 2.
+			return r == 1 && snd == 1
+		}
+	})
+	res, err := Run(Config{
+		Procs: map[model.ProcessID]model.Automaton{1: b1, 2: b2, 3: b3},
+		CM:    cm.WakeUp{Stable: 100, Pre: cm.PreNoneActive}, // p3 never broadcasts
+		Detector: detector.New(detector.ZeroAC,
+			detector.WithBehavior(detector.Minimal{})),
+		Loss:      adv,
+		MaxRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.seenCD[0] != model.CDNull {
+		t.Fatalf("round 1 advice = %v, want null (0-complete ignores partial loss)", b3.seenCD[0])
+	}
+	if b3.seenCD[1] != model.CDCollision {
+		t.Fatalf("round 2 advice = %v, want ± (total loss forced)", b3.seenCD[1])
+	}
+	if err := detector.CheckExecution(detector.ZeroAC, 1, res.Execution); err != nil {
+		t.Fatalf("recorded advice illegal: %v", err)
+	}
+}
+
+func TestECFWiring(t *testing.T) {
+	b1 := &beacon{value: 1, obeysCM: true}
+	b2 := &beacon{value: 2, obeysCM: true}
+	res, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: b1, 2: b2},
+		CM:        cm.WakeUp{Stable: 1},
+		Loss:      loss.ECF{Base: loss.Drop{}, From: 3},
+		MaxRounds: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Execution.SatisfiesECFFrom(3) != true {
+		t.Fatal("execution must satisfy ECF from round 3")
+	}
+	if res.Execution.SatisfiesECFFrom(1) {
+		t.Fatal("execution must violate ECF from round 1 (Drop base)")
+	}
+}
+
+type observingCM struct {
+	cm.NoCM
+
+	seen []int
+}
+
+func (o *observingCM) Observe(_ int, broadcasters int) {
+	o.seen = append(o.seen, broadcasters)
+}
+
+func TestObserverCalled(t *testing.T) {
+	o := &observingCM{}
+	b := &beacon{value: 1}
+	if _, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: b},
+		CM:        o,
+		MaxRounds: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.seen) != 3 || o.seen[0] != 1 {
+		t.Fatalf("observer saw %v, want [1 1 1]", o.seen)
+	}
+}
+
+func TestCheckersCatchViolations(t *testing.T) {
+	d1 := &decideAfter{value: 1, round: 1}
+	d2 := &decideAfter{value: 2, round: 1}
+	res, err := Run(Config{
+		Procs:   map[model.ProcessID]model.Automaton{1: d1, 2: d2},
+		Initial: map[model.ProcessID]model.Value{1: 9, 2: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAgreement(res); err == nil {
+		t.Error("agreement violation not caught")
+	}
+	if err := CheckStrongValidity(res); err == nil {
+		t.Error("validity violation not caught")
+	}
+	if err := CheckUniformValidity(res); err == nil {
+		t.Error("uniform validity violation not caught")
+	}
+}
+
+func TestCheckTerminationCatchesUndecided(t *testing.T) {
+	b := &beacon{value: 1}
+	res, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: b},
+		MaxRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTermination(res, nil); err == nil {
+		t.Error("non-termination not caught")
+	}
+	// A crashed process is exempt.
+	if err := CheckTermination(res, model.Schedule{1: {Round: 1}}); err != nil {
+		t.Errorf("crashed process wrongly required to decide: %v", err)
+	}
+}

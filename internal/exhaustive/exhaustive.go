@@ -1,0 +1,183 @@
+// Package exhaustive verifies algorithm SAFETY by brute force: it runs an
+// algorithm in EVERY legal environment of a bounded configuration — every
+// per-round, per-receiver loss pattern crossed with every legal collision
+// detector choice within the class's advice window — and checks agreement
+// and validity in each. Seeds sample environments; this enumerates them.
+//
+// Within a finite horizon, eventual properties (eventual accuracy, manager
+// stabilization, eventual collision freedom) impose NO constraint — any
+// finite prefix extends to a trace satisfying them. The enumeration
+// therefore explores exactly the environments against which a safety proof
+// must hold, and it rediscovers the paper's separations mechanically: the
+// exact-half execution that breaks Algorithm 1 under half-AC appears in
+// the search, while no environment breaks it under maj-AC (Lemma 5's
+// majority-intersection argument, checked over the whole space).
+package exhaustive
+
+import (
+	"fmt"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+)
+
+// Config bounds the exploration.
+type Config struct {
+	// Factory builds the n automata for one run. Called once per
+	// environment; must return fresh automata each time.
+	Factory func() []model.Automaton
+	// Initial holds the processes' initial values (for validity checking).
+	Initial []model.Value
+	// Class is the detector class whose full legal behavior is explored.
+	// Eventually-accurate classes are explored with accuracy never forced
+	// (race beyond the horizon), which is the adversary's strongest legal
+	// choice.
+	Class detector.Class
+	// AllActive explores with the trivial all-active manager; otherwise a
+	// single fixed active process (both are legal prefixes of any
+	// wake-up/leader-election trace).
+	AllActive bool
+	// Horizon is the number of rounds per run. The environment space is
+	// 2^(Horizon·(n(n-1)+n)); keep n=2, Horizon <= 5 for full sweeps.
+	Horizon int
+}
+
+// Violation describes an environment in which safety broke.
+type Violation struct {
+	EnvCode uint64
+	Kind    string // "agreement" or "validity"
+	Decided []model.Value
+}
+
+// Report summarizes an exploration.
+type Report struct {
+	Environments int
+	DecidedRuns  int // environments in which at least one process decided
+	Violations   []Violation
+}
+
+// bits returns the environment-space width in bits.
+func (c Config) bits() (lossBits, cdBits, total int, err error) {
+	n := len(c.Initial)
+	if n < 1 {
+		return 0, 0, 0, fmt.Errorf("exhaustive: need at least one process")
+	}
+	if c.Horizon < 1 {
+		return 0, 0, 0, fmt.Errorf("exhaustive: horizon must be positive")
+	}
+	lossBits = n * (n - 1)
+	cdBits = n
+	total = c.Horizon * (lossBits + cdBits)
+	if total > 34 {
+		return 0, 0, 0, fmt.Errorf("exhaustive: %d environment bits is too many to enumerate", total)
+	}
+	return lossBits, cdBits, total, nil
+}
+
+// Explore enumerates the environment space and runs the algorithm in each.
+func Explore(cfg Config) (*Report, error) {
+	lossBits, cdBits, total, err := cfg.bits()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{}
+	for env := uint64(0); env < uint64(1)<<uint(total); env++ {
+		res, err := runOne(cfg, env, lossBits, cdBits)
+		if err != nil {
+			return nil, err
+		}
+		report.Environments++
+		decided := res.Execution.DecidedValues()
+		if len(decided) > 0 {
+			report.DecidedRuns++
+		}
+		if len(decided) > 1 {
+			report.Violations = append(report.Violations, Violation{
+				EnvCode: env, Kind: "agreement", Decided: decided,
+			})
+			continue
+		}
+		if engine.CheckStrongValidity(res) != nil {
+			report.Violations = append(report.Violations, Violation{
+				EnvCode: env, Kind: "validity", Decided: decided,
+			})
+		}
+	}
+	return report, nil
+}
+
+// runOne executes the algorithm in the environment encoded by env.
+func runOne(cfg Config, env uint64, lossBits, cdBits int) (*engine.Result, error) {
+	n := len(cfg.Initial)
+	perRound := lossBits + cdBits
+
+	// Ordered (receiver, sender) pair index within a round.
+	pairIdx := func(rcv, snd int) int {
+		k := 0
+		for r := 0; r < n; r++ {
+			for s := 0; s < n; s++ {
+				if r == s {
+					continue
+				}
+				if r == rcv && s == snd {
+					return k
+				}
+				k++
+			}
+		}
+		return -1
+	}
+	bitAt := func(idx int) bool { return env>>uint(idx)&1 == 1 }
+
+	adversary := loss.Func(func(r int, _, _ []model.ProcessID) loss.DeliveryFunc {
+		return func(rcvID, sndID model.ProcessID) bool {
+			if r > cfg.Horizon {
+				return true
+			}
+			base := (r - 1) * perRound
+			return !bitAt(base + pairIdx(int(rcvID-1), int(sndID-1)))
+		}
+	})
+	behavior := detector.Func(func(r int, id model.ProcessID, senders, recv int) model.CDAdvice {
+		if r > cfg.Horizon {
+			if recv < senders {
+				return model.CDCollision
+			}
+			return model.CDNull
+		}
+		base := (r-1)*perRound + lossBits
+		if bitAt(base + int(id-1)) {
+			return model.CDCollision
+		}
+		return model.CDNull
+	})
+
+	autos := cfg.Factory()
+	if len(autos) != n {
+		return nil, fmt.Errorf("exhaustive: factory returned %d automata, want %d", len(autos), n)
+	}
+	procs := make(map[model.ProcessID]model.Automaton, n)
+	initial := make(map[model.ProcessID]model.Value, n)
+	for i, a := range autos {
+		procs[model.ProcessID(i+1)] = a
+		initial[model.ProcessID(i+1)] = cfg.Initial[i]
+	}
+	var manager cm.Service = cm.WakeUp{Stable: 1}
+	if cfg.AllActive {
+		manager = cm.NoCM{}
+	}
+	return engine.Run(engine.Config{
+		Procs:   procs,
+		Initial: initial,
+		Detector: detector.New(cfg.Class,
+			detector.WithRace(cfg.Horizon+1), // accuracy never forced in-horizon for ◇ classes
+			detector.WithBehavior(behavior)),
+		CM:             manager,
+		Loss:           adversary,
+		MaxRounds:      cfg.Horizon,
+		RunFullHorizon: true,
+	})
+}

@@ -1,0 +1,177 @@
+package exhaustive
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/core"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+// twoProc returns a two-process configuration with distinct binary values.
+func twoProc(build func(v model.Value) model.Automaton) Config {
+	return Config{
+		Factory: func() []model.Automaton {
+			return []model.Automaton{build(0), build(1)}
+		},
+		Initial: []model.Value{0, 1},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Explore(Config{Horizon: 3}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := twoProc(func(v model.Value) model.Automaton { return core.NewAlg1(v) })
+	cfg.Horizon = 0
+	if _, err := Explore(cfg); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	cfg.Horizon = 100
+	if _, err := Explore(cfg); err == nil {
+		t.Fatal("oversized environment space accepted")
+	}
+}
+
+// TestAlg1SafeUnderAllMajOACEnvironments checks Lemma 5's safety argument
+// over the ENTIRE environment space: two processes, four rounds, every
+// loss pattern × every legal maj-◇AC advice — no agreement or validity
+// violation anywhere. 65536 environments.
+func TestAlg1SafeUnderAllMajOACEnvironments(t *testing.T) {
+	cfg := twoProc(func(v model.Value) model.Automaton { return core.NewAlg1(v) })
+	cfg.Class = detector.MajOAC
+	cfg.AllActive = true
+	cfg.Horizon = 4
+	report, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) != 0 {
+		t.Fatalf("found %d violations, first: %+v", len(report.Violations), report.Violations[0])
+	}
+	if report.DecidedRuns == 0 {
+		t.Fatal("no environment decided: the sweep is vacuous")
+	}
+	t.Logf("explored %d environments, %d decided, 0 violations",
+		report.Environments, report.DecidedRuns)
+}
+
+// TestAlg1UnsafeUnderSomeHalfACEnvironment: the same sweep under half-AC
+// must DISCOVER the exact-half counterexample (Theorem 6's seed) without
+// being told where it is.
+func TestAlg1UnsafeUnderSomeHalfACEnvironment(t *testing.T) {
+	cfg := twoProc(func(v model.Value) model.Automaton { return core.NewAlg1(v) })
+	cfg.Class = detector.HalfAC
+	cfg.AllActive = true
+	cfg.Horizon = 4
+	report, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range report.Violations {
+		if v.Kind == "agreement" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("the exhaustive sweep failed to find the half-AC agreement violation")
+	}
+	t.Logf("explored %d environments, %d violations discovered",
+		report.Environments, len(report.Violations))
+}
+
+// TestAlg2SafeUnderAllZeroOACEnvironments: Algorithm 2 (|V|=2, width 1:
+// cycle prepare/bit/accept) over all environments of 4 rounds.
+func TestAlg2SafeUnderAllZeroOACEnvironments(t *testing.T) {
+	d := valueset.MustDomain(2)
+	cfg := twoProc(func(v model.Value) model.Automaton { return core.NewAlg2(d, v) })
+	cfg.Class = detector.ZeroOAC
+	cfg.AllActive = true
+	cfg.Horizon = 4
+	report, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) != 0 {
+		t.Fatalf("found %d violations, first: %+v", len(report.Violations), report.Violations[0])
+	}
+}
+
+// TestAlg2SafeWithSingleActiveManager repeats the sweep with the wake-up
+// manager fixed to one active process (a different legal prefix).
+func TestAlg2SafeWithSingleActiveManager(t *testing.T) {
+	d := valueset.MustDomain(2)
+	cfg := twoProc(func(v model.Value) model.Automaton { return core.NewAlg2(d, v) })
+	cfg.Class = detector.ZeroOAC
+	cfg.Horizon = 4
+	report, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) != 0 {
+		t.Fatalf("found %d violations", len(report.Violations))
+	}
+	if report.DecidedRuns == 0 {
+		t.Fatal("no environment decided")
+	}
+}
+
+// TestAlg3SafeUnderAllZeroACEnvironments: Algorithm 3 with an accurate
+// detector — the adversary's freedom is only in the completeness window
+// and in message loss; 4 rounds cover a full tree step.
+func TestAlg3SafeUnderAllZeroACEnvironments(t *testing.T) {
+	d := valueset.MustDomain(2)
+	cfg := twoProc(func(v model.Value) model.Automaton { return core.NewAlg3(d, v) })
+	cfg.Class = detector.ZeroAC
+	cfg.AllActive = true
+	cfg.Horizon = 4
+	report, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) != 0 {
+		t.Fatalf("found %d violations, first: %+v", len(report.Violations), report.Violations[0])
+	}
+}
+
+// TestTimeoutStrawmanCaught: the brute-force sweep also catches the
+// strawman immediately (it decides both values in any environment).
+func TestTimeoutStrawmanCaught(t *testing.T) {
+	cfg := Config{
+		Factory: func() []model.Automaton {
+			return []model.Automaton{
+				&timeoutAuto{v: 0, after: 2},
+				&timeoutAuto{v: 1, after: 2},
+			}
+		},
+		Initial: []model.Value{0, 1},
+		Class:   detector.AC,
+		Horizon: 3,
+	}
+	report, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) == 0 {
+		t.Fatal("strawman not caught")
+	}
+}
+
+// timeoutAuto is a local strawman (decides its own value after a fixed
+// round) to avoid importing lowerbound.
+type timeoutAuto struct {
+	v       model.Value
+	after   int
+	decided bool
+}
+
+func (s *timeoutAuto) Message(int, model.CMAdvice) *model.Message { return nil }
+func (s *timeoutAuto) Deliver(r int, _ *model.RecvSet, _ model.CDAdvice, _ model.CMAdvice) {
+	if r >= s.after {
+		s.decided = true
+	}
+}
+func (s *timeoutAuto) Decided() (model.Value, bool) { return s.v, s.decided }
+func (s *timeoutAuto) Halted() bool                 { return s.decided }

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adhocconsensus/internal/backoff"
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/core"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/roundsync"
+	"adhocconsensus/internal/stats"
+	"adhocconsensus/internal/valueset"
+)
+
+// A1NoVetoAblation removes Algorithm 1's veto phase and counts agreement
+// violations across partition adversaries and seeds: the negative-
+// acknowledgment round is load-bearing.
+func A1NoVetoAblation() (*Table, error) {
+	t := &Table{
+		Title:  "A1 — ablation: Algorithm 1 without its veto phase",
+		Header: []string{"variant", "adversary", "runs", "agreement violations"},
+		Pass:   true,
+	}
+	const runs = 20
+	values := []model.Value{1, 1, 2, 2}
+	adversaries := []struct {
+		name string
+		mk   func(seed int64) loss.Adversary
+	}{
+		{"exact-half partition", func(int64) loss.Adversary {
+			return loss.Partition{GroupOf: loss.SplitAt(3), Until: loss.NoRepair}
+		}},
+		{"capture p=0.5", func(seed int64) loss.Adversary { return loss.NewCapture(0.5, 0.2, seed) }},
+	}
+	for _, variant := range []string{"full Alg 1", "no-veto ablation"} {
+		for _, adv := range adversaries {
+			violations := 0
+			for seed := int64(1); seed <= runs; seed++ {
+				build := func(i int) model.Automaton {
+					if variant == "full Alg 1" {
+						return core.NewAlg1(values[i])
+					}
+					return core.NewAlg1NoVeto(values[i])
+				}
+				res, err := runAlgorithm(runEnv{
+					class:    detector.HalfAC,
+					behavior: detector.Minimal{},
+					base:     adv.mk(seed),
+					maxR:     60,
+				}, build, values)
+				if err != nil {
+					return nil, err
+				}
+				if len(res.Execution.DecidedValues()) > 1 {
+					violations++
+				}
+			}
+			// The full algorithm under half-AC CAN violate (that is
+			// Theorem 6's point — see T8); what the ablation shows is that
+			// removing the veto phase makes violations strictly more
+			// frequent, including under non-adversarial stochastic loss.
+			t.Rows = append(t.Rows, Row{Cells: []string{
+				variant, adv.name, fmt.Sprint(runs), fmt.Sprint(violations),
+			}})
+		}
+	}
+	// Structured check: under capture loss, the no-veto variant must
+	// violate strictly more often than the full algorithm.
+	var full, ablated int
+	for _, r := range t.Rows {
+		if r.Cells[1] == "capture p=0.5" {
+			if r.Cells[0] == "full Alg 1" {
+				fmt.Sscan(r.Cells[3], &full)
+			} else {
+				fmt.Sscan(r.Cells[3], &ablated)
+			}
+		}
+	}
+	if ablated <= full {
+		t.Pass = false
+	}
+	t.Notes = append(t.Notes, "the veto phase converts 'I might be wrong' into 'nobody objects': dropping it breaks safety even under stochastic loss")
+	return t, nil
+}
+
+// A2LossRateSweep measures time-to-decide for Algorithms 1 and 2 across the
+// empirical 20–50% loss regimes of §1.1, with the channel stabilizing at
+// round 20.
+func A2LossRateSweep() (*Table, error) {
+	t := &Table{
+		Title:  "A2 — rounds to decide vs pre-CST loss rate (CST = 20)",
+		Header: []string{"algorithm", "loss rate", "rounds (summary over 10 seeds)"},
+		Pass:   true,
+	}
+	domain := valueset.MustDomain(256)
+	const cst = 20
+	for _, alg := range []string{"Alg 1 (maj-◇AC)", "Alg 2 (0-◇AC)"} {
+		for _, p := range []float64{0.0, 0.2, 0.35, 0.5} {
+			var rounds []int
+			for seed := int64(1); seed <= 10; seed++ {
+				values := spreadValues(6, domain)
+				e := runEnv{
+					race:     cst,
+					cmStable: cst,
+					ecfFrom:  cst,
+					base:     loss.NewProbabilistic(p, seed),
+					behavior: detector.Noisy{P: p / 2, Rng: newRng(seed)},
+				}
+				var build func(i int) model.Automaton
+				if alg == "Alg 1 (maj-◇AC)" {
+					e.class = detector.MajOAC
+					build = alg1Build(values)
+				} else {
+					e.class = detector.ZeroOAC
+					build = alg2Build(domain, values)
+				}
+				res, err := runAlgorithm(e, build, values)
+				if err != nil {
+					return nil, err
+				}
+				if !consensusOK(res, nil) {
+					t.Pass = false
+				}
+				rounds = append(rounds, res.Execution.LastDecisionRound())
+			}
+			t.Rows = append(t.Rows, Row{Cells: []string{
+				alg, fmt.Sprintf("%.0f%%", p*100), stats.SummarizeInts(rounds).String(),
+			}})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"pre-CST loss cannot delay decisions past CST+2 (Alg 1) / CST+2(lg|V|+1) (Alg 2): the bounds absorb any loss rate",
+		"some runs decide BEFORE CST when the stochastic channel happens to behave")
+	return t, nil
+}
+
+// A3Substrates measures the assumed services: backoff stabilization time by
+// network size, and round-synchronization skew by clock drift.
+func A3Substrates() (*Table, error) {
+	t := &Table{
+		Title:  "A3 — substrates: backoff wake-up stabilization and round-sync skew",
+		Header: []string{"substrate", "parameter", "result"},
+		Pass:   true,
+	}
+	// Backoff stabilization rounds across sizes and seeds.
+	for _, n := range []int{2, 8, 32} {
+		var stab []int
+		for seed := int64(1); seed <= 20; seed++ {
+			m := backoff.New(seed)
+			procs := make([]model.ProcessID, n)
+			for i := range procs {
+				procs[i] = model.ProcessID(i + 1)
+			}
+			var trace model.CMTrace
+			for r := 1; r <= 500; r++ {
+				adv := m.Advise(r, procs, func(model.ProcessID) bool { return true })
+				broadcasters := 0
+				for _, a := range adv {
+					if a == model.CMActive {
+						broadcasters++
+					}
+				}
+				m.Observe(r, broadcasters)
+				trace = append(trace, adv)
+				if _, ok := m.Stabilized(); ok {
+					break
+				}
+			}
+			rwake, err := cm.WakeUpStabilization(trace)
+			if err != nil {
+				t.Pass = false
+				continue
+			}
+			stab = append(stab, rwake)
+		}
+		t.Rows = append(t.Rows, Row{Cells: []string{
+			"backoff wake-up", fmt.Sprintf("n=%d", n), stats.SummarizeInts(stab).String(),
+		}})
+	}
+	// Round sync skew vs drift.
+	for _, drift := range []float64{10e-6, 50e-6, 500e-6} {
+		cfg := roundsync.Config{
+			Nodes:          8,
+			MaxDrift:       drift,
+			BeaconInterval: 10,
+			BeaconJitter:   1e-3,
+			RoundLength:    0.1,
+			Duration:       300,
+			Seed:           1,
+		}
+		rep, err := roundsync.Simulate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if rep.MaxSkew > rep.SkewBound || !rep.AgreementOutsideGuard {
+			t.Pass = false
+		}
+		t.Rows = append(t.Rows, Row{Cells: []string{
+			"round sync", fmt.Sprintf("drift=%.0fppm", drift*1e6),
+			fmt.Sprintf("skew=%.3gms bound=%.3gms agree=%.4f",
+				rep.MaxSkew*1e3, rep.SkewBound*1e3, rep.AgreementFraction),
+		}})
+	}
+	t.Notes = append(t.Notes,
+		"backoff realizes the wake-up service (Property 2): stabilization is the CST component the paper abstracts away",
+		"round sync skew stays within 2(ρT+J): synchronized rounds are implementable, as §1.3 argues via RBS")
+	return t, nil
+}
+
+// All runs every experiment in order.
+func All() ([]*Table, error) {
+	type exp func() (*Table, error)
+	var tables []*Table
+	for _, e := range []exp{
+		T1ClassMatrix, T2Alg1Termination, T3Alg2ValueSweep, T4Alg3NoCF, T5Crossover,
+		T6HalfACLowerBound, T7NonAnonLowerBound, T8MajHalfGap, T9Impossibility,
+		A1NoVetoAblation, A2LossRateSweep, A3Substrates, M1MultihopFlood,
+	} {
+		table, err := e()
+		if err != nil {
+			return tables, err
+		}
+		tables = append(tables, table)
+	}
+	return tables, nil
+}

@@ -1,0 +1,182 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, as indexed in DESIGN.md and recorded in EXPERIMENTS.md. Each
+// experiment returns structured rows plus a formatted table, so the same
+// code backs cmd/benchtab (human output), bench_test.go (testing.B
+// integration), and the assertions in this package's own tests.
+//
+// The paper is a theory paper: its "tables" are the solvability/complexity
+// matrix of §1.5 and Figure 1, the termination bounds of Theorems 1–3, the
+// non-anonymous min{lg|V|, lg|I|} result, and the lower-bound theorems. The
+// experiments measure all of them on the simulator and check the SHAPE the
+// paper predicts (who wins, by what growth rate, where the crossover falls).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/core"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+// Row is one line of an experiment table.
+type Row struct {
+	Cells []string
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   []Row
+	Notes  []string
+	// Pass aggregates the experiment's internal checks (bounds respected,
+	// expected violations observed, ...).
+	Pass bool
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r.Cells {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r.Cells)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	fmt.Fprintf(&b, "PASS=%v\n", t.Pass)
+	return b.String()
+}
+
+// newRng returns a deterministic generator for adversarial behaviors.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// spreadValues produces n initial values spread across the domain,
+// guaranteeing at least two distinct values when the domain allows.
+func spreadValues(n int, domain valueset.Domain) []model.Value {
+	out := make([]model.Value, n)
+	for i := range out {
+		out[i] = model.Value(uint64(i*7919+1) % domain.Size)
+	}
+	return out
+}
+
+// runEnv bundles the environment used by the upper-bound experiments.
+type runEnv struct {
+	class    detector.Class
+	behavior detector.Behavior
+	race     int
+	cmStable int // 0 = NoCM
+	ecfFrom  int // 0 = no ECF
+	base     loss.Adversary
+	crashes  model.Schedule
+	maxR     int
+}
+
+// runAlgorithm executes a factory-built system and returns the engine
+// result.
+func runAlgorithm(e runEnv, build func(i int) model.Automaton, values []model.Value) (*engine.Result, error) {
+	procs := make(map[model.ProcessID]model.Automaton, len(values))
+	initial := make(map[model.ProcessID]model.Value, len(values))
+	for i := range values {
+		procs[model.ProcessID(i+1)] = build(i)
+		initial[model.ProcessID(i+1)] = values[i]
+	}
+	behavior := e.behavior
+	if behavior == nil {
+		behavior = detector.Honest{}
+	}
+	race := e.race
+	if race == 0 {
+		race = 1
+	}
+	var svc cm.Service = cm.NoCM{}
+	if e.cmStable > 0 {
+		svc = cm.WakeUp{Stable: e.cmStable}
+	}
+	var adversary loss.Adversary = loss.None{}
+	if e.base != nil {
+		adversary = e.base
+	}
+	if e.ecfFrom > 0 {
+		adversary = loss.ECF{Base: adversary, From: e.ecfFrom}
+	}
+	maxR := e.maxR
+	if maxR == 0 {
+		maxR = 20000
+	}
+	return engine.Run(engine.Config{
+		Procs:     procs,
+		Initial:   initial,
+		Detector:  detector.New(e.class, detector.WithRace(race), detector.WithBehavior(behavior)),
+		CM:        svc,
+		Loss:      adversary,
+		Crashes:   e.crashes,
+		MaxRounds: maxR,
+	})
+}
+
+// consensusOK reports whether the run satisfied agreement, strong validity,
+// and termination for the given crash schedule.
+func consensusOK(res *engine.Result, crashes model.Schedule) bool {
+	return engine.CheckAgreement(res) == nil &&
+		engine.CheckStrongValidity(res) == nil &&
+		engine.CheckTermination(res, crashes) == nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// alg2Build returns a builder for Algorithm 2 processes.
+func alg2Build(domain valueset.Domain, values []model.Value) func(i int) model.Automaton {
+	return func(i int) model.Automaton { return core.NewAlg2(domain, values[i]) }
+}
+
+// alg1Build returns a builder for Algorithm 1 processes.
+func alg1Build(values []model.Value) func(i int) model.Automaton {
+	return func(i int) model.Automaton { return core.NewAlg1(values[i]) }
+}
+
+// alg3Build returns a builder for Algorithm 3 processes.
+func alg3Build(domain valueset.Domain, values []model.Value) func(i int) model.Automaton {
+	return func(i int) model.Automaton { return core.NewAlg3(domain, values[i]) }
+}

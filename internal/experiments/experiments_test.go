@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"adhocconsensus/internal/valueset"
+)
+
+func mustDomain(t *testing.T, size uint64) valueset.Domain {
+	t.Helper()
+	d, err := valueset.NewDomain(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestAllExperimentsPass runs the full harness: every table must render and
+// every experiment's internal checks must pass. This is the repository's
+// single strongest regression test — it re-validates all paper claims.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow; skipped with -short")
+	}
+	tables, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 13 {
+		t.Fatalf("got %d tables, want 13", len(tables))
+	}
+	for _, table := range tables {
+		if !table.Pass {
+			t.Errorf("experiment failed:\n%s", table)
+		}
+		if len(table.Rows) == 0 {
+			t.Errorf("experiment %q produced no rows", table.Title)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	table := &Table{
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   []Row{{Cells: []string{"1", "2"}}},
+		Notes:  []string{"a note"},
+		Pass:   true,
+	}
+	s := table.String()
+	for _, want := range []string{"== demo ==", "long-column", "a note", "PASS=true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSpreadValuesWithinDomain(t *testing.T) {
+	d := mustDomain(t, 16)
+	vs := spreadValues(9, d)
+	if len(vs) != 9 {
+		t.Fatalf("got %d values", len(vs))
+	}
+	distinct := make(map[uint64]bool)
+	for _, v := range vs {
+		if uint64(v) >= d.Size {
+			t.Fatalf("value %d outside domain", v)
+		}
+		distinct[uint64(v)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("spreadValues must produce at least two distinct values")
+	}
+}
+
+func TestT8GapQuick(t *testing.T) {
+	table, err := T8MajHalfGap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Pass {
+		t.Fatalf("T8 failed:\n%s", table)
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/multihop"
+	"adhocconsensus/internal/stats"
+)
+
+// M1MultihopFlood measures the multihop extension (the paper's stated
+// future work, §9): reliable broadcast by CD-assisted slotted flooding over
+// line and grid topologies, with per-link loss. Coverage time must respect
+// the Ω(D) distance bound and grow linearly with the diameter.
+func M1MultihopFlood() (*Table, error) {
+	t := &Table{
+		Title:  "M1 — multihop extension: CD-assisted flooding (coverage rounds vs diameter, Ω(D) bound)",
+		Header: []string{"topology", "nodes", "D from source", "loss", "coverage rounds (10 seeds)", "ok"},
+		Pass:   true,
+	}
+	type topoCase struct {
+		name   string
+		build  func() (*multihop.Topology, error)
+		source multihop.NodeID
+		slots  int
+		lossP  float64
+	}
+	cases := []topoCase{
+		{"line-10", func() (*multihop.Topology, error) { return multihop.NewLine(10, 1, 1.5) }, 0, 3, 0},
+		{"line-20", func() (*multihop.Topology, error) { return multihop.NewLine(20, 1, 1.5) }, 0, 3, 0},
+		{"line-40", func() (*multihop.Topology, error) { return multihop.NewLine(40, 1, 1.5) }, 0, 3, 0},
+		{"grid-5x5", func() (*multihop.Topology, error) { return multihop.NewGrid(5, 5, 1, 1.1) }, 12, 4, 0.3},
+		{"grid-8x8", func() (*multihop.Topology, error) { return multihop.NewGrid(8, 8, 1, 1.1) }, 0, 4, 0.3},
+	}
+	lineRounds := make(map[string]float64)
+	for _, tc := range cases {
+		topo, err := tc.build()
+		if err != nil {
+			return nil, err
+		}
+		ecc := topo.Eccentricity(tc.source)
+		var rounds []int
+		ok := true
+		for seed := int64(1); seed <= 10; seed++ {
+			flooders := make([]*multihop.Flooder, topo.Size())
+			nodes := make([]multihop.Node, topo.Size())
+			for i := range nodes {
+				flooders[i] = multihop.NewFlooder(i, tc.slots, 3)
+				nodes[i] = flooders[i]
+			}
+			net, err := multihop.NewNetwork(topo, nodes, detector.ZeroAC, tc.lossP, seed)
+			if err != nil {
+				return nil, err
+			}
+			flooders[tc.source].Inject(model.Value(7))
+			covered := func() bool {
+				for _, f := range flooders {
+					if !f.Informed() {
+						return false
+					}
+				}
+				return true
+			}
+			r, done := net.RunUntil(covered, 5000)
+			if !done || r < ecc {
+				ok = false
+			}
+			rounds = append(rounds, r)
+		}
+		if !ok {
+			t.Pass = false
+		}
+		summary := stats.SummarizeInts(rounds)
+		lineRounds[tc.name] = summary.Median
+		t.Rows = append(t.Rows, Row{Cells: []string{
+			tc.name, fmt.Sprint(topo.Size()), fmt.Sprint(ecc),
+			fmt.Sprintf("%.0f%%", tc.lossP*100), summary.String(), yesNo(ok),
+		}})
+	}
+	// Shape: doubling the line length must grow coverage rounds.
+	if !(lineRounds["line-10"] < lineRounds["line-20"] && lineRounds["line-20"] < lineRounds["line-40"]) {
+		t.Pass = false
+	}
+	t.Notes = append(t.Notes,
+		"coverage always ≥ source eccentricity (the Ω(D) broadcast lower bound of [7,39,46])",
+		"zero-complete collision detection re-arms relays, so 30% per-link loss cannot stall coverage")
+	return t, nil
+}

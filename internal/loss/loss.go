@@ -1,0 +1,201 @@
+// Package loss implements the message-loss adversaries of the paper's
+// communication model (Section 3.3). The model places no constraint on loss
+// except self-delivery (a broadcaster hears itself, Definition 11
+// constraint 5) and — when assumed — eventual collision freedom
+// (Property 1). Everything else is adversary's choice, and the paper's
+// proofs exploit specific adversaries; each of those is implemented here,
+// alongside the stochastic models that match the empirical motivation
+// (20–50% loss, capture effect).
+package loss
+
+import (
+	"math/rand"
+
+	"adhocconsensus/internal/model"
+)
+
+// DeliveryFunc reports whether receiver hears sender's broadcast in the
+// planned round. The engine never asks about self-delivery: a broadcaster
+// always receives its own message.
+type DeliveryFunc func(receiver, sender model.ProcessID) bool
+
+// Adversary plans message delivery one round at a time. Plan is called once
+// per round with the sorted sender set and the sorted full process set, so
+// implementations drawing randomness observe a deterministic call order.
+type Adversary interface {
+	Plan(r int, senders, procs []model.ProcessID) DeliveryFunc
+}
+
+// deliverAll is the everything-arrives plan.
+func deliverAll(model.ProcessID, model.ProcessID) bool { return true }
+
+// deliverNone is the everything-lost plan (self-delivery still applies).
+func deliverNone(model.ProcessID, model.ProcessID) bool { return false }
+
+// None is the lossless channel: every broadcast reaches every process.
+type None struct{}
+
+// Plan implements Adversary.
+func (None) Plan(int, []model.ProcessID, []model.ProcessID) DeliveryFunc { return deliverAll }
+
+// Drop loses every message except self-deliveries: the "never-ending
+// collisions" environment of Section 7.4 and Theorem 9, where collision
+// notifications are the only channel.
+type Drop struct{}
+
+// Plan implements Adversary.
+func (Drop) Plan(int, []model.ProcessID, []model.ProcessID) DeliveryFunc { return deliverNone }
+
+// Alpha is the loss rule of the paper's alpha executions (Definition 24):
+// if a single process broadcasts, everyone receives it; if more than one
+// broadcasts, every cross-delivery is lost (broadcasters keep their own
+// message).
+type Alpha struct{}
+
+// Plan implements Adversary.
+func (Alpha) Plan(_ int, senders, _ []model.ProcessID) DeliveryFunc {
+	if len(senders) == 1 {
+		return deliverAll
+	}
+	return deliverNone
+}
+
+// ECF wraps a base adversary with eventual collision freedom (Property 1):
+// from round From on, a lone broadcaster is heard by every process. Other
+// rounds defer to the base adversary.
+type ECF struct {
+	Base Adversary
+	From int
+}
+
+// Plan implements Adversary.
+func (e ECF) Plan(r int, senders, procs []model.ProcessID) DeliveryFunc {
+	if r >= e.From && len(senders) == 1 {
+		return deliverAll
+	}
+	base := e.Base
+	if base == nil {
+		base = None{}
+	}
+	return base.Plan(r, senders, procs)
+}
+
+// Probabilistic loses each (receiver, sender) delivery independently with
+// probability P, matching the empirical 20–50% loss rates cited in
+// Section 1.1. Draws are made in deterministic order, so runs with equal
+// seeds are identical.
+type Probabilistic struct {
+	P   float64
+	Rng *rand.Rand
+}
+
+// NewProbabilistic returns a probabilistic adversary with its own seeded
+// generator.
+func NewProbabilistic(p float64, seed int64) *Probabilistic {
+	return &Probabilistic{P: p, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Plan implements Adversary.
+func (a *Probabilistic) Plan(_ int, senders, procs []model.ProcessID) DeliveryFunc {
+	type pair struct{ rcv, snd model.ProcessID }
+	lost := make(map[pair]bool)
+	for _, rcv := range procs {
+		for _, snd := range senders {
+			if rcv == snd {
+				continue
+			}
+			if a.Rng.Float64() < a.P {
+				lost[pair{rcv, snd}] = true
+			}
+		}
+	}
+	return func(rcv, snd model.ProcessID) bool { return !lost[pair{rcv, snd}] }
+}
+
+// Capture models the capture effect (Section 1.1, [71]): when two or more
+// processes broadcast simultaneously, each receiver either locks onto
+// exactly one transmission (probability 1−PNone, uniformly chosen per
+// receiver — so different receivers may capture different senders) or
+// receives nothing. Lone broadcasts are delivered with probability
+// 1−PLoneLoss, modeling outside interference.
+type Capture struct {
+	PNone     float64 // probability a receiver captures nothing in a collision
+	PLoneLoss float64 // probability a lone broadcast is lost at a receiver
+	Rng       *rand.Rand
+}
+
+// NewCapture returns a capture-effect adversary with its own seeded
+// generator.
+func NewCapture(pNone, pLoneLoss float64, seed int64) *Capture {
+	return &Capture{PNone: pNone, PLoneLoss: pLoneLoss, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Plan implements Adversary.
+func (a *Capture) Plan(_ int, senders, procs []model.ProcessID) DeliveryFunc {
+	if len(senders) == 0 {
+		return deliverNone
+	}
+	if len(senders) == 1 {
+		lost := make(map[model.ProcessID]bool)
+		for _, rcv := range procs {
+			if rcv != senders[0] && a.Rng.Float64() < a.PLoneLoss {
+				lost[rcv] = true
+			}
+		}
+		return func(rcv, _ model.ProcessID) bool { return !lost[rcv] }
+	}
+	captured := make(map[model.ProcessID]model.ProcessID, len(procs))
+	for _, rcv := range procs {
+		if a.Rng.Float64() < a.PNone {
+			continue // captures nothing
+		}
+		captured[rcv] = senders[a.Rng.Intn(len(senders))]
+	}
+	return func(rcv, snd model.ProcessID) bool {
+		got, ok := captured[rcv]
+		return ok && got == snd
+	}
+}
+
+// Partition splits the processes into groups and loses every cross-group
+// message through round Until (inclusive); afterwards the channel is
+// lossless. With Until = NoRepair the partition never heals. This is the
+// adversary of Theorems 4, 6, 7, and 8: two groups that cannot hear each
+// other run what they believe are complete executions.
+type Partition struct {
+	GroupOf func(model.ProcessID) int
+	Until   int
+}
+
+// NoRepair makes a Partition permanent.
+const NoRepair = int(^uint(0) >> 1) // max int
+
+// SplitAt returns a group function placing processes < pivot in group 0 and
+// the rest in group 1.
+func SplitAt(pivot model.ProcessID) func(model.ProcessID) int {
+	return func(id model.ProcessID) int {
+		if id < pivot {
+			return 0
+		}
+		return 1
+	}
+}
+
+// Plan implements Adversary.
+func (p Partition) Plan(r int, _, _ []model.ProcessID) DeliveryFunc {
+	if r > p.Until {
+		return deliverAll
+	}
+	return func(rcv, snd model.ProcessID) bool {
+		return p.GroupOf(rcv) == p.GroupOf(snd)
+	}
+}
+
+// Func adapts a function to the Adversary interface for bespoke loss
+// patterns in tests and proofs.
+type Func func(r int, senders, procs []model.ProcessID) DeliveryFunc
+
+// Plan implements Adversary.
+func (f Func) Plan(r int, senders, procs []model.ProcessID) DeliveryFunc {
+	return f(r, senders, procs)
+}

@@ -1,0 +1,258 @@
+package loss
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/model"
+)
+
+var (
+	procs   = []model.ProcessID{1, 2, 3, 4}
+	senders = []model.ProcessID{1, 2}
+)
+
+func TestNoneDeliversEverything(t *testing.T) {
+	plan := None{}.Plan(1, senders, procs)
+	for _, rcv := range procs {
+		for _, snd := range senders {
+			if !plan(rcv, snd) {
+				t.Fatalf("None lost %d->%d", snd, rcv)
+			}
+		}
+	}
+}
+
+func TestDropLosesEverything(t *testing.T) {
+	plan := Drop{}.Plan(1, senders, procs)
+	for _, rcv := range procs {
+		for _, snd := range senders {
+			if plan(rcv, snd) {
+				t.Fatalf("Drop delivered %d->%d", snd, rcv)
+			}
+		}
+	}
+}
+
+func TestAlphaSingleSender(t *testing.T) {
+	plan := Alpha{}.Plan(1, []model.ProcessID{3}, procs)
+	for _, rcv := range procs {
+		if !plan(rcv, 3) {
+			t.Fatalf("Alpha lost lone broadcast to %d", rcv)
+		}
+	}
+}
+
+func TestAlphaMultiSender(t *testing.T) {
+	plan := Alpha{}.Plan(1, senders, procs)
+	for _, rcv := range procs {
+		for _, snd := range senders {
+			if plan(rcv, snd) {
+				t.Fatalf("Alpha delivered cross message %d->%d with 2 senders", snd, rcv)
+			}
+		}
+	}
+}
+
+func TestECFForcesLoneDelivery(t *testing.T) {
+	adv := ECF{Base: Drop{}, From: 5}
+	// Before From: base adversary rules.
+	plan := adv.Plan(4, []model.ProcessID{1}, procs)
+	if plan(2, 1) {
+		t.Fatal("ECF must not apply before its round")
+	}
+	// From round 5 on with one sender: delivered.
+	plan = adv.Plan(5, []model.ProcessID{1}, procs)
+	if !plan(2, 1) {
+		t.Fatal("ECF lone broadcast lost after rcf")
+	}
+	// Two senders: base rules still apply.
+	plan = adv.Plan(6, senders, procs)
+	if plan(3, 1) {
+		t.Fatal("ECF must not constrain multi-sender rounds")
+	}
+}
+
+func TestECFNilBase(t *testing.T) {
+	adv := ECF{From: 1}
+	plan := adv.Plan(1, senders, procs)
+	if !plan(3, 1) {
+		t.Fatal("nil base must default to lossless")
+	}
+}
+
+func TestProbabilisticExtremes(t *testing.T) {
+	always := NewProbabilistic(0, 7)
+	plan := always.Plan(1, senders, procs)
+	for _, rcv := range procs {
+		for _, snd := range senders {
+			if rcv != snd && !plan(rcv, snd) {
+				t.Fatal("P=0 lost a message")
+			}
+		}
+	}
+	never := NewProbabilistic(1, 7)
+	plan = never.Plan(1, senders, procs)
+	for _, rcv := range procs {
+		for _, snd := range senders {
+			if rcv != snd && plan(rcv, snd) {
+				t.Fatal("P=1 delivered a message")
+			}
+		}
+	}
+}
+
+func TestProbabilisticDeterministicUnderSeed(t *testing.T) {
+	a := NewProbabilistic(0.5, 99)
+	b := NewProbabilistic(0.5, 99)
+	for r := 1; r <= 10; r++ {
+		pa := a.Plan(r, senders, procs)
+		pb := b.Plan(r, senders, procs)
+		for _, rcv := range procs {
+			for _, snd := range senders {
+				if rcv == snd {
+					continue
+				}
+				if pa(rcv, snd) != pb(rcv, snd) {
+					t.Fatalf("round %d: same seed diverged on %d->%d", r, snd, rcv)
+				}
+			}
+		}
+	}
+}
+
+func TestProbabilisticRateRoughlyHonored(t *testing.T) {
+	a := NewProbabilistic(0.3, 11)
+	delivered, total := 0, 0
+	for r := 1; r <= 2000; r++ {
+		plan := a.Plan(r, senders, procs)
+		for _, rcv := range procs {
+			for _, snd := range senders {
+				if rcv == snd {
+					continue
+				}
+				total++
+				if plan(rcv, snd) {
+					delivered++
+				}
+			}
+		}
+	}
+	rate := float64(delivered) / float64(total)
+	if rate < 0.65 || rate > 0.75 {
+		t.Fatalf("delivery rate %.3f, want ~0.70", rate)
+	}
+}
+
+func TestCaptureCollisionDeliversAtMostOne(t *testing.T) {
+	a := NewCapture(0.2, 0, 5)
+	manySenders := []model.ProcessID{1, 2, 3}
+	for r := 1; r <= 200; r++ {
+		plan := a.Plan(r, manySenders, procs)
+		for _, rcv := range procs {
+			got := 0
+			for _, snd := range manySenders {
+				if rcv == snd {
+					continue
+				}
+				if plan(rcv, snd) {
+					got++
+				}
+			}
+			if got > 1 {
+				t.Fatalf("round %d: receiver %d captured %d messages, want <=1", r, rcv, got)
+			}
+		}
+	}
+}
+
+func TestCaptureNonUniformReceiveSets(t *testing.T) {
+	// The paper's §1.1 example: with two simultaneous broadcasters, two
+	// listeners can capture DIFFERENT messages. Check that this outcome
+	// occurs within a reasonable number of rounds.
+	a := NewCapture(0, 0, 3)
+	foundDifferent := false
+	for r := 1; r <= 500 && !foundDifferent; r++ {
+		plan := a.Plan(r, senders, procs)
+		var got3, got4 model.ProcessID = -1, -1
+		for _, snd := range senders {
+			if plan(3, snd) {
+				got3 = snd
+			}
+			if plan(4, snd) {
+				got4 = snd
+			}
+		}
+		if got3 != -1 && got4 != -1 && got3 != got4 {
+			foundDifferent = true
+		}
+	}
+	if !foundDifferent {
+		t.Fatal("capture effect never produced non-uniform receive sets")
+	}
+}
+
+func TestCaptureLoneBroadcast(t *testing.T) {
+	reliable := NewCapture(0, 0, 1)
+	plan := reliable.Plan(1, []model.ProcessID{2}, procs)
+	for _, rcv := range procs {
+		if rcv != 2 && !plan(rcv, 2) {
+			t.Fatal("lossless lone broadcast lost")
+		}
+	}
+	lossy := NewCapture(0, 1, 1)
+	plan = lossy.Plan(1, []model.ProcessID{2}, procs)
+	for _, rcv := range procs {
+		if rcv != 2 && plan(rcv, 2) {
+			t.Fatal("PLoneLoss=1 delivered a lone broadcast")
+		}
+	}
+}
+
+func TestCaptureNoSenders(t *testing.T) {
+	a := NewCapture(0, 0, 1)
+	plan := a.Plan(1, nil, procs)
+	if plan(1, 2) {
+		t.Fatal("no-sender round delivered something")
+	}
+}
+
+func TestPartitionBlocksCrossGroup(t *testing.T) {
+	p := Partition{GroupOf: SplitAt(3), Until: 10}
+	plan := p.Plan(5, senders, procs)
+	if plan(3, 1) || plan(1, 3) {
+		t.Fatal("cross-group message delivered during partition")
+	}
+	if !plan(2, 1) || !plan(4, 3) {
+		t.Fatal("intra-group message lost during partition")
+	}
+	// After Until the channel heals.
+	plan = p.Plan(11, senders, procs)
+	if !plan(3, 1) {
+		t.Fatal("cross-group message lost after partition healed")
+	}
+}
+
+func TestPartitionNoRepair(t *testing.T) {
+	p := Partition{GroupOf: SplitAt(3), Until: NoRepair}
+	plan := p.Plan(1<<30, senders, procs)
+	if plan(3, 1) {
+		t.Fatal("NoRepair partition healed")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	calls := 0
+	f := Func(func(r int, senders, procs []model.ProcessID) DeliveryFunc {
+		calls++
+		return func(model.ProcessID, model.ProcessID) bool { return r%2 == 0 }
+	})
+	if f.Plan(1, senders, procs)(1, 2) {
+		t.Fatal("odd round delivered")
+	}
+	if !f.Plan(2, senders, procs)(1, 2) {
+		t.Fatal("even round lost")
+	}
+	if calls != 2 {
+		t.Fatal("adapter not called")
+	}
+}

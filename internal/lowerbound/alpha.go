@@ -1,0 +1,199 @@
+// Package lowerbound makes the paper's impossibility proofs and round
+// complexity lower bounds (Section 8) executable. Each construction in the
+// proofs — alpha executions (Definition 24), the pigeonhole searches of
+// Lemmas 21/22, the gamma compositions of Lemma 23, and the environment
+// trios of Theorems 4, 8, and 9 — is implemented against *arbitrary*
+// algorithms, so the harness both demonstrates the bounds on the paper's
+// own algorithms and exhibits concrete counterexample executions for
+// algorithms that claim to beat them.
+package lowerbound
+
+import (
+	"fmt"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+// AnonFactory builds one process of an anonymous algorithm (Definition 3):
+// the automaton may depend only on the initial value, never on the process
+// index.
+type AnonFactory func(initial model.Value) model.Automaton
+
+// Factory builds one process of a (possibly non-anonymous) algorithm: the
+// automaton may embed the process index in its state.
+type Factory func(id model.ProcessID, initial model.Value) model.Automaton
+
+// Anon adapts an AnonFactory to a Factory.
+func Anon(f AnonFactory) Factory {
+	return func(_ model.ProcessID, initial model.Value) model.Automaton { return f(initial) }
+}
+
+// minOf returns the smallest process index of a non-empty set.
+func minOf(procs []model.ProcessID) model.ProcessID {
+	best := procs[0]
+	for _, id := range procs[1:] {
+		if id < best {
+			best = id
+		}
+	}
+	return best
+}
+
+// AlphaExecution runs the unique alpha execution α_P(v) of Definition 24
+// for `rounds` rounds: all processes start with v; the contention manager
+// is pinned to min(P) active from round 1 (a maximal leader election
+// service behavior); a lone broadcaster reaches everyone while concurrent
+// broadcasters keep only their own messages; the detector is complete and
+// accurate (honest); there are no failures.
+func AlphaExecution(factory Factory, procs []model.ProcessID, v model.Value, rounds int) (*engine.Result, error) {
+	autos := make(map[model.ProcessID]model.Automaton, len(procs))
+	initial := make(map[model.ProcessID]model.Value, len(procs))
+	for _, id := range procs {
+		autos[id] = factory(id, v)
+		initial[id] = v
+	}
+	return engine.Run(engine.Config{
+		Procs:          autos,
+		Initial:        initial,
+		Detector:       detector.New(detector.AC),
+		CM:             &cm.LeaderElection{Stable: 1, Leader: minOf(procs)},
+		Loss:           loss.Alpha{},
+		MaxRounds:      rounds,
+		RunFullHorizon: true,
+	})
+}
+
+// CollidingPair is the outcome of a pigeonhole search: two alpha executions
+// over different values (and, for the non-anonymous search, different
+// process sets) whose basic broadcast count sequences agree through round K.
+type CollidingPair struct {
+	V1, V2 model.Value
+	P1, P2 []model.ProcessID
+	K      int
+	Alpha1 *engine.Result
+	Alpha2 *engine.Result
+}
+
+// Theorem6K returns the prefix length of Lemma 21/Theorem 6:
+// ⌊lg|V|/2⌋ − 1 rounds (at least 1). Any anonymous half-AC algorithm has
+// two alpha executions agreeing this long.
+func Theorem6K(domain valueset.Domain) int {
+	k := domain.BitWidth()/2 - 1
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Theorem9K returns the prefix length of Theorem 9: lg|V| − 1 rounds (at
+// least 1).
+func Theorem9K(domain valueset.Domain) int {
+	k := domain.BitWidth() - 1
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// FindCollidingAlphaPair performs the Lemma 21 pigeonhole search for an
+// anonymous algorithm: it runs one alpha execution per value of the domain
+// (which must be small enough to enumerate) over the fixed process set P,
+// and returns two values whose basic broadcast count sequences agree
+// through round k. The count argument in the paper guarantees such a pair
+// exists whenever 3^k < |V|.
+func FindCollidingAlphaPair(factory AnonFactory, procs []model.ProcessID, domain valueset.Domain, k int) (*CollidingPair, error) {
+	if domain.Size > 1<<16 {
+		return nil, fmt.Errorf("lowerbound: domain of %d values too large to enumerate", domain.Size)
+	}
+	f := Anon(factory)
+	seen := make(map[string]struct {
+		v   model.Value
+		res *engine.Result
+	}, domain.Size)
+	for raw := uint64(0); raw < domain.Size; raw++ {
+		v := model.Value(raw)
+		res, err := AlphaExecution(f, procs, v, k)
+		if err != nil {
+			return nil, fmt.Errorf("alpha execution for value %d: %w", raw, err)
+		}
+		key := prefixKey(res.Execution.BroadcastCountSequence(), k)
+		if prev, ok := seen[key]; ok {
+			return &CollidingPair{
+				V1: prev.v, V2: v, P1: procs, P2: procs,
+				K: k, Alpha1: prev.res, Alpha2: res,
+			}, nil
+		}
+		seen[key] = struct {
+			v   model.Value
+			res *engine.Result
+		}{v, res}
+	}
+	return nil, fmt.Errorf("lowerbound: no colliding pair through %d rounds over %d values (3^k >= |V|?)", k, domain.Size)
+}
+
+// FindCollidingAlphaPairNonAnon performs the Lemma 22 search for a
+// non-anonymous algorithm: alpha executions over each (disjoint process
+// set, value) combination, looking for a pair that differs in BOTH the
+// process set and the value yet shares its count sequence through round k.
+func FindCollidingAlphaPairNonAnon(factory Factory, subsets [][]model.ProcessID, domain valueset.Domain, k int) (*CollidingPair, error) {
+	if domain.Size > 1<<12 {
+		return nil, fmt.Errorf("lowerbound: domain of %d values too large to enumerate", domain.Size)
+	}
+	type entry struct {
+		v      model.Value
+		subset int
+		res    *engine.Result
+	}
+	seen := make(map[string][]entry)
+	for si, procs := range subsets {
+		for raw := uint64(0); raw < domain.Size; raw++ {
+			v := model.Value(raw)
+			res, err := AlphaExecution(factory, procs, v, k)
+			if err != nil {
+				return nil, fmt.Errorf("alpha execution subset %d value %d: %w", si, raw, err)
+			}
+			key := prefixKey(res.Execution.BroadcastCountSequence(), k)
+			for _, prev := range seen[key] {
+				if prev.subset != si && prev.v != v {
+					return &CollidingPair{
+						V1: prev.v, V2: v,
+						P1: subsets[prev.subset], P2: procs,
+						K: k, Alpha1: prev.res, Alpha2: res,
+					}, nil
+				}
+			}
+			seen[key] = append(seen[key], entry{v: v, subset: si, res: res})
+		}
+	}
+	return nil, fmt.Errorf("lowerbound: no non-anonymous colliding pair through %d rounds", k)
+}
+
+// prefixKey encodes the first k symbols of a broadcast count sequence.
+func prefixKey(seq []model.BroadcastCountSymbol, k int) string {
+	if k > len(seq) {
+		k = len(seq)
+	}
+	buf := make([]byte, k)
+	for i := 0; i < k; i++ {
+		buf[i] = byte('0' + seq[i])
+	}
+	return string(buf)
+}
+
+// DecidedBy reports whether every process of the result decided by round k.
+func DecidedBy(res *engine.Result, k int) bool {
+	if len(res.Decisions) < len(res.Execution.Procs) {
+		return false
+	}
+	for _, d := range res.Decisions {
+		if d.Round > k {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,205 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+// GammaResult is the outcome of a Lemma 23 composition: the merged
+// execution plus the machine-checked facts the proof needs.
+type GammaResult struct {
+	// Gamma is the composed execution over P1 ∪ P2.
+	Gamma *engine.Result
+	// Pair is the colliding alpha pair that was composed.
+	Pair *CollidingPair
+	// Indistinguishable reports that every process of P1 (resp. P2) cannot
+	// distinguish gamma from its alpha execution through round K.
+	Indistinguishable bool
+	// DetectorLegal reports that gamma's advice trace is legal for
+	// half-AC — the heart of Lemma 23.
+	DetectorLegal bool
+	// AgreementViolated reports that gamma decided two different values by
+	// round K (it can only be true when both alphas decided by K).
+	AgreementViolated bool
+}
+
+// groupAlphaLoss is the loss rule of the Lemma 23 composition: the two
+// groups never hear each other; within a group, a lone group-broadcaster
+// reaches the whole group, while concurrent group-broadcasters keep only
+// their own messages.
+type groupAlphaLoss struct {
+	groupOf map[model.ProcessID]int
+}
+
+// Plan implements loss.Adversary.
+func (g groupAlphaLoss) Plan(_ int, senders, _ []model.ProcessID) loss.DeliveryFunc {
+	perGroup := make(map[int]int, 2)
+	for _, snd := range senders {
+		perGroup[g.groupOf[snd]]++
+	}
+	return func(rcv, snd model.ProcessID) bool {
+		gr := g.groupOf[rcv]
+		return gr == g.groupOf[snd] && perGroup[gr] == 1
+	}
+}
+
+// ComposeGamma builds the Lemma 23 execution for a colliding pair: both
+// groups run side by side for pair.K rounds under a minimal half-AC
+// detector, a contention manager that keeps min(P1) and min(P2) active
+// through round K (and min(P1) alone afterwards — a legal leader election
+// trace), and the group-alpha loss rule (cross-group loss ends after K, so
+// the execution satisfies eventual collision freedom). It then verifies
+// indistinguishability, detector legality, and whether agreement is
+// violated.
+func ComposeGamma(factory Factory, pair *CollidingPair) (*GammaResult, error) {
+	if len(pair.P1) != len(pair.P2) {
+		return nil, fmt.Errorf("lowerbound: groups must have equal size, got %d and %d", len(pair.P1), len(pair.P2))
+	}
+	groupOf := make(map[model.ProcessID]int, len(pair.P1)+len(pair.P2))
+	autos := make(map[model.ProcessID]model.Automaton, len(groupOf))
+	initial := make(map[model.ProcessID]model.Value, len(groupOf))
+	for _, id := range pair.P1 {
+		groupOf[id] = 1
+		autos[id] = factory(id, pair.V1)
+		initial[id] = pair.V1
+	}
+	for _, id := range pair.P2 {
+		if _, dup := groupOf[id]; dup {
+			return nil, fmt.Errorf("lowerbound: process %d appears in both groups", id)
+		}
+		groupOf[id] = 2
+		autos[id] = factory(id, pair.V2)
+		initial[id] = pair.V2
+	}
+
+	// Contention: both group leaders active through K (legal pre-stabilization
+	// behavior), then min(P1) alone — a leader election service with
+	// rlead = K+1.
+	twoActive := make([]map[model.ProcessID]bool, pair.K)
+	for i := range twoActive {
+		twoActive[i] = map[model.ProcessID]bool{minOf(pair.P1): true, minOf(pair.P2): true}
+	}
+	manager := cm.Explicit{Rounds: twoActive}
+
+	adversary := loss.Adversary(groupAlphaLoss{groupOf: groupOf})
+	// Cross-group loss ends after round K so gamma satisfies ECF.
+	healed := loss.Func(func(r int, senders, procs []model.ProcessID) loss.DeliveryFunc {
+		if r > pair.K {
+			return loss.None{}.Plan(r, senders, procs)
+		}
+		return adversary.Plan(r, senders, procs)
+	})
+
+	res, err := engine.Run(engine.Config{
+		Procs:          autos,
+		Initial:        initial,
+		Detector:       detector.New(detector.HalfAC, detector.WithBehavior(detector.Minimal{})),
+		CM:             manager,
+		Loss:           healed,
+		MaxRounds:      pair.K,
+		RunFullHorizon: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gamma execution: %w", err)
+	}
+
+	out := &GammaResult{Gamma: res, Pair: pair, Indistinguishable: true}
+	for _, id := range pair.P1 {
+		if !res.Execution.IndistinguishableTo(pair.Alpha1.Execution, id, pair.K) {
+			out.Indistinguishable = false
+		}
+	}
+	for _, id := range pair.P2 {
+		if !res.Execution.IndistinguishableTo(pair.Alpha2.Execution, id, pair.K) {
+			out.Indistinguishable = false
+		}
+	}
+	out.DetectorLegal = detector.CheckExecution(detector.HalfAC, 1, res.Execution) == nil
+	out.AgreementViolated = len(res.Execution.DecidedValues()) > 1
+	return out, nil
+}
+
+// Theorem6Report is the outcome of running the full Theorem 6 (or, with
+// the non-anonymous search, Theorem 7) pipeline against an algorithm.
+type Theorem6Report struct {
+	K    int
+	Pair *CollidingPair
+	// BothDecidedByK: the two alpha executions fully decided within K
+	// rounds — the algorithm claims to beat the bound.
+	BothDecidedByK bool
+	// Gamma is non-nil when BothDecidedByK: the composed counterexample.
+	Gamma *GammaResult
+}
+
+// BoundRespected reports the dichotomy the theorem proves: either the
+// algorithm was still undecided at round K in one of the alpha executions
+// (it respects the lower bound), or the composition exhibits an agreement
+// violation (it was never a consensus algorithm for half-AC).
+func (r *Theorem6Report) BoundRespected() bool { return !r.BothDecidedByK }
+
+// CounterexampleExhibited reports that the gamma composition caught a
+// too-fast algorithm violating agreement.
+func (r *Theorem6Report) CounterexampleExhibited() bool {
+	return r.BothDecidedByK && r.Gamma != nil && r.Gamma.AgreementViolated
+}
+
+// RunTheorem6 executes the Theorem 6 pipeline for an anonymous algorithm:
+// pigeonhole search at K = ⌊lg|V|/2⌋−1, then — if the algorithm decided too
+// fast — the Lemma 23 composition.
+func RunTheorem6(factory AnonFactory, procs []model.ProcessID, altProcs []model.ProcessID, domain valueset.Domain) (*Theorem6Report, error) {
+	k := Theorem6K(domain)
+	pair, err := FindCollidingAlphaPair(factory, procs, domain, k)
+	if err != nil {
+		return nil, err
+	}
+	report := &Theorem6Report{K: k, Pair: pair}
+	if !DecidedBy(pair.Alpha1, k) || !DecidedBy(pair.Alpha2, k) {
+		return report, nil // bound respected; nothing to compose
+	}
+	report.BothDecidedByK = true
+	// Re-run the second alpha over a disjoint process set (Corollary 2:
+	// anonymous executions transport across equal-size index sets), then
+	// compose.
+	alt, err := AlphaExecution(Anon(factory), altProcs, pair.V2, k)
+	if err != nil {
+		return nil, err
+	}
+	moved := &CollidingPair{
+		V1: pair.V1, V2: pair.V2,
+		P1: pair.P1, P2: altProcs,
+		K: k, Alpha1: pair.Alpha1, Alpha2: alt,
+	}
+	gamma, err := ComposeGamma(Anon(factory), moved)
+	if err != nil {
+		return nil, err
+	}
+	report.Gamma = gamma
+	return report, nil
+}
+
+// RunTheorem7 executes the Theorem 7 pipeline for a non-anonymous
+// algorithm: the Lemma 22 search over disjoint process subsets, then the
+// composition if the algorithm decided too fast.
+func RunTheorem7(factory Factory, subsets [][]model.ProcessID, domain valueset.Domain, k int) (*Theorem6Report, error) {
+	pair, err := FindCollidingAlphaPairNonAnon(factory, subsets, domain, k)
+	if err != nil {
+		return nil, err
+	}
+	report := &Theorem6Report{K: k, Pair: pair}
+	if !DecidedBy(pair.Alpha1, k) || !DecidedBy(pair.Alpha2, k) {
+		return report, nil
+	}
+	report.BothDecidedByK = true
+	gamma, err := ComposeGamma(factory, pair)
+	if err != nil {
+		return nil, err
+	}
+	report.Gamma = gamma
+	return report, nil
+}

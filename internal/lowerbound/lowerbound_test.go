@@ -1,0 +1,323 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/core"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+func procRange(from, n int) []model.ProcessID {
+	out := make([]model.ProcessID, n)
+	for i := 0; i < n; i++ {
+		out[i] = model.ProcessID(from + i)
+	}
+	return out
+}
+
+func alg2Factory(d valueset.Domain) AnonFactory {
+	return func(initial model.Value) model.Automaton { return core.NewAlg2(d, initial) }
+}
+
+func alg1Factory() AnonFactory {
+	return func(initial model.Value) model.Automaton { return core.NewAlg1(initial) }
+}
+
+func alg3Factory(d valueset.Domain) AnonFactory {
+	return func(initial model.Value) model.Automaton { return core.NewAlg3(d, initial) }
+}
+
+func timeoutFactory(after int) AnonFactory {
+	return func(initial model.Value) model.Automaton { return &Timeout{Value: initial, After: after} }
+}
+
+func TestAlphaExecutionShape(t *testing.T) {
+	d := valueset.MustDomain(16)
+	procs := procRange(1, 3)
+	res, err := AlphaExecution(Anon(alg2Factory(d)), procs, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 10 {
+		t.Fatalf("alpha ran %d rounds, want 10", res.Rounds)
+	}
+	if err := res.Execution.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 is a lone prepare broadcast by the pinned leader.
+	seq := res.Execution.BroadcastCountSequence()
+	if seq[0] != model.CountOne {
+		t.Fatalf("round 1 count = %v, want 1 (pinned leader prepare)", seq[0])
+	}
+}
+
+// TestAlphaSequenceEncodesValueBits: for Algorithm 2, the alpha execution's
+// broadcast count sequence after the prepare round is exactly the bit
+// pattern of the value — the information-theoretic heart of the Theorem 6
+// argument (anonymous processes can only signal via broadcast/silence).
+func TestAlphaSequenceEncodesValueBits(t *testing.T) {
+	d := valueset.MustDomain(16)
+	procs := procRange(1, 3)
+	for _, v := range []model.Value{0, 5, 10, 15} {
+		res, err := AlphaExecution(Anon(alg2Factory(d)), procs, v, d.BitWidth()+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := res.Execution.BroadcastCountSequence()
+		for b := 1; b <= d.BitWidth(); b++ {
+			want := model.CountZero
+			if valueset.Bit(v, b, d.BitWidth()) == 1 {
+				want = model.CountTwoPlus
+			}
+			if seq[b] != want {
+				t.Fatalf("value %d bit %d: count %v, want %v", v, b, seq[b], want)
+			}
+		}
+	}
+}
+
+func TestTheorem6KFormula(t *testing.T) {
+	tests := []struct {
+		size uint64
+		want int
+	}{
+		{4, 1}, {16, 1}, {64, 2}, {256, 3}, {65536, 7},
+	}
+	for _, tt := range tests {
+		if got := Theorem6K(valueset.MustDomain(tt.size)); got != tt.want {
+			t.Errorf("Theorem6K(%d) = %d, want %d", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestFindCollidingAlphaPair(t *testing.T) {
+	d := valueset.MustDomain(256)
+	k := Theorem6K(d)
+	pair, err := FindCollidingAlphaPair(alg2Factory(d), procRange(1, 3), d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.V1 == pair.V2 {
+		t.Fatal("colliding pair must have distinct values")
+	}
+	if !model.SameBroadcastCountPrefix(
+		pair.Alpha1.Execution.BroadcastCountSequence(),
+		pair.Alpha2.Execution.BroadcastCountSequence(), k) {
+		t.Fatal("pair does not share its count prefix")
+	}
+}
+
+func TestFindCollidingPairRejectsHugeDomain(t *testing.T) {
+	d := valueset.MustDomain(1 << 32)
+	if _, err := FindCollidingAlphaPair(alg2Factory(d), procRange(1, 2), d, 3); err == nil {
+		t.Fatal("huge domain accepted")
+	}
+}
+
+// TestTheorem6Alg2RespectsBound: Algorithm 2 (the matching upper bound)
+// must still be undecided at round K = ⌊lg|V|/2⌋−1 in the colliding alpha
+// executions — the lower bound holds.
+func TestTheorem6Alg2RespectsBound(t *testing.T) {
+	d := valueset.MustDomain(256)
+	report, err := RunTheorem6(alg2Factory(d), procRange(1, 3), procRange(101, 3), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.BoundRespected() {
+		t.Fatalf("Algorithm 2 decided by K=%d — lower bound broken?", report.K)
+	}
+}
+
+// TestTheorem6CatchesTooFastAlgorithm: Algorithm 1 decides in O(1) rounds;
+// under half-AC that is impossible, and the composed gamma must exhibit the
+// agreement violation with machine-checked indistinguishability and
+// detector legality.
+func TestTheorem6CatchesTooFastAlgorithm(t *testing.T) {
+	d := valueset.MustDomain(256)
+	report, err := RunTheorem6(alg1Factory(), procRange(1, 3), procRange(101, 3), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.BothDecidedByK {
+		t.Fatalf("Algorithm 1 should decide within K=%d in alpha executions", report.K)
+	}
+	if !report.CounterexampleExhibited() {
+		t.Fatal("gamma composition failed to exhibit the agreement violation")
+	}
+	if !report.Gamma.Indistinguishable {
+		t.Fatal("gamma is distinguishable from the alpha executions — Lemma 23 construction broken")
+	}
+	if !report.Gamma.DetectorLegal {
+		t.Fatal("gamma advice trace is not legal half-AC — Lemma 23 construction broken")
+	}
+}
+
+// TestTheorem7NonAnonymous runs the Lemma 22 search for the §7.3 algorithm
+// with a small ID space and confirms the bound is respected.
+func TestTheorem7NonAnonymous(t *testing.T) {
+	idD := valueset.MustDomain(64)
+	valD := valueset.MustDomain(64)
+	factory := func(id model.ProcessID, initial model.Value) model.Automaton {
+		// Distinct IDs per process index: id space is larger than any
+		// index used here.
+		return core.NewNonAnon(idD, valD, model.Value(id), initial)
+	}
+	subsets := [][]model.ProcessID{procRange(1, 3), procRange(11, 3), procRange(21, 3)}
+	report, err := RunTheorem7(factory, subsets, valD, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.BoundRespected() {
+		t.Fatal("NonAnon decided within 2 rounds — impossible")
+	}
+}
+
+// TestTheorem4Dichotomy checks both branches: an honest algorithm
+// (Algorithm 2) fails termination under NoCD, and a timeout strawman that
+// "decides" gets caught violating agreement in the partitioned gamma.
+func TestTheorem4Dichotomy(t *testing.T) {
+	d := valueset.MustDomain(16)
+	pa, pb := procRange(1, 3), procRange(11, 3)
+
+	honest, err := RunTheorem4(Anon(alg2Factory(d)), pa, pb, 3, 9, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !honest.TerminationFailed {
+		t.Fatal("Algorithm 2 decided with a NoCD detector — Theorem 4 broken")
+	}
+
+	strawman, err := RunTheorem4(Anon(timeoutFactory(5)), pa, pb, 3, 9, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strawman.TerminationFailed {
+		t.Fatal("timeout strawman unexpectedly failed to decide")
+	}
+	if !strawman.AgreementViolated {
+		t.Fatal("gamma failed to catch the strawman's agreement violation")
+	}
+	if !strawman.Indistinguishable {
+		t.Fatal("theorem 4 indistinguishability broken")
+	}
+}
+
+// TestTheorem8Dichotomy: Algorithm 3 run with a merely eventually-accurate
+// detector in a never-healing partition cannot decide (the honest branch);
+// the constant strawman decides and is caught violating uniform validity in
+// the replayed beta execution.
+func TestTheorem8Dichotomy(t *testing.T) {
+	dv := valueset.MustDomain(16)
+	pa, pb := procRange(1, 3), procRange(11, 3)
+
+	honest, err := RunTheorem8(Anon(alg3Factory(dv)), pa, pb, 3, 9, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alg3 in a permanent partition with accurate advice: both groups walk
+	// their own trees and can decide DIFFERENT values (it was never built
+	// for eventually-accurate detectors and relies on Lemma 14's global
+	// silence, which the partition preserves per group...). Either outcome
+	// of the dichotomy is a valid demonstration; what must NOT happen is a
+	// clean single-value consensus followed by a failed beta construction.
+	if !honest.TerminationFailed && !honest.AgreementViolated && !honest.ValidityViolated {
+		t.Fatalf("theorem 8 construction produced no witness: %+v", honest)
+	}
+
+	strawman, err := RunTheorem8(
+		func(_ model.ProcessID, initial model.Value) model.Automaton {
+			return NewConstant(initial, 3, 6)
+		}, pa, pb, 3, 9, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strawman.TerminationFailed {
+		t.Fatal("constant strawman unexpectedly failed to decide")
+	}
+	if !strawman.ValidityViolated {
+		t.Fatalf("beta construction failed to catch the validity violation: %+v", strawman)
+	}
+	if !strawman.Indistinguishable {
+		t.Fatal("theorem 8 indistinguishability broken")
+	}
+}
+
+// TestTheorem9Alg3RespectsBound: Algorithm 3 under total loss must still be
+// undecided at K = lg|V|−1 for the colliding pair.
+func TestTheorem9Alg3RespectsBound(t *testing.T) {
+	d := valueset.MustDomain(64)
+	report, err := RunTheorem9(alg3Factory(d), 3, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.BothDecidedByK {
+		t.Fatalf("Algorithm 3 decided by K=%d under total loss — bound broken?", report.K)
+	}
+}
+
+// TestTheorem9CatchesTimeout: the timeout strawman decides before K and the
+// composition exhibits the agreement violation.
+func TestTheorem9CatchesTimeout(t *testing.T) {
+	d := valueset.MustDomain(64)
+	report, err := RunTheorem9(timeoutFactory(2), 3, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.BothDecidedByK {
+		t.Fatal("timeout strawman should decide before K")
+	}
+	if !report.AgreementViolated {
+		t.Fatal("composition failed to exhibit the agreement violation")
+	}
+	if !report.Indistinguishable {
+		t.Fatal("theorem 9 indistinguishability broken")
+	}
+}
+
+func TestTheorem9RejectsSingletonGroups(t *testing.T) {
+	d := valueset.MustDomain(8)
+	if _, err := RunTheorem9(alg3Factory(d), 1, d); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestDecidedBy(t *testing.T) {
+	d := valueset.MustDomain(8)
+	res, err := AlphaExecution(Anon(alg2Factory(d)), procRange(1, 2), 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alg2 with CST=1-like alpha environment decides at width+2 = 5.
+	if DecidedBy(res, 4) {
+		t.Fatal("DecidedBy(4) true before decision round")
+	}
+	if !DecidedBy(res, 6) {
+		t.Fatal("DecidedBy(6) false after all decisions")
+	}
+}
+
+// TestTimeoutStrawman covers the strawman automata directly.
+func TestTimeoutStrawman(t *testing.T) {
+	s := &Timeout{Value: 9, After: 2}
+	if _, ok := s.Decided(); ok {
+		t.Fatal("decided too early")
+	}
+	if s.Message(1, model.CMPassive) == nil {
+		t.Fatal("undecided strawman must broadcast")
+	}
+	s.Deliver(1, nil, model.CDNull, model.CMActive)
+	s.Deliver(2, nil, model.CDNull, model.CMActive)
+	if v, ok := s.Decided(); !ok || v != 9 {
+		t.Fatal("timeout did not decide its value")
+	}
+	if !s.Halted() || s.Message(3, model.CMActive) != nil {
+		t.Fatal("decided strawman must halt")
+	}
+
+	c := NewConstant(5, 7, 1)
+	c.Deliver(1, nil, model.CDNull, model.CMActive)
+	if v, ok := c.Decided(); !ok || v != 7 {
+		t.Fatalf("constant strawman decided %d, want 7", v)
+	}
+}

@@ -1,0 +1,447 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+// Timeout is a deliberately wrong "consensus" algorithm used to exhibit the
+// impossibility dichotomies: it waits After rounds and then decides its own
+// initial value, exactly the kind of timeout-based protocol the theorems
+// rule out. It ignores all advice and all messages.
+type Timeout struct {
+	Value model.Value
+	After int
+
+	round   int
+	decided bool
+}
+
+var (
+	_ model.Automaton = (*Timeout)(nil)
+	_ model.Decider   = (*Timeout)(nil)
+)
+
+// Message implements model.Automaton: Timeout broadcasts its value while
+// undecided (so executions have non-trivial traffic).
+func (s *Timeout) Message(_ int, _ model.CMAdvice) *model.Message {
+	if s.decided {
+		return nil
+	}
+	return &model.Message{Kind: model.KindEstimate, Value: s.Value}
+}
+
+// Deliver implements model.Automaton.
+func (s *Timeout) Deliver(r int, _ *model.RecvSet, _ model.CDAdvice, _ model.CMAdvice) {
+	s.round = r
+	if r >= s.After {
+		s.decided = true
+	}
+}
+
+// Decided implements model.Decider.
+func (s *Timeout) Decided() (model.Value, bool) { return s.Value, s.decided }
+
+// Halted implements model.Decider.
+func (s *Timeout) Halted() bool { return s.decided }
+
+// Constant is a second strawman: it decides a fixed constant after After
+// rounds regardless of its initial value — internally consistent
+// (agreement always holds) but violating uniform validity, which is how
+// Theorem 8's beta construction catches it.
+type Constant struct {
+	Timeout
+
+	Fixed model.Value
+}
+
+// NewConstant builds the strawman.
+func NewConstant(initial, fixed model.Value, after int) *Constant {
+	c := &Constant{Fixed: fixed}
+	c.Value = initial
+	c.After = after
+	return c
+}
+
+// Decided implements model.Decider: the fixed value, not the initial one.
+func (c *Constant) Decided() (model.Value, bool) {
+	_, ok := c.Timeout.Decided()
+	return c.Fixed, ok
+}
+
+// ImpossibilityReport is the outcome of the Theorem 4 / Theorem 8 pipelines.
+type ImpossibilityReport struct {
+	// Theorem names the construction: "theorem-4" or "theorem-8".
+	Theorem string
+	// TerminationFailed: the algorithm never decided within the horizon in
+	// the solo executions — it does not solve consensus in this
+	// environment class (the expected outcome for honest algorithms).
+	TerminationFailed bool
+	// AgreementViolated / ValidityViolated: the constructed composition
+	// caught a "deciding" algorithm breaking a safety property.
+	AgreementViolated bool
+	ValidityViolated  bool
+	// Indistinguishable confirms the proof's indistinguishability claims
+	// held mechanically (only meaningful when a composition was built).
+	Indistinguishable bool
+	// Detail is a human-readable summary for the CLI.
+	Detail string
+}
+
+// RunTheorem4 executes the Theorem 4 construction against an algorithm
+// claiming to solve consensus with NO collision detector (class NoCD:
+// advice pinned to ±), a leader election service, and eventual collision
+// freedom. It runs α (all processes of Pa start with v, no loss) and β
+// (Pb, v'), and — if both decide — composes the partitioned γ whose two
+// halves are indistinguishable from α and β, forcing both values to be
+// decided.
+func RunTheorem4(factory Factory, pa, pb []model.ProcessID, v, vprime model.Value, horizon int) (*ImpossibilityReport, error) {
+	runSolo := func(procs []model.ProcessID, val model.Value) (*engine.Result, error) {
+		autos := make(map[model.ProcessID]model.Automaton, len(procs))
+		initial := make(map[model.ProcessID]model.Value, len(procs))
+		for _, id := range procs {
+			autos[id] = factory(id, val)
+			initial[id] = val
+		}
+		return engine.Run(engine.Config{
+			Procs:    autos,
+			Initial:  initial,
+			Detector: detector.New(detector.NoCD),
+			CM:       &cm.LeaderElection{Stable: 1, Leader: minOf(procs)},
+			Loss:     loss.None{},
+			// Record the full horizon: the γ composition below compares
+			// prefixes up to the LAST decision round across both runs.
+			MaxRounds:      horizon,
+			RunFullHorizon: true,
+		})
+	}
+	alpha, err := runSolo(pa, v)
+	if err != nil {
+		return nil, fmt.Errorf("theorem 4 alpha: %w", err)
+	}
+	beta, err := runSolo(pb, vprime)
+	if err != nil {
+		return nil, fmt.Errorf("theorem 4 beta: %w", err)
+	}
+	report := &ImpossibilityReport{Theorem: "theorem-4"}
+	if !alpha.AllDecided || !beta.AllDecided {
+		report.TerminationFailed = true
+		report.Detail = fmt.Sprintf("algorithm undecided after %d rounds with a NoCD detector: consensus unsolved, as Theorem 4 requires", horizon)
+		return report, nil
+	}
+	k := alpha.Execution.LastDecisionRound()
+	if b := beta.Execution.LastDecisionRound(); b > k {
+		k = b
+	}
+
+	// γ: both groups together; cross-group loss through round k, healed
+	// afterwards (so ECF holds); both leaders active through k, then one.
+	autos := make(map[model.ProcessID]model.Automaton, len(pa)+len(pb))
+	initial := make(map[model.ProcessID]model.Value, len(pa)+len(pb))
+	groupOf := make(map[model.ProcessID]int)
+	for _, id := range pa {
+		autos[id] = factory(id, v)
+		initial[id] = v
+		groupOf[id] = 1
+	}
+	for _, id := range pb {
+		autos[id] = factory(id, vprime)
+		initial[id] = vprime
+		groupOf[id] = 2
+	}
+	twoActive := make([]map[model.ProcessID]bool, k)
+	for i := range twoActive {
+		twoActive[i] = map[model.ProcessID]bool{minOf(pa): true, minOf(pb): true}
+	}
+	gamma, err := engine.Run(engine.Config{
+		Procs:    autos,
+		Initial:  initial,
+		Detector: detector.New(detector.NoCD),
+		CM:       cm.Explicit{Rounds: twoActive},
+		Loss: loss.Partition{
+			GroupOf: func(id model.ProcessID) int { return groupOf[id] },
+			Until:   k,
+		},
+		MaxRounds:      k,
+		RunFullHorizon: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("theorem 4 gamma: %w", err)
+	}
+	report.Indistinguishable = true
+	for _, id := range pa {
+		if !gamma.Execution.IndistinguishableTo(alpha.Execution, id, k) {
+			report.Indistinguishable = false
+		}
+	}
+	for _, id := range pb {
+		if !gamma.Execution.IndistinguishableTo(beta.Execution, id, k) {
+			report.Indistinguishable = false
+		}
+	}
+	report.AgreementViolated = len(gamma.Execution.DecidedValues()) > 1
+	report.Detail = fmt.Sprintf("γ composed through round %d: agreementViolated=%v indistinguishable=%v",
+		k, report.AgreementViolated, report.Indistinguishable)
+	return report, nil
+}
+
+// RunTheorem8 executes the Theorem 8 construction against an algorithm
+// claiming to solve consensus with an eventually-accurate detector in
+// executions WITHOUT eventual collision freedom. γ is a permanently
+// partitioned run with a complete-and-accurate detector; if γ decides a
+// single value x, the group whose initial value differs from x is re-run
+// alone (β), with a detector that replays γ's advice (legal for ◇AC with
+// race after the decision round) and a contention manager passive through
+// that round — β is indistinguishable, so it decides x and violates
+// uniform validity.
+func RunTheorem8(factory Factory, pa, pb []model.ProcessID, v, vprime model.Value, horizon int) (*ImpossibilityReport, error) {
+	autos := make(map[model.ProcessID]model.Automaton, len(pa)+len(pb))
+	initial := make(map[model.ProcessID]model.Value, len(pa)+len(pb))
+	groupOf := make(map[model.ProcessID]int)
+	for _, id := range pa {
+		autos[id] = factory(id, v)
+		initial[id] = v
+		groupOf[id] = 1
+	}
+	for _, id := range pb {
+		autos[id] = factory(id, vprime)
+		initial[id] = vprime
+		groupOf[id] = 2
+	}
+	gamma, err := engine.Run(engine.Config{
+		Procs:    autos,
+		Initial:  initial,
+		Detector: detector.New(detector.OAC), // honest: complete AND accurate here
+		CM:       &cm.LeaderElection{Stable: 1, Leader: minOf(pa)},
+		Loss: loss.Partition{
+			GroupOf: func(id model.ProcessID) int { return groupOf[id] },
+			Until:   loss.NoRepair,
+		},
+		MaxRounds: horizon,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("theorem 8 gamma: %w", err)
+	}
+	report := &ImpossibilityReport{Theorem: "theorem-8"}
+	switch vals := gamma.Execution.DecidedValues(); {
+	case !gamma.AllDecided:
+		report.TerminationFailed = true
+		report.Detail = fmt.Sprintf("algorithm undecided after %d rounds without ECF: consensus unsolved, as Theorem 8 requires", horizon)
+		return report, nil
+	case len(vals) > 1:
+		report.AgreementViolated = true
+		report.Detail = "γ itself violates agreement"
+		return report, nil
+	}
+	x := gamma.Execution.DecidedValues()[0]
+	k := gamma.Execution.LastDecisionRound()
+
+	// Pick the group whose common initial value differs from x.
+	procs, val := pb, vprime
+	if vprime == x {
+		procs, val = pa, v
+	}
+	if val == x {
+		report.Detail = "decided value matches both groups' inputs; construction needs v != v'"
+		return report, nil
+	}
+
+	// β: that group alone, lossless, advice replayed from γ for the first
+	// k rounds (legal for ◇AC with race = k+1), passive CM through k.
+	gammaCD := gamma.Execution.CDTrace()
+	replay := detector.Func(func(r int, id model.ProcessID, senders, recv int) model.CDAdvice {
+		if r <= k {
+			return gammaCD[r-1][id]
+		}
+		if recv < senders {
+			return model.CDCollision
+		}
+		return model.CDNull
+	})
+	betaAutos := make(map[model.ProcessID]model.Automaton, len(procs))
+	betaInitial := make(map[model.ProcessID]model.Value, len(procs))
+	for _, id := range procs {
+		betaAutos[id] = factory(id, val)
+		betaInitial[id] = val
+	}
+	// Replay the group's γ contention advice exactly: each process only
+	// ever observes its OWN advice, so copying the per-process bits keeps
+	// β indistinguishable (and still a legal leader-election trace, with
+	// rlead = k+1 via the Explicit tail).
+	gammaCM := gamma.Execution.CMTrace()
+	explicit := make([]map[model.ProcessID]bool, k)
+	for i := range explicit {
+		m := make(map[model.ProcessID]bool)
+		for _, id := range procs {
+			if gammaCM[i][id] == model.CMActive {
+				m[id] = true
+			}
+		}
+		explicit[i] = m
+	}
+	beta, err := engine.Run(engine.Config{
+		Procs:    betaAutos,
+		Initial:  betaInitial,
+		Detector: detector.New(detector.OAC, detector.WithRace(k+1), detector.WithBehavior(replay)),
+		CM:       cm.Explicit{Rounds: explicit},
+		// β must reproduce the group's γ-view: the group lost nothing from
+		// itself in γ... except what the partition never touched. Replay
+		// exactly: deliveries within the group were lossless in γ.
+		Loss:           loss.None{},
+		MaxRounds:      k,
+		RunFullHorizon: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("theorem 8 beta: %w", err)
+	}
+	report.Indistinguishable = true
+	for _, id := range procs {
+		if !beta.Execution.IndistinguishableTo(gamma.Execution, id, k) {
+			report.Indistinguishable = false
+		}
+	}
+	for _, d := range beta.Decisions {
+		if d.Value == x && x != val {
+			report.ValidityViolated = true
+		}
+	}
+	report.Detail = fmt.Sprintf("β (all inputs %d) decided %d by round %d: uniform validity violated=%v, indistinguishable=%v",
+		uint64(val), uint64(x), k, report.ValidityViolated, report.Indistinguishable)
+	return report, nil
+}
+
+// Theorem9Report is the outcome of the Theorem 9 pipeline: beta executions
+// under total message loss with a perfect (AC) detector and no contention
+// manager.
+type Theorem9Report struct {
+	K              int
+	V1, V2         model.Value
+	BothDecidedByK bool
+	// AgreementViolated: the composed run decided both values (only
+	// meaningful when BothDecidedByK).
+	AgreementViolated bool
+	Indistinguishable bool
+}
+
+// RunTheorem9 searches the beta executions of Theorem 9 — all processes
+// share one value, every cross-process message is lost forever, advice is
+// honest AC, the contention manager is NoCM — for two values with equal
+// binary broadcast sequences through K = lg|V|−1, then composes them into
+// one execution and checks the dichotomy.
+func RunTheorem9(factory AnonFactory, n int, domain valueset.Domain) (*Theorem9Report, error) {
+	if n < 2 {
+		// With a single process per group the collision advice of the solo
+		// and composed runs differ (a lone broadcaster loses nothing);
+		// the theorem assumes 1 < n <= |I|/2.
+		return nil, fmt.Errorf("lowerbound: theorem 9 needs n >= 2, got %d", n)
+	}
+	if domain.Size > 1<<16 {
+		return nil, fmt.Errorf("lowerbound: domain of %d values too large to enumerate", domain.Size)
+	}
+	k := Theorem9K(domain)
+	runBeta := func(procs []model.ProcessID, v model.Value) (*engine.Result, error) {
+		autos := make(map[model.ProcessID]model.Automaton, len(procs))
+		initial := make(map[model.ProcessID]model.Value, len(procs))
+		for _, id := range procs {
+			autos[id] = factory(v)
+			initial[id] = v
+		}
+		return engine.Run(engine.Config{
+			Procs:          autos,
+			Initial:        initial,
+			Detector:       detector.New(detector.AC),
+			CM:             cm.NoCM{},
+			Loss:           loss.Drop{},
+			MaxRounds:      k,
+			RunFullHorizon: true,
+		})
+	}
+	groupA := make([]model.ProcessID, n)
+	groupB := make([]model.ProcessID, n)
+	for i := 0; i < n; i++ {
+		groupA[i] = model.ProcessID(i + 1)
+		groupB[i] = model.ProcessID(n + i + 1)
+	}
+
+	seen := make(map[string]struct {
+		v   model.Value
+		res *engine.Result
+	}, domain.Size)
+	var pairV1, pairV2 model.Value
+	var res1, res2 *engine.Result
+	found := false
+	for raw := uint64(0); raw < domain.Size && !found; raw++ {
+		v := model.Value(raw)
+		res, err := runBeta(groupA, v)
+		if err != nil {
+			return nil, err
+		}
+		key := prefixKey(res.Execution.BroadcastCountSequence(), k)
+		if prev, ok := seen[key]; ok {
+			pairV1, pairV2 = prev.v, v
+			res1, res2 = prev.res, res
+			found = true
+			break
+		}
+		seen[key] = struct {
+			v   model.Value
+			res *engine.Result
+		}{v, res}
+	}
+	if !found {
+		return nil, fmt.Errorf("lowerbound: no theorem-9 colliding pair through %d rounds (2^k >= |V|?)", k)
+	}
+	report := &Theorem9Report{K: k, V1: pairV1, V2: pairV2}
+	if !DecidedBy(res1, k) || !DecidedBy(res2, k) {
+		return report, nil // bound respected
+	}
+	report.BothDecidedByK = true
+
+	// Composition: both groups together, still total loss; the equal
+	// binary broadcast sequences make the merged run indistinguishable.
+	autos := make(map[model.ProcessID]model.Automaton, 2*n)
+	initial := make(map[model.ProcessID]model.Value, 2*n)
+	for _, id := range groupA {
+		autos[id] = factory(pairV1)
+		initial[id] = pairV1
+	}
+	for _, id := range groupB {
+		autos[id] = factory(pairV2)
+		initial[id] = pairV2
+	}
+	res2b, err := runBeta(groupB, pairV2)
+	if err != nil {
+		return nil, err
+	}
+	gamma, err := engine.Run(engine.Config{
+		Procs:          autos,
+		Initial:        initial,
+		Detector:       detector.New(detector.AC),
+		CM:             cm.NoCM{},
+		Loss:           loss.Drop{},
+		MaxRounds:      k,
+		RunFullHorizon: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.Indistinguishable = true
+	for _, id := range groupA {
+		if !gamma.Execution.IndistinguishableTo(res1.Execution, id, k) {
+			report.Indistinguishable = false
+		}
+	}
+	for _, id := range groupB {
+		if !gamma.Execution.IndistinguishableTo(res2b.Execution, id, k) {
+			report.Indistinguishable = false
+		}
+	}
+	report.AgreementViolated = len(gamma.Execution.DecidedValues()) > 1
+	return report, nil
+}

@@ -1,0 +1,298 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// View is everything one process observes (and emits) in one round: the
+// per-process slice of an execution (Definition 11). Two executions are
+// indistinguishable to a process exactly when its views match round for
+// round (Definition 12) — for deterministic automata started in the same
+// state, matching views imply matching states.
+type View struct {
+	Sent    *Message // message broadcast this round, nil if silent
+	Recv    *RecvSet // messages received this round (includes own broadcast)
+	CD      CDAdvice // collision detector advice
+	CM      CMAdvice // contention manager advice
+	Crashed bool     // true once the process is in its fail state
+}
+
+// EqualView reports whether two views are identical, which is the per-round
+// condition of Definition 12.
+func EqualView(a, b View) bool {
+	if a.Crashed != b.Crashed || a.CD != b.CD || a.CM != b.CM {
+		return false
+	}
+	if (a.Sent == nil) != (b.Sent == nil) {
+		return false
+	}
+	if a.Sent != nil && *a.Sent != *b.Sent {
+		return false
+	}
+	switch {
+	case a.Recv == nil && b.Recv == nil:
+		return true
+	case a.Recv == nil:
+		return b.Recv.Len() == 0
+	case b.Recv == nil:
+		return a.Recv.Len() == 0
+	default:
+		return a.Recv.Equal(b.Recv)
+	}
+}
+
+// Round records one synchronized round of an execution.
+type Round struct {
+	Number int
+	Views  map[ProcessID]View
+}
+
+// Senders returns the number of processes that broadcast in this round (the
+// c component of the transmission trace, Definition 4).
+func (r Round) Senders() int {
+	c := 0
+	for _, v := range r.Views {
+		if v.Sent != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// Decision records a process's consensus decision.
+type Decision struct {
+	Value Value
+	Round int
+}
+
+// Execution is a finite prefix of a formal execution (Definition 11): the
+// per-round views of every process, plus decision bookkeeping maintained by
+// the engine.
+type Execution struct {
+	Procs     []ProcessID
+	Rounds    []Round
+	Decisions map[ProcessID]Decision
+	Initial   map[ProcessID]Value // initial consensus values, for validity checks
+}
+
+// NewExecution returns an empty execution over the given sorted process set.
+func NewExecution(procs []ProcessID, initial map[ProcessID]Value) *Execution {
+	sorted := make([]ProcessID, len(procs))
+	copy(sorted, procs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	init := make(map[ProcessID]Value, len(initial))
+	for id, v := range initial {
+		init[id] = v
+	}
+	return &Execution{
+		Procs:     sorted,
+		Decisions: make(map[ProcessID]Decision, len(procs)),
+		Initial:   init,
+	}
+}
+
+// NumRounds returns the number of recorded rounds.
+func (e *Execution) NumRounds() int { return len(e.Rounds) }
+
+// View returns process id's view of round r (1-based). ok is false if the
+// round is out of range or the process unknown.
+func (e *Execution) View(id ProcessID, r int) (View, bool) {
+	if r < 1 || r > len(e.Rounds) {
+		return View{}, false
+	}
+	v, ok := e.Rounds[r-1].Views[id]
+	return v, ok
+}
+
+// TransmissionTrace derives the unique transmission trace (Definition 4) of
+// the recorded prefix: per round, the broadcaster count c and the number of
+// messages each process received.
+func (e *Execution) TransmissionTrace() TransmissionTrace {
+	tt := make(TransmissionTrace, 0, len(e.Rounds))
+	for _, rd := range e.Rounds {
+		rt := RoundTransmission{Received: make(map[ProcessID]int, len(rd.Views))}
+		for id, v := range rd.Views {
+			if v.Sent != nil {
+				rt.Senders++
+			}
+			rt.Received[id] = v.Recv.Len()
+		}
+		tt = append(tt, rt)
+	}
+	return tt
+}
+
+// CDTrace derives the collision-advice trace (Definition 5).
+func (e *Execution) CDTrace() CDTrace {
+	out := make(CDTrace, 0, len(e.Rounds))
+	for _, rd := range e.Rounds {
+		m := make(map[ProcessID]CDAdvice, len(rd.Views))
+		for id, v := range rd.Views {
+			m[id] = v.CD
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// CMTrace derives the contention-advice trace (Definition 7).
+func (e *Execution) CMTrace() CMTrace {
+	out := make(CMTrace, 0, len(e.Rounds))
+	for _, rd := range e.Rounds {
+		m := make(map[ProcessID]CMAdvice, len(rd.Views))
+		for id, v := range rd.Views {
+			m[id] = v.CM
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// IndistinguishableTo reports whether e and other are indistinguishable with
+// respect to process id through round r (Definition 12): same views in both
+// executions for rounds 1..r. Both executions must contain the process and
+// at least r rounds.
+func (e *Execution) IndistinguishableTo(other *Execution, id ProcessID, r int) bool {
+	if r > len(e.Rounds) || r > len(other.Rounds) {
+		return false
+	}
+	for k := 1; k <= r; k++ {
+		va, ok1 := e.View(id, k)
+		vb, ok2 := other.View(id, k)
+		if !ok1 || !ok2 || !EqualView(va, vb) {
+			return false
+		}
+	}
+	return true
+}
+
+// DecidedValues returns the set of distinct decided values.
+func (e *Execution) DecidedValues() []Value {
+	seen := make(map[Value]struct{})
+	for _, d := range e.Decisions {
+		seen[d.Value] = struct{}{}
+	}
+	out := make([]Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LastDecisionRound returns the latest round at which any process decided,
+// or 0 if none decided.
+func (e *Execution) LastDecisionRound() int {
+	last := 0
+	for _, d := range e.Decisions {
+		if d.Round > last {
+			last = d.Round
+		}
+	}
+	return last
+}
+
+// String renders a compact per-round table of the execution, useful in
+// failing tests and the consensus-sim CLI.
+func (e *Execution) String() string {
+	var b strings.Builder
+	for _, rd := range e.Rounds {
+		fmt.Fprintf(&b, "r%-3d", rd.Number)
+		for _, id := range e.Procs {
+			v := rd.Views[id]
+			sent := "-"
+			if v.Sent != nil {
+				sent = v.Sent.String()
+			}
+			if v.Crashed {
+				fmt.Fprintf(&b, "  p%d: CRASHED", id)
+				continue
+			}
+			fmt.Fprintf(&b, "  p%d: tx=%s rx=%d cd=%s cm=%s", id, sent, v.Recv.Len(), v.CD, v.CM)
+		}
+		b.WriteByte('\n')
+	}
+	for _, id := range e.Procs {
+		if d, ok := e.Decisions[id]; ok {
+			fmt.Fprintf(&b, "p%d decided %d at round %d\n", id, uint64(d.Value), d.Round)
+		}
+	}
+	return b.String()
+}
+
+// RoundTransmission is one element of a transmission trace (Definition 4):
+// c broadcasters, and per-process receive counts T.
+type RoundTransmission struct {
+	Senders  int
+	Received map[ProcessID]int
+}
+
+// TransmissionTrace is the per-round transmission trace of an execution
+// prefix, indexed by round-1.
+type TransmissionTrace []RoundTransmission
+
+// CDTrace is the per-round collision detector advice (Definition 5),
+// indexed by round-1.
+type CDTrace []map[ProcessID]CDAdvice
+
+// CMTrace is the per-round contention manager advice (Definition 7),
+// indexed by round-1.
+type CMTrace []map[ProcessID]CMAdvice
+
+// BroadcastCountSymbol is one symbol of the basic broadcast count sequence
+// of Definition 22: 0, 1, or 2+ broadcasters in a round.
+type BroadcastCountSymbol uint8
+
+// Broadcast count symbols.
+const (
+	CountZero BroadcastCountSymbol = iota
+	CountOne
+	CountTwoPlus
+)
+
+// String renders the symbol using the paper's notation.
+func (s BroadcastCountSymbol) String() string {
+	switch s {
+	case CountZero:
+		return "0"
+	case CountOne:
+		return "1"
+	case CountTwoPlus:
+		return "2+"
+	default:
+		return "?"
+	}
+}
+
+// BroadcastCountSequence returns the basic broadcast count sequence
+// (Definition 22) of the recorded prefix.
+func (e *Execution) BroadcastCountSequence() []BroadcastCountSymbol {
+	out := make([]BroadcastCountSymbol, 0, len(e.Rounds))
+	for _, rd := range e.Rounds {
+		switch c := rd.Senders(); {
+		case c == 0:
+			out = append(out, CountZero)
+		case c == 1:
+			out = append(out, CountOne)
+		default:
+			out = append(out, CountTwoPlus)
+		}
+	}
+	return out
+}
+
+// SameBroadcastCountPrefix reports whether two symbol sequences agree on
+// their first k symbols (both must have at least k symbols).
+func SameBroadcastCountPrefix(a, b []BroadcastCountSymbol, k int) bool {
+	if len(a) < k || len(b) < k {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

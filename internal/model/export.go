@@ -1,0 +1,122 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// exportMessage is the JSON form of a broadcast message.
+type exportMessage struct {
+	Kind  string `json:"kind"`
+	Value uint64 `json:"value,omitempty"`
+}
+
+// exportView is the JSON form of one process's view of one round.
+type exportView struct {
+	Process  int             `json:"process"`
+	Sent     *exportMessage  `json:"sent,omitempty"`
+	Received []exportMessage `json:"received,omitempty"`
+	CD       string          `json:"cd"`
+	CM       string          `json:"cm"`
+	Crashed  bool            `json:"crashed,omitempty"`
+}
+
+// exportRound is the JSON form of one round.
+type exportRound struct {
+	Round int          `json:"round"`
+	Views []exportView `json:"views"`
+}
+
+// exportDecision is the JSON form of a decision record.
+type exportDecision struct {
+	Process int    `json:"process"`
+	Value   uint64 `json:"value"`
+	Round   int    `json:"round"`
+}
+
+// exportExecution is the JSON form of a recorded execution.
+type exportExecution struct {
+	Processes []int             `json:"processes"`
+	Initial   map[string]uint64 `json:"initial,omitempty"`
+	Rounds    []exportRound     `json:"rounds"`
+	Decisions []exportDecision  `json:"decisions,omitempty"`
+}
+
+// WriteJSON serializes the execution as indented JSON for offline analysis
+// and trace interchange. The format is stable: processes and rounds appear
+// in ascending order, received messages sorted by their rendered form.
+func (e *Execution) WriteJSON(w io.Writer) error {
+	out := exportExecution{Initial: make(map[string]uint64, len(e.Initial))}
+	for _, id := range e.Procs {
+		out.Processes = append(out.Processes, int(id))
+	}
+	for id, v := range e.Initial {
+		out.Initial[fmt.Sprint(int(id))] = uint64(v)
+	}
+	for _, rd := range e.Rounds {
+		er := exportRound{Round: rd.Number}
+		for _, id := range e.Procs {
+			v := rd.Views[id]
+			ev := exportView{
+				Process: int(id),
+				CD:      cdName(v.CD),
+				CM:      cmName(v.CM),
+				Crashed: v.Crashed,
+			}
+			if v.Sent != nil {
+				ev.Sent = &exportMessage{Kind: v.Sent.Kind.String(), Value: uint64(v.Sent.Value)}
+			}
+			if v.Recv != nil {
+				v.Recv.Range(func(m Message, count int) bool {
+					for i := 0; i < count; i++ {
+						ev.Received = append(ev.Received, exportMessage{
+							Kind: m.Kind.String(), Value: uint64(m.Value),
+						})
+					}
+					return true
+				})
+				sort.Slice(ev.Received, func(i, j int) bool {
+					if ev.Received[i].Kind != ev.Received[j].Kind {
+						return ev.Received[i].Kind < ev.Received[j].Kind
+					}
+					return ev.Received[i].Value < ev.Received[j].Value
+				})
+			}
+			er.Views = append(er.Views, ev)
+		}
+		out.Rounds = append(out.Rounds, er)
+	}
+	decided := make([]ProcessID, 0, len(e.Decisions))
+	for id := range e.Decisions {
+		decided = append(decided, id)
+	}
+	sort.Slice(decided, func(i, j int) bool { return decided[i] < decided[j] })
+	for _, id := range decided {
+		d := e.Decisions[id]
+		out.Decisions = append(out.Decisions, exportDecision{
+			Process: int(id), Value: uint64(d.Value), Round: d.Round,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// cdName renders collision advice for export ("null" / "collision"; the ±
+// glyph is kept out of the interchange format).
+func cdName(a CDAdvice) string {
+	if a == CDCollision {
+		return "collision"
+	}
+	return "null"
+}
+
+// cmName renders contention advice for export.
+func cmName(a CMAdvice) string {
+	if a == CMActive {
+		return "active"
+	}
+	return "passive"
+}

@@ -1,0 +1,306 @@
+package model
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/multiset"
+)
+
+func est(v Value) *Message { return &Message{Kind: KindEstimate, Value: v} }
+func recvOf(ms ...Message) *RecvSet {
+	return multiset.Of(ms...)
+}
+
+func TestMessageString(t *testing.T) {
+	tests := []struct {
+		give Message
+		want string
+	}{
+		{Message{Kind: KindEstimate, Value: 7}, "est(7)"},
+		{Message{Kind: KindVeto}, "veto"},
+		{Message{Kind: KindVote}, "vote"},
+		{Message{Kind: KindLeaderValue, Value: 3}, "leaderval(3)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestAdviceStrings(t *testing.T) {
+	if CDNull.String() != "null" || CDCollision.String() != "±" {
+		t.Error("CDAdvice strings wrong")
+	}
+	if CMActive.String() != "active" || CMPassive.String() != "passive" {
+		t.Error("CMAdvice strings wrong")
+	}
+}
+
+func TestScheduleBeforeSend(t *testing.T) {
+	s := Schedule{1: {Round: 3, Time: CrashBeforeSend}}
+	if s.CrashedForSend(1, 2) || s.CrashedForDeliver(1, 2) {
+		t.Error("crashed too early")
+	}
+	if !s.CrashedForSend(1, 3) {
+		t.Error("BeforeSend crash must cover the send phase of its round")
+	}
+	if !s.CrashedForDeliver(1, 3) || !s.CrashedForSend(1, 4) {
+		t.Error("crash must be permanent")
+	}
+	if s.CrashedForSend(2, 100) {
+		t.Error("unscheduled process must never crash")
+	}
+}
+
+func TestScheduleAfterSend(t *testing.T) {
+	s := Schedule{5: {Round: 2, Time: CrashAfterSend}}
+	if s.CrashedForSend(5, 2) {
+		t.Error("AfterSend crash must allow the send phase of its round")
+	}
+	if !s.CrashedForDeliver(5, 2) {
+		t.Error("AfterSend crash must cover the deliver phase of its round")
+	}
+	if !s.CrashedForSend(5, 3) {
+		t.Error("crash must be permanent")
+	}
+}
+
+func TestScheduleLastCrashRound(t *testing.T) {
+	if (Schedule{}).LastCrashRound() != 0 {
+		t.Error("empty schedule must report round 0")
+	}
+	s := Schedule{1: {Round: 4}, 2: {Round: 9}, 3: {Round: 2}}
+	if got := s.LastCrashRound(); got != 9 {
+		t.Errorf("LastCrashRound = %d, want 9", got)
+	}
+}
+
+func TestEqualView(t *testing.T) {
+	base := View{Sent: est(1), Recv: recvOf(*est(1)), CD: CDNull, CM: CMActive}
+	same := View{Sent: est(1), Recv: recvOf(*est(1)), CD: CDNull, CM: CMActive}
+	if !EqualView(base, same) {
+		t.Fatal("identical views must be equal")
+	}
+	tests := []struct {
+		name string
+		give View
+	}{
+		{"different sent", View{Sent: est(2), Recv: recvOf(*est(1)), CD: CDNull, CM: CMActive}},
+		{"nil sent", View{Recv: recvOf(*est(1)), CD: CDNull, CM: CMActive}},
+		{"different recv", View{Sent: est(1), Recv: recvOf(*est(1), *est(2)), CD: CDNull, CM: CMActive}},
+		{"different cd", View{Sent: est(1), Recv: recvOf(*est(1)), CD: CDCollision, CM: CMActive}},
+		{"different cm", View{Sent: est(1), Recv: recvOf(*est(1)), CD: CDNull, CM: CMPassive}},
+		{"crashed", View{Sent: est(1), Recv: recvOf(*est(1)), CD: CDNull, CM: CMActive, Crashed: true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if EqualView(base, tt.give) {
+				t.Error("views must differ")
+			}
+		})
+	}
+}
+
+func TestEqualViewEmptyRecvForms(t *testing.T) {
+	a := View{Recv: multiset.New[Message](), CD: CDNull, CM: CMPassive}
+	b := View{Recv: nil, CD: CDNull, CM: CMPassive}
+	if !EqualView(a, b) {
+		t.Error("nil recv and empty recv must compare equal")
+	}
+}
+
+// buildExec constructs a 2-process execution where process 1 broadcasts est(v1)
+// in round 1 and both receive it.
+func buildExec(v1 Value, rounds int) *Execution {
+	e := NewExecution([]ProcessID{1, 2}, map[ProcessID]Value{1: v1, 2: v1 + 1})
+	for r := 1; r <= rounds; r++ {
+		msg := est(v1)
+		e.Rounds = append(e.Rounds, Round{
+			Number: r,
+			Views: map[ProcessID]View{
+				1: {Sent: msg, Recv: recvOf(*msg), CD: CDNull, CM: CMActive},
+				2: {Recv: recvOf(*msg), CD: CDNull, CM: CMPassive},
+			},
+		})
+	}
+	return e
+}
+
+func TestExecutionTraces(t *testing.T) {
+	e := buildExec(5, 3)
+	tt := e.TransmissionTrace()
+	if len(tt) != 3 {
+		t.Fatalf("trace length = %d, want 3", len(tt))
+	}
+	for r, rt := range tt {
+		if rt.Senders != 1 {
+			t.Errorf("round %d senders = %d, want 1", r+1, rt.Senders)
+		}
+		if rt.Received[1] != 1 || rt.Received[2] != 1 {
+			t.Errorf("round %d receive counts wrong: %v", r+1, rt.Received)
+		}
+	}
+	cdt := e.CDTrace()
+	if cdt[0][1] != CDNull || cdt[0][2] != CDNull {
+		t.Error("CD trace wrong")
+	}
+	cmt := e.CMTrace()
+	if cmt[0][1] != CMActive || cmt[0][2] != CMPassive {
+		t.Error("CM trace wrong")
+	}
+}
+
+func TestBroadcastCountSequence(t *testing.T) {
+	e := NewExecution([]ProcessID{1, 2}, nil)
+	m := est(1)
+	e.Rounds = append(e.Rounds,
+		Round{Number: 1, Views: map[ProcessID]View{
+			1: {Recv: multiset.New[Message]()}, 2: {Recv: multiset.New[Message]()}}},
+		Round{Number: 2, Views: map[ProcessID]View{
+			1: {Sent: m, Recv: recvOf(*m)}, 2: {Recv: multiset.New[Message]()}}},
+		Round{Number: 3, Views: map[ProcessID]View{
+			1: {Sent: m, Recv: recvOf(*m)}, 2: {Sent: m, Recv: recvOf(*m)}}},
+	)
+	got := e.BroadcastCountSequence()
+	want := []BroadcastCountSymbol{CountZero, CountOne, CountTwoPlus}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("symbol %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if !SameBroadcastCountPrefix(got, want, 3) {
+		t.Error("identical sequences must share their prefix")
+	}
+	if SameBroadcastCountPrefix(got, want[:2], 3) {
+		t.Error("prefix check must fail when a sequence is too short")
+	}
+}
+
+func TestIndistinguishability(t *testing.T) {
+	a := buildExec(5, 4)
+	b := buildExec(5, 4)
+	if !a.IndistinguishableTo(b, 1, 4) || !a.IndistinguishableTo(b, 2, 4) {
+		t.Fatal("identical executions must be indistinguishable")
+	}
+	c := buildExec(6, 4)
+	if a.IndistinguishableTo(c, 2, 1) {
+		t.Fatal("different broadcast values must be distinguishable")
+	}
+	if a.IndistinguishableTo(b, 1, 5) {
+		t.Fatal("indistinguishability beyond recorded rounds must be false")
+	}
+}
+
+func TestValidateAcceptsLegalExecution(t *testing.T) {
+	if err := buildExec(5, 3).Validate(); err != nil {
+		t.Fatalf("legal execution rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsIntegrityViolation(t *testing.T) {
+	e := buildExec(5, 1)
+	// Process 2 receives a message nobody sent.
+	ghost := est(99)
+	v := e.Rounds[0].Views[2]
+	v.Recv = recvOf(*ghost)
+	e.Rounds[0].Views[2] = v
+	err := e.Validate()
+	if err == nil {
+		t.Fatal("integrity violation accepted")
+	}
+	var verr *ValidationError
+	if !asValidation(err, &verr) || verr.Constraint != "integrity" {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestValidateRejectsSelfDeliveryViolation(t *testing.T) {
+	e := buildExec(5, 1)
+	v := e.Rounds[0].Views[1]
+	v.Recv = multiset.New[Message]() // broadcaster lost its own message
+	e.Rounds[0].Views[1] = v
+	err := e.Validate()
+	if err == nil {
+		t.Fatal("self-delivery violation accepted")
+	}
+	var verr *ValidationError
+	if !asValidation(err, &verr) || verr.Constraint != "self-delivery" {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestValidateRejectsResurrection(t *testing.T) {
+	e := buildExec(5, 2)
+	v := e.Rounds[0].Views[2]
+	v.Crashed = true
+	v.Sent = nil
+	e.Rounds[0].Views[2] = v
+	err := e.Validate()
+	if err == nil {
+		t.Fatal("resurrected process accepted")
+	}
+	var verr *ValidationError
+	if !asValidation(err, &verr) || verr.Constraint != "fail-state" {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestValidateRejectsCrashedBroadcaster(t *testing.T) {
+	e := buildExec(5, 1)
+	v := e.Rounds[0].Views[1]
+	v.Crashed = true // still has Sent set
+	e.Rounds[0].Views[1] = v
+	if err := e.Validate(); err == nil {
+		t.Fatal("crashed broadcaster accepted")
+	}
+}
+
+func TestSatisfiesECF(t *testing.T) {
+	e := buildExec(5, 3)
+	if !e.SatisfiesECFFrom(1) {
+		t.Fatal("lossless single-sender execution must satisfy ECF from round 1")
+	}
+	// Make round 2 a lone broadcast that process 2 loses.
+	v := e.Rounds[1].Views[2]
+	v.Recv = multiset.New[Message]()
+	e.Rounds[1].Views[2] = v
+	if e.SatisfiesECFFrom(1) {
+		t.Fatal("lost lone broadcast must violate ECF from round 1")
+	}
+	if !e.SatisfiesECFFrom(3) {
+		t.Fatal("ECF from round 3 must hold: the violation is at round 2")
+	}
+}
+
+func TestDecisionBookkeeping(t *testing.T) {
+	e := buildExec(5, 1)
+	e.Decisions[1] = Decision{Value: 5, Round: 3}
+	e.Decisions[2] = Decision{Value: 5, Round: 4}
+	vals := e.DecidedValues()
+	if len(vals) != 1 || vals[0] != 5 {
+		t.Fatalf("DecidedValues = %v, want [5]", vals)
+	}
+	if e.LastDecisionRound() != 4 {
+		t.Fatalf("LastDecisionRound = %d, want 4", e.LastDecisionRound())
+	}
+}
+
+func TestExecutionString(t *testing.T) {
+	e := buildExec(5, 1)
+	e.Decisions[1] = Decision{Value: 5, Round: 1}
+	s := e.String()
+	if s == "" {
+		t.Fatal("String must render something")
+	}
+}
+
+// asValidation is a tiny errors.As stand-in to avoid importing errors for a
+// concrete type we control.
+func asValidation(err error, out **ValidationError) bool {
+	v, ok := err.(*ValidationError)
+	if ok {
+		*out = v
+	}
+	return ok
+}

@@ -1,0 +1,99 @@
+package model
+
+import (
+	"fmt"
+
+	"adhocconsensus/internal/multiset"
+)
+
+// ValidationError describes a violation of the execution constraints of
+// Definition 11, identifying the round, process, and constraint violated.
+type ValidationError struct {
+	Round      int
+	Process    ProcessID
+	Constraint string
+	Detail     string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("execution invalid at round %d, process %d: %s: %s",
+		e.Round, e.Process, e.Constraint, e.Detail)
+}
+
+// Validate checks the recorded execution prefix against the structural
+// constraints of Definition 11 that are expressible over views alone:
+//
+//	(4) integrity/no-duplication: each receive set is a sub-multiset of the
+//	    multiset union of all messages broadcast that round;
+//	(5) self-delivery: a broadcaster always receives its own message;
+//	(f) fail-state permanence: a crashed process stays crashed and never
+//	    broadcasts again.
+//
+// Constraints 6 and 7 (collision detector and contention manager legality)
+// depend on the environment's detector class and manager property and are
+// checked by detector.CheckTraces and cm.CheckTrace respectively.
+func (e *Execution) Validate() error {
+	crashed := make(map[ProcessID]bool, len(e.Procs))
+	for _, rd := range e.Rounds {
+		// Multiset union of everything broadcast this round.
+		sent := multiset.New[Message]()
+		for _, v := range rd.Views {
+			if v.Sent != nil {
+				sent.Add(*v.Sent)
+			}
+		}
+		for _, id := range e.Procs {
+			v, ok := rd.Views[id]
+			if !ok {
+				return &ValidationError{rd.Number, id, "coverage", "no view recorded"}
+			}
+			if crashed[id] && !v.Crashed {
+				return &ValidationError{rd.Number, id, "fail-state", "crashed process resurrected"}
+			}
+			if v.Crashed {
+				crashed[id] = true
+				if v.Sent != nil {
+					return &ValidationError{rd.Number, id, "fail-state", "crashed process broadcast"}
+				}
+				continue
+			}
+			if !v.Recv.SubsetOf(sent) {
+				return &ValidationError{rd.Number, id, "integrity",
+					fmt.Sprintf("received %v not a sub-multiset of sent %v", v.Recv, sent)}
+			}
+			if v.Sent != nil && !v.Recv.Contains(*v.Sent) {
+				return &ValidationError{rd.Number, id, "self-delivery",
+					fmt.Sprintf("broadcaster of %v did not receive own message", *v.Sent)}
+			}
+		}
+	}
+	return nil
+}
+
+// SatisfiesECFFrom reports whether the recorded prefix is consistent with the
+// eventual collision freedom property (Property 1) holding from round rcf:
+// in every round r >= rcf with exactly one broadcaster, every non-crashed
+// process received that message.
+func (e *Execution) SatisfiesECFFrom(rcf int) bool {
+	for _, rd := range e.Rounds {
+		if rd.Number < rcf || rd.Senders() != 1 {
+			continue
+		}
+		var msg Message
+		for _, v := range rd.Views {
+			if v.Sent != nil {
+				msg = *v.Sent
+			}
+		}
+		for _, v := range rd.Views {
+			if v.Crashed {
+				continue
+			}
+			if !v.Recv.Contains(msg) {
+				return false
+			}
+		}
+	}
+	return true
+}

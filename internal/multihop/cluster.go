@@ -1,0 +1,137 @@
+package multihop
+
+import (
+	"fmt"
+
+	"adhocconsensus/internal/model"
+)
+
+// Cluster support: Kumar's §1.4 scheme made concrete. A grid deployment is
+// partitioned into cells; each cell is a single-hop clique, and a 4-color
+// TDMA schedule (cell colors alternate in both grid dimensions) guarantees
+// that simultaneously-active cells are at least one silent cell apart —
+// outside radio range — so each cell's slot rounds satisfy the single-hop
+// model's eventual collision freedom locally. Any single-hop consensus
+// automaton (Algorithm 1 or 2) then runs unchanged inside its cell, one
+// "virtual round" per slot.
+//
+// This realizes the paper's remark that a single-hop region "might be a
+// clique in the middle of a larger multi-hop network" whose ECF is provided
+// by higher-level coordination quieting the neighbors: here the TDMA
+// coloring IS that coordination.
+
+// CellOf maps a grid node (row-major over cols columns) to its cell
+// coordinates for cellW×cellH cells.
+func CellOf(node NodeID, cols, cellW, cellH int) (cellRow, cellCol int) {
+	row := int(node) / cols
+	col := int(node) % cols
+	return row / cellH, col / cellW
+}
+
+// CellColor returns the TDMA color (0..3) of a cell: parity in each
+// dimension. Same-color cells are separated by at least one full cell.
+func CellColor(cellRow, cellCol int) int {
+	return (cellRow%2)*2 + cellCol%2
+}
+
+// ClusterMember wraps a single-hop consensus automaton so it runs inside a
+// TDMA slot: the inner automaton sees one synchronized round per slot
+// round of its cell's color and is silent otherwise. The cluster's
+// contention manager is a wake-up service pinned to the cell leader.
+type ClusterMember struct {
+	inner    model.Automaton
+	color    int
+	slots    int
+	isLeader bool
+
+	localRound int
+	inSlot     bool
+}
+
+var _ Node = (*ClusterMember)(nil)
+
+// NewClusterMember wraps inner for a cell of the given color; leader marks
+// the cell's designated broadcaster (the wake-up service's stable choice).
+func NewClusterMember(inner model.Automaton, color, slots int, leader bool) *ClusterMember {
+	if slots < 1 {
+		slots = 1
+	}
+	return &ClusterMember{inner: inner, color: color % slots, slots: slots, isLeader: leader}
+}
+
+// Inner returns the wrapped automaton.
+func (m *ClusterMember) Inner() model.Automaton { return m.inner }
+
+// advice is the cluster-local contention advice.
+func (m *ClusterMember) advice() model.CMAdvice {
+	if m.isLeader {
+		return model.CMActive
+	}
+	return model.CMPassive
+}
+
+// Message implements Node.
+func (m *ClusterMember) Message(r int) *model.Message {
+	m.inSlot = (r-1)%m.slots == m.color
+	if !m.inSlot {
+		return nil
+	}
+	m.localRound++
+	return m.inner.Message(m.localRound, m.advice())
+}
+
+// Deliver implements Node. Off-slot input is discarded: whatever the
+// detector reports about OTHER cells' slots is irrelevant to the inner
+// single-hop execution.
+func (m *ClusterMember) Deliver(_ int, recv *model.RecvSet, cd model.CDAdvice) {
+	if !m.inSlot {
+		return
+	}
+	m.inner.Deliver(m.localRound, recv, cd, m.advice())
+}
+
+// ClusterPlan partitions a rows×cols grid (spacing 1) into cellW×cellH
+// cells and reports, per node, its cell index and TDMA color, plus the
+// leader of each cell (its minimum node).
+type ClusterPlan struct {
+	Rows, Cols   int
+	CellW, CellH int
+
+	CellIndex []int // per node
+	Color     []int // per node
+	Leader    []bool
+	NumCells  int
+}
+
+// PlanClusters validates the partition and computes the plan. The radius
+// requirement for the scheme (cell diagonal < radius < inter-cell same-
+// color distance) is the caller's to choose; NewGrid(rows, cols, 1, 1.5)
+// with 2×2 cells satisfies it.
+func PlanClusters(rows, cols, cellW, cellH int) (*ClusterPlan, error) {
+	if rows%cellH != 0 || cols%cellW != 0 {
+		return nil, fmt.Errorf("multihop: %dx%d grid does not tile with %dx%d cells", rows, cols, cellW, cellH)
+	}
+	n := rows * cols
+	plan := &ClusterPlan{
+		Rows: rows, Cols: cols, CellW: cellW, CellH: cellH,
+		CellIndex: make([]int, n),
+		Color:     make([]int, n),
+		Leader:    make([]bool, n),
+	}
+	cellCols := cols / cellW
+	minNode := make(map[int]int)
+	for id := 0; id < n; id++ {
+		cr, cc := CellOf(NodeID(id), cols, cellW, cellH)
+		idx := cr*cellCols + cc
+		plan.CellIndex[id] = idx
+		plan.Color[id] = CellColor(cr, cc)
+		if cur, ok := minNode[idx]; !ok || id < cur {
+			minNode[idx] = id
+		}
+	}
+	plan.NumCells = (rows / cellH) * (cols / cellW)
+	for _, leader := range minNode {
+		plan.Leader[leader] = true
+	}
+	return plan, nil
+}

@@ -1,0 +1,99 @@
+package multihop
+
+import (
+	"adhocconsensus/internal/model"
+)
+
+// Flooder is a reliable-broadcast node: the source injects a payload and
+// every informed node relays it. Contention is managed by slotting (a node
+// relays only in rounds congruent to its slot), and the collision detector
+// supplies the liveness feedback the paper advocates: an informed node
+// keeps relaying until it observes a provably-quiet neighborhood AFTER its
+// own relays — i.e. until nobody around it is still asking or telling —
+// while an uninformed node that hears noise (a collision notification
+// without a message) knows the payload is nearby and keeps listening.
+//
+// The slotted relay needs no topology knowledge beyond the slot count; the
+// trade-off between slot count (contention) and rounds (latency) is the
+// multihop benchmark's sweep axis.
+type Flooder struct {
+	slot     int // this node's relay slot in [0, slots)
+	slots    int
+	payload  *model.Value
+	relays   int // remaining relay attempts
+	maxRelay int
+	quiet    int // consecutive provably-quiet rounds observed
+}
+
+var _ Node = (*Flooder)(nil)
+
+// NewFlooder returns a flooding node. Slot assignment may be arbitrary
+// (e.g. id mod slots); distinct slots among mutual neighbors reduce
+// collisions but any assignment is safe.
+func NewFlooder(slot, slots, maxRelay int) *Flooder {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxRelay < 1 {
+		maxRelay = 1
+	}
+	return &Flooder{slot: slot % slots, slots: slots, maxRelay: maxRelay}
+}
+
+// Inject seeds the payload at the source node before round 1.
+func (f *Flooder) Inject(v model.Value) {
+	f.payload = &v
+	f.relays = f.maxRelay
+}
+
+// Informed reports whether the node holds the payload.
+func (f *Flooder) Informed() bool { return f.payload != nil }
+
+// Payload returns the delivered payload; valid when Informed.
+func (f *Flooder) Payload() model.Value {
+	if f.payload == nil {
+		return 0
+	}
+	return *f.payload
+}
+
+// Message implements Node.
+func (f *Flooder) Message(r int) *model.Message {
+	if f.payload == nil || f.relays <= 0 {
+		return nil
+	}
+	if (r-1)%f.slots != f.slot {
+		return nil
+	}
+	f.relays--
+	return &model.Message{Kind: model.KindApp, Value: *f.payload}
+}
+
+// Deliver implements Node.
+func (f *Flooder) Deliver(_ int, recv *model.RecvSet, cd model.CDAdvice) {
+	if f.payload == nil {
+		recv.Range(func(m model.Message, _ int) bool {
+			if m.Kind == model.KindApp {
+				v := m.Value
+				f.payload = &v
+				f.relays = f.maxRelay
+				return false
+			}
+			return true
+		})
+		return
+	}
+	// Already informed: collision notifications mean neighbors are still
+	// talking (some of them possibly uninformed and being answered); a
+	// noisy neighborhood re-arms our relay budget so coverage cannot
+	// stall, which is exactly the role receiver-side collision detection
+	// plays in the paper's reliability argument.
+	if recv.Len() > 0 || cd == model.CDCollision {
+		f.quiet = 0
+		if f.relays <= 0 {
+			f.relays = 1
+		}
+		return
+	}
+	f.quiet++
+}

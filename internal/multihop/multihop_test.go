@@ -1,0 +1,243 @@
+package multihop
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/model"
+)
+
+func TestGridTopology(t *testing.T) {
+	topo, err := NewGrid(3, 4, 1.0, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Size() != 12 {
+		t.Fatalf("size = %d, want 12", topo.Size())
+	}
+	// Radius 1.1 on a unit grid: 4-connectivity. A corner has 2 neighbors,
+	// an inner node 4.
+	if got := len(topo.Neighbors(0)); got != 2 {
+		t.Fatalf("corner degree = %d, want 2", got)
+	}
+	if got := len(topo.Neighbors(5)); got != 4 {
+		t.Fatalf("inner degree = %d, want 4", got)
+	}
+	if !topo.Connected() {
+		t.Fatal("grid must be connected")
+	}
+	// Manhattan diameter of a 3x4 grid with 4-connectivity: (3-1)+(4-1)=5.
+	if got := topo.Diameter(); got != 5 {
+		t.Fatalf("diameter = %d, want 5", got)
+	}
+}
+
+func TestLineTopology(t *testing.T) {
+	topo, err := NewLine(6, 1.0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Eccentricity(0); got != 5 {
+		t.Fatalf("line eccentricity from end = %d, want 5", got)
+	}
+	dist := topo.Distances(0)
+	for i, d := range dist {
+		if d != i {
+			t.Fatalf("distance to node %d = %d, want %d", i, d, i)
+		}
+	}
+}
+
+func TestRandomTopologyDeterministic(t *testing.T) {
+	a, err := NewRandom(20, 10, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewRandom(20, 10, 3, 7)
+	for i := 0; i < a.Size(); i++ {
+		if len(a.Neighbors(NodeID(i))) != len(b.Neighbors(NodeID(i))) {
+			t.Fatal("random topology not deterministic under seed")
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := NewGrid(0, 3, 1, 1); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := NewRandom(0, 1, 1, 1); err == nil {
+		t.Fatal("empty random topology accepted")
+	}
+}
+
+func TestDisconnectedTopology(t *testing.T) {
+	// Two nodes too far apart.
+	topo, err := NewLine(2, 10.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Connected() {
+		t.Fatal("disconnected line reported connected")
+	}
+	if topo.Distances(0)[1] != -1 {
+		t.Fatal("unreachable distance must be -1")
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	topo, _ := NewLine(3, 1, 1.5)
+	if _, err := NewNetwork(topo, nil, detector.ZeroAC, 0, 1); err == nil {
+		t.Fatal("node count mismatch accepted")
+	}
+	nodes := make([]Node, 3)
+	for i := range nodes {
+		nodes[i] = NewFlooder(i, 3, 2)
+	}
+	if _, err := NewNetwork(topo, nodes, detector.ZeroAC, 1.0, 1); err == nil {
+		t.Fatal("loss probability 1 accepted")
+	}
+}
+
+// floodSetup builds a flooding network over the topology with the given
+// slot count and loss.
+func floodSetup(t *testing.T, topo *Topology, slots int, lossP float64, seed int64) (*Network, []*Flooder) {
+	t.Helper()
+	flooders := make([]*Flooder, topo.Size())
+	nodes := make([]Node, topo.Size())
+	for i := range nodes {
+		flooders[i] = NewFlooder(i, slots, 3)
+		nodes[i] = flooders[i]
+	}
+	net, err := NewNetwork(topo, nodes, detector.ZeroAC, lossP, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, flooders
+}
+
+func allInformed(flooders []*Flooder) func() bool {
+	return func() bool {
+		for _, f := range flooders {
+			if !f.Informed() {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// TestFloodLosslessLine: full coverage on a line, and never faster than the
+// source eccentricity (the Ω(D) distance bound).
+func TestFloodLosslessLine(t *testing.T) {
+	topo, _ := NewLine(10, 1, 1.5)
+	net, flooders := floodSetup(t, topo, 3, 0, 1)
+	flooders[0].Inject(42)
+	rounds, done := net.RunUntil(allInformed(flooders), 500)
+	if !done {
+		t.Fatal("flood did not cover the line")
+	}
+	if rounds < topo.Eccentricity(0) {
+		t.Fatalf("coverage in %d rounds beats the %d-hop distance bound", rounds, topo.Eccentricity(0))
+	}
+	for i, f := range flooders {
+		if f.Payload() != 42 {
+			t.Fatalf("node %d has payload %d", i, f.Payload())
+		}
+	}
+}
+
+// TestFloodGridUnderLoss: coverage survives 30% per-link loss thanks to
+// the collision-detector-driven re-arming.
+func TestFloodGridUnderLoss(t *testing.T) {
+	topo, _ := NewGrid(5, 5, 1, 1.1)
+	for _, seed := range []int64{1, 2, 3} {
+		net, flooders := floodSetup(t, topo, 4, 0.3, seed)
+		flooders[12].Inject(7) // center
+		_, done := net.RunUntil(allInformed(flooders), 2000)
+		if !done {
+			t.Fatalf("seed %d: flood did not cover the grid under loss", seed)
+		}
+	}
+}
+
+// TestFloodRandomTopology: coverage on a connected random deployment.
+func TestFloodRandomTopology(t *testing.T) {
+	topo, err := NewRandom(30, 10, 3.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Skip("random deployment disconnected; seed chosen for connectivity")
+	}
+	net, flooders := floodSetup(t, topo, 5, 0.2, 3)
+	flooders[0].Inject(99)
+	if _, done := net.RunUntil(allInformed(flooders), 3000); !done {
+		t.Fatal("flood did not cover the random topology")
+	}
+}
+
+// TestFloodScalesWithDiameter: rounds to coverage grow with line length —
+// the Ω(D) shape.
+func TestFloodScalesWithDiameter(t *testing.T) {
+	var prev int
+	for _, n := range []int{5, 10, 20} {
+		topo, _ := NewLine(n, 1, 1.5)
+		net, flooders := floodSetup(t, topo, 3, 0, 2)
+		flooders[0].Inject(1)
+		rounds, done := net.RunUntil(allInformed(flooders), 1000)
+		if !done {
+			t.Fatalf("n=%d: no coverage", n)
+		}
+		if rounds <= prev {
+			t.Fatalf("coverage rounds did not grow with diameter: %d then %d", prev, rounds)
+		}
+		prev = rounds
+	}
+}
+
+// TestFlooderSlotDiscipline: an informed node only ever broadcasts in its
+// slot.
+func TestFlooderSlotDiscipline(t *testing.T) {
+	f := NewFlooder(2, 4, 10)
+	f.Inject(5)
+	for r := 1; r <= 12; r++ {
+		m := f.Message(r)
+		inSlot := (r-1)%4 == 2
+		if (m != nil) != inSlot {
+			t.Fatalf("round %d: broadcast=%v, slot=%v", r, m != nil, inSlot)
+		}
+	}
+}
+
+// TestFlooderAdoptsFirstPayload: an uninformed node adopts a received
+// payload and starts relaying.
+func TestFlooderAdoptsFirstPayload(t *testing.T) {
+	f := NewFlooder(0, 1, 2)
+	recv := model.RecvSet{}
+	recv.Add(model.Message{Kind: model.KindApp, Value: 9})
+	f.Deliver(1, &recv, model.CDNull)
+	if !f.Informed() || f.Payload() != 9 {
+		t.Fatal("payload not adopted")
+	}
+	if f.Message(2) == nil {
+		t.Fatal("informed node must relay")
+	}
+}
+
+// TestFlooderRearmsOnNoise: a drained relay budget re-arms when the
+// neighborhood is noisy.
+func TestFlooderRearmsOnNoise(t *testing.T) {
+	f := NewFlooder(0, 1, 1)
+	f.Inject(3)
+	if f.Message(1) == nil {
+		t.Fatal("first relay missing")
+	}
+	if f.Message(2) != nil {
+		t.Fatal("budget not drained")
+	}
+	empty := model.RecvSet{}
+	f.Deliver(2, &empty, model.CDCollision)
+	if f.Message(3) == nil {
+		t.Fatal("collision advice must re-arm the relay")
+	}
+}

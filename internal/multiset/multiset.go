@@ -1,0 +1,225 @@
+// Package multiset implements the finite multisets of Section 2 of the
+// paper. Receive sets in the formal model (Definition 11, constraint 4) are
+// multisets over the message alphabet M: a process may receive several copies
+// of the same message in one round, and the integrity constraint is stated
+// as sub-multiset inclusion against the multiset union of all broadcasts.
+//
+// The implementation is generic over any comparable element type; the
+// simulator instantiates it with model.Message.
+package multiset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Multiset is a finite multiset over T. The zero value is an empty multiset
+// ready to use.
+type Multiset[T comparable] struct {
+	counts map[T]int
+	size   int
+}
+
+// New returns an empty multiset.
+func New[T comparable]() *Multiset[T] {
+	return &Multiset[T]{counts: make(map[T]int)}
+}
+
+// Of returns a multiset containing the given elements, with multiplicity.
+func Of[T comparable](elems ...T) *Multiset[T] {
+	m := New[T]()
+	for _, e := range elems {
+		m.Add(e)
+	}
+	return m
+}
+
+// FromSet returns MS(S): the multiset containing exactly one copy of each
+// element of the set S (Section 2).
+func FromSet[T comparable](set map[T]struct{}) *Multiset[T] {
+	m := New[T]()
+	for e := range set {
+		m.Add(e)
+	}
+	return m
+}
+
+func (m *Multiset[T]) init() {
+	if m.counts == nil {
+		m.counts = make(map[T]int)
+	}
+}
+
+// Add inserts one copy of e.
+func (m *Multiset[T]) Add(e T) {
+	m.init()
+	m.counts[e]++
+	m.size++
+}
+
+// AddN inserts n copies of e. n must be non-negative.
+func (m *Multiset[T]) AddN(e T, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("multiset: AddN with negative count %d", n))
+	}
+	if n == 0 {
+		return
+	}
+	m.init()
+	m.counts[e] += n
+	m.size += n
+}
+
+// Remove deletes one copy of e, reporting whether a copy was present.
+func (m *Multiset[T]) Remove(e T) bool {
+	if m.counts == nil || m.counts[e] == 0 {
+		return false
+	}
+	m.counts[e]--
+	if m.counts[e] == 0 {
+		delete(m.counts, e)
+	}
+	m.size--
+	return true
+}
+
+// Count returns the multiplicity of e.
+func (m *Multiset[T]) Count(e T) int {
+	if m == nil || m.counts == nil {
+		return 0
+	}
+	return m.counts[e]
+}
+
+// Contains reports whether at least one copy of e is present.
+func (m *Multiset[T]) Contains(e T) bool { return m.Count(e) > 0 }
+
+// Len returns |M|: the total number of element instances (Section 2).
+func (m *Multiset[T]) Len() int {
+	if m == nil {
+		return 0
+	}
+	return m.size
+}
+
+// Distinct returns the number of distinct elements.
+func (m *Multiset[T]) Distinct() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.counts)
+}
+
+// Set returns SET(M): the set of unique values appearing in M (Section 2).
+func (m *Multiset[T]) Set() map[T]struct{} {
+	out := make(map[T]struct{}, m.Distinct())
+	if m == nil {
+		return out
+	}
+	for e := range m.counts {
+		out[e] = struct{}{}
+	}
+	return out
+}
+
+// Elems returns all element instances with multiplicity, in unspecified
+// order. The returned slice is freshly allocated.
+func (m *Multiset[T]) Elems() []T {
+	if m == nil {
+		return nil
+	}
+	out := make([]T, 0, m.size)
+	for e, n := range m.counts {
+		for i := 0; i < n; i++ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Range calls fn for every distinct element with its multiplicity, stopping
+// early if fn returns false. Iteration order is unspecified.
+func (m *Multiset[T]) Range(fn func(e T, count int) bool) {
+	if m == nil {
+		return
+	}
+	for e, n := range m.counts {
+		if !fn(e, n) {
+			return
+		}
+	}
+}
+
+// SubsetOf reports M ⊆ other with multiplicity (Section 2): every element of
+// M appears in other at least as many times as it appears in M.
+func (m *Multiset[T]) SubsetOf(other *Multiset[T]) bool {
+	if m == nil {
+		return true
+	}
+	for e, n := range m.counts {
+		if other.Count(e) < n {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two multisets contain exactly the same elements
+// with the same multiplicities.
+func (m *Multiset[T]) Equal(other *Multiset[T]) bool {
+	return m.Len() == other.Len() && m.SubsetOf(other)
+}
+
+// Union returns the multiset union M ⊎ other (Section 2): multiplicities add.
+func (m *Multiset[T]) Union(other *Multiset[T]) *Multiset[T] {
+	out := New[T]()
+	m.Range(func(e T, n int) bool { out.AddN(e, n); return true })
+	other.Range(func(e T, n int) bool { out.AddN(e, n); return true })
+	return out
+}
+
+// Intersect returns the multiset intersection: per-element minimum
+// multiplicity.
+func (m *Multiset[T]) Intersect(other *Multiset[T]) *Multiset[T] {
+	out := New[T]()
+	m.Range(func(e T, n int) bool {
+		if o := other.Count(e); o > 0 {
+			out.AddN(e, min(n, o))
+		}
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Multiset[T]) Clone() *Multiset[T] {
+	out := New[T]()
+	m.Range(func(e T, n int) bool { out.AddN(e, n); return true })
+	return out
+}
+
+// String renders the multiset as {e:count, ...} with elements ordered by
+// their formatted representation, for stable test output.
+func (m *Multiset[T]) String() string {
+	type pair struct {
+		repr  string
+		count int
+	}
+	pairs := make([]pair, 0, m.Distinct())
+	m.Range(func(e T, n int) bool {
+		pairs = append(pairs, pair{fmt.Sprint(e), n})
+		return true
+	})
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].repr < pairs[j].repr })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%d", p.repr, p.count)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

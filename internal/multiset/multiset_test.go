@@ -1,0 +1,284 @@
+package multiset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Multiset[int]
+	if m.Len() != 0 || m.Distinct() != 0 {
+		t.Fatalf("zero multiset not empty: len=%d distinct=%d", m.Len(), m.Distinct())
+	}
+	m.Add(7)
+	if m.Count(7) != 1 {
+		t.Fatalf("Count(7) = %d, want 1", m.Count(7))
+	}
+}
+
+func TestNilReceiverSafeReads(t *testing.T) {
+	var m *Multiset[string]
+	if m.Len() != 0 {
+		t.Errorf("nil.Len() = %d, want 0", m.Len())
+	}
+	if m.Count("x") != 0 {
+		t.Errorf("nil.Count = %d, want 0", m.Count("x"))
+	}
+	if m.Contains("x") {
+		t.Error("nil.Contains = true, want false")
+	}
+	if !m.SubsetOf(Of("a")) {
+		t.Error("nil multiset should be a subset of everything")
+	}
+	if got := m.Elems(); len(got) != 0 {
+		t.Errorf("nil.Elems() = %v, want empty", got)
+	}
+}
+
+func TestAddRemoveCount(t *testing.T) {
+	m := New[string]()
+	m.Add("a")
+	m.Add("a")
+	m.Add("b")
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	if m.Count("a") != 2 || m.Count("b") != 1 || m.Count("c") != 0 {
+		t.Fatalf("counts wrong: a=%d b=%d c=%d", m.Count("a"), m.Count("b"), m.Count("c"))
+	}
+	if !m.Remove("a") {
+		t.Fatal("Remove(a) = false, want true")
+	}
+	if m.Count("a") != 1 || m.Len() != 2 {
+		t.Fatalf("after remove: a=%d len=%d", m.Count("a"), m.Len())
+	}
+	if m.Remove("zzz") {
+		t.Fatal("Remove of absent element = true, want false")
+	}
+}
+
+func TestAddN(t *testing.T) {
+	m := New[int]()
+	m.AddN(5, 3)
+	m.AddN(5, 0)
+	if m.Count(5) != 3 || m.Len() != 3 {
+		t.Fatalf("AddN: count=%d len=%d, want 3/3", m.Count(5), m.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddN(-1) did not panic")
+		}
+	}()
+	m.AddN(5, -1)
+}
+
+func TestSetAndDistinct(t *testing.T) {
+	m := Of(1, 1, 2, 3, 3, 3)
+	set := m.Set()
+	if len(set) != 3 {
+		t.Fatalf("SET(M) has %d elements, want 3", len(set))
+	}
+	for _, want := range []int{1, 2, 3} {
+		if _, ok := set[want]; !ok {
+			t.Errorf("SET(M) missing %d", want)
+		}
+	}
+	if m.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3", m.Distinct())
+	}
+}
+
+func TestFromSet(t *testing.T) {
+	s := map[string]struct{}{"x": {}, "y": {}}
+	m := FromSet(s)
+	if m.Len() != 2 || m.Count("x") != 1 || m.Count("y") != 1 {
+		t.Fatalf("FromSet wrong: %v", m)
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b *Multiset[int]
+		want bool
+	}{
+		{name: "empty in empty", a: New[int](), b: New[int](), want: true},
+		{name: "empty in nonempty", a: New[int](), b: Of(1), want: true},
+		{name: "equal", a: Of(1, 2), b: Of(2, 1), want: true},
+		{name: "multiplicity respected", a: Of(1, 1), b: Of(1), want: false},
+		{name: "strict subset", a: Of(1), b: Of(1, 1, 2), want: true},
+		{name: "missing element", a: Of(3), b: Of(1, 2), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.SubsetOf(tt.b); got != tt.want {
+				t.Errorf("SubsetOf = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a := Of(1, 1, 2)
+	b := Of(1, 3)
+	u := a.Union(b)
+	if u.Count(1) != 3 || u.Count(2) != 1 || u.Count(3) != 1 || u.Len() != 5 {
+		t.Fatalf("union wrong: %v", u)
+	}
+	i := a.Intersect(b)
+	if i.Count(1) != 1 || i.Len() != 1 {
+		t.Fatalf("intersect wrong: %v", i)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Of("m1", "m2")
+	c := a.Clone()
+	c.Add("m3")
+	if a.Contains("m3") {
+		t.Fatal("Clone is not independent of original")
+	}
+	if !a.SubsetOf(c) {
+		t.Fatal("original should be subset of extended clone")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Of(1, 2, 2).Equal(Of(2, 1, 2)) {
+		t.Error("order must not matter for Equal")
+	}
+	if Of(1, 2).Equal(Of(1, 2, 2)) {
+		t.Error("different multiplicity must not be Equal")
+	}
+}
+
+func TestElemsRoundTrip(t *testing.T) {
+	m := Of(4, 4, 9)
+	got := m.Elems()
+	sort.Ints(got)
+	want := []int{4, 4, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Elems len=%d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	m := Of("b", "a", "a")
+	if got, want := m.String(), "{a:2, b:1}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// --- property-based tests (testing/quick) ---
+
+func fromElems(elems []uint8) *Multiset[uint8] {
+	m := New[uint8]()
+	for _, e := range elems {
+		m.Add(e)
+	}
+	return m
+}
+
+func TestQuickLenMatchesInput(t *testing.T) {
+	prop := func(elems []uint8) bool {
+		return fromElems(elems).Len() == len(elems)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSelfSubset(t *testing.T) {
+	prop := func(elems []uint8) bool {
+		m := fromElems(elems)
+		return m.SubsetOf(m) && m.Equal(m.Clone())
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	prop := func(a, b []uint8) bool {
+		ma, mb := fromElems(a), fromElems(b)
+		return ma.Union(mb).Equal(mb.Union(ma))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionLenAdds(t *testing.T) {
+	prop := func(a, b []uint8) bool {
+		return fromElems(a).Union(fromElems(b)).Len() == len(a)+len(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBothSubsetOfUnion(t *testing.T) {
+	prop := func(a, b []uint8) bool {
+		ma, mb := fromElems(a), fromElems(b)
+		u := ma.Union(mb)
+		return ma.SubsetOf(u) && mb.SubsetOf(u)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectSubsetOfBoth(t *testing.T) {
+	prop := func(a, b []uint8) bool {
+		ma, mb := fromElems(a), fromElems(b)
+		i := ma.Intersect(mb)
+		return i.SubsetOf(ma) && i.SubsetOf(mb)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetAntisymmetric(t *testing.T) {
+	prop := func(a, b []uint8) bool {
+		ma, mb := fromElems(a), fromElems(b)
+		if ma.SubsetOf(mb) && mb.SubsetOf(ma) {
+			return ma.Equal(mb)
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRemoveInverseOfAdd(t *testing.T) {
+	prop := func(elems []uint8, extra uint8) bool {
+		m := fromElems(elems)
+		before := m.Clone()
+		m.Add(extra)
+		if !m.Remove(extra) {
+			return false
+		}
+		return m.Equal(before)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetSizeIsDistinct(t *testing.T) {
+	prop := func(elems []uint8) bool {
+		m := fromElems(elems)
+		return len(m.Set()) == m.Distinct()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

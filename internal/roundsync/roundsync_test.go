@@ -1,0 +1,145 @@
+package roundsync
+
+import (
+	"testing"
+)
+
+// sensorNet is a realistic parameterization: 50 ppm crystal drift, beacons
+// every 10 s with 1 ms receive jitter (RBS-class), 100 ms rounds.
+func sensorNet() Config {
+	return Config{
+		Nodes:          8,
+		MaxDrift:       50e-6,
+		BeaconInterval: 10,
+		BeaconJitter:   1e-3,
+		RoundLength:    0.1,
+		Duration:       300,
+		Seed:           1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no nodes", func(c *Config) { c.Nodes = 0 }},
+		{"negative drift", func(c *Config) { c.MaxDrift = -1 }},
+		{"huge drift", func(c *Config) { c.MaxDrift = 0.7 }},
+		{"zero interval", func(c *Config) { c.BeaconInterval = 0 }},
+		{"zero round", func(c *Config) { c.RoundLength = 0 }},
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"negative jitter", func(c *Config) { c.BeaconJitter = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := sensorNet()
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+	if err := sensorNet().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestSkewBoundFormula(t *testing.T) {
+	c := sensorNet()
+	want := 2 * (50e-6*10 + 1e-3) // 3 ms
+	if got := c.SkewBound(); got != want {
+		t.Fatalf("SkewBound = %v, want %v", got, want)
+	}
+	if c.GuardBand() != want/2 {
+		t.Fatal("GuardBand must be half the skew bound")
+	}
+}
+
+// TestMeasuredSkewWithinBound: the realized skew never exceeds the
+// analytical bound, and round agreement holds outside guard bands.
+func TestMeasuredSkewWithinBound(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		c := sensorNet()
+		c.Seed = seed
+		rep, err := Simulate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MaxSkew > rep.SkewBound {
+			t.Fatalf("seed %d: skew %v exceeds bound %v", seed, rep.MaxSkew, rep.SkewBound)
+		}
+		if !rep.AgreementOutsideGuard {
+			t.Fatalf("seed %d: round disagreement outside the guard band", seed)
+		}
+		if rep.AgreementFraction < 0.95 {
+			t.Fatalf("seed %d: agreement fraction %v too low", seed, rep.AgreementFraction)
+		}
+	}
+}
+
+// TestSkewScalesWithDrift: 10x the drift must produce (roughly) 10x the
+// skew — the substrate degrades predictably.
+func TestSkewScalesWithDrift(t *testing.T) {
+	base := sensorNet()
+	base.BeaconJitter = 0
+	low, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := base
+	worse.MaxDrift = base.MaxDrift * 10
+	high, err := Simulate(worse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.MaxSkew < 4*low.MaxSkew {
+		t.Fatalf("skew did not scale with drift: %v vs %v", low.MaxSkew, high.MaxSkew)
+	}
+}
+
+// TestDeterministicUnderSeed: identical configs give identical reports.
+func TestDeterministicUnderSeed(t *testing.T) {
+	a, err := Simulate(sensorNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(sensorNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxSkew != b.MaxSkew || a.AgreementFraction != b.AgreementFraction {
+		t.Fatal("simulation not deterministic under seed")
+	}
+}
+
+// TestSingleNodeAlwaysAgrees: one node trivially agrees with itself.
+func TestSingleNodeAlwaysAgrees(t *testing.T) {
+	c := sensorNet()
+	c.Nodes = 1
+	rep, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AgreementFraction != 1 || rep.MaxSkew != 0 {
+		t.Fatalf("single node: skew=%v agreement=%v", rep.MaxSkew, rep.AgreementFraction)
+	}
+}
+
+// TestGPSGradeClocks: near-zero drift gives near-zero skew (the paper's GPS
+// discussion: good time sources make the substrate easy).
+func TestGPSGradeClocks(t *testing.T) {
+	c := sensorNet()
+	c.MaxDrift = 1e-9
+	c.BeaconJitter = 1e-6
+	rep, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxSkew > 1e-4 {
+		t.Fatalf("GPS-grade clocks skewed %v", rep.MaxSkew)
+	}
+	if rep.AgreementFraction < 0.999 {
+		t.Fatalf("GPS-grade agreement %v", rep.AgreementFraction)
+	}
+}

@@ -1,0 +1,247 @@
+// Package runtime executes the same formal systems as internal/engine but
+// with one goroutine per process, synchronized round by round over
+// channels: the synchronized-rounds model of the paper maps directly onto a
+// barrier-coordinated goroutine fleet, with each broadcast a fan-out over
+// per-process channels.
+//
+// The runtime is deterministic — given the same configuration (including
+// adversary and detector seeds) it produces an execution indistinguishable
+// from internal/engine's, which the equivalence tests verify. Use the
+// engine for tight experiment loops (no scheduling overhead) and the
+// runtime when composing with other concurrent components or demonstrating
+// the goroutines-as-processes mapping.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/multiset"
+)
+
+// request is one half-round of work sent to a process goroutine.
+type request struct {
+	round int
+	cm    model.CMAdvice
+
+	// deliver phase fields; nil recv distinguishes the message phase.
+	recv *model.RecvSet
+	cd   model.CDAdvice
+}
+
+// response is a process goroutine's reply.
+type response struct {
+	sent     *model.Message
+	decided  bool
+	decision model.Value
+	halted   bool
+}
+
+// worker owns one process automaton for the duration of a run.
+type worker struct {
+	id   model.ProcessID
+	auto model.Automaton
+	req  chan request
+	resp chan response
+}
+
+// serve runs the automaton until the request channel closes. All automaton
+// access happens on this goroutine; the coordinator only exchanges values
+// over the channels.
+func (w *worker) serve() {
+	for req := range w.req {
+		var out response
+		if req.recv == nil {
+			out.sent = w.auto.Message(req.round, req.cm)
+		} else {
+			w.auto.Deliver(req.round, req.recv, req.cd, req.cm)
+		}
+		if d, ok := w.auto.(model.Decider); ok {
+			out.decision, out.decided = d.Decided()
+			out.halted = d.Halted()
+		}
+		w.resp <- out
+	}
+}
+
+// Run executes the configured system with one goroutine per process and
+// returns the recorded execution. The configuration is interpreted exactly
+// as engine.Run interprets it.
+func Run(cfg engine.Config) (*engine.Result, error) {
+	if len(cfg.Procs) == 0 {
+		return nil, fmt.Errorf("runtime: no processes configured")
+	}
+	det := cfg.Detector
+	if det == nil {
+		det = detector.New(detector.AC)
+	}
+	manager := cfg.CM
+	if manager == nil {
+		manager = cm.NoCM{}
+	}
+	adversary := cfg.Loss
+	if adversary == nil {
+		adversary = loss.None{}
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = engine.DefaultMaxRounds
+	}
+
+	procs := make([]model.ProcessID, 0, len(cfg.Procs))
+	for id := range cfg.Procs {
+		procs = append(procs, id)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+
+	workers := make(map[model.ProcessID]*worker, len(procs))
+	var wg sync.WaitGroup
+	for _, id := range procs {
+		w := &worker{
+			id:   id,
+			auto: cfg.Procs[id],
+			req:  make(chan request),
+			resp: make(chan response),
+		}
+		workers[id] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.serve()
+		}()
+	}
+	defer func() {
+		for _, w := range workers {
+			close(w.req)
+		}
+		wg.Wait()
+	}()
+
+	exec := model.NewExecution(procs, cfg.Initial)
+	halted := make(map[model.ProcessID]bool, len(procs))
+	decided := make(map[model.ProcessID]bool, len(procs))
+
+	rounds := 0
+	for r := 1; r <= maxRounds; r++ {
+		rounds = r
+		aliveForCM := func(id model.ProcessID) bool {
+			return !cfg.Crashes.CrashedForSend(id, r) && !halted[id]
+		}
+		cmAdvice := manager.Advise(r, procs, aliveForCM)
+
+		// Message phase: fan out in parallel to all live workers, then
+		// collect. The collection order is fixed (sorted IDs), so the run
+		// is deterministic.
+		asked := make([]model.ProcessID, 0, len(procs))
+		for _, id := range procs {
+			if cfg.Crashes.CrashedForSend(id, r) || halted[id] {
+				continue
+			}
+			workers[id].req <- request{round: r, cm: cmAdvice[id]}
+			asked = append(asked, id)
+		}
+		sent := make(map[model.ProcessID]model.Message, len(asked))
+		for _, id := range asked {
+			if out := <-workers[id].resp; out.sent != nil {
+				sent[id] = *out.sent
+			}
+		}
+		senders := make([]model.ProcessID, 0, len(sent))
+		for id := range sent {
+			senders = append(senders, id)
+		}
+		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+
+		plan := adversary.Plan(r, senders, procs)
+
+		// Deliver phase.
+		views := make(map[model.ProcessID]model.View, len(procs))
+		delivered := make([]model.ProcessID, 0, len(procs))
+		for _, id := range procs {
+			if cfg.Crashes.CrashedForSend(id, r) {
+				views[id] = model.View{
+					Crashed: true,
+					Recv:    multiset.New[model.Message](),
+					CD:      det.Advise(r, id, len(senders), 0),
+					CM:      cmAdvice[id],
+				}
+				continue
+			}
+			recv := multiset.New[model.Message]()
+			for _, snd := range senders {
+				msg := sent[snd]
+				if snd == id || plan(id, snd) {
+					recv.Add(msg)
+				}
+			}
+			advice := det.Advise(r, id, len(senders), recv.Len())
+
+			var sentMsg *model.Message
+			if m, ok := sent[id]; ok {
+				m := m
+				sentMsg = &m
+			}
+			views[id] = model.View{Sent: sentMsg, Recv: recv, CD: advice, CM: cmAdvice[id]}
+
+			if cfg.Crashes.CrashedForDeliver(id, r) || halted[id] {
+				continue
+			}
+			workers[id].req <- request{round: r, cm: cmAdvice[id], recv: recv, cd: advice}
+			delivered = append(delivered, id)
+		}
+		allDone := true
+		for _, id := range delivered {
+			out := <-workers[id].resp
+			if out.decided && !decided[id] {
+				decided[id] = true
+				exec.Decisions[id] = model.Decision{Value: out.decision, Round: r}
+			}
+			if out.halted {
+				halted[id] = true
+			}
+		}
+		exec.Rounds = append(exec.Rounds, model.Round{Number: r, Views: views})
+
+		if obs, ok := manager.(cm.Observer); ok {
+			obs.Observe(r, len(senders))
+		}
+
+		for _, id := range procs {
+			if cfg.Crashes.CrashedForDeliver(id, r) {
+				continue
+			}
+			if _, isDecider := cfg.Procs[id].(model.Decider); !isDecider {
+				allDone = false
+				continue
+			}
+			if !decided[id] {
+				allDone = false
+			}
+		}
+		if allDone && !cfg.RunFullHorizon {
+			break
+		}
+	}
+
+	allDecided := true
+	for _, id := range procs {
+		if cfg.Crashes.CrashedForDeliver(id, rounds) {
+			continue
+		}
+		if !decided[id] {
+			allDecided = false
+		}
+	}
+	return &engine.Result{
+		Execution:  exec,
+		Rounds:     rounds,
+		Decisions:  exec.Decisions,
+		AllDecided: allDecided,
+	}, nil
+}

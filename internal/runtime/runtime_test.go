@@ -1,0 +1,181 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/core"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/valueset"
+)
+
+// rng returns a deterministic generator so that two factory calls with the
+// same seed build identically-behaving systems.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// configFactory builds a fresh, identically-seeded configuration on each
+// call: engine/runtime equivalence needs two independent but identical
+// systems, since automata and adversaries are stateful.
+type configFactory func() engine.Config
+
+func alg2Config(seed int64) configFactory {
+	return func() engine.Config {
+		d := valueset.MustDomain(64)
+		procs := map[model.ProcessID]model.Automaton{
+			1: core.NewAlg2(d, 10),
+			2: core.NewAlg2(d, 50),
+			3: core.NewAlg2(d, 31),
+			4: core.NewAlg2(d, 10),
+		}
+		return engine.Config{
+			Procs:   procs,
+			Initial: map[model.ProcessID]model.Value{1: 10, 2: 50, 3: 31, 4: 10},
+			Detector: detector.New(detector.ZeroOAC, detector.WithRace(9),
+				detector.WithBehavior(detector.Noisy{P: 0.3, Rng: rng(seed)})),
+			CM:        cm.WakeUp{Stable: 9},
+			Loss:      loss.ECF{Base: loss.NewProbabilistic(0.4, seed), From: 9},
+			MaxRounds: 300,
+		}
+	}
+}
+
+func alg3Config(seed int64) configFactory {
+	return func() engine.Config {
+		d := valueset.MustDomain(128)
+		procs := map[model.ProcessID]model.Automaton{
+			1: core.NewAlg3(d, 3),
+			2: core.NewAlg3(d, 99),
+			3: core.NewAlg3(d, 64),
+		}
+		return engine.Config{
+			Procs:     procs,
+			Initial:   map[model.ProcessID]model.Value{1: 3, 2: 99, 3: 64},
+			Detector:  detector.New(detector.ZeroAC),
+			Loss:      loss.NewCapture(0.4, 0.2, seed),
+			Crashes:   model.Schedule{1: {Round: 9, Time: model.CrashAfterSend}},
+			MaxRounds: 500,
+		}
+	}
+}
+
+func alg1Config(seed int64) configFactory {
+	return func() engine.Config {
+		procs := map[model.ProcessID]model.Automaton{
+			1: core.NewAlg1(7),
+			2: core.NewAlg1(3),
+			3: core.NewAlg1(5),
+		}
+		return engine.Config{
+			Procs:    procs,
+			Initial:  map[model.ProcessID]model.Value{1: 7, 2: 3, 3: 5},
+			Detector: detector.New(detector.MajOAC, detector.WithRace(6)),
+			CM:       cm.WakeUp{Stable: 6, Pre: cm.PreRandom(seed, 0.5)},
+			Loss:     loss.ECF{Base: loss.NewProbabilistic(0.3, seed), From: 6},
+		}
+	}
+}
+
+func TestRunRequiresProcesses(t *testing.T) {
+	if _, err := Run(engine.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+// TestEquivalenceWithEngine runs identical configurations through the
+// deterministic engine and the goroutine runtime and requires the recorded
+// executions to be indistinguishable to every process, with identical
+// decisions — the model maps onto goroutines/channels without behavioral
+// change.
+func TestEquivalenceWithEngine(t *testing.T) {
+	tests := []struct {
+		name    string
+		factory configFactory
+	}{
+		{"alg1 noisy", alg1Config(11)},
+		{"alg2 noisy", alg2Config(42)},
+		{"alg3 capture with crash", alg3Config(7)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			engRes, err := engine.Run(tt.factory())
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			rtRes, err := Run(tt.factory())
+			if err != nil {
+				t.Fatalf("runtime: %v", err)
+			}
+			if engRes.Rounds != rtRes.Rounds {
+				t.Fatalf("rounds differ: engine %d, runtime %d", engRes.Rounds, rtRes.Rounds)
+			}
+			for _, id := range engRes.Execution.Procs {
+				if !engRes.Execution.IndistinguishableTo(rtRes.Execution, id, engRes.Rounds) {
+					t.Fatalf("process %d distinguishes engine from runtime executions", id)
+				}
+			}
+			if len(engRes.Decisions) != len(rtRes.Decisions) {
+				t.Fatalf("decision counts differ: %d vs %d", len(engRes.Decisions), len(rtRes.Decisions))
+			}
+			for id, d := range engRes.Decisions {
+				rd, ok := rtRes.Decisions[id]
+				if !ok || rd != d {
+					t.Fatalf("process %d decisions differ: engine %v, runtime %v", id, d, rd)
+				}
+			}
+		})
+	}
+}
+
+// TestRuntimeSolvesConsensus is a direct correctness run on the runtime.
+func TestRuntimeSolvesConsensus(t *testing.T) {
+	res, err := Run(alg2Config(3)())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided {
+		t.Fatal("not all processes decided")
+	}
+	if err := engine.CheckAgreement(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.CheckStrongValidity(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Execution.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRuntimeFullHorizon checks the RunFullHorizon flag.
+func TestRuntimeFullHorizon(t *testing.T) {
+	cfg := alg1Config(2)()
+	cfg.MaxRounds = 25
+	cfg.RunFullHorizon = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 25 {
+		t.Fatalf("rounds = %d, want 25", res.Rounds)
+	}
+}
+
+// TestRuntimeCrashHandling checks crash bookkeeping matches the engine's.
+func TestRuntimeCrashHandling(t *testing.T) {
+	cfg := alg3Config(5)()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Execution.View(1, 10)
+	if !ok || !v.Crashed {
+		t.Fatal("crashed process view not marked")
+	}
+	if err := engine.CheckTermination(res, cfg.Crashes); err != nil {
+		t.Fatal(err)
+	}
+}

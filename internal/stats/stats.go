@@ -1,0 +1,149 @@
+// Package stats provides the small summary-statistics toolkit used by the
+// benchmark harness: means, percentiles, and fixed-width histograms over
+// round counts, with stable formatted output for the experiment tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary condenses a sample of observations (round counts, skews, ...).
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P95    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary. It returns the zero Summary for an empty
+// sample.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	varsum := 0.0
+	for _, v := range sorted {
+		varsum += (v - mean) * (v - mean)
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		Median: Percentile(sorted, 50),
+		P95:    Percentile(sorted, 95),
+		StdDev: math.Sqrt(varsum / float64(len(sorted))),
+	}
+}
+
+// SummarizeInts converts integer observations and summarizes them.
+func SummarizeInts(sample []int) Summary {
+	fs := make([]float64, len(sample))
+	for i, v := range sample {
+		fs[i] = float64(v)
+	}
+	return Summarize(fs)
+}
+
+// Percentile returns the p-th percentile (0..100) of an ASCENDING-sorted
+// sample using nearest-rank interpolation. It returns 0 for empty samples.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary in one line for experiment tables.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%.4g med=%.4g mean=%.4g p95=%.4g max=%.4g sd=%.3g",
+		s.N, s.Min, s.Median, s.Mean, s.P95, s.Max, s.StdDev)
+}
+
+// Histogram counts observations into fixed-width buckets over [lo, hi).
+// Observations outside the range clamp into the edge buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+}
+
+// NewHistogram creates a histogram with the given bucket count.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if buckets < 1 || hi <= lo {
+		return nil, fmt.Errorf("stats: invalid histogram [%v,%v) with %d buckets", lo, hi, buckets)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, buckets)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Buckets) {
+		idx = len(h.Buckets) - 1
+	}
+	h.Buckets[idx]++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int {
+	total := 0
+	for _, c := range h.Buckets {
+		total += c
+	}
+	return total
+}
+
+// String renders an ASCII bar chart, one bucket per line.
+func (h *Histogram) String() string {
+	maxCount := 0
+	for _, c := range h.Buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "[%8.3g,%8.3g) %6d %s\n",
+			h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

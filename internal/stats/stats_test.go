@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.String() != "n=0" {
+		t.Fatalf("empty summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("bounds wrong: %+v", s)
+	}
+	if s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("center wrong: %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{10, 20, 30})
+	if s.Mean != 20 || s.N != 3 {
+		t.Fatalf("SummarizeInts wrong: %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	if !strings.Contains(str, "n=3") || !strings.Contains(str, "med=2") {
+		t.Fatalf("String = %q", str)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1, 2.5, 9.9, -3, 15} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d, want 6", h.Total())
+	}
+	if h.Buckets[0] != 3 { // 0, 1, and clamped -3
+		t.Fatalf("bucket 0 = %d, want 3", h.Buckets[0])
+	}
+	if h.Buckets[4] != 2 { // 9.9 and clamped 15
+		t.Fatalf("bucket 4 = %d, want 2", h.Buckets[4])
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Fatal("histogram renders no bars")
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 0, 5); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+}
+
+// --- property-based tests ---
+
+func TestQuickSummaryBounds(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = float64(v)
+		}
+		s := Summarize(sample)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Median <= s.P95 && s.P95 <= s.Max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	prop := func(raw []uint16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = float64(v)
+		}
+		sort.Float64s(sample)
+		lo, hi := float64(p1%101), float64(p2%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Percentile(sample, lo) <= Percentile(sample, hi)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHistogramTotal(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		h, err := NewHistogram(0, 100, 10)
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		return h.Total() == len(raw)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,7 @@
+package adhocconsensus
+
+import "math/rand"
+
+// newRng returns a deterministic generator: every random component of a run
+// derives from Config.Seed, so runs are reproducible.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
