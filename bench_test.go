@@ -12,6 +12,7 @@ package adhocconsensus
 // (not just CPU time) are visible in benchstat diffs.
 
 import (
+	"fmt"
 	"testing"
 
 	"adhocconsensus/internal/core"
@@ -82,27 +83,48 @@ func BenchmarkM1MultihopFlood(b *testing.B) { benchTable(b, experiments.M1Multih
 // --- micro-benchmarks of the simulator and library ---
 
 // BenchmarkEngineRoundThroughput measures raw simulated rounds per second
-// in the deterministic engine (Algorithm 2, 8 processes, lossy channel).
+// in the deterministic engine (Algorithm 2, lossy channel) across network
+// sizes and trace modes. The decisions-only variants are the experiment
+// sweep hot path; the full variants price view recording. ReportAllocs
+// tracks the allocation budget per run (256 rounds), so allocs/op ÷ 256 is
+// the steady-state allocs/round.
 func BenchmarkEngineRoundThroughput(b *testing.B) {
-	benchRounds(b, false)
+	benchRoundMatrix(b, false, []int{8, 64, 256})
 }
 
 // BenchmarkRuntimeRoundThroughput is the goroutine runtime counterpart,
 // quantifying the cost of the channel barrier per round.
 func BenchmarkRuntimeRoundThroughput(b *testing.B) {
-	benchRounds(b, true)
+	benchRoundMatrix(b, true, []int{8})
 }
 
-func benchRounds(b *testing.B, goroutines bool) {
+func benchRoundMatrix(b *testing.B, goroutines bool, sizes []int) {
+	b.Helper()
+	for _, n := range sizes {
+		for _, tm := range []struct {
+			name string
+			mode engine.TraceMode
+		}{
+			{"decisions", engine.TraceDecisionsOnly},
+			{"full", engine.TraceFull},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, tm.name), func(b *testing.B) {
+				benchRounds(b, goroutines, n, tm.mode)
+			})
+		}
+	}
+}
+
+func benchRounds(b *testing.B, goroutines bool, n int, trace engine.TraceMode) {
 	b.Helper()
 	const roundsPerRun = 256
 	d := valueset.MustDomain(1 << 16)
 	b.ReportAllocs()
 	totalRounds := 0
 	for i := 0; i < b.N; i++ {
-		procs := make(map[model.ProcessID]model.Automaton, 8)
-		initial := make(map[model.ProcessID]model.Value, 8)
-		for p := 1; p <= 8; p++ {
+		procs := make(map[model.ProcessID]model.Automaton, n)
+		initial := make(map[model.ProcessID]model.Value, n)
+		for p := 1; p <= n; p++ {
 			procs[model.ProcessID(p)] = core.NewAlg2(d, model.Value(p*31))
 			initial[model.ProcessID(p)] = model.Value(p * 31)
 		}
@@ -113,6 +135,7 @@ func benchRounds(b *testing.B, goroutines bool) {
 			Loss:           loss.NewProbabilistic(0.3, int64(i)),
 			MaxRounds:      roundsPerRun,
 			RunFullHorizon: true,
+			Trace:          trace,
 		}
 		var (
 			res *engine.Result

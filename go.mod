@@ -1,0 +1,3 @@
+module adhocconsensus
+
+go 1.24

@@ -38,6 +38,16 @@ type Observer interface {
 	Observe(r int, broadcasters int)
 }
 
+// DenseAdviser is an optional fast path for Service implementations. The
+// engine's hot loop calls AdviseInto with a reusable out slice indexed like
+// procs (out[i] is the advice for procs[i]), avoiding the per-round advice
+// map of Advise. Implementations must write advice identical to what Advise
+// would return for the same inputs; the engine falls back to Advise for
+// managers that do not implement this interface.
+type DenseAdviser interface {
+	AdviseInto(r int, procs []model.ProcessID, alive func(model.ProcessID) bool, out []model.CMAdvice)
+}
+
 // advise is a helper building an advice map with the given active set.
 func advise(procs []model.ProcessID, active map[model.ProcessID]bool) map[model.ProcessID]model.CMAdvice {
 	out := make(map[model.ProcessID]model.CMAdvice, len(procs))
@@ -85,6 +95,13 @@ func (NoCM) Advise(_ int, procs []model.ProcessID, _ func(model.ProcessID) bool)
 		out[id] = model.CMActive
 	}
 	return out
+}
+
+// AdviseInto implements DenseAdviser.
+func (NoCM) AdviseInto(_ int, procs []model.ProcessID, _ func(model.ProcessID) bool, out []model.CMAdvice) {
+	for i := range procs {
+		out[i] = model.CMActive
+	}
 }
 
 // PreAdvice chooses the set of active processes for rounds before a
@@ -143,23 +160,52 @@ func (w WakeUp) Advise(r int, procs []model.ProcessID, alive func(model.ProcessI
 		}
 		return advise(procs, pre(r, procs))
 	}
-	var chosen model.ProcessID
-	if w.Rotate {
-		aliveProcs := make([]model.ProcessID, 0, len(procs))
-		for _, id := range procs {
-			if alive == nil || alive(id) {
-				aliveProcs = append(aliveProcs, id)
+	return advise(procs, map[model.ProcessID]bool{w.chosen(r, procs, alive): true})
+}
+
+// chosen picks the stabilized round-r active process.
+func (w WakeUp) chosen(r int, procs []model.ProcessID, alive func(model.ProcessID) bool) model.ProcessID {
+	if !w.Rotate {
+		return minAlive(procs, alive)
+	}
+	aliveProcs := make([]model.ProcessID, 0, len(procs))
+	for _, id := range procs {
+		if alive == nil || alive(id) {
+			aliveProcs = append(aliveProcs, id)
+		}
+	}
+	if len(aliveProcs) == 0 {
+		aliveProcs = procs
+	}
+	sort.Slice(aliveProcs, func(i, j int) bool { return aliveProcs[i] < aliveProcs[j] })
+	return aliveProcs[(r-w.Stable)%len(aliveProcs)]
+}
+
+// AdviseInto implements DenseAdviser.
+func (w WakeUp) AdviseInto(r int, procs []model.ProcessID, alive func(model.ProcessID) bool, out []model.CMAdvice) {
+	if r < w.Stable {
+		pre := w.Pre
+		if pre == nil {
+			pre = PreAllActive
+		}
+		active := pre(r, procs)
+		for i, id := range procs {
+			if active[id] {
+				out[i] = model.CMActive
+			} else {
+				out[i] = model.CMPassive
 			}
 		}
-		if len(aliveProcs) == 0 {
-			aliveProcs = procs
-		}
-		sort.Slice(aliveProcs, func(i, j int) bool { return aliveProcs[i] < aliveProcs[j] })
-		chosen = aliveProcs[(r-w.Stable)%len(aliveProcs)]
-	} else {
-		chosen = minAlive(procs, alive)
+		return
 	}
-	return advise(procs, map[model.ProcessID]bool{chosen: true})
+	c := w.chosen(r, procs, alive)
+	for i, id := range procs {
+		if id == c {
+			out[i] = model.CMActive
+		} else {
+			out[i] = model.CMPassive
+		}
+	}
 }
 
 // LeaderElection is a leader election service (Property 3): from round

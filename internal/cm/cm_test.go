@@ -271,3 +271,40 @@ func TestTraceErrorMessage(t *testing.T) {
 		t.Fatal("empty error message")
 	}
 }
+
+// TestDenseAdviceMatchesMapAdvice drives every DenseAdviser through both
+// entry points across rounds, alive sets, and pre-stabilization behaviors:
+// AdviseInto must write exactly what Advise returns.
+func TestDenseAdviceMatchesMapAdvice(t *testing.T) {
+	procs := []model.ProcessID{1, 3, 4, 7}
+	alives := map[string]func(model.ProcessID) bool{
+		"all alive": nil,
+		"1 crashed": func(id model.ProcessID) bool { return id != 1 },
+		"only 7":    func(id model.ProcessID) bool { return id == 7 },
+	}
+	services := map[string]Service{
+		"NoCM":            NoCM{},
+		"WakeUp":          WakeUp{Stable: 3},
+		"WakeUp rotate":   WakeUp{Stable: 3, Rotate: true},
+		"WakeUp pre-none": WakeUp{Stable: 5, Pre: PreNoneActive},
+	}
+	for sname, svc := range services {
+		dense, ok := svc.(DenseAdviser)
+		if !ok {
+			t.Fatalf("%s does not implement DenseAdviser", sname)
+		}
+		for aname, alive := range alives {
+			out := make([]model.CMAdvice, len(procs))
+			for r := 1; r <= 8; r++ {
+				want := svc.Advise(r, procs, alive)
+				dense.AdviseInto(r, procs, alive, out)
+				for i, id := range procs {
+					if out[i] != want[id] {
+						t.Fatalf("%s/%s round %d: AdviseInto[%d]=%v, Advise=%v",
+							sname, aname, r, id, out[i], want[id])
+					}
+				}
+			}
+		}
+	}
+}

@@ -9,11 +9,26 @@
 // adversary and detector seeds) always yields the same execution. The
 // companion package runtime runs the identical model with one goroutine per
 // process and is equivalence-tested against this engine.
+//
+// # Hot path
+//
+// The round loop is built for near-zero steady-state allocation: all
+// per-process state (crash schedule, contention advice, broadcasts, halted
+// and decided flags) lives in dense slices indexed by a sorted process
+// table built once per run, and receive multisets are drawn from a
+// sync.Pool and reset in place between rounds. With Config.Trace set to
+// TraceDecisionsOnly nothing is recorded per round, so the only remaining
+// allocations are the automata's own broadcast messages and whatever the
+// configured adversary allocates in Plan. TraceFull (the default) records
+// every view exactly as before; both modes produce identical decisions
+// because they drive the detector, manager, and adversary through identical
+// call sequences.
 package engine
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"adhocconsensus/internal/cm"
 	"adhocconsensus/internal/detector"
@@ -24,6 +39,22 @@ import (
 
 // DefaultMaxRounds bounds executions whose algorithms fail to terminate.
 const DefaultMaxRounds = 100000
+
+// TraceMode selects how much of the execution Run records.
+type TraceMode uint8
+
+const (
+	// TraceFull records every per-round view (Definition 11), enabling
+	// execution validation, trace legality checks, and indistinguishability
+	// arguments. The default.
+	TraceFull TraceMode = iota
+	// TraceDecisionsOnly records only decisions and round counts: the
+	// Result's Execution has Procs, Initial, and Decisions but no Rounds.
+	// Experiment sweeps that never inspect views run several times faster
+	// and nearly allocation-free in this mode. Decisions are byte-identical
+	// to a TraceFull run of the same configuration.
+	TraceDecisionsOnly
+)
 
 // Config assembles a runnable system.
 type Config struct {
@@ -47,11 +78,14 @@ type Config struct {
 	// has decided; used by lower-bound constructions that need fixed-length
 	// traces. Default false: stop once all live processes have decided.
 	RunFullHorizon bool
+	// Trace selects full view recording (default) or decisions-only.
+	Trace TraceMode
 }
 
 // Result reports the outcome of an execution.
 type Result struct {
-	// Execution is the full recorded execution prefix.
+	// Execution is the recorded execution prefix. Under TraceDecisionsOnly
+	// it carries decisions but no per-round views.
 	Execution *model.Execution
 	// Rounds is the number of rounds executed.
 	Rounds int
@@ -60,6 +94,62 @@ type Result struct {
 	// AllDecided reports whether every non-crashed process decided.
 	AllDecided bool
 }
+
+// runState holds every per-run buffer of the hot loop, so steady-state
+// rounds allocate only what the trace requires. All slices are indexed by
+// the process's position in the sorted procs table.
+type runState struct {
+	procs []model.ProcessID       // sorted process table
+	index map[model.ProcessID]int // id -> position in procs
+	autos []model.Automaton
+	dec   []model.Decider // nil where the automaton never decides
+	sched model.DenseSchedule
+
+	halted  []bool
+	decided []bool
+
+	cm         []model.CMAdvice  // this round's contention advice
+	sendOrd    []int             // procs[i]'s position in senders, -1 if silent
+	senders    []model.ProcessID // this round's broadcasters, sorted
+	senderMsgs []model.Message   // senders' messages, parallel to senders
+	recvs      []*model.RecvSet  // pooled receive sets (TraceDecisionsOnly)
+}
+
+// newRunState builds the sorted process-index table and the dense per-run
+// buffers.
+func newRunState(cfg *Config) *runState {
+	n := len(cfg.Procs)
+	st := &runState{
+		procs:      make([]model.ProcessID, 0, n),
+		index:      make(map[model.ProcessID]int, n),
+		autos:      make([]model.Automaton, n),
+		dec:        make([]model.Decider, n),
+		halted:     make([]bool, n),
+		decided:    make([]bool, n),
+		cm:         make([]model.CMAdvice, n),
+		sendOrd:    make([]int, n),
+		senders:    make([]model.ProcessID, 0, n),
+		senderMsgs: make([]model.Message, 0, n),
+	}
+	for id := range cfg.Procs {
+		st.procs = append(st.procs, id)
+	}
+	sort.Slice(st.procs, func(i, j int) bool { return st.procs[i] < st.procs[j] })
+	for i, id := range st.procs {
+		st.index[id] = i
+		st.autos[i] = cfg.Procs[id]
+		if d, ok := cfg.Procs[id].(model.Decider); ok {
+			st.dec[i] = d
+		}
+	}
+	st.sched = cfg.Crashes.Dense(st.procs)
+	return st
+}
+
+// recvPool recycles receive multisets across rounds and runs. Only
+// decisions-only runs use it: TraceFull receive sets are retained forever
+// by the recorded views.
+var recvPool = sync.Pool{New: func() any { return multiset.New[model.Message]() }}
 
 // Run executes the configured system and returns the recorded execution.
 func Run(cfg Config) (*Result, error) {
@@ -83,111 +173,143 @@ func Run(cfg Config) (*Result, error) {
 		maxRounds = DefaultMaxRounds
 	}
 
-	procs := make([]model.ProcessID, 0, len(cfg.Procs))
-	for id := range cfg.Procs {
-		procs = append(procs, id)
-	}
-	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	st := newRunState(&cfg)
+	denseCM, _ := manager.(cm.DenseAdviser)
+	observer, _ := manager.(cm.Observer)
+	traceFull := cfg.Trace == TraceFull
 
-	exec := model.NewExecution(procs, cfg.Initial)
-	halted := make(map[model.ProcessID]bool, len(procs))
-	decided := make(map[model.ProcessID]bool, len(procs))
+	exec := model.NewExecution(st.procs, cfg.Initial)
+	if !traceFull {
+		st.recvs = make([]*model.RecvSet, len(st.procs))
+		for i := range st.recvs {
+			st.recvs[i] = recvPool.Get().(*model.RecvSet)
+		}
+		defer func() {
+			for _, rs := range st.recvs {
+				rs.Reset()
+				recvPool.Put(rs)
+			}
+		}()
+	}
+
+	// A halted (decided) process no longer contends for the channel, so the
+	// contention manager treats it like a crashed one — a backoff
+	// implementation would observe the same thing. The closure reads the
+	// loop's round variable, so it is allocated once per run.
+	var r int
+	aliveForCM := func(id model.ProcessID) bool {
+		i := st.index[id]
+		return !st.sched.CrashedForSend(i, r) && !st.halted[i]
+	}
 
 	rounds := 0
-	for r := 1; r <= maxRounds; r++ {
+	for r = 1; r <= maxRounds; r++ {
 		rounds = r
-		// A halted (decided) process no longer contends for the channel, so
-		// the contention manager treats it like a crashed one — a backoff
-		// implementation would observe the same thing.
-		aliveForCM := func(id model.ProcessID) bool {
-			return !cfg.Crashes.CrashedForSend(id, r) && !halted[id]
+		if denseCM != nil {
+			denseCM.AdviseInto(r, st.procs, aliveForCM, st.cm)
+		} else {
+			advice := manager.Advise(r, st.procs, aliveForCM)
+			for i, id := range st.procs {
+				st.cm[i] = advice[id]
+			}
 		}
-		cmAdvice := manager.Advise(r, procs, aliveForCM)
 
-		// Message generation (the msg function of Definition 1).
-		sent := make(map[model.ProcessID]model.Message)
-		for _, id := range procs {
-			if cfg.Crashes.CrashedForSend(id, r) || halted[id] {
+		// Message generation (the msg function of Definition 1). Iterating
+		// the sorted table keeps senders sorted with no extra pass.
+		st.senders = st.senders[:0]
+		st.senderMsgs = st.senderMsgs[:0]
+		for i, id := range st.procs {
+			st.sendOrd[i] = -1
+			if st.sched.CrashedForSend(i, r) || st.halted[i] {
 				continue
 			}
-			if m := cfg.Procs[id].Message(r, cmAdvice[id]); m != nil {
-				sent[id] = *m
+			if m := st.autos[i].Message(r, st.cm[i]); m != nil {
+				st.sendOrd[i] = len(st.senders)
+				st.senders = append(st.senders, id)
+				st.senderMsgs = append(st.senderMsgs, *m)
 			}
 		}
-		senders := make([]model.ProcessID, 0, len(sent))
-		for id := range sent {
-			senders = append(senders, id)
-		}
-		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
 
-		plan := adversary.Plan(r, senders, procs)
+		plan := adversary.Plan(r, st.senders, st.procs)
 
 		// Delivery, collision advice, and state transitions.
-		views := make(map[model.ProcessID]model.View, len(procs))
-		for _, id := range procs {
-			if cfg.Crashes.CrashedForSend(id, r) {
+		var views map[model.ProcessID]model.View
+		var sentCopies []model.Message // stable backing for the views' Sent pointers
+		if traceFull {
+			views = make(map[model.ProcessID]model.View, len(st.procs))
+			sentCopies = make([]model.Message, len(st.senders))
+			copy(sentCopies, st.senderMsgs)
+		}
+		for i, id := range st.procs {
+			if st.sched.CrashedForSend(i, r) {
 				// A crashed process receives nothing; its advice is still
 				// part of the formal CD trace and must be legal for the
 				// class, so it is computed like any other process's.
-				views[id] = model.View{
-					Crashed: true,
-					Recv:    multiset.New[model.Message](),
-					CD:      det.Advise(r, id, len(senders), 0),
-					CM:      cmAdvice[id],
+				advice := det.Advise(r, id, len(st.senders), 0)
+				if traceFull {
+					views[id] = model.View{
+						Crashed: true,
+						Recv:    multiset.New[model.Message](),
+						CD:      advice,
+						CM:      st.cm[i],
+					}
 				}
 				continue
 			}
-			recv := multiset.New[model.Message]()
-			for _, snd := range senders {
-				msg := sent[snd]
+			var recv *model.RecvSet
+			if traceFull {
+				recv = multiset.New[model.Message]()
+			} else {
+				recv = st.recvs[i]
+				recv.Reset()
+			}
+			for j, snd := range st.senders {
 				if snd == id || plan(id, snd) {
-					recv.Add(msg)
+					recv.Add(st.senderMsgs[j])
 				}
 			}
-			advice := det.Advise(r, id, len(senders), recv.Len())
+			advice := det.Advise(r, id, len(st.senders), recv.Len())
 
-			var sentMsg *model.Message
-			if m, ok := sent[id]; ok {
-				m := m
-				sentMsg = &m
-			}
-			views[id] = model.View{
-				Sent: sentMsg,
-				Recv: recv,
-				CD:   advice,
-				CM:   cmAdvice[id],
+			if traceFull {
+				var sentMsg *model.Message
+				if st.sendOrd[i] >= 0 {
+					sentMsg = &sentCopies[st.sendOrd[i]]
+				}
+				views[id] = model.View{Sent: sentMsg, Recv: recv, CD: advice, CM: st.cm[i]}
 			}
 
-			if cfg.Crashes.CrashedForDeliver(id, r) || halted[id] {
+			if st.sched.CrashedForDeliver(i, r) || st.halted[i] {
 				continue // crashed mid-round or already halted: no transition
 			}
-			cfg.Procs[id].Deliver(r, recv, advice, cmAdvice[id])
+			st.autos[i].Deliver(r, recv, advice, st.cm[i])
 		}
-		exec.Rounds = append(exec.Rounds, model.Round{Number: r, Views: views})
+		if traceFull {
+			exec.Rounds = append(exec.Rounds, model.Round{Number: r, Views: views})
+		}
 
-		if obs, ok := manager.(cm.Observer); ok {
-			obs.Observe(r, len(senders))
+		if observer != nil {
+			observer.Observe(r, len(st.senders))
 		}
 
 		// Decision bookkeeping and the halting test.
 		allDone := true
-		for _, id := range procs {
-			if cfg.Crashes.CrashedForDeliver(id, r) {
+		for i, id := range st.procs {
+			if st.sched.CrashedForDeliver(i, r) {
 				continue
 			}
-			d, ok := cfg.Procs[id].(model.Decider)
-			if !ok {
+			d := st.dec[i]
+			if d == nil {
 				allDone = false
 				continue
 			}
-			if v, has := d.Decided(); has && !decided[id] {
-				decided[id] = true
+			if v, has := d.Decided(); has && !st.decided[i] {
+				st.decided[i] = true
 				exec.Decisions[id] = model.Decision{Value: v, Round: r}
 			}
 			if d.Halted() {
-				halted[id] = true
+				st.halted[i] = true
 			}
-			if !decided[id] {
+			if !st.decided[i] {
 				allDone = false
 			}
 		}
@@ -196,13 +318,17 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Final sweep: the same liveness rule as the in-loop bookkeeping — only
+	// processes that actually crashed within the executed prefix are exempt
+	// from deciding.
 	allDecided := true
-	for _, id := range procs {
-		if cfg.Crashes.CrashedForDeliver(id, rounds) {
+	for i := range st.procs {
+		if st.sched.CrashedDuring(i, rounds) {
 			continue
 		}
-		if !decided[id] {
+		if !st.decided[i] {
 			allDecided = false
+			break
 		}
 	}
 	return &Result{

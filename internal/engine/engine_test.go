@@ -377,6 +377,198 @@ func TestCheckersCatchViolations(t *testing.T) {
 	}
 }
 
+// TestAllDecidedExcludesMidRunCrash pins the final sweep's liveness rule: a
+// process that crashed during the executed prefix is never counted as
+// undecided, regardless of how many rounds ran after its crash.
+func TestAllDecidedExcludesMidRunCrash(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		time model.CrashTime
+	}{
+		{"crash before send", model.CrashBeforeSend},
+		{"crash after send", model.CrashAfterSend},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d1 := &decideAfter{value: 7, round: 5} // would decide at 5, crashes at 3
+			d2 := &decideAfter{value: 7, round: 2}
+			res, err := Run(Config{
+				Procs:   map[model.ProcessID]model.Automaton{1: d1, 2: d2},
+				Crashes: model.Schedule{1: {Round: 3, Time: tc.time}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, decided := res.Decisions[1]; decided {
+				t.Fatal("crashed process decided after its crash round")
+			}
+			if !res.AllDecided {
+				t.Fatalf("AllDecided = false after %d rounds: mid-run crashed process counted as undecided", res.Rounds)
+			}
+		})
+	}
+}
+
+// TestAllDecidedCountsCrashScheduledBeyondPrefix is the other side of the
+// rule: a crash scheduled beyond the executed prefix never happened, so the
+// (undecided) process still counts.
+func TestAllDecidedCountsCrashScheduledBeyondPrefix(t *testing.T) {
+	d1 := &decideAfter{value: 7, round: 2}
+	b2 := &beacon{value: 1} // never decides
+	res, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: d1, 2: b2},
+		Crashes:   model.Schedule{2: {Round: 50, Time: model.CrashBeforeSend}},
+		MaxRounds: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("rounds = %d, want 5", res.Rounds)
+	}
+	if res.AllDecided {
+		t.Fatal("AllDecided = true although a live (not-yet-crashed) process never decided")
+	}
+}
+
+// traceConfig builds a fresh, identically-seeded noisy lossy crashy system;
+// two calls produce independent but identical systems.
+func traceConfig(trace TraceMode) Config {
+	procs := make(map[model.ProcessID]model.Automaton, 4)
+	initial := make(map[model.ProcessID]model.Value, 4)
+	for p := 1; p <= 4; p++ {
+		procs[model.ProcessID(p)] = &decideAfter{value: model.Value(p), round: 3 + p}
+		initial[model.ProcessID(p)] = model.Value(p)
+	}
+	procs[5] = &beacon{value: 9}
+	return Config{
+		Procs:     procs,
+		Initial:   initial,
+		Detector:  detector.New(detector.ZeroOAC, detector.WithRace(4)),
+		Loss:      loss.NewProbabilistic(0.4, 17),
+		Crashes:   model.Schedule{2: {Round: 4, Time: model.CrashAfterSend}},
+		MaxRounds: 12,
+		Trace:     trace,
+	}
+}
+
+// TestTraceDecisionsOnlyMatchesFull requires decisions-only runs to produce
+// exactly the decisions, round counts, and AllDecided verdicts of full
+// traces, while recording no per-round views.
+func TestTraceDecisionsOnlyMatchesFull(t *testing.T) {
+	full, err := Run(traceConfig(TraceFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Run(traceConfig(TraceDecisionsOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Rounds != dec.Rounds {
+		t.Fatalf("rounds differ: full %d, decisions-only %d", full.Rounds, dec.Rounds)
+	}
+	if full.AllDecided != dec.AllDecided {
+		t.Fatalf("AllDecided differ: full %v, decisions-only %v", full.AllDecided, dec.AllDecided)
+	}
+	if len(full.Decisions) != len(dec.Decisions) {
+		t.Fatalf("decision counts differ: %d vs %d", len(full.Decisions), len(dec.Decisions))
+	}
+	for id, d := range full.Decisions {
+		if dec.Decisions[id] != d {
+			t.Fatalf("process %d decisions differ: full %v, decisions-only %v", id, d, dec.Decisions[id])
+		}
+	}
+	if full.Execution.NumRounds() != full.Rounds {
+		t.Fatalf("full trace recorded %d rounds, want %d", full.Execution.NumRounds(), full.Rounds)
+	}
+	if dec.Execution.NumRounds() != 0 {
+		t.Fatalf("decisions-only trace recorded %d rounds, want 0", dec.Execution.NumRounds())
+	}
+	if err := full.Execution.Validate(); err != nil {
+		t.Fatalf("full execution invalid: %v", err)
+	}
+}
+
+// TestTraceDecisionsOnlyDeterministicAcrossRuns runs back-to-back
+// decisions-only executions: the second reuses pooled receive sets from
+// the first, and the recycled state must not change any result.
+func TestTraceDecisionsOnlyDeterministicAcrossRuns(t *testing.T) {
+	first, err := Run(traceConfig(TraceDecisionsOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run re-uses pooled receive sets from the first; results must
+	// be unaffected by the recycled state.
+	second, err := Run(traceConfig(TraceDecisionsOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Rounds != second.Rounds || len(first.Decisions) != len(second.Decisions) {
+		t.Fatalf("pooled reuse changed results: rounds %d vs %d", first.Rounds, second.Rounds)
+	}
+	for id, d := range first.Decisions {
+		if second.Decisions[id] != d {
+			t.Fatalf("process %d: pooled reuse changed decision %v -> %v", id, d, second.Decisions[id])
+		}
+	}
+}
+
+// TestCrashRoundZeroMeansCrashedFromStart pins the map schedule's edge
+// semantics on the dense hot path: Crash{Round: 0} (an easy zero-value
+// mistake) crashes the process from round 1, exactly as
+// model.Schedule.CrashedForSend always reported for it.
+func TestCrashRoundZeroMeansCrashedFromStart(t *testing.T) {
+	b1 := &beacon{value: 1}
+	b2 := &beacon{value: 2}
+	res, err := Run(Config{
+		Procs:     map[model.ProcessID]model.Automaton{1: b1, 2: b2},
+		Crashes:   model.Schedule{1: {Round: 0, Time: model.CrashAfterSend}},
+		MaxRounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.seenRecv) != 0 {
+		t.Fatalf("Round-0-crashed automaton delivered %d times, want 0", len(b1.seenRecv))
+	}
+	tt := res.Execution.TransmissionTrace()
+	for i, rt := range tt {
+		if rt.Senders != 1 {
+			t.Fatalf("round %d: %d senders, want 1 (p1 crashed from the start)", i+1, rt.Senders)
+		}
+	}
+	v, _ := res.Execution.View(1, 1)
+	if !v.Crashed {
+		t.Fatal("round-1 view of Round-0-crashed process not marked crashed")
+	}
+}
+
+// TestDecisionsOnlySteadyStateAllocations pins the headline property: with
+// silent automata and a lossless channel, decisions-only rounds allocate
+// nothing — the allocation count of a run is independent of its length.
+func TestDecisionsOnlySteadyStateAllocations(t *testing.T) {
+	run := func(rounds int) func() {
+		return func() {
+			d1 := &decideAfter{value: 1, round: 1}
+			d2 := &decideAfter{value: 1, round: 1}
+			if _, err := Run(Config{
+				Procs:          map[model.ProcessID]model.Automaton{1: d1, 2: d2},
+				MaxRounds:      rounds,
+				RunFullHorizon: true,
+				Trace:          TraceDecisionsOnly,
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	run(8)() // warm the receive-set pool
+	short := testing.AllocsPerRun(20, run(8))
+	long := testing.AllocsPerRun(20, run(520))
+	if perRound := (long - short) / 512; perRound > 0.05 {
+		t.Fatalf("decisions-only steady state allocates %.2f objects/round (short run %.0f, long run %.0f allocs), want 0",
+			perRound, short, long)
+	}
+}
+
 func TestCheckTerminationCatchesUndecided(t *testing.T) {
 	b := &beacon{value: 1}
 	res, err := Run(Config{

@@ -106,6 +106,25 @@ type runEnv struct {
 	base     loss.Adversary
 	crashes  model.Schedule
 	maxR     int
+	// trace overrides the default decisions-only recording. Every current
+	// experiment reads only decision-derived observations (DecidedValues,
+	// LastDecisionRound, consensusOK), so runAlgorithm skips per-round view
+	// recording unless an experiment opts back into engine.TraceFull here.
+	trace *engine.TraceMode
+}
+
+// forcedTrace, when non-nil, overrides the trace mode of every
+// runAlgorithm call. Tests use it to prove experiment tables are
+// trace-mode-invariant.
+var forcedTrace *engine.TraceMode
+
+// ForceTraceMode overrides the trace mode of all subsequent experiment
+// runs and returns a func restoring the previous behavior. Test-only hook:
+// decision-derived tables must be byte-identical under both modes.
+func ForceTraceMode(m engine.TraceMode) (restore func()) {
+	old := forcedTrace
+	forcedTrace = &m
+	return func() { forcedTrace = old }
 }
 
 // runAlgorithm executes a factory-built system and returns the engine
@@ -140,6 +159,13 @@ func runAlgorithm(e runEnv, build func(i int) model.Automaton, values []model.Va
 	if maxR == 0 {
 		maxR = 20000
 	}
+	trace := engine.TraceDecisionsOnly
+	if e.trace != nil {
+		trace = *e.trace
+	}
+	if forcedTrace != nil {
+		trace = *forcedTrace
+	}
 	return engine.Run(engine.Config{
 		Procs:     procs,
 		Initial:   initial,
@@ -148,6 +174,7 @@ func runAlgorithm(e runEnv, build func(i int) model.Automaton, values []model.Va
 		Loss:      adversary,
 		Crashes:   e.crashes,
 		MaxRounds: maxR,
+		Trace:     trace,
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"adhocconsensus/internal/engine"
 	"adhocconsensus/internal/valueset"
 )
 
@@ -37,6 +38,31 @@ func TestAllExperimentsPass(t *testing.T) {
 		if len(table.Rows) == 0 {
 			t.Errorf("experiment %q produced no rows", table.Title)
 		}
+	}
+}
+
+// TestT2TraceModeInvariant regenerates Theorem 1's table under forced
+// TraceFull and forced TraceDecisionsOnly and requires byte-identical
+// rendered output: skipping view recording must not change any measured
+// number.
+func TestT2TraceModeInvariant(t *testing.T) {
+	restore := ForceTraceMode(engine.TraceFull)
+	full, err := T2Alg1Termination()
+	restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore = ForceTraceMode(engine.TraceDecisionsOnly)
+	dec, err := T2Alg1Termination()
+	restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Pass || !dec.Pass {
+		t.Fatalf("T2 failed: full=%v decisions-only=%v", full.Pass, dec.Pass)
+	}
+	if fs, ds := full.String(), dec.String(); fs != ds {
+		t.Fatalf("trace mode changed T2's table:\n--- TraceFull ---\n%s\n--- TraceDecisionsOnly ---\n%s", fs, ds)
 	}
 }
 

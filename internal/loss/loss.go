@@ -10,6 +10,7 @@ package loss
 
 import (
 	"math/rand"
+	"slices"
 
 	"adhocconsensus/internal/model"
 )
@@ -84,9 +85,14 @@ func (e ECF) Plan(r int, senders, procs []model.ProcessID) DeliveryFunc {
 // probability P, matching the empirical 20–50% loss rates cited in
 // Section 1.1. Draws are made in deterministic order, so runs with equal
 // seeds are identical.
+//
+// The adversary reuses an internal loss matrix between rounds, so the
+// DeliveryFunc returned by Plan is valid only until the next Plan call.
 type Probabilistic struct {
 	P   float64
 	Rng *rand.Rand
+
+	lost []bool // len(procs)×len(senders) scratch, row-major by receiver
 }
 
 // NewProbabilistic returns a probabilistic adversary with its own seeded
@@ -95,21 +101,34 @@ func NewProbabilistic(p float64, seed int64) *Probabilistic {
 	return &Probabilistic{P: p, Rng: rand.New(rand.NewSource(seed))}
 }
 
-// Plan implements Adversary.
+// Plan implements Adversary. Draw order (receivers outer, senders inner,
+// self-pairs skipped) is identical to every earlier version, so equal seeds
+// keep producing identical executions.
 func (a *Probabilistic) Plan(_ int, senders, procs []model.ProcessID) DeliveryFunc {
-	type pair struct{ rcv, snd model.ProcessID }
-	lost := make(map[pair]bool)
-	for _, rcv := range procs {
-		for _, snd := range senders {
+	k := len(senders)
+	need := len(procs) * k
+	if cap(a.lost) < need {
+		a.lost = make([]bool, need)
+	}
+	lost := a.lost[:need]
+	for i, rcv := range procs {
+		row := lost[i*k : (i+1)*k]
+		for j, snd := range senders {
 			if rcv == snd {
+				row[j] = false
 				continue
 			}
-			if a.Rng.Float64() < a.P {
-				lost[pair{rcv, snd}] = true
-			}
+			row[j] = a.Rng.Float64() < a.P
 		}
 	}
-	return func(rcv, snd model.ProcessID) bool { return !lost[pair{rcv, snd}] }
+	return func(rcv, snd model.ProcessID) bool {
+		i, ok1 := slices.BinarySearch(procs, rcv)
+		j, ok2 := slices.BinarySearch(senders, snd)
+		if !ok1 || !ok2 {
+			return true
+		}
+		return !lost[i*k+j]
+	}
 }
 
 // Capture models the capture effect (Section 1.1, [71]): when two or more

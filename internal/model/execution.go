@@ -70,12 +70,24 @@ type Decision struct {
 // Execution is a finite prefix of a formal execution (Definition 11): the
 // per-round views of every process, plus decision bookkeeping maintained by
 // the engine.
+//
+// Under the engine's decisions-only trace mode Rounds stays empty: the
+// execution then carries only Procs, Initial, and Decisions. Decision-
+// derived observations (DecidedValues, LastDecisionRound) work in both
+// shapes; view-derived ones (View, TransmissionTrace, CDTrace, CMTrace,
+// Validate, IndistinguishableTo) require a full trace — check HasViews
+// before relying on them.
 type Execution struct {
 	Procs     []ProcessID
 	Rounds    []Round
 	Decisions map[ProcessID]Decision
 	Initial   map[ProcessID]Value // initial consensus values, for validity checks
 }
+
+// HasViews reports whether per-round views were recorded: false for
+// executions produced under the engine's decisions-only trace mode (and
+// for zero-round runs).
+func (e *Execution) HasViews() bool { return len(e.Rounds) > 0 }
 
 // NewExecution returns an empty execution over the given sorted process set.
 func NewExecution(procs []ProcessID, initial map[ProcessID]Value) *Execution {

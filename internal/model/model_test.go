@@ -304,3 +304,33 @@ func asValidation(err error, out **ValidationError) bool {
 	}
 	return ok
 }
+
+// TestDenseScheduleMatchesSchedule cross-checks the compiled dense schedule
+// against the map-backed one over every phase, round, and crash timing —
+// including the Round<=0 edge, where both must mean "crashed from the
+// start".
+func TestDenseScheduleMatchesSchedule(t *testing.T) {
+	procs := []ProcessID{1, 2, 3, 4, 5}
+	s := Schedule{
+		1: {Round: 0, Time: CrashAfterSend}, // zero-value round: crashed from round 1
+		2: {Round: 3, Time: CrashBeforeSend},
+		3: {Round: 3, Time: CrashAfterSend},
+		5: {Round: -2, Time: CrashBeforeSend}, // negative: also crashed from the start
+	}
+	d := s.Dense(procs)
+	for i, id := range procs {
+		for r := 1; r <= 6; r++ {
+			if got, want := d.CrashedForSend(i, r), s.CrashedForSend(id, r); got != want {
+				t.Errorf("p%d r%d send: dense=%v schedule=%v", id, r, got, want)
+			}
+			if got, want := d.CrashedForDeliver(i, r), s.CrashedForDeliver(id, r); got != want {
+				t.Errorf("p%d r%d deliver: dense=%v schedule=%v", id, r, got, want)
+			}
+			// CrashedDuring(i, r) is by construction CrashedForDeliver at the
+			// prefix's last round; keep the two in lockstep.
+			if got, want := d.CrashedDuring(i, r), s.CrashedForDeliver(id, r); got != want {
+				t.Errorf("p%d prefix %d: CrashedDuring=%v CrashedForDeliver=%v", id, r, got, want)
+			}
+		}
+	}
+}

@@ -138,7 +138,9 @@ type Automaton interface {
 	// Deliver completes round r: recv is the received multiset (always
 	// including the process's own broadcast, per Definition 11 constraint
 	// 5), cd is the collision detector advice, and cm repeats the advice
-	// given to Message.
+	// given to Message. recv is only valid for the duration of the call
+	// and must not be retained: under the engine's decisions-only trace
+	// mode it is a pooled multiset reset and refilled the next round.
 	Deliver(r int, recv *RecvSet, cd CDAdvice, cm CMAdvice)
 }
 
@@ -205,6 +207,65 @@ func (s Schedule) CrashedForSend(id ProcessID, r int) bool {
 // sets and advice are delivered.
 func (s Schedule) CrashedForDeliver(id ProcessID, r int) bool {
 	return s.crashedFor(id, r, true)
+}
+
+// DenseSchedule is a crash schedule compiled against a sorted process
+// table: the simulation hot loops consult it by process index instead of
+// hashing ProcessIDs into the map-backed Schedule every round. Both
+// internal/engine and internal/runtime share this one implementation so
+// their crash semantics cannot drift apart.
+type DenseSchedule struct {
+	rounds []int // 0 = never crashes
+	times  []CrashTime
+}
+
+// Dense compiles the schedule for the given process table: entry i
+// describes procs[i]. Scheduled rounds below 1 mean "crashed from the
+// start" and compile to {Round: 1, CrashBeforeSend}, matching the map
+// semantics (CrashedForSend is true for every round when Round <= 0).
+func (s Schedule) Dense(procs []ProcessID) DenseSchedule {
+	d := DenseSchedule{
+		rounds: make([]int, len(procs)),
+		times:  make([]CrashTime, len(procs)),
+	}
+	for i, id := range procs {
+		c, ok := s[id]
+		if !ok {
+			continue
+		}
+		if c.Round < 1 {
+			c.Round, c.Time = 1, CrashBeforeSend
+		}
+		d.rounds[i] = c.Round
+		d.times[i] = c.Time
+	}
+	return d
+}
+
+// CrashedForSend mirrors Schedule.CrashedForSend for process index i.
+func (d DenseSchedule) CrashedForSend(i, r int) bool {
+	cr := d.rounds[i]
+	if cr == 0 {
+		return false
+	}
+	return r > cr || (r == cr && d.times[i] == CrashBeforeSend)
+}
+
+// CrashedForDeliver mirrors Schedule.CrashedForDeliver: by the deliver
+// phase of its crash round a process is failed under either crash timing.
+func (d DenseSchedule) CrashedForDeliver(i, r int) bool {
+	cr := d.rounds[i]
+	return cr != 0 && r >= cr
+}
+
+// CrashedDuring reports whether process index i actually entered its fail
+// state within an executed prefix of `rounds` rounds. This is the liveness
+// rule of the engines' final AllDecided sweep: a process that crashed
+// mid-run is never counted as undecided, while a crash scheduled beyond
+// the executed prefix does not exempt the process.
+func (d DenseSchedule) CrashedDuring(i, rounds int) bool {
+	cr := d.rounds[i]
+	return cr != 0 && cr <= rounds
 }
 
 // LastCrashRound returns the largest crash round in the schedule, or 0 if

@@ -6,6 +6,18 @@
 //
 // The implementation is generic over any comparable element type; the
 // simulator instantiates it with model.Message.
+//
+// # Representation
+//
+// A multiset starts in a compact slice-backed representation: distinct
+// elements and their counts live in a small inline array scanned linearly.
+// Receive sets in the simulator almost always hold only a handful of
+// distinct messages, so this path avoids map allocation and hashing
+// entirely. Once the number of distinct elements exceeds smallLimit the
+// multiset spills to the map representation and stays there (a Reset keeps
+// the map's buckets, so pooled multisets that spilled once stay
+// allocation-free afterwards). All operations are representation-agnostic;
+// the two representations are observationally identical.
 package multiset
 
 import (
@@ -14,16 +26,28 @@ import (
 	"strings"
 )
 
+// smallLimit is the number of distinct elements the slice-backed
+// representation holds before spilling to a map. Linear scans of this many
+// entries are cheaper than map operations for the simulator's element types.
+const smallLimit = 16
+
+// entry is one distinct element of the compact representation.
+type entry[T comparable] struct {
+	elem  T
+	count int
+}
+
 // Multiset is a finite multiset over T. The zero value is an empty multiset
 // ready to use.
 type Multiset[T comparable] struct {
-	counts map[T]int
+	small  []entry[T] // compact representation; unused once counts != nil
+	counts map[T]int  // spilled representation; nil while compact
 	size   int
 }
 
 // New returns an empty multiset.
 func New[T comparable]() *Multiset[T] {
-	return &Multiset[T]{counts: make(map[T]int)}
+	return &Multiset[T]{}
 }
 
 // Of returns a multiset containing the given elements, with multiplicity.
@@ -45,18 +69,17 @@ func FromSet[T comparable](set map[T]struct{}) *Multiset[T] {
 	return m
 }
 
-func (m *Multiset[T]) init() {
-	if m.counts == nil {
-		m.counts = make(map[T]int)
+// spill migrates the compact representation into a map.
+func (m *Multiset[T]) spill() {
+	m.counts = make(map[T]int, 2*smallLimit)
+	for _, en := range m.small {
+		m.counts[en.elem] = en.count
 	}
+	m.small = m.small[:0]
 }
 
 // Add inserts one copy of e.
-func (m *Multiset[T]) Add(e T) {
-	m.init()
-	m.counts[e]++
-	m.size++
-}
+func (m *Multiset[T]) Add(e T) { m.AddN(e, 1) }
 
 // AddN inserts n copies of e. n must be non-negative.
 func (m *Multiset[T]) AddN(e T, n int) {
@@ -66,30 +89,71 @@ func (m *Multiset[T]) AddN(e T, n int) {
 	if n == 0 {
 		return
 	}
-	m.init()
+	if m.counts != nil {
+		m.counts[e] += n
+		m.size += n
+		return
+	}
+	for i := range m.small {
+		if m.small[i].elem == e {
+			m.small[i].count += n
+			m.size += n
+			return
+		}
+	}
+	if len(m.small) < smallLimit {
+		m.small = append(m.small, entry[T]{e, n})
+		m.size += n
+		return
+	}
+	m.spill()
 	m.counts[e] += n
 	m.size += n
 }
 
 // Remove deletes one copy of e, reporting whether a copy was present.
 func (m *Multiset[T]) Remove(e T) bool {
-	if m.counts == nil || m.counts[e] == 0 {
-		return false
+	if m.counts != nil {
+		if m.counts[e] == 0 {
+			return false
+		}
+		m.counts[e]--
+		if m.counts[e] == 0 {
+			delete(m.counts, e)
+		}
+		m.size--
+		return true
 	}
-	m.counts[e]--
-	if m.counts[e] == 0 {
-		delete(m.counts, e)
+	for i := range m.small {
+		if m.small[i].elem == e {
+			m.small[i].count--
+			if m.small[i].count == 0 {
+				// Order is unspecified: swap-delete.
+				last := len(m.small) - 1
+				m.small[i] = m.small[last]
+				m.small = m.small[:last]
+			}
+			m.size--
+			return true
+		}
 	}
-	m.size--
-	return true
+	return false
 }
 
 // Count returns the multiplicity of e.
 func (m *Multiset[T]) Count(e T) int {
-	if m == nil || m.counts == nil {
+	if m == nil {
 		return 0
 	}
-	return m.counts[e]
+	if m.counts != nil {
+		return m.counts[e]
+	}
+	for i := range m.small {
+		if m.small[i].elem == e {
+			return m.small[i].count
+		}
+	}
+	return 0
 }
 
 // Contains reports whether at least one copy of e is present.
@@ -108,18 +172,19 @@ func (m *Multiset[T]) Distinct() int {
 	if m == nil {
 		return 0
 	}
-	return len(m.counts)
+	if m.counts != nil {
+		return len(m.counts)
+	}
+	return len(m.small)
 }
 
 // Set returns SET(M): the set of unique values appearing in M (Section 2).
 func (m *Multiset[T]) Set() map[T]struct{} {
 	out := make(map[T]struct{}, m.Distinct())
-	if m == nil {
-		return out
-	}
-	for e := range m.counts {
+	m.Range(func(e T, _ int) bool {
 		out[e] = struct{}{}
-	}
+		return true
+	})
 	return out
 }
 
@@ -130,11 +195,12 @@ func (m *Multiset[T]) Elems() []T {
 		return nil
 	}
 	out := make([]T, 0, m.size)
-	for e, n := range m.counts {
+	m.Range(func(e T, n int) bool {
 		for i := 0; i < n; i++ {
 			out = append(out, e)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -144,8 +210,16 @@ func (m *Multiset[T]) Range(fn func(e T, count int) bool) {
 	if m == nil {
 		return
 	}
-	for e, n := range m.counts {
-		if !fn(e, n) {
+	if m.counts != nil {
+		for e, n := range m.counts {
+			if !fn(e, n) {
+				return
+			}
+		}
+		return
+	}
+	for i := range m.small {
+		if !fn(m.small[i].elem, m.small[i].count) {
 			return
 		}
 	}
@@ -154,15 +228,15 @@ func (m *Multiset[T]) Range(fn func(e T, count int) bool) {
 // SubsetOf reports M ⊆ other with multiplicity (Section 2): every element of
 // M appears in other at least as many times as it appears in M.
 func (m *Multiset[T]) SubsetOf(other *Multiset[T]) bool {
-	if m == nil {
-		return true
-	}
-	for e, n := range m.counts {
+	ok := true
+	m.Range(func(e T, n int) bool {
 		if other.Count(e) < n {
+			ok = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return ok
 }
 
 // Equal reports whether the two multisets contain exactly the same elements
@@ -174,9 +248,30 @@ func (m *Multiset[T]) Equal(other *Multiset[T]) bool {
 // Union returns the multiset union M ⊎ other (Section 2): multiplicities add.
 func (m *Multiset[T]) Union(other *Multiset[T]) *Multiset[T] {
 	out := New[T]()
-	m.Range(func(e T, n int) bool { out.AddN(e, n); return true })
-	other.Range(func(e T, n int) bool { out.AddN(e, n); return true })
+	out.UnionInto(m)
+	out.UnionInto(other)
 	return out
+}
+
+// UnionInto adds every element of other into m in place (m ⊎= other),
+// without allocating when m has capacity. other is unchanged; other may not
+// be m itself.
+func (m *Multiset[T]) UnionInto(other *Multiset[T]) {
+	other.Range(func(e T, n int) bool {
+		m.AddN(e, n)
+		return true
+	})
+}
+
+// Reset empties the multiset in place, retaining its backing storage (the
+// inline array, or the map's buckets once spilled) so pooled multisets can
+// be refilled round after round without allocating.
+func (m *Multiset[T]) Reset() {
+	m.size = 0
+	m.small = m.small[:0]
+	if m.counts != nil {
+		clear(m.counts)
+	}
 }
 
 // Intersect returns the multiset intersection: per-element minimum
@@ -195,7 +290,7 @@ func (m *Multiset[T]) Intersect(other *Multiset[T]) *Multiset[T] {
 // Clone returns a deep copy.
 func (m *Multiset[T]) Clone() *Multiset[T] {
 	out := New[T]()
-	m.Range(func(e T, n int) bool { out.AddN(e, n); return true })
+	out.UnionInto(m)
 	return out
 }
 

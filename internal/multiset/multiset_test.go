@@ -282,3 +282,166 @@ func TestQuickSetSizeIsDistinct(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// --- cross-representation checks (compact slice vs spilled map) ---
+
+// spilled builds a multiset holding the same elements as m but forced into
+// the map representation, by first inflating past smallLimit and then
+// removing the padding.
+func spilled(m *Multiset[uint8]) *Multiset[uint8] {
+	out := New[uint8]()
+	// Pad with elements outside uint8's range... impossible; instead insert
+	// every uint8 value once to exceed smallLimit, then remove the padding.
+	for v := 0; v < smallLimit+1; v++ {
+		out.Add(uint8(v))
+	}
+	if out.counts == nil {
+		panic("padding did not spill")
+	}
+	for v := 0; v < smallLimit+1; v++ {
+		out.Remove(uint8(v))
+	}
+	out.UnionInto(m)
+	return out
+}
+
+func TestSpillThreshold(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < smallLimit; i++ {
+		m.Add(i)
+	}
+	if m.counts != nil {
+		t.Fatalf("spilled at %d distinct elements, limit is %d", m.Distinct(), smallLimit)
+	}
+	m.Add(smallLimit)
+	if m.counts == nil {
+		t.Fatal("did not spill past smallLimit distinct elements")
+	}
+	if m.Len() != smallLimit+1 || m.Distinct() != smallLimit+1 {
+		t.Fatalf("after spill: len=%d distinct=%d", m.Len(), m.Distinct())
+	}
+	for i := 0; i <= smallLimit; i++ {
+		if m.Count(i) != 1 {
+			t.Fatalf("element %d lost in spill: count=%d", i, m.Count(i))
+		}
+	}
+}
+
+// TestQuickRepresentationsObservationallyEqual drives identical element
+// sequences through a compact and a pre-spilled multiset and requires every
+// observation to agree.
+func TestQuickRepresentationsObservationallyEqual(t *testing.T) {
+	prop := func(elems []uint8, probe uint8) bool {
+		compact := fromElems(elems)
+		mapped := spilled(compact)
+		if !compact.Equal(mapped) || !mapped.Equal(compact) {
+			return false
+		}
+		if compact.Len() != mapped.Len() || compact.Distinct() != mapped.Distinct() {
+			return false
+		}
+		if compact.Count(probe) != mapped.Count(probe) {
+			return false
+		}
+		if compact.String() != mapped.String() {
+			return false
+		}
+		if len(compact.Set()) != len(mapped.Set()) {
+			return false
+		}
+		// Removal must behave identically in both representations.
+		if compact.Remove(probe) != mapped.Remove(probe) {
+			return false
+		}
+		return compact.Equal(mapped)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionAgreesAcrossRepresentations(t *testing.T) {
+	prop := func(a, b []uint8) bool {
+		ma, mb := fromElems(a), fromElems(b)
+		u1 := ma.Union(mb)
+		u2 := spilled(ma).Union(spilled(mb))
+		return u1.Equal(u2) && u2.Equal(u1)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Reset / UnionInto (the pooling primitives) ---
+
+func TestResetEmptiesInPlace(t *testing.T) {
+	m := Of(1, 1, 2)
+	m.Reset()
+	if m.Len() != 0 || m.Distinct() != 0 || m.Count(1) != 0 {
+		t.Fatalf("after Reset: len=%d distinct=%d", m.Len(), m.Distinct())
+	}
+	m.Add(9)
+	if m.Len() != 1 || m.Count(9) != 1 {
+		t.Fatal("multiset unusable after Reset")
+	}
+}
+
+func TestResetKeepsSpilledRepresentation(t *testing.T) {
+	m := New[int]()
+	for i := 0; i <= smallLimit; i++ {
+		m.Add(i)
+	}
+	if m.counts == nil {
+		t.Fatal("setup: multiset did not spill")
+	}
+	m.Reset()
+	if m.counts == nil {
+		t.Fatal("Reset dropped the map buckets (would re-spill every reuse)")
+	}
+	if m.Len() != 0 || m.Distinct() != 0 {
+		t.Fatalf("after Reset: len=%d distinct=%d", m.Len(), m.Distinct())
+	}
+	m.Add(3)
+	m.Add(3)
+	if m.Count(3) != 2 || m.Len() != 2 {
+		t.Fatal("spilled multiset unusable after Reset")
+	}
+}
+
+func TestResetDoesNotAllocateInSteadyState(t *testing.T) {
+	m := New[int]()
+	fill := func() {
+		m.Reset()
+		for i := 0; i < 8; i++ {
+			m.Add(i % 4)
+		}
+	}
+	fill() // warm up the backing storage
+	if avg := testing.AllocsPerRun(100, fill); avg != 0 {
+		t.Fatalf("Reset+refill allocates %.1f objects per round, want 0", avg)
+	}
+}
+
+func TestUnionInto(t *testing.T) {
+	a := Of(1, 1, 2)
+	b := Of(1, 3)
+	a.UnionInto(b)
+	if a.Count(1) != 3 || a.Count(2) != 1 || a.Count(3) != 1 || a.Len() != 5 {
+		t.Fatalf("UnionInto wrong: %v", a)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("UnionInto mutated its argument: %v", b)
+	}
+}
+
+func TestQuickUnionIntoMatchesUnion(t *testing.T) {
+	prop := func(a, b []uint8) bool {
+		ma, mb := fromElems(a), fromElems(b)
+		want := ma.Union(mb)
+		ma.UnionInto(mb)
+		return ma.Equal(want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -10,6 +10,14 @@
 // engine for tight experiment loops (no scheduling overhead) and the
 // runtime when composing with other concurrent components or demonstrating
 // the goroutines-as-processes mapping.
+//
+// The coordinator mirrors the engine's dense-state hot path: per-process
+// bookkeeping lives in slices indexed by a sorted process table built once
+// per run, contention advice goes through the same cm.DenseAdviser fast
+// path, and under Config.Trace == TraceDecisionsOnly receive multisets are
+// pooled and reset between rounds instead of freshly allocated. Keeping the
+// two round loops structurally identical is what keeps them byte-for-byte
+// equivalence-testable.
 package runtime
 
 import (
@@ -70,9 +78,67 @@ func (w *worker) serve() {
 	}
 }
 
+// coordState is the coordinator's dense per-run state, mirroring the
+// engine's runState. All slices are indexed by the process's position in
+// the sorted procs table.
+type coordState struct {
+	procs     []model.ProcessID
+	index     map[model.ProcessID]int
+	workers   []*worker
+	isDecider []bool
+	sched     model.DenseSchedule
+
+	halted  []bool
+	decided []bool
+
+	cm         []model.CMAdvice
+	sendOrd    []int
+	senders    []model.ProcessID
+	senderMsgs []model.Message
+	asked      []int            // indices asked in the current phase
+	recvs      []*model.RecvSet // pooled receive sets (TraceDecisionsOnly)
+}
+
+func newCoordState(cfg *engine.Config) *coordState {
+	n := len(cfg.Procs)
+	st := &coordState{
+		procs:      make([]model.ProcessID, 0, n),
+		index:      make(map[model.ProcessID]int, n),
+		workers:    make([]*worker, n),
+		isDecider:  make([]bool, n),
+		halted:     make([]bool, n),
+		decided:    make([]bool, n),
+		cm:         make([]model.CMAdvice, n),
+		sendOrd:    make([]int, n),
+		senders:    make([]model.ProcessID, 0, n),
+		senderMsgs: make([]model.Message, 0, n),
+		asked:      make([]int, 0, n),
+	}
+	for id := range cfg.Procs {
+		st.procs = append(st.procs, id)
+	}
+	sort.Slice(st.procs, func(i, j int) bool { return st.procs[i] < st.procs[j] })
+	for i, id := range st.procs {
+		st.index[id] = i
+		st.workers[i] = &worker{
+			id:   id,
+			auto: cfg.Procs[id],
+			req:  make(chan request),
+			resp: make(chan response),
+		}
+		_, st.isDecider[i] = cfg.Procs[id].(model.Decider)
+	}
+	st.sched = cfg.Crashes.Dense(st.procs)
+	return st
+}
+
+// recvPool recycles receive multisets across rounds and runs in
+// decisions-only mode.
+var recvPool = sync.Pool{New: func() any { return multiset.New[model.Message]() }}
+
 // Run executes the configured system with one goroutine per process and
 // returns the recorded execution. The configuration is interpreted exactly
-// as engine.Run interprets it.
+// as engine.Run interprets it, including Config.Trace.
 func Run(cfg engine.Config) (*engine.Result, error) {
 	if len(cfg.Procs) == 0 {
 		return nil, fmt.Errorf("runtime: no processes configured")
@@ -94,22 +160,13 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 		maxRounds = engine.DefaultMaxRounds
 	}
 
-	procs := make([]model.ProcessID, 0, len(cfg.Procs))
-	for id := range cfg.Procs {
-		procs = append(procs, id)
-	}
-	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	st := newCoordState(&cfg)
+	denseCM, _ := manager.(cm.DenseAdviser)
+	observer, _ := manager.(cm.Observer)
+	traceFull := cfg.Trace == engine.TraceFull
 
-	workers := make(map[model.ProcessID]*worker, len(procs))
 	var wg sync.WaitGroup
-	for _, id := range procs {
-		w := &worker{
-			id:   id,
-			auto: cfg.Procs[id],
-			req:  make(chan request),
-			resp: make(chan response),
-		}
-		workers[id] = w
+	for _, w := range st.workers {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -117,110 +174,142 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 		}()
 	}
 	defer func() {
-		for _, w := range workers {
+		for _, w := range st.workers {
 			close(w.req)
 		}
 		wg.Wait()
 	}()
 
-	exec := model.NewExecution(procs, cfg.Initial)
-	halted := make(map[model.ProcessID]bool, len(procs))
-	decided := make(map[model.ProcessID]bool, len(procs))
+	exec := model.NewExecution(st.procs, cfg.Initial)
+	if !traceFull {
+		st.recvs = make([]*model.RecvSet, len(st.procs))
+		for i := range st.recvs {
+			st.recvs[i] = recvPool.Get().(*model.RecvSet)
+		}
+		defer func() {
+			for _, rs := range st.recvs {
+				rs.Reset()
+				recvPool.Put(rs)
+			}
+		}()
+	}
+
+	var r int
+	aliveForCM := func(id model.ProcessID) bool {
+		i := st.index[id]
+		return !st.sched.CrashedForSend(i, r) && !st.halted[i]
+	}
 
 	rounds := 0
-	for r := 1; r <= maxRounds; r++ {
+	for r = 1; r <= maxRounds; r++ {
 		rounds = r
-		aliveForCM := func(id model.ProcessID) bool {
-			return !cfg.Crashes.CrashedForSend(id, r) && !halted[id]
+		if denseCM != nil {
+			denseCM.AdviseInto(r, st.procs, aliveForCM, st.cm)
+		} else {
+			advice := manager.Advise(r, st.procs, aliveForCM)
+			for i, id := range st.procs {
+				st.cm[i] = advice[id]
+			}
 		}
-		cmAdvice := manager.Advise(r, procs, aliveForCM)
 
 		// Message phase: fan out in parallel to all live workers, then
 		// collect. The collection order is fixed (sorted IDs), so the run
 		// is deterministic.
-		asked := make([]model.ProcessID, 0, len(procs))
-		for _, id := range procs {
-			if cfg.Crashes.CrashedForSend(id, r) || halted[id] {
+		st.asked = st.asked[:0]
+		for i := range st.procs {
+			st.sendOrd[i] = -1
+			if st.sched.CrashedForSend(i, r) || st.halted[i] {
 				continue
 			}
-			workers[id].req <- request{round: r, cm: cmAdvice[id]}
-			asked = append(asked, id)
+			st.workers[i].req <- request{round: r, cm: st.cm[i]}
+			st.asked = append(st.asked, i)
 		}
-		sent := make(map[model.ProcessID]model.Message, len(asked))
-		for _, id := range asked {
-			if out := <-workers[id].resp; out.sent != nil {
-				sent[id] = *out.sent
+		st.senders = st.senders[:0]
+		st.senderMsgs = st.senderMsgs[:0]
+		for _, i := range st.asked {
+			if out := <-st.workers[i].resp; out.sent != nil {
+				st.sendOrd[i] = len(st.senders)
+				st.senders = append(st.senders, st.procs[i])
+				st.senderMsgs = append(st.senderMsgs, *out.sent)
 			}
 		}
-		senders := make([]model.ProcessID, 0, len(sent))
-		for id := range sent {
-			senders = append(senders, id)
-		}
-		sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
 
-		plan := adversary.Plan(r, senders, procs)
+		plan := adversary.Plan(r, st.senders, st.procs)
 
 		// Deliver phase.
-		views := make(map[model.ProcessID]model.View, len(procs))
-		delivered := make([]model.ProcessID, 0, len(procs))
-		for _, id := range procs {
-			if cfg.Crashes.CrashedForSend(id, r) {
-				views[id] = model.View{
-					Crashed: true,
-					Recv:    multiset.New[model.Message](),
-					CD:      det.Advise(r, id, len(senders), 0),
-					CM:      cmAdvice[id],
-				}
-				continue
-			}
-			recv := multiset.New[model.Message]()
-			for _, snd := range senders {
-				msg := sent[snd]
-				if snd == id || plan(id, snd) {
-					recv.Add(msg)
-				}
-			}
-			advice := det.Advise(r, id, len(senders), recv.Len())
-
-			var sentMsg *model.Message
-			if m, ok := sent[id]; ok {
-				m := m
-				sentMsg = &m
-			}
-			views[id] = model.View{Sent: sentMsg, Recv: recv, CD: advice, CM: cmAdvice[id]}
-
-			if cfg.Crashes.CrashedForDeliver(id, r) || halted[id] {
-				continue
-			}
-			workers[id].req <- request{round: r, cm: cmAdvice[id], recv: recv, cd: advice}
-			delivered = append(delivered, id)
+		var views map[model.ProcessID]model.View
+		var sentCopies []model.Message
+		if traceFull {
+			views = make(map[model.ProcessID]model.View, len(st.procs))
+			sentCopies = make([]model.Message, len(st.senders))
+			copy(sentCopies, st.senderMsgs)
 		}
-		allDone := true
-		for _, id := range delivered {
-			out := <-workers[id].resp
-			if out.decided && !decided[id] {
-				decided[id] = true
-				exec.Decisions[id] = model.Decision{Value: out.decision, Round: r}
+		st.asked = st.asked[:0]
+		for i, id := range st.procs {
+			if st.sched.CrashedForSend(i, r) {
+				advice := det.Advise(r, id, len(st.senders), 0)
+				if traceFull {
+					views[id] = model.View{
+						Crashed: true,
+						Recv:    multiset.New[model.Message](),
+						CD:      advice,
+						CM:      st.cm[i],
+					}
+				}
+				continue
+			}
+			var recv *model.RecvSet
+			if traceFull {
+				recv = multiset.New[model.Message]()
+			} else {
+				recv = st.recvs[i]
+				recv.Reset()
+			}
+			for j, snd := range st.senders {
+				if snd == id || plan(id, snd) {
+					recv.Add(st.senderMsgs[j])
+				}
+			}
+			advice := det.Advise(r, id, len(st.senders), recv.Len())
+
+			if traceFull {
+				var sentMsg *model.Message
+				if st.sendOrd[i] >= 0 {
+					sentMsg = &sentCopies[st.sendOrd[i]]
+				}
+				views[id] = model.View{Sent: sentMsg, Recv: recv, CD: advice, CM: st.cm[i]}
+			}
+
+			if st.sched.CrashedForDeliver(i, r) || st.halted[i] {
+				continue
+			}
+			st.workers[i].req <- request{round: r, cm: st.cm[i], recv: recv, cd: advice}
+			st.asked = append(st.asked, i)
+		}
+		for _, i := range st.asked {
+			out := <-st.workers[i].resp
+			if out.decided && !st.decided[i] {
+				st.decided[i] = true
+				exec.Decisions[st.procs[i]] = model.Decision{Value: out.decision, Round: r}
 			}
 			if out.halted {
-				halted[id] = true
+				st.halted[i] = true
 			}
 		}
-		exec.Rounds = append(exec.Rounds, model.Round{Number: r, Views: views})
-
-		if obs, ok := manager.(cm.Observer); ok {
-			obs.Observe(r, len(senders))
+		if traceFull {
+			exec.Rounds = append(exec.Rounds, model.Round{Number: r, Views: views})
 		}
 
-		for _, id := range procs {
-			if cfg.Crashes.CrashedForDeliver(id, r) {
+		if observer != nil {
+			observer.Observe(r, len(st.senders))
+		}
+
+		allDone := true
+		for i := range st.procs {
+			if st.sched.CrashedForDeliver(i, r) {
 				continue
 			}
-			if _, isDecider := cfg.Procs[id].(model.Decider); !isDecider {
-				allDone = false
-				continue
-			}
-			if !decided[id] {
+			if !st.isDecider[i] || !st.decided[i] {
 				allDone = false
 			}
 		}
@@ -229,13 +318,16 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 		}
 	}
 
+	// Final sweep: same explicit liveness rule as the engine — only
+	// processes that actually crashed within the executed prefix are exempt.
 	allDecided := true
-	for _, id := range procs {
-		if cfg.Crashes.CrashedForDeliver(id, rounds) {
+	for i := range st.procs {
+		if st.sched.CrashedDuring(i, rounds) {
 			continue
 		}
-		if !decided[id] {
+		if !st.decided[i] {
 			allDecided = false
+			break
 		}
 	}
 	return &engine.Result{

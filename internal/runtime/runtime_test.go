@@ -130,6 +130,105 @@ func TestEquivalenceWithEngine(t *testing.T) {
 	}
 }
 
+// multiCrashConfig schedules crashes with both timings around the
+// stabilization round, over a lossy channel — the nastiest regime for
+// crash bookkeeping.
+func multiCrashConfig(seed int64) configFactory {
+	return func() engine.Config {
+		d := valueset.MustDomain(64)
+		procs := make(map[model.ProcessID]model.Automaton, 5)
+		initial := make(map[model.ProcessID]model.Value, 5)
+		for p := 1; p <= 5; p++ {
+			v := model.Value(p * 11 % 64)
+			procs[model.ProcessID(p)] = core.NewAlg2(d, v)
+			initial[model.ProcessID(p)] = v
+		}
+		return engine.Config{
+			Procs:   procs,
+			Initial: initial,
+			Detector: detector.New(detector.ZeroOAC, detector.WithRace(7),
+				detector.WithBehavior(detector.Noisy{P: 0.25, Rng: rng(seed)})),
+			CM:   cm.WakeUp{Stable: 7},
+			Loss: loss.ECF{Base: loss.NewProbabilistic(0.3, seed), From: 7},
+			Crashes: model.Schedule{
+				2: {Round: 3, Time: model.CrashBeforeSend},
+				4: {Round: 8, Time: model.CrashAfterSend},
+			},
+			MaxRounds: 300,
+		}
+	}
+}
+
+// TestEquivalenceUnderCrashesAndTraceModes runs crash-scheduled systems
+// through all four (engine|runtime) × (full|decisions-only) combinations:
+// decisions, rounds, and AllDecided must agree everywhere, and the two full
+// traces must be identical executions.
+func TestEquivalenceUnderCrashesAndTraceModes(t *testing.T) {
+	tests := []struct {
+		name    string
+		factory configFactory
+	}{
+		{"alg3 capture with crash", alg3Config(7)},
+		{"alg2 multi-crash", multiCrashConfig(23)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			withTrace := func(m engine.TraceMode) engine.Config {
+				cfg := tt.factory()
+				cfg.Trace = m
+				return cfg
+			}
+			engFull, err := engine.Run(withTrace(engine.TraceFull))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtFull, err := Run(withTrace(engine.TraceFull))
+			if err != nil {
+				t.Fatal(err)
+			}
+			engDec, err := engine.Run(withTrace(engine.TraceDecisionsOnly))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtDec, err := Run(withTrace(engine.TraceDecisionsOnly))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			results := map[string]*engine.Result{
+				"runtime/full": rtFull, "engine/decisions": engDec, "runtime/decisions": rtDec,
+			}
+			for name, res := range results {
+				if res.Rounds != engFull.Rounds {
+					t.Fatalf("%s: rounds = %d, engine/full = %d", name, res.Rounds, engFull.Rounds)
+				}
+				if res.AllDecided != engFull.AllDecided {
+					t.Fatalf("%s: AllDecided = %v, engine/full = %v", name, res.AllDecided, engFull.AllDecided)
+				}
+				if len(res.Decisions) != len(engFull.Decisions) {
+					t.Fatalf("%s: %d decisions, engine/full has %d", name, len(res.Decisions), len(engFull.Decisions))
+				}
+				for id, d := range engFull.Decisions {
+					if got, ok := res.Decisions[id]; !ok || got != d {
+						t.Fatalf("%s: process %d decided %v, engine/full %v", name, id, got, d)
+					}
+				}
+			}
+			// The two full traces must be indistinguishable to every process.
+			for _, id := range engFull.Execution.Procs {
+				if !engFull.Execution.IndistinguishableTo(rtFull.Execution, id, engFull.Rounds) {
+					t.Fatalf("process %d distinguishes engine from runtime executions", id)
+				}
+			}
+			// Decisions-only runs record no views.
+			if engDec.Execution.NumRounds() != 0 || rtDec.Execution.NumRounds() != 0 {
+				t.Fatalf("decisions-only runs recorded views: engine %d rounds, runtime %d rounds",
+					engDec.Execution.NumRounds(), rtDec.Execution.NumRounds())
+			}
+		})
+	}
+}
+
 // TestRuntimeSolvesConsensus is a direct correctness run on the runtime.
 func TestRuntimeSolvesConsensus(t *testing.T) {
 	res, err := Run(alg2Config(3)())
