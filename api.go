@@ -2,16 +2,13 @@ package adhocconsensus
 
 import (
 	"fmt"
+	"strings"
 
-	"adhocconsensus/internal/backoff"
-	"adhocconsensus/internal/cm"
-	"adhocconsensus/internal/core"
 	"adhocconsensus/internal/detector"
 	"adhocconsensus/internal/engine"
-	"adhocconsensus/internal/loss"
 	"adhocconsensus/internal/model"
-	"adhocconsensus/internal/runtime"
-	"adhocconsensus/internal/valueset"
+	"adhocconsensus/internal/sim"
+	"adhocconsensus/internal/stats"
 )
 
 // Value is a consensus input/decision value: an index into the value domain
@@ -200,18 +197,13 @@ type Decision = model.Decision
 
 // Run executes the configured system.
 func (c Config) Run() (*Report, error) {
-	cfg, err := c.build()
+	scenario, err := c.toScenario()
 	if err != nil {
 		return nil, err
 	}
-	var res *engine.Result
-	if c.UseGoroutines {
-		res, err = runtime.Run(*cfg)
-	} else {
-		res, err = engine.Run(*cfg)
-	}
+	res, err := sim.Run(scenario)
 	if err != nil {
-		return nil, err
+		return nil, apiErr(err)
 	}
 	report := &Report{
 		Decided:   res.AllDecided,
@@ -227,92 +219,55 @@ func (c Config) Run() (*Report, error) {
 	return report, nil
 }
 
-// build translates the public configuration into an engine configuration.
-func (c Config) build() (*engine.Config, error) {
-	if len(c.Values) == 0 {
-		return nil, fmt.Errorf("adhocconsensus: Values must be non-empty")
-	}
-	domainSize := c.Domain
-	if domainSize == 0 {
-		for _, v := range c.Values {
-			if uint64(v) >= domainSize {
-				domainSize = uint64(v) + 1
-			}
-		}
-	}
-	domain, err := valueset.NewDomain(domainSize)
-	if err != nil {
-		return nil, err
-	}
-	for i, v := range c.Values {
-		if !domain.Contains(v) {
-			return nil, fmt.Errorf("adhocconsensus: value %d of process %d outside domain of size %d", v, i+1, domainSize)
-		}
-	}
-
-	procs := make(map[model.ProcessID]model.Automaton, len(c.Values))
-	initial := make(map[model.ProcessID]model.Value, len(c.Values))
+// toScenario translates the public configuration into the internal
+// declarative scenario the sweep engine executes. The translation is
+// one-to-one: every default and seed offset matches the pre-sim builder,
+// so a Config reproduces its historical executions bit for bit.
+func (c Config) toScenario() (sim.Scenario, error) {
+	var alg sim.Algorithm
 	switch c.Algorithm {
 	case AlgorithmPropose:
-		for i, v := range c.Values {
-			procs[model.ProcessID(i+1)] = core.NewAlg1(v)
-		}
+		alg = sim.AlgPropose
 	case AlgorithmBitByBit:
-		for i, v := range c.Values {
-			procs[model.ProcessID(i+1)] = core.NewAlg2(domain, v)
-		}
+		alg = sim.AlgBitByBit
 	case AlgorithmTreeWalk:
-		for i, v := range c.Values {
-			procs[model.ProcessID(i+1)] = core.NewAlg3(domain, v)
-		}
+		alg = sim.AlgTreeWalk
 	case AlgorithmLeaderRelay:
-		idSpaceSize := c.IDSpace
-		if idSpaceSize == 0 {
-			idSpaceSize = 1 << 48
-		}
-		idSpace, err := valueset.NewDomain(idSpaceSize)
-		if err != nil {
-			return nil, err
-		}
-		ids := c.IDs
-		if len(ids) == 0 {
-			ids, err = valueset.RandomIDs(len(c.Values), idSpace, c.Seed+1)
-			if err != nil {
-				return nil, err
-			}
-		}
-		if len(ids) != len(c.Values) {
-			return nil, fmt.Errorf("adhocconsensus: %d IDs for %d processes", len(ids), len(c.Values))
-		}
-		seen := make(map[Value]bool, len(ids))
-		for _, id := range ids {
-			if seen[id] {
-				return nil, fmt.Errorf("adhocconsensus: duplicate ID %d", id)
-			}
-			seen[id] = true
-		}
-		for i, v := range c.Values {
-			procs[model.ProcessID(i+1)] = core.NewNonAnon(idSpace, domain, ids[i], v)
-		}
+		alg = sim.AlgLeaderRelay
 	default:
-		return nil, fmt.Errorf("adhocconsensus: unknown algorithm %v", c.Algorithm)
-	}
-	for i, v := range c.Values {
-		initial[model.ProcessID(i+1)] = v
+		return sim.Scenario{}, fmt.Errorf("adhocconsensus: unknown algorithm %v", c.Algorithm)
 	}
 
-	det, err := c.buildDetector()
-	if err != nil {
-		return nil, err
+	var cmMode sim.CMMode
+	switch c.Contention {
+	case ContentionAuto:
+		cmMode = sim.CMAuto
+	case ContentionWakeUp:
+		cmMode = sim.CMWakeUp
+	case ContentionLeader:
+		cmMode = sim.CMLeader
+	case ContentionBackoff:
+		cmMode = sim.CMBackoff
+	case ContentionNone:
+		cmMode = sim.CMNone
+	default:
+		return sim.Scenario{}, fmt.Errorf("adhocconsensus: unknown contention mode %d", c.Contention)
 	}
-	manager, err := c.buildContention()
-	if err != nil {
-		return nil, err
+
+	var lossMode sim.LossMode
+	switch c.Loss {
+	case LossNone:
+		lossMode = sim.LossNone
+	case LossProbabilistic:
+		lossMode = sim.LossProbabilistic
+	case LossCapture:
+		lossMode = sim.LossCapture
+	case LossDrop:
+		lossMode = sim.LossDrop
+	default:
+		return sim.Scenario{}, fmt.Errorf("adhocconsensus: unknown loss mode %d", c.Loss)
 	}
-	adversary, err := c.buildLoss()
-	if err != nil {
-		return nil, err
-	}
+
 	crashes := make(model.Schedule, len(c.Crashes))
 	for _, cr := range c.Crashes {
 		when := model.CrashBeforeSend
@@ -326,91 +281,110 @@ func (c Config) build() (*engine.Config, error) {
 	if c.TraceDecisionsOnly {
 		trace = engine.TraceDecisionsOnly
 	}
-	return &engine.Config{
-		Procs:     procs,
-		Initial:   initial,
-		Detector:  det,
-		CM:        manager,
-		Loss:      adversary,
-		Crashes:   crashes,
-		MaxRounds: c.MaxRounds,
-		Trace:     trace,
+	return sim.Scenario{
+		Algorithm:         alg,
+		Values:            c.Values,
+		Domain:            c.Domain,
+		IDs:               c.IDs,
+		IDSpace:           c.IDSpace,
+		Detector:          c.DetectorClass,
+		Race:              c.DetectorRace,
+		FalsePositiveRate: c.FalsePositiveRate,
+		CM:                cmMode,
+		Stable:            c.Stable,
+		Loss:              lossMode,
+		LossP:             c.LossP,
+		ECFRound:          c.ECFRound,
+		Crashes:           crashes,
+		MaxRounds:         c.MaxRounds,
+		Trace:             trace,
+		UseGoroutines:     c.UseGoroutines,
+		Seed:              c.Seed,
 	}, nil
 }
 
-// buildDetector resolves the detector class and behavior.
-func (c Config) buildDetector() (*detector.Detector, error) {
-	class := c.DetectorClass
-	if class == (DetectorClass{}) {
-		switch c.Algorithm {
-		case AlgorithmPropose:
-			class = detector.MajOAC
-		case AlgorithmTreeWalk:
-			class = detector.ZeroAC
-		default:
-			class = detector.ZeroOAC
-		}
+// apiErr rewrites internal sim errors into this package's public prefix,
+// preserving the error contract Config.Run has always had.
+func apiErr(err error) error {
+	if err == nil {
+		return nil
 	}
-	race := c.DetectorRace
-	if race == 0 {
-		race = 1
+	if msg, ok := strings.CutPrefix(err.Error(), "sim: "); ok {
+		return fmt.Errorf("adhocconsensus: %s", msg)
 	}
-	var behavior detector.Behavior = detector.Honest{}
-	if c.FalsePositiveRate > 0 {
-		behavior = detector.Noisy{P: c.FalsePositiveRate, Rng: newRng(c.Seed + 2)}
-	}
-	return detector.New(class, detector.WithRace(race), detector.WithBehavior(behavior)), nil
+	return err
 }
 
-// buildContention resolves the contention manager.
-func (c Config) buildContention() (cm.Service, error) {
-	stable := c.Stable
-	if stable == 0 {
-		stable = 1
-	}
-	mode := c.Contention
-	if mode == ContentionAuto {
-		if c.Algorithm == AlgorithmTreeWalk {
-			mode = ContentionNone
-		} else {
-			mode = ContentionWakeUp
-		}
-	}
-	switch mode {
-	case ContentionWakeUp:
-		return cm.WakeUp{Stable: stable}, nil
-	case ContentionLeader:
-		return cm.NewLeaderElection(stable), nil
-	case ContentionBackoff:
-		return backoff.New(c.Seed + 3), nil
-	case ContentionNone:
-		return cm.NoCM{}, nil
-	default:
-		return nil, fmt.Errorf("adhocconsensus: unknown contention mode %d", mode)
-	}
+// TrialStats aggregates a multi-trial run of one configuration.
+type TrialStats struct {
+	// Trials is the number of executed trials.
+	Trials int
+	// Decided counts trials in which every correct process decided.
+	Decided int
+	// Agreements counts trials by their (single) agreed value.
+	Agreements map[Value]int
+	// AgreementViolations counts trials that decided more than one value
+	// (possible only when the environment is outside the algorithm's
+	// requirements).
+	AgreementViolations int
+	// MinRounds/MeanRounds/MedianRounds/P95Rounds/MaxRounds summarize the
+	// executed round counts across trials.
+	MinRounds    int
+	MaxRounds    int
+	MeanRounds   float64
+	MedianRounds float64
+	P95Rounds    float64
 }
 
-// buildLoss resolves the loss adversary and the ECF wrapper.
-func (c Config) buildLoss() (loss.Adversary, error) {
-	var base loss.Adversary
-	switch c.Loss {
-	case LossNone:
-		base = loss.None{}
-	case LossProbabilistic:
-		base = loss.NewProbabilistic(c.LossP, c.Seed+4)
-	case LossCapture:
-		base = loss.NewCapture(c.LossP, c.LossP/4, c.Seed+4)
-	case LossDrop:
-		base = loss.Drop{}
-	default:
-		return nil, fmt.Errorf("adhocconsensus: unknown loss mode %d", c.Loss)
+// RunTrials executes the configuration `trials` times on a parallel worker
+// pool (workers <= 0 selects GOMAXPROCS) and aggregates the outcomes. Each
+// trial runs with its own deterministically derived seed — a splitmix64 mix
+// of Config.Seed and the trial index — so results are reproducible and
+// byte-identical for any worker count. Per-round traces are not recorded;
+// use Run for a single fully traced execution.
+func (c Config) RunTrials(trials, workers int) (*TrialStats, error) {
+	if trials < 1 {
+		trials = 1
 	}
-	ecf := c.ECFRound
-	if ecf == 0 && c.Algorithm != AlgorithmTreeWalk && c.Loss != LossDrop {
-		ecf = 1
+	c.TraceDecisionsOnly = true
+	base, err := c.toScenario()
+	if err != nil {
+		return nil, err
 	}
-	if ecf > 0 {
-		return loss.ECF{Base: base, From: ecf}, nil
+	// Validate once up front: configuration errors surface here with the
+	// public prefix instead of wrapped in per-trial sweep context.
+	if _, err := base.Materialize(); err != nil {
+		return nil, apiErr(err)
 	}
-	return base, nil
+	scenarios := make([]sim.Scenario, trials)
+	for t := range scenarios {
+		s := base
+		s.Seed = sim.TrialSeed(c.Seed, 0, t)
+		scenarios[t] = s
+	}
+	results, err := sim.Runner{Workers: workers}.Sweep(scenarios)
+	if err != nil {
+		return nil, apiErr(err)
+	}
+	st := &TrialStats{Trials: trials, Agreements: make(map[Value]int)}
+	rounds := stats.NewCollector(trials)
+	for i, r := range results {
+		rounds.Set(i, float64(r.Rounds))
+		if r.AllDecided {
+			st.Decided++
+		}
+		switch {
+		case len(r.DecidedValues) == 1:
+			st.Agreements[r.DecidedValues[0]]++
+		case len(r.DecidedValues) > 1:
+			st.AgreementViolations++
+		}
+	}
+	sum := rounds.Summary()
+	st.MinRounds = int(sum.Min)
+	st.MaxRounds = int(sum.Max)
+	st.MeanRounds = sum.Mean
+	st.MedianRounds = sum.Median
+	st.P95Rounds = sum.P95
+	return st, nil
 }

@@ -1,6 +1,7 @@
 package adhocconsensus
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -228,5 +229,71 @@ func TestExecutionExposed(t *testing.T) {
 	}
 	if err := report.Execution.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunTrialsAggregatesAndIsWorkerInvariant covers the public sweep
+// entry point: trials decide, the agreement histogram accounts for every
+// trial, and the aggregate is identical on 1 vs 4 workers (per-trial seeds
+// derive from Config.Seed, not from execution order).
+func TestRunTrialsAggregatesAndIsWorkerInvariant(t *testing.T) {
+	cfg := Config{
+		Algorithm: AlgorithmBitByBit,
+		Values:    []Value{3, 7, 7, 1},
+		Domain:    16,
+		Loss:      LossProbabilistic,
+		LossP:     0.4,
+		ECFRound:  6,
+		Stable:    6,
+	}
+	one, err := cfg.RunTrials(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Trials != 40 || one.Decided != 40 {
+		t.Fatalf("trials=%d decided=%d, want 40/40", one.Trials, one.Decided)
+	}
+	total := 0
+	for _, n := range one.Agreements {
+		total += n
+	}
+	if total+one.AgreementViolations != 40 {
+		t.Fatalf("agreement histogram covers %d trials, want 40", total)
+	}
+	if one.MinRounds < 1 || one.MaxRounds < one.MinRounds || one.MeanRounds == 0 {
+		t.Fatalf("implausible rounds summary: %+v", one)
+	}
+	four, err := cfg.RunTrials(40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, four) {
+		t.Fatalf("RunTrials differs across worker counts:\n1: %+v\n4: %+v", one, four)
+	}
+}
+
+func TestRunTrialsRejectsBadConfig(t *testing.T) {
+	if _, err := (Config{Algorithm: Algorithm(99), Values: []Value{1}}).RunTrials(3, 2); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	// Errors caught only at materialization must still carry the public
+	// prefix, without per-trial sweep context or internal prefixes.
+	_, err := Config{Algorithm: AlgorithmBitByBit}.RunTrials(3, 2)
+	if err == nil || !strings.HasPrefix(err.Error(), "adhocconsensus: ") || strings.Contains(err.Error(), "sim:") {
+		t.Fatalf("err = %v, want clean \"adhocconsensus: \" prefix", err)
+	}
+}
+
+// TestErrorsKeepPublicPrefix pins the error contract: configuration errors
+// surfaced by Run carry the package's own prefix, not the internal sim
+// package's.
+func TestErrorsKeepPublicPrefix(t *testing.T) {
+	_, err := Config{Algorithm: AlgorithmBitByBit, Values: []Value{9}, Domain: 4}.Run()
+	if err == nil || !strings.HasPrefix(err.Error(), "adhocconsensus: ") {
+		t.Fatalf("err = %v, want \"adhocconsensus: \" prefix", err)
+	}
+	_, err = Config{Algorithm: AlgorithmBitByBit}.Run()
+	if err == nil || !strings.HasPrefix(err.Error(), "adhocconsensus: ") {
+		t.Fatalf("err = %v, want \"adhocconsensus: \" prefix", err)
 	}
 }

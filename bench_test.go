@@ -13,6 +13,7 @@ package adhocconsensus
 
 import (
 	"fmt"
+	stdruntime "runtime"
 	"testing"
 
 	"adhocconsensus/internal/core"
@@ -23,6 +24,7 @@ import (
 	"adhocconsensus/internal/model"
 	"adhocconsensus/internal/multiset"
 	"adhocconsensus/internal/runtime"
+	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/valueset"
 )
 
@@ -81,6 +83,73 @@ func BenchmarkA3Substrates(b *testing.B) { benchTable(b, experiments.A3Substrate
 func BenchmarkM1MultihopFlood(b *testing.B) { benchTable(b, experiments.M1MultihopFlood) }
 
 // --- micro-benchmarks of the simulator and library ---
+
+// sweepParallelScenarios is the fixed grid BenchmarkSweepParallel executes:
+// Algorithm 2 across network sizes × loss rates × independently seeded
+// trials, decisions-only — the experiment-sweep hot path.
+func sweepParallelScenarios() []sim.Scenario {
+	domain := valueset.MustDomain(1 << 16)
+	base := sim.Scenario{
+		Algorithm: sim.AlgBitByBit,
+		Detector:  detector.ZeroOAC,
+		Race:      10,
+		Domain:    domain.Size,
+		CM:        sim.CMWakeUp,
+		Stable:    10,
+		ECFRound:  10,
+		Loss:      sim.LossProbabilistic,
+		MaxRounds: 4000,
+		Trace:     engine.TraceDecisionsOnly,
+	}
+	sizeAxis := make([]sim.Mutation, 0, 3)
+	for _, n := range []int{4, 8, 16} {
+		values := make([]model.Value, n)
+		for i := range values {
+			values[i] = model.Value(uint64(i*7919+1) % domain.Size)
+		}
+		sizeAxis = append(sizeAxis, func(s *sim.Scenario) { s.Values = values })
+	}
+	lossAxis := make([]sim.Mutation, 0, 3)
+	for _, p := range []float64{0.2, 0.35, 0.5} {
+		lossAxis = append(lossAxis, func(s *sim.Scenario) { s.LossP = p })
+	}
+	return sim.NewSweep(base).Seed(1).Axis(sizeAxis...).Axis(lossAxis...).Trials(8).Scenarios()
+}
+
+// BenchmarkSweepParallel prices the parallel sweep runner against the
+// sequential path on a fixed 72-scenario grid. The workers=1 case IS the
+// sequential path (the runner inlines it with no goroutines); at
+// GOMAXPROCS >= 4 the pooled case should show >= 2x wall-clock speedup.
+// Results are byte-identical across worker counts (asserted by the sim
+// package's determinism tests), so this measures pure scheduling gain.
+func BenchmarkSweepParallel(b *testing.B) {
+	scenarios := sweepParallelScenarios()
+	workerCounts := []int{1}
+	if w := stdruntime.GOMAXPROCS(0); w > 1 {
+		if w > 4 {
+			workerCounts = append(workerCounts, 4)
+		}
+		workerCounts = append(workerCounts, w)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			r := sim.Runner{Workers: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, err := r.Sweep(scenarios)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := range results {
+					if !results[k].AllDecided {
+						b.Fatalf("scenario %d undecided", k)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(scenarios))*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
 
 // BenchmarkEngineRoundThroughput measures raw simulated rounds per second
 // in the deterministic engine (Algorithm 2, lossy channel) across network

@@ -3,14 +3,18 @@
 // and §7.3, the executable lower bounds (Theorems 4, 6, 7, 8, 9), and the
 // ablations. Run with no arguments for all tables, or name experiments:
 //
-//	benchtab            # everything
-//	benchtab T3 T8 A1   # a subset
+//	benchtab                # everything
+//	benchtab T3 T8 A1       # a subset
+//	benchtab -workers 8 T2  # sweep on 8 workers (default GOMAXPROCS)
 //
-// The tables are produced by the same internal/experiments code the test
-// suite and the bench harness use.
+// Every experiment is a declarative scenario grid executed by the parallel
+// sweep runner (internal/sim); tables are byte-identical for any -workers
+// value. The tables are produced by the same internal/experiments code the
+// test suite and the bench harness use.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -26,6 +30,13 @@ func main() {
 }
 
 func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	workers := fs.Int("workers", 0, "worker-pool size for scenario sweeps (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	experiments.SetWorkers(*workers)
+
 	type experiment struct {
 		id string
 		fn func() (*experiments.Table, error)
@@ -45,8 +56,8 @@ func run(args []string) error {
 		{"A3", experiments.A3Substrates},
 		{"M1", experiments.M1MultihopFlood},
 	}
-	want := make(map[string]bool, len(args))
-	for _, a := range args {
+	want := make(map[string]bool, fs.NArg())
+	for _, a := range fs.Args() {
 		want[strings.ToUpper(a)] = true
 	}
 	ran := 0
@@ -66,7 +77,7 @@ func run(args []string) error {
 		}
 	}
 	if ran == 0 {
-		return fmt.Errorf("no experiment matches %v (valid: T1..T9, A1..A3, M1)", args)
+		return fmt.Errorf("no experiment matches %v (valid: T1..T9, A1..A3, M1)", fs.Args())
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) failed their internal checks", failed)

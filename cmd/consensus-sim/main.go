@@ -1,5 +1,10 @@
 // Command consensus-sim runs one consensus execution and prints the
 // decision, round count, and (optionally) the full round-by-round trace.
+// With -trials N it instead sweeps N independently seeded trials of the
+// same configuration on a parallel worker pool (-parallel, default
+// GOMAXPROCS) and prints aggregate statistics; per-trial seeds derive
+// deterministically from -seed, so the sweep output is identical for any
+// worker count.
 //
 // Examples:
 //
@@ -7,12 +12,14 @@
 //	consensus-sim -alg treewalk -values 12,60,33 -domain 64 -loss drop -trace
 //	consensus-sim -alg propose -values 5,9 -loss prob -p 0.4 -cst 12 -seed 7
 //	consensus-sim -alg leaderrelay -values 100,200,300 -domain 1048576 -idspace 16
+//	consensus-sim -alg bitbybit -values 3,7,7,1 -loss prob -p 0.4 -trials 1000 -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -43,6 +50,8 @@ func run(args []string) error {
 		trace     = fs.Bool("trace", false, "print the full execution trace")
 		jsonOut   = fs.Bool("json", false, "dump the execution as JSON to stdout")
 		gor       = fs.Bool("goroutines", false, "run the goroutine-per-process runtime")
+		trials    = fs.Int("trials", 1, "run this many independently seeded trials and print aggregate stats")
+		parallel  = fs.Int("parallel", 0, "worker-pool size for -trials (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +116,29 @@ func run(args []string) error {
 		cfg.ECFRound = 0 // the tree walk needs no delivery guarantee
 	}
 
+	if *trials > 1 {
+		if *trace || *jsonOut {
+			return fmt.Errorf("-trace and -json require a single run (drop -trials)")
+		}
+		st, err := cfg.RunTrials(*trials, *parallel)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("algorithm : %v\n", alg)
+		fmt.Printf("processes : %d\n", len(values))
+		fmt.Printf("trials    : %d\n", st.Trials)
+		fmt.Printf("decided   : %d/%d\n", st.Decided, st.Trials)
+		fmt.Printf("rounds    : min=%d med=%g mean=%.4g p95=%g max=%d\n",
+			st.MinRounds, st.MedianRounds, st.MeanRounds, st.P95Rounds, st.MaxRounds)
+		for _, va := range sortedAgreements(st.Agreements) {
+			fmt.Printf("  agreed on %d in %d trial(s)\n", uint64(va.value), va.trials)
+		}
+		if st.AgreementViolations > 0 {
+			fmt.Printf("  AGREEMENT VIOLATED in %d trial(s)\n", st.AgreementViolations)
+		}
+		return nil
+	}
+
 	report, err := cfg.Run()
 	if err != nil {
 		return err
@@ -135,4 +167,21 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// valueCount is one agreement-histogram entry.
+type valueCount struct {
+	value  adhocconsensus.Value
+	trials int
+}
+
+// sortedAgreements orders the agreement histogram by value for stable
+// output.
+func sortedAgreements(m map[adhocconsensus.Value]int) []valueCount {
+	out := make([]valueCount, 0, len(m))
+	for v, n := range m {
+		out = append(out, valueCount{v, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
 }

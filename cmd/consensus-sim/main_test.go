@@ -35,6 +35,8 @@ func TestRunFlagVariants(t *testing.T) {
 		{"-values", "1,2", "-trace"},
 		{"-values", "1,2", "-json"},
 		{"-values", "1,2", "-goroutines"},
+		{"-values", "3,7,7,1", "-loss", "prob", "-p", "0.4", "-trials", "20"},
+		{"-values", "3,7,7,1", "-trials", "8", "-parallel", "2"},
 	}
 	for _, args := range tests {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
@@ -53,6 +55,8 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"unknown algorithm", []string{"-alg", "paxos"}},
 		{"unknown loss", []string{"-loss", "wormhole"}},
 		{"bad value", []string{"-values", "1,x"}},
+		{"trace needs single run", []string{"-values", "1,2", "-trials", "5", "-trace"}},
+		{"json needs single run", []string{"-values", "1,2", "-trials", "5", "-json"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

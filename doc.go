@@ -66,7 +66,24 @@
 //	decisions only            1615         1317   (3.6× / 7.3×)
 //
 // BENCH_baseline.json records the full benchmark suite; regenerate it with
-// go test -run '^$' -bench . -benchmem.
+// go test -run '^$' -bench . -benchmem. BENCH_pr2.json snapshots the suite
+// after the declarative-scenario refactor.
+//
+// # Scenario sweeps
+//
+// Underneath the public Config sits a declarative scenario layer
+// (internal/sim): a run is a sim.Scenario value — algorithm, detector
+// class, contention manager, loss model, topology of crashes, seed — a
+// sweep is a grid of scenarios (sim.Sweep takes the cross-product of
+// mutation axes times a trial count), and a worker-pool runner executes
+// trials in parallel. Determinism is preserved by construction: every
+// randomized component is built inside its trial from the scenario's seed,
+// and per-trial seeds derive from the sweep seed via a splitmix64 mix of
+// (sweep seed, scenario index, trial index), so results are byte-identical
+// at any worker count. Config.Run translates to a Scenario internally;
+// Config.RunTrials exposes the parallel path publicly (cmd/consensus-sim
+// -trials/-parallel); every experiment table in internal/experiments is a
+// scenario grid on the same runner (cmd/benchtab -workers).
 //
 // # Quick start
 //

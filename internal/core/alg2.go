@@ -104,9 +104,14 @@ func (a *Alg2) Deliver(_ int, recv *model.RecvSet, cd model.CDAdvice, _ model.CM
 	}
 	switch a.phase {
 	case alg2Prepare:
-		values := estimateValues(recv)
-		if cd != model.CDCollision && len(values) > 0 {
-			a.estimate = minValue(values)
+		// Streaming minimum over the received estimates: the prepare rule
+		// only needs "did anyone send an estimate" and the smallest one, so
+		// no per-round value set is materialized (this map was the dominant
+		// allocation of experiment sweeps at large n).
+		if cd != model.CDCollision {
+			if v, ok := minEstimate(recv); ok {
+				a.estimate = v
+			}
 		}
 		a.decide = true
 		a.bit = 1
@@ -131,6 +136,21 @@ func (a *Alg2) Deliver(_ int, recv *model.RecvSet, cd model.CDAdvice, _ model.CM
 		}
 		a.phase = alg2Prepare
 	}
+}
+
+// minEstimate returns the minimum estimate-kind value in recv, reporting
+// whether any estimate was received at all. It allocates nothing.
+func minEstimate(recv *model.RecvSet) (model.Value, bool) {
+	var best model.Value
+	found := false
+	recv.Range(func(m model.Message, _ int) bool {
+		if m.Kind == model.KindEstimate && (!found || m.Value < best) {
+			best = m.Value
+			found = true
+		}
+		return true
+	})
+	return best, found
 }
 
 // Decided implements model.Decider.

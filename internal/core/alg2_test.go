@@ -6,6 +6,7 @@ import (
 	"adhocconsensus/internal/detector"
 	"adhocconsensus/internal/loss"
 	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/multiset"
 	"adhocconsensus/internal/valueset"
 )
 
@@ -173,5 +174,27 @@ func TestAlg2CycleRounds(t *testing.T) {
 	}
 	if a.Estimate() != 0 {
 		t.Fatal("Estimate accessor wrong")
+	}
+}
+
+// TestAlg2DeliverAllocationFree pins the streaming-minimum treatment of the
+// prepare phase: Deliver must not allocate in any phase (its scratch value
+// set used to dominate allocs/run in experiment sweeps at large n).
+func TestAlg2DeliverAllocationFree(t *testing.T) {
+	a := NewAlg2(valueset.MustDomain(1<<16), 5)
+	recv := multiset.New[model.Message]()
+	for i := 0; i < 8; i++ {
+		recv.Add(model.Message{Kind: model.KindEstimate, Value: model.Value(i*31 + 1)})
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		a.phase = alg2Prepare
+		a.Deliver(1, recv, model.CDNull, model.CMActive)
+		for a.phase == alg2Propose {
+			a.Deliver(2, recv, model.CDNull, model.CMPassive)
+		}
+		a.Deliver(3, recv, model.CDNull, model.CMPassive)
+	})
+	if allocs != 0 {
+		t.Fatalf("Alg2.Deliver allocates %.1f objects/cycle, want 0", allocs)
 	}
 }

@@ -276,9 +276,11 @@ func (e *election) deliver(recv *model.RecvSet, cd model.CDAdvice) {
 			e.estimate = e.id
 			e.pendingArm = false
 		}
-		values := estimateValues(recv)
-		if cd != model.CDCollision && len(values) > 0 {
-			e.estimate = minValue(values)
+		// Streaming minimum, like Alg2's prepare: no per-round value set.
+		if cd != model.CDCollision {
+			if v, ok := minEstimate(recv); ok {
+				e.estimate = v
+			}
 		}
 		e.decideFlag = true
 		e.bit = 1

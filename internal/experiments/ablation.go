@@ -5,11 +5,11 @@ import (
 
 	"adhocconsensus/internal/backoff"
 	"adhocconsensus/internal/cm"
-	"adhocconsensus/internal/core"
 	"adhocconsensus/internal/detector"
 	"adhocconsensus/internal/loss"
 	"adhocconsensus/internal/model"
 	"adhocconsensus/internal/roundsync"
+	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/stats"
 	"adhocconsensus/internal/valueset"
 )
@@ -27,42 +27,62 @@ func A1NoVetoAblation() (*Table, error) {
 	values := []model.Value{1, 1, 2, 2}
 	adversaries := []struct {
 		name string
-		mk   func(seed int64) loss.Adversary
+		mk   func(seed int64) func(*sim.Scenario) loss.Adversary
 	}{
-		{"exact-half partition", func(int64) loss.Adversary {
-			return loss.Partition{GroupOf: loss.SplitAt(3), Until: loss.NoRepair}
+		{"exact-half partition", func(int64) func(*sim.Scenario) loss.Adversary {
+			return partitionLoss(loss.Partition{GroupOf: loss.SplitAt(3), Until: loss.NoRepair})
 		}},
-		{"capture p=0.5", func(seed int64) loss.Adversary { return loss.NewCapture(0.5, 0.2, seed) }},
+		{"capture p=0.5", func(seed int64) func(*sim.Scenario) loss.Adversary {
+			return captureLoss(0.5, 0.2, seed)
+		}},
 	}
-	for _, variant := range []string{"full Alg 1", "no-veto ablation"} {
+	variants := []struct {
+		name string
+		alg  sim.Algorithm
+	}{
+		{"full Alg 1", sim.AlgPropose},
+		{"no-veto ablation", sim.AlgProposeNoVeto},
+	}
+	// Grid: variant × adversary × seed, 20 independently seeded trials per
+	// cell, all running concurrently.
+	var scenarios []sim.Scenario
+	for _, variant := range variants {
+		for _, adv := range adversaries {
+			for seed := int64(1); seed <= runs; seed++ {
+				s := baseScenario()
+				s.Name = fmt.Sprintf("A1/%s/%s/seed=%d", variant.name, adv.name, seed)
+				s.Algorithm = variant.alg
+				s.Detector = detector.HalfAC
+				s.BuildBehavior = minimalDetector
+				s.Values = values
+				s.BuildLoss = adv.mk(seed)
+				s.MaxRounds = 60
+				s.Seed = seed
+				s.PinSeed = true
+				scenarios = append(scenarios, s)
+			}
+		}
+	}
+	results, err := runGrid(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, variant := range variants {
 		for _, adv := range adversaries {
 			violations := 0
-			for seed := int64(1); seed <= runs; seed++ {
-				build := func(i int) model.Automaton {
-					if variant == "full Alg 1" {
-						return core.NewAlg1(values[i])
-					}
-					return core.NewAlg1NoVeto(values[i])
-				}
-				res, err := runAlgorithm(runEnv{
-					class:    detector.HalfAC,
-					behavior: detector.Minimal{},
-					base:     adv.mk(seed),
-					maxR:     60,
-				}, build, values)
-				if err != nil {
-					return nil, err
-				}
-				if len(res.Execution.DecidedValues()) > 1 {
+			for k := 0; k < runs; k++ {
+				if len(results[idx].DecidedValues) > 1 {
 					violations++
 				}
+				idx++
 			}
 			// The full algorithm under half-AC CAN violate (that is
 			// Theorem 6's point — see T8); what the ablation shows is that
 			// removing the veto phase makes violations strictly more
 			// frequent, including under non-adversarial stochastic loss.
 			t.Rows = append(t.Rows, Row{Cells: []string{
-				variant, adv.name, fmt.Sprint(runs), fmt.Sprint(violations),
+				variant.name, adv.name, fmt.Sprint(runs), fmt.Sprint(violations),
 			}})
 		}
 	}
@@ -96,37 +116,56 @@ func A2LossRateSweep() (*Table, error) {
 	}
 	domain := valueset.MustDomain(256)
 	const cst = 20
-	for _, alg := range []string{"Alg 1 (maj-◇AC)", "Alg 2 (0-◇AC)"} {
-		for _, p := range []float64{0.0, 0.2, 0.35, 0.5} {
-			var rounds []int
-			for seed := int64(1); seed <= 10; seed++ {
-				values := spreadValues(6, domain)
-				e := runEnv{
-					race:     cst,
-					cmStable: cst,
-					ecfFrom:  cst,
-					base:     loss.NewProbabilistic(p, seed),
-					behavior: detector.Noisy{P: p / 2, Rng: newRng(seed)},
-				}
-				var build func(i int) model.Automaton
-				if alg == "Alg 1 (maj-◇AC)" {
-					e.class = detector.MajOAC
-					build = alg1Build(values)
-				} else {
-					e.class = detector.ZeroOAC
-					build = alg2Build(domain, values)
-				}
-				res, err := runAlgorithm(e, build, values)
-				if err != nil {
-					return nil, err
-				}
-				if !consensusOK(res, nil) {
+	const seeds = 10
+	algs := []struct {
+		name  string
+		alg   sim.Algorithm
+		class detector.Class
+	}{
+		{"Alg 1 (maj-◇AC)", sim.AlgPropose, detector.MajOAC},
+		{"Alg 2 (0-◇AC)", sim.AlgBitByBit, detector.ZeroOAC},
+	}
+	rates := []float64{0.0, 0.2, 0.35, 0.5}
+	var scenarios []sim.Scenario
+	for _, alg := range algs {
+		for _, p := range rates {
+			for seed := int64(1); seed <= seeds; seed++ {
+				s := baseScenario()
+				s.Name = fmt.Sprintf("A2/%s/p=%.2f/seed=%d", alg.name, p, seed)
+				s.Algorithm = alg.alg
+				s.Detector = alg.class
+				s.Race = cst
+				s.Values = spreadValues(6, domain)
+				s.Domain = domain.Size
+				s.CM = sim.CMWakeUp
+				s.Stable = cst
+				s.ECFRound = cst
+				s.BuildBehavior = noisyDetector(p/2, seed)
+				s.BuildLoss = probLoss(p, seed)
+				s.Seed = seed
+				s.PinSeed = true
+				scenarios = append(scenarios, s)
+			}
+		}
+	}
+	results, err := runGrid(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, alg := range algs {
+		for _, p := range rates {
+			rounds := stats.NewCollector(seeds)
+			for k := 0; k < seeds; k++ {
+				res := results[idx]
+				if !res.ConsensusOK() {
 					t.Pass = false
 				}
-				rounds = append(rounds, res.Execution.LastDecisionRound())
+				rounds.Set(k, float64(res.LastDecisionRound))
+				idx++
 			}
 			t.Rows = append(t.Rows, Row{Cells: []string{
-				alg, fmt.Sprintf("%.0f%%", p*100), stats.SummarizeInts(rounds).String(),
+				alg.name, fmt.Sprintf("%.0f%%", p*100), rounds.Summary().String(),
 			}})
 		}
 	}
@@ -144,56 +183,76 @@ func A3Substrates() (*Table, error) {
 		Header: []string{"substrate", "parameter", "result"},
 		Pass:   true,
 	}
-	// Backoff stabilization rounds across sizes and seeds.
-	for _, n := range []int{2, 8, 32} {
+	// Backoff stabilization rounds across sizes and seeds: every (n, seed)
+	// pair is one independent trial of the parallel map.
+	sizes := []int{2, 8, 32}
+	const seeds = 20
+	type backoffTrial struct {
+		rounds int
+		ok     bool
+	}
+	trials := make([]backoffTrial, len(sizes)*seeds)
+	runner().Map(len(trials), func(i int) {
+		n := sizes[i/seeds]
+		seed := int64(i%seeds) + 1
+		m := backoff.New(seed)
+		procs := make([]model.ProcessID, n)
+		for j := range procs {
+			procs[j] = model.ProcessID(j + 1)
+		}
+		var trace model.CMTrace
+		for r := 1; r <= 500; r++ {
+			adv := m.Advise(r, procs, func(model.ProcessID) bool { return true })
+			broadcasters := 0
+			for _, a := range adv {
+				if a == model.CMActive {
+					broadcasters++
+				}
+			}
+			m.Observe(r, broadcasters)
+			trace = append(trace, adv)
+			if _, ok := m.Stabilized(); ok {
+				break
+			}
+		}
+		rwake, err := cm.WakeUpStabilization(trace)
+		trials[i] = backoffTrial{rounds: rwake, ok: err == nil}
+	})
+	for si, n := range sizes {
 		var stab []int
-		for seed := int64(1); seed <= 20; seed++ {
-			m := backoff.New(seed)
-			procs := make([]model.ProcessID, n)
-			for i := range procs {
-				procs[i] = model.ProcessID(i + 1)
-			}
-			var trace model.CMTrace
-			for r := 1; r <= 500; r++ {
-				adv := m.Advise(r, procs, func(model.ProcessID) bool { return true })
-				broadcasters := 0
-				for _, a := range adv {
-					if a == model.CMActive {
-						broadcasters++
-					}
-				}
-				m.Observe(r, broadcasters)
-				trace = append(trace, adv)
-				if _, ok := m.Stabilized(); ok {
-					break
-				}
-			}
-			rwake, err := cm.WakeUpStabilization(trace)
-			if err != nil {
+		for k := 0; k < seeds; k++ {
+			trial := trials[si*seeds+k]
+			if !trial.ok {
 				t.Pass = false
 				continue
 			}
-			stab = append(stab, rwake)
+			stab = append(stab, trial.rounds)
 		}
 		t.Rows = append(t.Rows, Row{Cells: []string{
 			"backoff wake-up", fmt.Sprintf("n=%d", n), stats.SummarizeInts(stab).String(),
 		}})
 	}
-	// Round sync skew vs drift.
-	for _, drift := range []float64{10e-6, 50e-6, 500e-6} {
+	// Round sync skew vs drift, one deterministic simulation per drift.
+	drifts := []float64{10e-6, 50e-6, 500e-6}
+	reps := make([]*roundsync.Report, len(drifts))
+	errs := make([]error, len(drifts))
+	runner().Map(len(drifts), func(i int) {
 		cfg := roundsync.Config{
 			Nodes:          8,
-			MaxDrift:       drift,
+			MaxDrift:       drifts[i],
 			BeaconInterval: 10,
 			BeaconJitter:   1e-3,
 			RoundLength:    0.1,
 			Duration:       300,
 			Seed:           1,
 		}
-		rep, err := roundsync.Simulate(cfg)
-		if err != nil {
-			return nil, err
+		reps[i], errs[i] = roundsync.Simulate(cfg)
+	})
+	for i, drift := range drifts {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
+		rep := reps[i]
 		if rep.MaxSkew > rep.SkewBound || !rep.AgreementOutsideGuard {
 			t.Pass = false
 		}

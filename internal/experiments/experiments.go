@@ -9,19 +9,25 @@
 // non-anonymous min{lg|V|, lg|I|} result, and the lower-bound theorems. The
 // experiments measure all of them on the simulator and check the SHAPE the
 // paper predicts (who wins, by what growth rate, where the crossover falls).
+//
+// Every experiment is a scenario grid: it declares its runs as
+// []sim.Scenario up front, executes them through one shared parallel
+// runner (see SetWorkers), and renders rows from the digested results.
+// Trials are independently seeded, so tables are byte-identical regardless
+// of the worker count.
 package experiments
 
 import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 
-	"adhocconsensus/internal/cm"
-	"adhocconsensus/internal/core"
 	"adhocconsensus/internal/detector"
 	"adhocconsensus/internal/engine"
 	"adhocconsensus/internal/loss"
 	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/valueset"
 )
 
@@ -96,114 +102,89 @@ func spreadValues(n int, domain valueset.Domain) []model.Value {
 	return out
 }
 
-// runEnv bundles the environment used by the upper-bound experiments.
-type runEnv struct {
-	class    detector.Class
-	behavior detector.Behavior
-	race     int
-	cmStable int // 0 = NoCM
-	ecfFrom  int // 0 = no ECF
-	base     loss.Adversary
-	crashes  model.Schedule
-	maxR     int
-	// trace overrides the default decisions-only recording. Every current
-	// experiment reads only decision-derived observations (DecidedValues,
-	// LastDecisionRound, consensusOK), so runAlgorithm skips per-round view
-	// recording unless an experiment opts back into engine.TraceFull here.
-	trace *engine.TraceMode
-}
+// workerCount configures the shared runner; 0 selects GOMAXPROCS.
+var workerCount atomic.Int32
 
-// forcedTrace, when non-nil, overrides the trace mode of every
-// runAlgorithm call. Tests use it to prove experiment tables are
-// trace-mode-invariant.
-var forcedTrace *engine.TraceMode
+// SetWorkers sets the worker-pool size every experiment grid runs on
+// (0 or negative: GOMAXPROCS). Tables are byte-identical for any value;
+// cmd/benchtab exposes it as -workers.
+func SetWorkers(n int) { workerCount.Store(int32(n)) }
+
+// runner returns the shared parallel runner.
+func runner() sim.Runner { return sim.Runner{Workers: int(workerCount.Load())} }
+
+// forcedTrace, when >= 0, overrides the trace mode of every grid scenario.
+// Tests use it to prove experiment tables are trace-mode-invariant. The
+// value is atomic so a forced run can overlap a concurrent reader without a
+// race (the grids themselves read it once, before fan-out).
+var forcedTrace atomic.Int32
+
+func init() { forcedTrace.Store(-1) }
 
 // ForceTraceMode overrides the trace mode of all subsequent experiment
 // runs and returns a func restoring the previous behavior. Test-only hook:
 // decision-derived tables must be byte-identical under both modes.
 func ForceTraceMode(m engine.TraceMode) (restore func()) {
-	old := forcedTrace
-	forcedTrace = &m
-	return func() { forcedTrace = old }
+	old := forcedTrace.Swap(int32(m))
+	return func() { forcedTrace.Store(old) }
 }
 
-// runAlgorithm executes a factory-built system and returns the engine
-// result.
-func runAlgorithm(e runEnv, build func(i int) model.Automaton, values []model.Value) (*engine.Result, error) {
-	procs := make(map[model.ProcessID]model.Automaton, len(values))
-	initial := make(map[model.ProcessID]model.Value, len(values))
-	for i := range values {
-		procs[model.ProcessID(i+1)] = build(i)
-		initial[model.ProcessID(i+1)] = values[i]
+// baseScenario is the experiment-default environment: no contention
+// manager, no ECF, a 20k-round horizon, and decisions-only recording (no
+// current experiment inspects per-round views). Experiments override
+// per-scenario fields from here.
+func baseScenario() sim.Scenario {
+	return sim.Scenario{
+		CM:        sim.CMNone,
+		ECFRound:  sim.NoECF,
+		MaxRounds: 20000,
+		Trace:     engine.TraceDecisionsOnly,
 	}
-	behavior := e.behavior
-	if behavior == nil {
-		behavior = detector.Honest{}
-	}
-	race := e.race
-	if race == 0 {
-		race = 1
-	}
-	var svc cm.Service = cm.NoCM{}
-	if e.cmStable > 0 {
-		svc = cm.WakeUp{Stable: e.cmStable}
-	}
-	var adversary loss.Adversary = loss.None{}
-	if e.base != nil {
-		adversary = e.base
-	}
-	if e.ecfFrom > 0 {
-		adversary = loss.ECF{Base: adversary, From: e.ecfFrom}
-	}
-	maxR := e.maxR
-	if maxR == 0 {
-		maxR = 20000
-	}
-	trace := engine.TraceDecisionsOnly
-	if e.trace != nil {
-		trace = *e.trace
-	}
-	if forcedTrace != nil {
-		trace = *forcedTrace
-	}
-	return engine.Run(engine.Config{
-		Procs:     procs,
-		Initial:   initial,
-		Detector:  detector.New(e.class, detector.WithRace(race), detector.WithBehavior(behavior)),
-		CM:        svc,
-		Loss:      adversary,
-		Crashes:   e.crashes,
-		MaxRounds: maxR,
-		Trace:     trace,
-	})
 }
 
-// consensusOK reports whether the run satisfied agreement, strong validity,
-// and termination for the given crash schedule.
-func consensusOK(res *engine.Result, crashes model.Schedule) bool {
-	return engine.CheckAgreement(res) == nil &&
-		engine.CheckStrongValidity(res) == nil &&
-		engine.CheckTermination(res, crashes) == nil
+// runGrid executes a scenario grid on the shared runner, applying the
+// forced trace override first.
+func runGrid(scenarios []sim.Scenario) ([]sim.Result, error) {
+	if f := forcedTrace.Load(); f >= 0 {
+		for i := range scenarios {
+			scenarios[i].Trace = engine.TraceMode(f)
+		}
+	}
+	return runner().Sweep(scenarios)
 }
+
+// probLoss returns a factory for a seeded probabilistic adversary. The
+// adversary is constructed inside the trial, so concurrent trials never
+// share its generator.
+func probLoss(p float64, seed int64) func(*sim.Scenario) loss.Adversary {
+	return func(*sim.Scenario) loss.Adversary { return loss.NewProbabilistic(p, seed) }
+}
+
+// captureLoss returns a factory for a seeded capture-effect adversary.
+func captureLoss(pNone, pLoneLoss float64, seed int64) func(*sim.Scenario) loss.Adversary {
+	return func(*sim.Scenario) loss.Adversary { return loss.NewCapture(pNone, pLoneLoss, seed) }
+}
+
+// partitionLoss returns a factory for a partition adversary. Partition is
+// a stateless value type, so handing each trial its own copy satisfies the
+// BuildLoss freshness contract; the parameter is deliberately typed
+// loss.Partition (not loss.Adversary) so a stateful adversary with shared
+// scratch cannot be routed through here by mistake.
+func partitionLoss(p loss.Partition) func(*sim.Scenario) loss.Adversary {
+	return func(*sim.Scenario) loss.Adversary { return p }
+}
+
+// noisyDetector returns a factory for a seeded false-positive behavior.
+func noisyDetector(p float64, seed int64) func(*sim.Scenario) detector.Behavior {
+	return func(*sim.Scenario) detector.Behavior { return detector.Noisy{P: p, Rng: newRng(seed)} }
+}
+
+// minimalDetector is the factory for the adversarially quiet behavior.
+func minimalDetector(*sim.Scenario) detector.Behavior { return detector.Minimal{} }
 
 func yesNo(b bool) string {
 	if b {
 		return "yes"
 	}
 	return "no"
-}
-
-// alg2Build returns a builder for Algorithm 2 processes.
-func alg2Build(domain valueset.Domain, values []model.Value) func(i int) model.Automaton {
-	return func(i int) model.Automaton { return core.NewAlg2(domain, values[i]) }
-}
-
-// alg1Build returns a builder for Algorithm 1 processes.
-func alg1Build(values []model.Value) func(i int) model.Automaton {
-	return func(i int) model.Automaton { return core.NewAlg1(values[i]) }
-}
-
-// alg3Build returns a builder for Algorithm 3 processes.
-func alg3Build(domain valueset.Domain, values []model.Value) func(i int) model.Automaton {
-	return func(i int) model.Automaton { return core.NewAlg3(domain, values[i]) }
 }

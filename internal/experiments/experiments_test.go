@@ -109,3 +109,56 @@ func TestT8GapQuick(t *testing.T) {
 		t.Fatalf("T8 failed:\n%s", table)
 	}
 }
+
+// TestTablesWorkerCountInvariant pins the sweep-refactor guarantee at the
+// table level: rendered experiment output is byte-identical whether the
+// scenario grid runs on 1 worker (the sequential path) or a pool. T3
+// exercises seeded loss/noise; T4 crash schedules; T8 the partition
+// adversary.
+func TestTablesWorkerCountInvariant(t *testing.T) {
+	defer SetWorkers(0)
+	for _, exp := range []struct {
+		name string
+		fn   func() (*Table, error)
+	}{
+		{"T3", T3Alg2ValueSweep},
+		{"T4", T4Alg3NoCF},
+		{"T8", T8MajHalfGap},
+	} {
+		SetWorkers(1)
+		one, err := exp.fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetWorkers(4)
+		four, err := exp.fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if os, fs := one.String(), four.String(); os != fs {
+			t.Fatalf("%s differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", exp.name, os, fs)
+		}
+	}
+}
+
+// TestForceTraceModeRaceSafety hammers the trace-mode hook concurrently
+// with table generation; run under -race this proves the hook's atomic
+// storage (the old plain pointer was a data race once grids went parallel).
+func TestForceTraceModeRaceSafety(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			restore := ForceTraceMode(engine.TraceFull)
+			restore()
+		}
+	}()
+	SetWorkers(4)
+	defer SetWorkers(0)
+	for i := 0; i < 5; i++ {
+		if _, err := T8MajHalfGap(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}

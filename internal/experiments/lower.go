@@ -8,6 +8,7 @@ import (
 	"adhocconsensus/internal/loss"
 	"adhocconsensus/internal/lowerbound"
 	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/valueset"
 )
 
@@ -24,14 +25,34 @@ func T6HalfACLowerBound() (*Table, error) {
 	}
 	procs := []model.ProcessID{1, 2, 3}
 	alt := []model.ProcessID{101, 102, 103}
-	for _, size := range []uint64{64, 256, 4096} {
-		domain := valueset.MustDomain(size)
-		report, err := lowerbound.RunTheorem6(
-			func(v model.Value) model.Automaton { return core.NewAlg2(domain, v) },
+	sizes := []uint64{64, 256, 4096}
+
+	// The Theorem 6 pipeline is deterministic and seed-free; each report is
+	// one independent trial of the parallel map (the last slot is the
+	// Algorithm 1 composition).
+	reports := make([]*lowerbound.Theorem6Report, len(sizes)+1)
+	errs := make([]error, len(sizes)+1)
+	runner().Map(len(sizes)+1, func(i int) {
+		if i < len(sizes) {
+			domain := valueset.MustDomain(sizes[i])
+			reports[i], errs[i] = lowerbound.RunTheorem6(
+				func(v model.Value) model.Automaton { return core.NewAlg2(domain, v) },
+				procs, alt, domain)
+			return
+		}
+		// Algorithm 1 pretends half-AC is enough: the composition catches it.
+		domain := valueset.MustDomain(256)
+		reports[i], errs[i] = lowerbound.RunTheorem6(
+			func(v model.Value) model.Automaton { return core.NewAlg1(v) },
 			procs, alt, domain)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	for i, size := range sizes {
+		report := reports[i]
 		outcome := "bound respected (undecided at K)"
 		if !report.BoundRespected() {
 			outcome = "BOUND BROKEN"
@@ -42,14 +63,7 @@ func T6HalfACLowerBound() (*Table, error) {
 			yesNo(report.BothDecidedByK), outcome,
 		}})
 	}
-	// Algorithm 1 pretends half-AC is enough: the composition catches it.
-	domain := valueset.MustDomain(256)
-	report, err := lowerbound.RunTheorem6(
-		func(v model.Value) model.Automaton { return core.NewAlg1(v) },
-		procs, alt, domain)
-	if err != nil {
-		return nil, err
-	}
+	report := reports[len(sizes)]
 	outcome := "γ: agreement violated, indistinguishable, half-AC-legal"
 	if !report.CounterexampleExhibited() || !report.Gamma.Indistinguishable || !report.Gamma.DetectorLegal {
 		outcome = "composition FAILED"
@@ -73,8 +87,11 @@ func T7NonAnonLowerBound() (*Table, error) {
 		Header: []string{"|V|", "|I|", "K", "decided by K", "outcome"},
 		Pass:   true,
 	}
-	for _, size := range []uint64{16, 64} {
-		valD := valueset.MustDomain(size)
+	sizes := []uint64{16, 64}
+	reports := make([]*lowerbound.Theorem6Report, len(sizes))
+	errs := make([]error, len(sizes))
+	runner().Map(len(sizes), func(i int) {
+		valD := valueset.MustDomain(sizes[i])
 		idD := valueset.MustDomain(1 << 10)
 		factory := func(id model.ProcessID, v model.Value) model.Automaton {
 			return core.NewNonAnon(idD, valD, model.Value(id), v)
@@ -83,10 +100,15 @@ func T7NonAnonLowerBound() (*Table, error) {
 			{1, 2, 3}, {11, 12, 13}, {21, 22, 23},
 		}
 		k := lowerbound.Theorem6K(valD)
-		report, err := lowerbound.RunTheorem7(factory, subsets, valD, k)
+		reports[i], errs[i] = lowerbound.RunTheorem7(factory, subsets, valD, k)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	for i, size := range sizes {
+		report := reports[i]
 		outcome := "bound respected (undecided at K)"
 		if !report.BoundRespected() {
 			outcome = "BOUND BROKEN"
@@ -111,39 +133,46 @@ func T8MajHalfGap() (*Table, error) {
 		Header: []string{"detector", "n", "decisions", "agreement", "expected"},
 		Pass:   true,
 	}
-	for _, tc := range []struct {
+	const n = 4
+	cases := []struct {
 		class  detector.Class
 		expect string // "violated" or "safe"
 	}{
 		{detector.HalfAC, "violated"},
 		{detector.MajAC, "safe"},
-	} {
-		const n = 4
-		values := []model.Value{1, 1, 2, 2}
-		build := func(i int) model.Automaton { return core.NewAlg1(values[i]) }
-		res, err := runAlgorithm(runEnv{
-			class:    tc.class,
-			behavior: detector.Minimal{},
-			base:     loss.Partition{GroupOf: loss.SplitAt(model.ProcessID(n/2 + 1)), Until: loss.NoRepair},
-			maxR:     40,
-		}, build, values)
-		if err != nil {
-			return nil, err
-		}
-		decided := res.Execution.DecidedValues()
+	}
+	var scenarios []sim.Scenario
+	for _, tc := range cases {
+		s := baseScenario()
+		s.Name = "T8/" + tc.class.Name
+		s.Algorithm = sim.AlgPropose
+		s.Detector = tc.class
+		s.BuildBehavior = minimalDetector
+		s.Values = []model.Value{1, 1, 2, 2}
+		s.BuildLoss = partitionLoss(loss.Partition{GroupOf: loss.SplitAt(model.ProcessID(n/2 + 1)), Until: loss.NoRepair})
+		s.MaxRounds = 40
+		scenarios = append(scenarios, s)
+	}
+	results, err := runGrid(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range cases {
+		res := results[i]
+		violated := len(res.DecidedValues) > 1
 		agreement := "ok"
-		if len(decided) > 1 {
+		if violated {
 			agreement = "VIOLATED"
 		}
-		ok := (tc.expect == "violated") == (len(decided) > 1)
-		if tc.expect == "safe" && len(res.Decisions) != 0 {
+		ok := (tc.expect == "violated") == violated
+		if tc.expect == "safe" && res.Decisions != 0 {
 			ok = false // must not decide at all during a permanent partition
 		}
 		if !ok {
 			t.Pass = false
 		}
 		t.Rows = append(t.Rows, Row{Cells: []string{
-			tc.class.Name, fmt.Sprint(n), fmt.Sprint(len(res.Decisions)), agreement, tc.expect,
+			tc.class.Name, fmt.Sprint(n), fmt.Sprint(res.Decisions), agreement, tc.expect,
 		}})
 	}
 	t.Notes = append(t.Notes,
@@ -161,66 +190,74 @@ func T9Impossibility() (*Table, error) {
 		Pass:   true,
 	}
 	dv := valueset.MustDomain(16)
+	d64 := valueset.MustDomain(64)
 	pa := []model.ProcessID{1, 2, 3}
 	pb := []model.ProcessID{11, 12, 13}
 
-	// Theorem 4 — honest algorithm: no termination with NoCD.
-	r4h, err := lowerbound.RunTheorem4(
-		lowerbound.Anon(func(v model.Value) model.Automaton { return core.NewAlg2(dv, v) }),
-		pa, pb, 3, 9, 300)
-	if err != nil {
-		return nil, err
+	// The five constructions are independent and deterministic; run them as
+	// one parallel map, then assert in order.
+	var (
+		r4h, r4s *lowerbound.ImpossibilityReport
+		r8       *lowerbound.ImpossibilityReport
+		r9h, r9s *lowerbound.Theorem9Report
+	)
+	errs := make([]error, 5)
+	runner().Map(5, func(i int) {
+		switch i {
+		case 0:
+			// Theorem 4 — honest algorithm: no termination with NoCD.
+			r4h, errs[i] = lowerbound.RunTheorem4(
+				lowerbound.Anon(func(v model.Value) model.Automaton { return core.NewAlg2(dv, v) }),
+				pa, pb, 3, 9, 300)
+		case 1:
+			// Theorem 4 — timeout strawman: γ violates agreement.
+			r4s, errs[i] = lowerbound.RunTheorem4(
+				lowerbound.Anon(func(v model.Value) model.Automaton {
+					return &lowerbound.Timeout{Value: v, After: 5}
+				}), pa, pb, 3, 9, 300)
+		case 2:
+			// Theorem 8 — constant strawman: β violates uniform validity.
+			r8, errs[i] = lowerbound.RunTheorem8(
+				func(_ model.ProcessID, v model.Value) model.Automaton {
+					return lowerbound.NewConstant(v, 3, 6)
+				}, pa, pb, 3, 9, 300)
+		case 3:
+			// Theorem 9 — Algorithm 3 respects lg|V|−1.
+			r9h, errs[i] = lowerbound.RunTheorem9(
+				func(v model.Value) model.Automaton { return core.NewAlg3(d64, v) }, 3, d64)
+		case 4:
+			// Theorem 9 — the timeout strawman is caught by the composition.
+			r9s, errs[i] = lowerbound.RunTheorem9(
+				func(v model.Value) model.Automaton { return &lowerbound.Timeout{Value: v, After: 2} }, 3, d64)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
+
 	if !r4h.TerminationFailed {
 		t.Pass = false
 	}
 	t.Rows = append(t.Rows, Row{Cells: []string{"4 (NoCD)", "Alg 2", r4h.Detail}})
 
-	// Theorem 4 — timeout strawman: γ violates agreement.
-	r4s, err := lowerbound.RunTheorem4(
-		lowerbound.Anon(func(v model.Value) model.Automaton {
-			return &lowerbound.Timeout{Value: v, After: 5}
-		}), pa, pb, 3, 9, 300)
-	if err != nil {
-		return nil, err
-	}
 	if !r4s.AgreementViolated || !r4s.Indistinguishable {
 		t.Pass = false
 	}
 	t.Rows = append(t.Rows, Row{Cells: []string{"4 (NoCD)", "timeout strawman", r4s.Detail}})
 
-	// Theorem 8 — constant strawman: β violates uniform validity.
-	r8, err := lowerbound.RunTheorem8(
-		func(_ model.ProcessID, v model.Value) model.Automaton {
-			return lowerbound.NewConstant(v, 3, 6)
-		}, pa, pb, 3, 9, 300)
-	if err != nil {
-		return nil, err
-	}
 	if !r8.ValidityViolated || !r8.Indistinguishable {
 		t.Pass = false
 	}
 	t.Rows = append(t.Rows, Row{Cells: []string{"8 (◇AC, no ECF)", "constant strawman", r8.Detail}})
 
-	// Theorem 9 — Algorithm 3 respects lg|V|−1; the timeout strawman is
-	// caught by the composition.
-	d64 := valueset.MustDomain(64)
-	r9h, err := lowerbound.RunTheorem9(
-		func(v model.Value) model.Automaton { return core.NewAlg3(d64, v) }, 3, d64)
-	if err != nil {
-		return nil, err
-	}
 	if r9h.BothDecidedByK {
 		t.Pass = false
 	}
 	t.Rows = append(t.Rows, Row{Cells: []string{"9 (AC, no ECF)", "Alg 3",
 		fmt.Sprintf("undecided at K=%d: bound respected", r9h.K)}})
 
-	r9s, err := lowerbound.RunTheorem9(
-		func(v model.Value) model.Automaton { return &lowerbound.Timeout{Value: v, After: 2} }, 3, d64)
-	if err != nil {
-		return nil, err
-	}
 	if !r9s.AgreementViolated || !r9s.Indistinguishable {
 		t.Pass = false
 	}

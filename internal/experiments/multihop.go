@@ -33,48 +33,85 @@ func M1MultihopFlood() (*Table, error) {
 		{"grid-5x5", func() (*multihop.Topology, error) { return multihop.NewGrid(5, 5, 1, 1.1) }, 12, 4, 0.3},
 		{"grid-8x8", func() (*multihop.Topology, error) { return multihop.NewGrid(8, 8, 1, 1.1) }, 0, 4, 0.3},
 	}
-	lineRounds := make(map[string]float64)
-	for _, tc := range cases {
+	// Per-case metadata (node count, eccentricity) is computed once up
+	// front; the trials and the render loop share it read-only.
+	type caseInfo struct {
+		size int
+		ecc  int
+	}
+	infos := make([]caseInfo, len(cases))
+	for i, tc := range cases {
 		topo, err := tc.build()
 		if err != nil {
 			return nil, err
 		}
-		ecc := topo.Eccentricity(tc.source)
-		var rounds []int
-		ok := true
-		for seed := int64(1); seed <= 10; seed++ {
-			flooders := make([]*multihop.Flooder, topo.Size())
-			nodes := make([]multihop.Node, topo.Size())
-			for i := range nodes {
-				flooders[i] = multihop.NewFlooder(i, tc.slots, 3)
-				nodes[i] = flooders[i]
-			}
-			net, err := multihop.NewNetwork(topo, nodes, detector.ZeroAC, tc.lossP, seed)
-			if err != nil {
-				return nil, err
-			}
-			flooders[tc.source].Inject(model.Value(7))
-			covered := func() bool {
-				for _, f := range flooders {
-					if !f.Informed() {
-						return false
-					}
+		infos[i] = caseInfo{size: topo.Size(), ecc: topo.Eccentricity(tc.source)}
+	}
+
+	// Grid: every (case, seed) pair is one independent flood trial; each
+	// trial builds its own topology and network, so the parallel map shares
+	// no mutable state.
+	const seeds = 10
+	type floodTrial struct {
+		rounds int
+		ok     bool
+		err    error
+	}
+	trials := make([]floodTrial, len(cases)*seeds)
+	runner().Map(len(trials), func(i int) {
+		tc := cases[i/seeds]
+		seed := int64(i%seeds) + 1
+		topo, err := tc.build()
+		if err != nil {
+			trials[i] = floodTrial{err: err}
+			return
+		}
+		ecc := infos[i/seeds].ecc
+		flooders := make([]*multihop.Flooder, topo.Size())
+		nodes := make([]multihop.Node, topo.Size())
+		for j := range nodes {
+			flooders[j] = multihop.NewFlooder(j, tc.slots, 3)
+			nodes[j] = flooders[j]
+		}
+		net, err := multihop.NewNetwork(topo, nodes, detector.ZeroAC, tc.lossP, seed)
+		if err != nil {
+			trials[i] = floodTrial{err: err}
+			return
+		}
+		flooders[tc.source].Inject(model.Value(7))
+		covered := func() bool {
+			for _, f := range flooders {
+				if !f.Informed() {
+					return false
 				}
-				return true
 			}
-			r, done := net.RunUntil(covered, 5000)
-			if !done || r < ecc {
+			return true
+		}
+		r, done := net.RunUntil(covered, 5000)
+		trials[i] = floodTrial{rounds: r, ok: done && r >= ecc}
+	})
+
+	lineRounds := make(map[string]float64)
+	for ci, tc := range cases {
+		rounds := stats.NewCollector(seeds)
+		ok := true
+		for k := 0; k < seeds; k++ {
+			trial := trials[ci*seeds+k]
+			if trial.err != nil {
+				return nil, trial.err
+			}
+			if !trial.ok {
 				ok = false
 			}
-			rounds = append(rounds, r)
+			rounds.Set(k, float64(trial.rounds))
 		}
 		if !ok {
 			t.Pass = false
 		}
-		summary := stats.SummarizeInts(rounds)
+		summary := rounds.Summary()
 		lineRounds[tc.name] = summary.Median
 		t.Rows = append(t.Rows, Row{Cells: []string{
-			tc.name, fmt.Sprint(topo.Size()), fmt.Sprint(ecc),
+			tc.name, fmt.Sprint(infos[ci].size), fmt.Sprint(infos[ci].ecc),
 			fmt.Sprintf("%.0f%%", tc.lossP*100), summary.String(), yesNo(ok),
 		}})
 	}

@@ -3,10 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"adhocconsensus/internal/core"
 	"adhocconsensus/internal/detector"
-	"adhocconsensus/internal/loss"
 	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/valueset"
 )
 
@@ -23,54 +22,82 @@ func T1ClassMatrix() (*Table, error) {
 	domain := valueset.MustDomain(256)
 	values := spreadValues(4, domain)
 
+	// Grid: per class, an ECF run when a solvability theorem applies, and a
+	// NOCF run when the class supports the tree walk. The row renderer
+	// looks trials up by index.
+	type classRuns struct {
+		class     detector.Class
+		ecfLabel  string
+		ecf, nocf int // scenario indices, -1 = impossible
+	}
+	var scenarios []sim.Scenario
+	var runs []classRuns
 	for _, class := range detector.Classes() {
-		ecfResult, ecfRounds := "impossible (Thm 4/5)", "-"
+		cr := classRuns{class: class, ecf: -1, nocf: -1}
+		ecfBase := baseScenario()
+		ecfBase.Detector = class
+		ecfBase.Values = values
+		ecfBase.Domain = domain.Size
+		ecfBase.CM = sim.CMWakeUp
+		ecfBase.Stable = 1
+		ecfBase.ECFRound = 1
 		switch {
 		case class.SubclassOf(detector.MajOAC):
-			res, err := runAlgorithm(runEnv{class: class, cmStable: 1, ecfFrom: 1},
-				alg1Build(values), values)
-			if err != nil {
-				return nil, err
-			}
-			if !consensusOK(res, nil) {
-				t.Pass = false
-			}
-			ecfResult = "Alg 1: Θ(1) after CST"
-			ecfRounds = fmt.Sprint(res.Execution.LastDecisionRound())
+			ecfBase.Name = "T1/" + class.Name + "/ecf-alg1"
+			ecfBase.Algorithm = sim.AlgPropose
+			cr.ecfLabel = "Alg 1: Θ(1) after CST"
+			cr.ecf = len(scenarios)
+			scenarios = append(scenarios, ecfBase)
 		case class.SubclassOf(detector.ZeroOAC):
-			res, err := runAlgorithm(runEnv{class: class, cmStable: 1, ecfFrom: 1},
-				alg2Build(domain, values), values)
-			if err != nil {
-				return nil, err
-			}
-			if !consensusOK(res, nil) {
+			ecfBase.Name = "T1/" + class.Name + "/ecf-alg2"
+			ecfBase.Algorithm = sim.AlgBitByBit
+			cr.ecfLabel = "Alg 2: Θ(lg|V|) after CST"
+			cr.ecf = len(scenarios)
+			scenarios = append(scenarios, ecfBase)
+		}
+		if class != detector.NoCD && class != detector.NoACC && class.SubclassOf(detector.ZeroAC) {
+			nocf := baseScenario()
+			nocf.Name = "T1/" + class.Name + "/nocf-alg3"
+			nocf.Algorithm = sim.AlgTreeWalk
+			nocf.Detector = class
+			nocf.Values = values
+			nocf.Domain = domain.Size
+			nocf.Loss = sim.LossDrop
+			cr.nocf = len(scenarios)
+			scenarios = append(scenarios, nocf)
+		}
+		runs = append(runs, cr)
+	}
+	results, err := runGrid(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for _, cr := range runs {
+		ecfResult, ecfRounds := "impossible (Thm 4/5)", "-"
+		if cr.ecf >= 0 {
+			res := results[cr.ecf]
+			if !res.ConsensusOK() {
 				t.Pass = false
 			}
-			ecfResult = "Alg 2: Θ(lg|V|) after CST"
-			ecfRounds = fmt.Sprint(res.Execution.LastDecisionRound())
+			ecfResult = cr.ecfLabel
+			ecfRounds = fmt.Sprint(res.LastDecisionRound)
 		}
-
 		nocfResult, nocfRounds := "impossible (Thm 8)", "-"
-		switch {
-		case class == detector.NoCD || class == detector.NoACC:
+		if cr.class == detector.NoCD || cr.class == detector.NoACC {
 			nocfResult = "impossible (Thm 4/5)"
-		case class.SubclassOf(detector.ZeroAC):
-			res, err := runAlgorithm(runEnv{class: class, base: loss.Drop{}},
-				alg3Build(domain, values), values)
-			if err != nil {
-				return nil, err
-			}
-			if !consensusOK(res, nil) {
+		}
+		if cr.nocf >= 0 {
+			res := results[cr.nocf]
+			if !res.ConsensusOK() {
 				t.Pass = false
 			}
 			nocfResult = "Alg 3: Θ(lg|V|)"
-			nocfRounds = fmt.Sprint(res.Execution.LastDecisionRound())
+			nocfRounds = fmt.Sprint(res.LastDecisionRound)
 		}
-
 		t.Rows = append(t.Rows, Row{Cells: []string{
-			class.Name,
-			class.Completeness.String(),
-			class.Accuracy.String(),
+			cr.class.Name,
+			cr.class.Completeness.String(),
+			cr.class.Accuracy.String(),
 			ecfResult, ecfRounds, nocfResult, nocfRounds,
 		}})
 	}
@@ -90,37 +117,48 @@ func T2Alg1Termination() (*Table, error) {
 		Pass:   true,
 	}
 	domain := valueset.MustDomain(1 << 16)
+	type point struct{ n, cst int }
+	var grid []point
+	var scenarios []sim.Scenario
 	for _, n := range []int{2, 4, 8, 16, 32, 64} {
 		for _, cst := range []int{1, 10, 25} {
-			values := spreadValues(n, domain)
-			e := runEnv{
-				class:    detector.MajOAC,
-				race:     cst,
-				cmStable: cst,
-				ecfFrom:  cst,
-			}
+			s := baseScenario()
+			s.Name = fmt.Sprintf("T2/n=%d/cst=%d", n, cst)
+			s.Algorithm = sim.AlgPropose
+			s.Detector = detector.MajOAC
+			s.Race = cst
+			s.Values = spreadValues(n, domain)
+			s.Domain = domain.Size
+			s.CM = sim.CMWakeUp
+			s.Stable = cst
+			s.ECFRound = cst
 			if cst > 1 {
-				e.behavior = detector.Noisy{P: 0.3, Rng: newRng(int64(n))}
-				e.base = loss.NewProbabilistic(0.3, int64(n))
+				s.BuildBehavior = noisyDetector(0.3, int64(n))
+				s.BuildLoss = probLoss(0.3, int64(n))
 			}
-			res, err := runAlgorithm(e, alg1Build(values), values)
-			if err != nil {
-				return nil, err
-			}
-			// +1 slack: CST may land on a veto round (Lemma 8's "worst
-			// case, CST is a veto-phase round" gives CST+2; with CST
-			// falling mid-phase the next full cycle starts one later).
-			bound := cst + 3
-			ok := consensusOK(res, nil) && res.Execution.LastDecisionRound() <= bound
-			if !ok {
-				t.Pass = false
-			}
-			t.Rows = append(t.Rows, Row{Cells: []string{
-				fmt.Sprint(n), fmt.Sprint(cst),
-				fmt.Sprint(res.Execution.LastDecisionRound()),
-				fmt.Sprint(bound), yesNo(ok),
-			}})
+			grid = append(grid, point{n, cst})
+			scenarios = append(scenarios, s)
 		}
+	}
+	results, err := runGrid(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range grid {
+		res := results[i]
+		// +1 slack: CST may land on a veto round (Lemma 8's "worst
+		// case, CST is a veto-phase round" gives CST+2; with CST
+		// falling mid-phase the next full cycle starts one later).
+		bound := p.cst + 3
+		ok := res.ConsensusOK() && res.LastDecisionRound <= bound
+		if !ok {
+			t.Pass = false
+		}
+		t.Rows = append(t.Rows, Row{Cells: []string{
+			fmt.Sprint(p.n), fmt.Sprint(p.cst),
+			fmt.Sprint(res.LastDecisionRound),
+			fmt.Sprint(bound), yesNo(ok),
+		}})
 	}
 	t.Notes = append(t.Notes, "bound shown is CST+3: +2 from Theorem 1 plus cycle-alignment slack",
 		"|V|=65536 — constant in |V| and n, unlike Alg 2 (T3)")
@@ -135,30 +173,50 @@ func T3Alg2ValueSweep() (*Table, error) {
 		Header: []string{"|V|", "⌈lg|V|⌉", "CST", "decided at", "bound", "ok"},
 		Pass:   true,
 	}
+	type point struct {
+		size uint64
+		bw   int
+		cst  int
+	}
+	var grid []point
+	var scenarios []sim.Scenario
 	for _, size := range []uint64{2, 4, 16, 256, 1 << 16, 1 << 32} {
 		domain := valueset.MustDomain(size)
 		for _, cst := range []int{1, 15} {
-			values := spreadValues(5, domain)
-			e := runEnv{class: detector.ZeroOAC, race: cst, cmStable: cst, ecfFrom: cst}
+			s := baseScenario()
+			s.Name = fmt.Sprintf("T3/V=%d/cst=%d", size, cst)
+			s.Algorithm = sim.AlgBitByBit
+			s.Detector = detector.ZeroOAC
+			s.Race = cst
+			s.Values = spreadValues(5, domain)
+			s.Domain = size
+			s.CM = sim.CMWakeUp
+			s.Stable = cst
+			s.ECFRound = cst
 			if cst > 1 {
-				e.behavior = detector.Noisy{P: 0.3, Rng: newRng(int64(size % 1000))}
-				e.base = loss.NewProbabilistic(0.35, int64(size%1000))
+				s.BuildBehavior = noisyDetector(0.3, int64(size%1000))
+				s.BuildLoss = probLoss(0.35, int64(size%1000))
 			}
-			res, err := runAlgorithm(e, alg2Build(domain, values), values)
-			if err != nil {
-				return nil, err
-			}
-			bound := cst + 2*(domain.BitWidth()+1) + 1
-			ok := consensusOK(res, nil) && res.Execution.LastDecisionRound() <= bound
-			if !ok {
-				t.Pass = false
-			}
-			t.Rows = append(t.Rows, Row{Cells: []string{
-				fmt.Sprint(size), fmt.Sprint(domain.BitWidth()), fmt.Sprint(cst),
-				fmt.Sprint(res.Execution.LastDecisionRound()),
-				fmt.Sprint(bound), yesNo(ok),
-			}})
+			grid = append(grid, point{size, domain.BitWidth(), cst})
+			scenarios = append(scenarios, s)
 		}
+	}
+	results, err := runGrid(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range grid {
+		res := results[i]
+		bound := p.cst + 2*(p.bw+1) + 1
+		ok := res.ConsensusOK() && res.LastDecisionRound <= bound
+		if !ok {
+			t.Pass = false
+		}
+		t.Rows = append(t.Rows, Row{Cells: []string{
+			fmt.Sprint(p.size), fmt.Sprint(p.bw), fmt.Sprint(p.cst),
+			fmt.Sprint(res.LastDecisionRound),
+			fmt.Sprint(bound), yesNo(ok),
+		}})
 	}
 	t.Notes = append(t.Notes, "rounds grow as 2·lg|V|: one prepare/propose/accept cycle per decision attempt")
 	return t, nil
@@ -173,46 +231,56 @@ func T4Alg3NoCF() (*Table, error) {
 		Header: []string{"|V|", "height", "failures", "last crash", "decided at", "bound", "ok"},
 		Pass:   true,
 	}
+	type point struct {
+		size            uint64
+		h               int
+		failures, crash string
+		bound           int
+	}
+	var grid []point
+	var scenarios []sim.Scenario
 	for _, size := range []uint64{16, 256, 1 << 16} {
 		domain := valueset.MustDomain(size)
 		h := domain.Height()
 
 		// No failures.
-		values := spreadValues(4, domain)
-		res, err := runAlgorithm(runEnv{class: detector.ZeroAC, base: loss.Drop{}},
-			alg3Build(domain, values), values)
-		if err != nil {
-			return nil, err
-		}
-		bound := 8*h + 4
-		ok := consensusOK(res, nil) && res.Execution.LastDecisionRound() <= bound
-		if !ok {
-			t.Pass = false
-		}
-		t.Rows = append(t.Rows, Row{Cells: []string{
-			fmt.Sprint(size), fmt.Sprint(h), "none", "-",
-			fmt.Sprint(res.Execution.LastDecisionRound()), fmt.Sprint(bound), yesNo(ok),
-		}})
+		clean := baseScenario()
+		clean.Name = fmt.Sprintf("T4/V=%d/clean", size)
+		clean.Algorithm = sim.AlgTreeWalk
+		clean.Detector = detector.ZeroAC
+		clean.Values = spreadValues(4, domain)
+		clean.Domain = size
+		clean.Loss = sim.LossDrop
+		grid = append(grid, point{size, h, "none", "-", 8*h + 4})
+		scenarios = append(scenarios, clean)
 
 		// Deep-left crash: min-value process leads the walk left, dies at
 		// its leaf; the rest must climb back (the §7.4 discussion).
-		deepValues := []model.Value{0, model.Value(size - 2), model.Value(size - 1)}
 		crashRound := 4*h - 3
-		crashes := model.Schedule{1: {Round: crashRound, Time: model.CrashBeforeSend}}
-		res, err = runAlgorithm(
-			runEnv{class: detector.ZeroAC, base: loss.Drop{}, crashes: crashes},
-			alg3Build(domain, deepValues), deepValues)
-		if err != nil {
-			return nil, err
-		}
-		bound = crashRound + 8*h + 4
-		ok = consensusOK(res, crashes) && res.Execution.LastDecisionRound() <= bound
+		deep := baseScenario()
+		deep.Name = fmt.Sprintf("T4/V=%d/deep-left", size)
+		deep.Algorithm = sim.AlgTreeWalk
+		deep.Detector = detector.ZeroAC
+		deep.Values = []model.Value{0, model.Value(size - 2), model.Value(size - 1)}
+		deep.Domain = size
+		deep.Loss = sim.LossDrop
+		deep.Crashes = model.Schedule{1: {Round: crashRound, Time: model.CrashBeforeSend}}
+		grid = append(grid, point{size, h, "deep-left crash", fmt.Sprint(crashRound), crashRound + 8*h + 4})
+		scenarios = append(scenarios, deep)
+	}
+	results, err := runGrid(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range grid {
+		res := results[i]
+		ok := res.ConsensusOK() && res.LastDecisionRound <= p.bound
 		if !ok {
 			t.Pass = false
 		}
 		t.Rows = append(t.Rows, Row{Cells: []string{
-			fmt.Sprint(size), fmt.Sprint(h), "deep-left crash", fmt.Sprint(crashRound),
-			fmt.Sprint(res.Execution.LastDecisionRound()), fmt.Sprint(bound), yesNo(ok),
+			fmt.Sprint(p.size), fmt.Sprint(p.h), p.failures, p.crash,
+			fmt.Sprint(res.LastDecisionRound), fmt.Sprint(p.bound), yesNo(ok),
 		}})
 	}
 	t.Notes = append(t.Notes,
@@ -229,6 +297,14 @@ func T5Crossover() (*Table, error) {
 		Header: []string{"|V|", "|I|", "regime", "decided at", "Alg2-on-V bound", "ok"},
 		Pass:   true,
 	}
+	type point struct {
+		vSize, iSize uint64
+		regime       string
+		bound        int
+		alg2Bound    int
+	}
+	var grid []point
+	var scenarios []sim.Scenario
 	for _, tc := range []struct {
 		vSize, iSize uint64
 	}{
@@ -241,19 +317,22 @@ func T5Crossover() (*Table, error) {
 		valD := valueset.MustDomain(tc.vSize)
 		idD := valueset.MustDomain(tc.iSize)
 		n := 4
-		values := spreadValues(n, valD)
 		ids, err := valueset.RandomIDs(n, idD, 99)
 		if err != nil {
 			return nil, err
 		}
-		build := func(i int) model.Automaton {
-			return core.NewNonAnon(idD, valD, ids[i], values[i])
-		}
-		res, err := runAlgorithm(runEnv{class: detector.ZeroOAC, cmStable: 1, ecfFrom: 1, maxR: 5000},
-			build, values)
-		if err != nil {
-			return nil, err
-		}
+		s := baseScenario()
+		s.Name = fmt.Sprintf("T5/V=%d/I=%d", tc.vSize, tc.iSize)
+		s.Algorithm = sim.AlgLeaderRelay
+		s.Detector = detector.ZeroOAC
+		s.Values = spreadValues(n, valD)
+		s.Domain = tc.vSize
+		s.IDs = ids
+		s.IDSpace = tc.iSize
+		s.CM = sim.CMWakeUp
+		s.Stable = 1
+		s.ECFRound = 1
+		s.MaxRounds = 5000
 		regime := "leader relay (lg|I| wins)"
 		// Bound: election within 2 ID-cycles of phase-1 rounds (x3 global)
 		// plus two dissemination triples.
@@ -262,15 +341,23 @@ func T5Crossover() (*Table, error) {
 			regime = "plain Alg 2 (lg|V| wins)"
 			bound = 2*(valD.BitWidth()+1) + 1
 		}
-		alg2Bound := 2 * (valD.BitWidth() + 1)
-		ok := consensusOK(res, nil) && res.Execution.LastDecisionRound() <= bound
+		grid = append(grid, point{tc.vSize, tc.iSize, regime, bound, 2 * (valD.BitWidth() + 1)})
+		scenarios = append(scenarios, s)
+	}
+	results, err := runGrid(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range grid {
+		res := results[i]
+		ok := res.ConsensusOK() && res.LastDecisionRound <= p.bound
 		if !ok {
 			t.Pass = false
 		}
 		t.Rows = append(t.Rows, Row{Cells: []string{
-			fmt.Sprint(tc.vSize), fmt.Sprint(tc.iSize), regime,
-			fmt.Sprint(res.Execution.LastDecisionRound()),
-			fmt.Sprint(alg2Bound), yesNo(ok),
+			fmt.Sprint(p.vSize), fmt.Sprint(p.iSize), p.regime,
+			fmt.Sprint(res.LastDecisionRound),
+			fmt.Sprint(p.alg2Bound), yesNo(ok),
 		}})
 	}
 	t.Notes = append(t.Notes,

@@ -86,13 +86,17 @@ func (e ECF) Plan(r int, senders, procs []model.ProcessID) DeliveryFunc {
 // Section 1.1. Draws are made in deterministic order, so runs with equal
 // seeds are identical.
 //
-// The adversary reuses an internal loss matrix between rounds, so the
-// DeliveryFunc returned by Plan is valid only until the next Plan call.
+// The adversary reuses an internal loss matrix and its DeliveryFunc between
+// rounds — steady-state Plan calls allocate nothing — so the func returned
+// by Plan is valid only until the next Plan call.
 type Probabilistic struct {
 	P   float64
 	Rng *rand.Rand
 
-	lost []bool // len(procs)×len(senders) scratch, row-major by receiver
+	lost    []bool // len(procs)×len(senders) scratch, row-major by receiver
+	procs   []model.ProcessID
+	senders []model.ProcessID
+	fn      DeliveryFunc // cached closure over the scratch state
 }
 
 // NewProbabilistic returns a probabilistic adversary with its own seeded
@@ -121,14 +125,20 @@ func (a *Probabilistic) Plan(_ int, senders, procs []model.ProcessID) DeliveryFu
 			row[j] = a.Rng.Float64() < a.P
 		}
 	}
-	return func(rcv, snd model.ProcessID) bool {
-		i, ok1 := slices.BinarySearch(procs, rcv)
-		j, ok2 := slices.BinarySearch(senders, snd)
-		if !ok1 || !ok2 {
-			return true
+	a.lost = lost
+	a.procs = procs
+	a.senders = senders
+	if a.fn == nil {
+		a.fn = func(rcv, snd model.ProcessID) bool {
+			i, ok1 := slices.BinarySearch(a.procs, rcv)
+			j, ok2 := slices.BinarySearch(a.senders, snd)
+			if !ok1 || !ok2 {
+				return true
+			}
+			return !a.lost[i*len(a.senders)+j]
 		}
-		return !lost[i*k+j]
 	}
+	return a.fn
 }
 
 // Capture models the capture effect (Section 1.1, [71]): when two or more
@@ -137,10 +147,21 @@ func (a *Probabilistic) Plan(_ int, senders, procs []model.ProcessID) DeliveryFu
 // receiver — so different receivers may capture different senders) or
 // receives nothing. Lone broadcasts are delivered with probability
 // 1−PLoneLoss, modeling outside interference.
+//
+// Like Probabilistic, the adversary keeps a dense per-receiver scratch (the
+// index of the captured sender) and a cached DeliveryFunc between rounds,
+// so steady-state Plan calls allocate nothing; the func returned by Plan is
+// valid only until the next Plan call.
 type Capture struct {
 	PNone     float64 // probability a receiver captures nothing in a collision
 	PLoneLoss float64 // probability a lone broadcast is lost at a receiver
 	Rng       *rand.Rand
+
+	lone    bool    // this round has a single sender
+	capt    []int32 // per-receiver captured sender index, -1 = nothing
+	procs   []model.ProcessID
+	senders []model.ProcessID
+	fn      DeliveryFunc // cached closure over the scratch state
 }
 
 // NewCapture returns a capture-effect adversary with its own seeded
@@ -149,31 +170,54 @@ func NewCapture(pNone, pLoneLoss float64, seed int64) *Capture {
 	return &Capture{PNone: pNone, PLoneLoss: pLoneLoss, Rng: rand.New(rand.NewSource(seed))}
 }
 
-// Plan implements Adversary.
+// Plan implements Adversary. Draw order (one Float64 per receiver, plus an
+// Intn sender pick for capturing receivers in a collision, lone senders
+// skipping their own draw) is identical to every earlier version, so equal
+// seeds keep producing identical executions.
 func (a *Capture) Plan(_ int, senders, procs []model.ProcessID) DeliveryFunc {
 	if len(senders) == 0 {
 		return deliverNone
 	}
-	if len(senders) == 1 {
-		lost := make(map[model.ProcessID]bool)
-		for _, rcv := range procs {
+	if cap(a.capt) < len(procs) {
+		a.capt = make([]int32, len(procs))
+	}
+	a.capt = a.capt[:len(procs)]
+	a.procs = procs
+	a.senders = senders
+	a.lone = len(senders) == 1
+	if a.lone {
+		for i, rcv := range procs {
+			a.capt[i] = 0 // the lone sender
 			if rcv != senders[0] && a.Rng.Float64() < a.PLoneLoss {
-				lost[rcv] = true
+				a.capt[i] = -1
 			}
 		}
-		return func(rcv, _ model.ProcessID) bool { return !lost[rcv] }
-	}
-	captured := make(map[model.ProcessID]model.ProcessID, len(procs))
-	for _, rcv := range procs {
-		if a.Rng.Float64() < a.PNone {
-			continue // captures nothing
+	} else {
+		for i := range procs {
+			if a.Rng.Float64() < a.PNone {
+				a.capt[i] = -1 // captures nothing
+				continue
+			}
+			a.capt[i] = int32(a.Rng.Intn(len(senders)))
 		}
-		captured[rcv] = senders[a.Rng.Intn(len(senders))]
 	}
-	return func(rcv, snd model.ProcessID) bool {
-		got, ok := captured[rcv]
-		return ok && got == snd
+	if a.fn == nil {
+		a.fn = func(rcv, snd model.ProcessID) bool {
+			i, ok := slices.BinarySearch(a.procs, rcv)
+			if a.lone {
+				// A lone broadcast either arrives or not, regardless of the
+				// queried sender (mirroring the engine, which only asks about
+				// actual senders); unknown receivers are not lost.
+				return !ok || a.capt[i] >= 0
+			}
+			j, ok2 := slices.BinarySearch(a.senders, snd)
+			if !ok || !ok2 {
+				return false
+			}
+			return a.capt[i] == int32(j)
+		}
 	}
+	return a.fn
 }
 
 // Partition splits the processes into groups and loses every cross-group

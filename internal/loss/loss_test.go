@@ -216,6 +216,45 @@ func TestCaptureNoSenders(t *testing.T) {
 	}
 }
 
+// TestCaptureSteadyStateAllocationFree pins the dense-scratch treatment:
+// after the first round warms the scratch and the cached DeliveryFunc,
+// Plan must not allocate in either the collision or the lone-sender
+// regime (mirroring Probabilistic below).
+func TestCaptureSteadyStateAllocationFree(t *testing.T) {
+	a := NewCapture(0.3, 0.2, 9)
+	manySenders := []model.ProcessID{1, 2, 3}
+	lone := []model.ProcessID{2}
+	a.Plan(1, manySenders, procs)
+	a.Plan(2, lone, procs)
+	r := 3
+	allocs := testing.AllocsPerRun(200, func() {
+		plan := a.Plan(r, manySenders, procs)
+		plan(4, 1)
+		plan = a.Plan(r+1, lone, procs)
+		plan(4, 2)
+		r += 2
+	})
+	if allocs != 0 {
+		t.Fatalf("Capture.Plan allocates %.1f objects/round in steady state, want 0", allocs)
+	}
+}
+
+// TestProbabilisticSteadyStateAllocationFree pins the same property for the
+// probabilistic adversary (the experiment-sweep hot path).
+func TestProbabilisticSteadyStateAllocationFree(t *testing.T) {
+	a := NewProbabilistic(0.3, 9)
+	a.Plan(1, senders, procs)
+	r := 2
+	allocs := testing.AllocsPerRun(200, func() {
+		plan := a.Plan(r, senders, procs)
+		plan(4, 1)
+		r++
+	})
+	if allocs != 0 {
+		t.Fatalf("Probabilistic.Plan allocates %.1f objects/round in steady state, want 0", allocs)
+	}
+}
+
 func TestPartitionBlocksCrossGroup(t *testing.T) {
 	p := Partition{GroupOf: SplitAt(3), Until: 10}
 	plan := p.Plan(5, senders, procs)

@@ -1,0 +1,44 @@
+// Package sim is the declarative scenario layer between the public API /
+// experiment tables and the round engine. It exists so that a consensus run
+// is DATA — a [Scenario] value naming the algorithm, detector class,
+// contention manager, loss model, crash schedule, and seed — rather than
+// bespoke driver code wiring automata, adversaries, and RNGs by hand.
+//
+// # The model
+//
+//   - [Scenario] describes one run. Zero values select the same defaults the
+//     public Config has always used (weakest tolerable detector class,
+//     wake-up service stable from round 1 when the algorithm wants one, ECF
+//     from round 1 unless the algorithm needs none, 100k max rounds). Every
+//     randomized component derives from Scenario.Seed with the historical
+//     offsets (+1 IDs, +2 detector noise, +3 backoff, +4 loss), so a
+//     Scenario built from a public Config reproduces the pre-sim executions
+//     bit for bit. Escape hatches (BuildProc, BuildLoss, BuildBehavior) let
+//     the experiment tables install bespoke automata and adversaries; they
+//     are factories invoked inside the running trial, never shared values,
+//     so trials stay independent.
+//   - [Sweep] builds grids: a base Scenario, axes of mutations (the
+//     cross-product is taken in axis order, later axes fastest), and a
+//     trial count. Expansion assigns every (grid point, trial) its own seed
+//     via [TrialSeed] — a splitmix64 mix of the sweep seed, the scenario
+//     index, and the trial index — unless the grid point pinned one
+//     (Scenario.PinSeed). No two trials share a generator, which is what
+//     makes the runner free to execute them in any order.
+//   - [Runner] executes trials on a worker pool. Results land in a slot
+//     array indexed by scenario position, so the output — and any
+//     aggregation built on it, e.g. stats.Collector — is byte-identical
+//     regardless of Workers. Runner.Map is the generic parallel-for used by
+//     experiments whose trials are not engine runs (lower-bound pipelines,
+//     multihop floods, substrate measurements).
+//
+// # Determinism
+//
+// A trial is deterministic because everything stateful is constructed
+// inside it: Run materializes the Scenario (automata, detector behavior,
+// contention manager, loss adversary, each seeded from Scenario.Seed) and
+// only then drives the engine. The contract for Build* factories is the
+// same — construct fresh state per call; never capture a shared *rand.Rand.
+// Under that contract, for a fixed sweep seed the full Result slice is
+// byte-identical at 1, 4, or GOMAXPROCS workers (asserted by
+// TestSweepParallelDeterminism, including under crash schedules).
+package sim

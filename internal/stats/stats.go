@@ -91,6 +91,28 @@ func (s Summary) String() string {
 		s.N, s.Min, s.Median, s.Mean, s.P95, s.Max, s.StdDev)
 }
 
+// Collector aggregates observations produced by concurrent trials into
+// fixed slots, one per trial index. Because each worker writes only its own
+// slot, no locking is needed and the resulting Summary is byte-identical
+// regardless of how many workers filled it — the property the parallel
+// sweep runner needs for deterministic tables. Slots left unset contribute
+// 0, exactly as a missing observation would in a pre-sized sample.
+type Collector struct {
+	slots []float64
+}
+
+// NewCollector returns a collector with n slots.
+func NewCollector(n int) *Collector {
+	return &Collector{slots: make([]float64, n)}
+}
+
+// Set records the observation of trial i. Safe for concurrent use as long
+// as no two goroutines share an index.
+func (c *Collector) Set(i int, v float64) { c.slots[i] = v }
+
+// Summary summarizes the collected observations.
+func (c *Collector) Summary() Summary { return Summarize(c.slots) }
+
 // Histogram counts observations into fixed-width buckets over [lo, hi).
 // Observations outside the range clamp into the edge buckets.
 type Histogram struct {

@@ -154,3 +154,17 @@ func TestQuickHistogramTotal(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCollectorMatchesSummarize pins the parallel-aggregation path: a
+// Collector filled slot-by-slot (in any order) summarizes exactly like
+// Summarize over the same sample.
+func TestCollectorMatchesSummarize(t *testing.T) {
+	sample := []float64{9, 2, 7, 2, 5, 11, 3}
+	c := NewCollector(len(sample))
+	for _, i := range []int{3, 0, 6, 1, 5, 2, 4} { // out-of-order fill
+		c.Set(i, sample[i])
+	}
+	if got, want := c.Summary(), Summarize(sample); got != want {
+		t.Fatalf("Collector summary %+v != Summarize %+v", got, want)
+	}
+}
