@@ -8,6 +8,7 @@ import (
 	"adhocconsensus/internal/engine"
 	"adhocconsensus/internal/model"
 	"adhocconsensus/internal/sim"
+	"adhocconsensus/internal/sink"
 	"adhocconsensus/internal/stats"
 )
 
@@ -166,6 +167,11 @@ type Config struct {
 	Seed int64
 	// MaxRounds bounds the run (default 100000).
 	MaxRounds int
+	// ResultSink, when set, receives the digested outcome of every trial of
+	// RunTrials/StreamTrials as it completes, in trial order — stream
+	// per-trial data out (JSONL, another machine, live dashboards) instead
+	// of keeping only the aggregate. Single runs via Run do not use it.
+	ResultSink ResultSink
 	// UseGoroutines runs the goroutine-per-process runtime instead of the
 	// deterministic in-loop engine. Both produce identical executions.
 	UseGoroutines bool
@@ -315,6 +321,50 @@ func apiErr(err error) error {
 	return err
 }
 
+// TrialResult is the digested outcome of one trial of a multi-trial run:
+// everything RunTrials aggregates, per trial, plus the provenance needed to
+// re-run the trial standalone — its derived seed (pass it as Config.Seed to
+// a single Run for a byte-identical execution) and the configuration
+// fingerprint that names the environment it ran in.
+type TrialResult struct {
+	// Trial is the trial's index in the full run (global across shards).
+	Trial int
+	// Seed is the trial's derived seed: splitmix64(Config.Seed, 0, Trial).
+	Seed int64
+	// Fingerprint identifies the configuration — every parameter plus the
+	// base Config.Seed, but not the per-trial seed — so all trials of one
+	// Config share it, and shard files from different configurations or
+	// base seeds cannot be merged.
+	Fingerprint string
+
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Decided reports whether every correct process decided.
+	Decided bool
+	// Decisions is the number of processes that decided.
+	Decisions int
+	// DecidedValues is the sorted set of distinct decided values (one entry
+	// means agreement; more than one, an agreement violation).
+	DecidedValues []Value
+	// LastDecisionRound is the latest round at which any process decided.
+	LastDecisionRound int
+
+	// AgreementOK, ValidityOK (strong validity), and TerminationOK report
+	// the consensus property checks for this trial; TerminationOK exempts
+	// crashed processes.
+	AgreementOK   bool
+	ValidityOK    bool
+	TerminationOK bool
+}
+
+// ResultSink consumes per-trial results as a multi-trial run produces
+// them. Results arrive strictly in ascending trial order and Consume is
+// never called concurrently, so implementations need no locking. A Consume
+// error aborts the run.
+type ResultSink interface {
+	Consume(r TrialResult) error
+}
+
 // TrialStats aggregates a multi-trial run of one configuration.
 type TrialStats struct {
 	// Trials is the number of executed trials.
@@ -341,36 +391,126 @@ type TrialStats struct {
 // trial runs with its own deterministically derived seed — a splitmix64 mix
 // of Config.Seed and the trial index — so results are reproducible and
 // byte-identical for any worker count. Per-round traces are not recorded;
-// use Run for a single fully traced execution.
+// use Run for a single fully traced execution. When Config.ResultSink is
+// set, every per-trial result additionally streams into it, in order.
 func (c Config) RunTrials(trials, workers int) (*TrialStats, error) {
 	if trials < 1 {
 		trials = 1
 	}
+	collected := make([]TrialResult, 0, trials)
+	// StreamTrials tees Config.ResultSink in before the explicit sink.
+	if err := c.StreamTrials(trials, workers, 0, 1, collectSink{&collected}); err != nil {
+		return nil, err
+	}
+	return TrialStatsOf(collected), nil
+}
+
+// collectSink gathers results in memory.
+type collectSink struct {
+	results *[]TrialResult
+}
+
+func (s collectSink) Consume(r TrialResult) error {
+	*s.results = append(*s.results, r)
+	return nil
+}
+
+// StreamTrials executes the shard-of-shards subset of a `trials`-trial run
+// (every trial index congruent to shard mod shards; pass 0, 1 for the whole
+// run) on a parallel worker pool, streaming each trial's digested result
+// into the sink in ascending trial order. Trial seeds depend only on
+// Config.Seed and the GLOBAL trial index, so the union of the k shard
+// streams is byte-identical to the single-machine run's stream at any
+// worker or shard count: aggregate the merged results with TrialStatsOf and
+// the statistics match RunTrials exactly. When Config.ResultSink is also
+// set, each result is delivered to it first, then to out. cmd/sweeprun
+// drives this for multi-machine sweeps.
+func (c Config) StreamTrials(trials, workers, shard, shards int, out ResultSink) error {
+	if out == nil {
+		return fmt.Errorf("adhocconsensus: StreamTrials needs a sink")
+	}
+	if c.ResultSink != nil {
+		out = teeSink{first: c.ResultSink, then: out}
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	if shards < 1 || shard < 0 || shard >= shards {
+		return fmt.Errorf("adhocconsensus: shard %d/%d out of range", shard, shards)
+	}
 	c.TraceDecisionsOnly = true
 	base, err := c.toScenario()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// Validate once up front: configuration errors surface here with the
 	// public prefix instead of wrapped in per-trial sweep context.
 	if _, err := base.Materialize(); err != nil {
-		return nil, apiErr(err)
+		return apiErr(err)
 	}
-	scenarios := make([]sim.Scenario, trials)
-	for t := range scenarios {
+	baseParams := sink.ParamsOf(base)
+	baseParams.SweepSeed = c.Seed // part of a sweep's identity, unlike trial seeds
+	fingerprint := baseParams.Fingerprint()
+	shardTrials := make([]sim.Trial, 0, (trials-shard+shards-1)/shards)
+	for t := shard; t < trials; t += shards {
 		s := base
 		s.Seed = sim.TrialSeed(c.Seed, 0, t)
-		scenarios[t] = s
+		shardTrials = append(shardTrials, sim.Trial{Index: t, Scenario: s})
 	}
-	results, err := sim.Runner{Workers: workers}.Sweep(scenarios)
-	if err != nil {
-		return nil, apiErr(err)
+	err = sim.Runner{Workers: workers}.SweepTrialsTo(shardTrials, trialAdapter{sink: out, fingerprint: fingerprint})
+	return apiErr(err)
+}
+
+// teeSink delivers every result to two sinks in order.
+type teeSink struct {
+	first, then ResultSink
+}
+
+func (s teeSink) Consume(r TrialResult) error {
+	if err := s.first.Consume(r); err != nil {
+		return err
 	}
-	st := &TrialStats{Trials: trials, Agreements: make(map[Value]int)}
-	rounds := stats.NewCollector(trials)
+	return s.then.Consume(r)
+}
+
+// trialAdapter converts the internal per-trial digest into the public
+// TrialResult on its way to the user sink.
+type trialAdapter struct {
+	sink        ResultSink
+	fingerprint string
+}
+
+func (a trialAdapter) Consume(r sim.Result) error {
+	if r.Err != nil {
+		// The runner surfaces the error after the sweep; the sink only sees
+		// well-formed results.
+		return nil
+	}
+	return a.sink.Consume(TrialResult{
+		Trial:             r.Index,
+		Seed:              r.Seed,
+		Fingerprint:       a.fingerprint,
+		Rounds:            r.Rounds,
+		Decided:           r.AllDecided,
+		Decisions:         r.Decisions,
+		DecidedValues:     r.DecidedValues,
+		LastDecisionRound: r.LastDecisionRound,
+		AgreementOK:       r.AgreementOK,
+		ValidityOK:        r.ValidityOK,
+		TerminationOK:     r.TerminationOK,
+	})
+}
+
+// TrialStatsOf aggregates per-trial results — from RunTrials' own stream or
+// merged back from sharded files — into the statistics RunTrials reports.
+// The aggregation is order-independent except for Trials counting, so stats
+// over a merged full set are byte-identical to the in-process run's.
+func TrialStatsOf(results []TrialResult) *TrialStats {
+	st := &TrialStats{Trials: len(results), Agreements: make(map[Value]int)}
+	rounds := stats.NewCollector(len(results))
 	for i, r := range results {
 		rounds.Set(i, float64(r.Rounds))
-		if r.AllDecided {
+		if r.Decided {
 			st.Decided++
 		}
 		switch {
@@ -386,5 +526,5 @@ func (c Config) RunTrials(trials, workers int) (*TrialStats, error) {
 	st.MeanRounds = sum.Mean
 	st.MedianRounds = sum.Median
 	st.P95Rounds = sum.P95
-	return st, nil
+	return st
 }

@@ -1,6 +1,7 @@
 package adhocconsensus
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -295,5 +296,126 @@ func TestErrorsKeepPublicPrefix(t *testing.T) {
 	_, err = Config{Algorithm: AlgorithmBitByBit}.Run()
 	if err == nil || !strings.HasPrefix(err.Error(), "adhocconsensus: ") {
 		t.Fatalf("err = %v, want \"adhocconsensus: \" prefix", err)
+	}
+}
+
+// apiSink collects the public per-trial stream.
+type apiSink struct {
+	results []TrialResult
+	failAt  int
+}
+
+func (s *apiSink) Consume(r TrialResult) error {
+	if s.failAt > 0 && len(s.results)+1 == s.failAt {
+		return errors.New("sink refused")
+	}
+	s.results = append(s.results, r)
+	return nil
+}
+
+// TestResultSinkStreamsTrials: Config.ResultSink sees every trial of
+// RunTrials, in order, with re-runnable seeds — a single Run with a trial's
+// seed reproduces its rounds.
+func TestResultSinkStreamsTrials(t *testing.T) {
+	cfg := Config{
+		Algorithm: AlgorithmBitByBit,
+		Values:    []Value{3, 7, 7, 1},
+		Domain:    16,
+		Loss:      LossProbabilistic,
+		LossP:     0.4,
+		Seed:      7,
+	}
+	var sink apiSink
+	cfg.ResultSink = &sink
+	st, err := cfg.RunTrials(30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.results) != 30 || st.Trials != 30 {
+		t.Fatalf("sink saw %d of %d trials", len(sink.results), st.Trials)
+	}
+	for i, r := range sink.results {
+		if r.Trial != i {
+			t.Fatalf("trial %d delivered at position %d", r.Trial, i)
+		}
+		if r.Fingerprint == "" || !r.AgreementOK || !r.ValidityOK {
+			t.Fatalf("trial %d incomplete: %+v", i, r)
+		}
+	}
+	// Re-run one mid-sweep trial standalone from its recorded seed.
+	probe := sink.results[17]
+	single := cfg
+	single.ResultSink = nil
+	single.Seed = probe.Seed
+	report, err := single.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Rounds != probe.Rounds {
+		t.Fatalf("standalone re-run of trial 17: %d rounds, sweep recorded %d", report.Rounds, probe.Rounds)
+	}
+	// A sink error aborts the run.
+	cfg.ResultSink = &apiSink{failAt: 3}
+	if _, err := cfg.RunTrials(10, 2); err == nil {
+		t.Fatal("sink error swallowed")
+	}
+}
+
+// TestStreamTrialsShardsMergeToRunTrials is the public face of the sharded
+// sweep guarantee: the union of k StreamTrials shards, aggregated with
+// TrialStatsOf, is byte-identical to RunTrials — at several k, worker
+// counts, and with a crash schedule in the configuration.
+func TestStreamTrialsShardsMergeToRunTrials(t *testing.T) {
+	cfg := Config{
+		Algorithm: AlgorithmBitByBit,
+		Values:    []Value{3, 7, 7, 1},
+		Domain:    16,
+		Loss:      LossProbabilistic,
+		LossP:     0.35,
+		ECFRound:  6,
+		Stable:    6,
+		Crashes:   []Crash{{Process: 2, Round: 4}},
+		Seed:      99,
+	}
+	const trials = 41
+	want, err := cfg.RunTrials(trials, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 7} {
+		merged := make([]TrialResult, trials)
+		for shard := 0; shard < k; shard++ {
+			var sink apiSink
+			if err := cfg.StreamTrials(trials, 2, shard, k, &sink); err != nil {
+				t.Fatal(err)
+			}
+			last := -1
+			for _, r := range sink.results {
+				if r.Trial <= last || r.Trial%k != shard {
+					t.Fatalf("shard %d/%d delivered trial %d after %d", shard, k, r.Trial, last)
+				}
+				last = r.Trial
+				merged[r.Trial] = r
+			}
+		}
+		if got := TrialStatsOf(merged); !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d sharded stats diverged:\n got %+v\nwant %+v", k, got, want)
+		}
+	}
+	if err := cfg.StreamTrials(10, 1, 2, 2, &apiSink{}); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if err := cfg.StreamTrials(10, 1, 0, 1, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+	// Config.ResultSink tees into StreamTrials too, before the explicit
+	// sink.
+	var tee, explicit apiSink
+	cfg.ResultSink = &tee
+	if err := cfg.StreamTrials(8, 1, 1, 2, &explicit); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tee.results, explicit.results) || len(tee.results) != 4 {
+		t.Fatalf("ResultSink tee saw %d results, explicit sink %d", len(tee.results), len(explicit.results))
 	}
 }

@@ -13,6 +13,7 @@ package adhocconsensus
 
 import (
 	"fmt"
+	"io"
 	stdruntime "runtime"
 	"testing"
 
@@ -25,6 +26,7 @@ import (
 	"adhocconsensus/internal/multiset"
 	"adhocconsensus/internal/runtime"
 	"adhocconsensus/internal/sim"
+	"adhocconsensus/internal/sink"
 	"adhocconsensus/internal/valueset"
 )
 
@@ -149,6 +151,45 @@ func BenchmarkSweepParallel(b *testing.B) {
 			b.ReportMetric(float64(len(scenarios))*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
 		})
 	}
+}
+
+// BenchmarkSweepJSONL prices the streaming result path: the same fixed
+// grid as BenchmarkSweepParallel, once collected in memory (Sweep) and once
+// streamed through the zero-steady-state-allocation JSONL sink
+// (SweepTo + internal/sink). The allocs/op delta between the two
+// sub-benchmarks is the full cost JSONL streaming adds per sweep — the
+// per-round engine hot path allocates nothing extra (also asserted by
+// TestJSONLConsumeSteadyStateAllocs in internal/sink).
+func BenchmarkSweepJSONL(b *testing.B) {
+	scenarios := sweepParallelScenarios()
+	params := make([]sink.Params, len(scenarios))
+	for i, s := range scenarios {
+		params[i] = sink.ParamsOf(s)
+	}
+	b.Run("memory", func(b *testing.B) {
+		r := sim.Runner{Workers: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Sweep(scenarios); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("jsonl", func(b *testing.B) {
+		j := sink.NewJSONL(io.Discard)
+		j.Exp = "bench"
+		j.Params = func(i int) sink.Params { return params[i] }
+		r := sim.Runner{Workers: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := r.SweepTo(scenarios, j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := j.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	})
 }
 
 // BenchmarkEngineRoundThroughput measures raw simulated rounds per second

@@ -2,7 +2,10 @@
 // decision, round count, and (optionally) the full round-by-round trace.
 // With -trials N it instead sweeps N independently seeded trials of the
 // same configuration on a parallel worker pool (-parallel, default
-// GOMAXPROCS) and prints aggregate statistics; per-trial seeds derive
+// GOMAXPROCS) and prints aggregate statistics plus per-trial seed
+// provenance: the derived seed of the slowest trial and of every
+// undecided/violating trial, so a single anomalous trial can be re-run
+// standalone by passing that seed to a single run. Per-trial seeds derive
 // deterministically from -seed, so the sweep output is identical for any
 // worker count.
 //
@@ -18,124 +21,60 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
 
 	"adhocconsensus"
+	"adhocconsensus/internal/cli"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "consensus-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// trialCollector captures the per-trial stream for the provenance report.
+type trialCollector []adhocconsensus.TrialResult
+
+func (c *trialCollector) Consume(r adhocconsensus.TrialResult) error {
+	*c = append(*c, r)
+	return nil
+}
+
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("consensus-sim", flag.ContinueOnError)
+	cf := cli.RegisterConfig(fs)
 	var (
-		algName   = fs.String("alg", "bitbybit", "algorithm: propose | bitbybit | treewalk | leaderrelay")
-		valuesCSV = fs.String("values", "3,7,7,1", "comma-separated initial values, one per process")
-		domain    = fs.Uint64("domain", 0, "|V| (default: max value + 1)")
-		idSpace   = fs.Uint64("idspace", 0, "|I| for leaderrelay (default 2^48)")
-		lossName  = fs.String("loss", "none", "loss model: none | prob | capture | drop")
-		lossP     = fs.Float64("p", 0.3, "loss probability for prob/capture")
-		cst       = fs.Int("cst", 1, "communication stabilization round (ECF, wake-up, accuracy)")
-		fpRate    = fs.Float64("fp", 0, "detector false positive rate before stabilization")
-		backoff   = fs.Bool("backoff", false, "use the backoff contention manager instead of a pinned wake-up service")
-		seed      = fs.Int64("seed", 1, "seed for all randomized components")
-		maxRounds = fs.Int("rounds", 100000, "maximum rounds to execute")
-		trace     = fs.Bool("trace", false, "print the full execution trace")
-		jsonOut   = fs.Bool("json", false, "dump the execution as JSON to stdout")
-		gor       = fs.Bool("goroutines", false, "run the goroutine-per-process runtime")
-		trials    = fs.Int("trials", 1, "run this many independently seeded trials and print aggregate stats")
-		parallel  = fs.Int("parallel", 0, "worker-pool size for -trials (0 = GOMAXPROCS)")
+		trace    = fs.Bool("trace", false, "print the full execution trace")
+		jsonOut  = fs.Bool("json", false, "dump the execution as JSON to stdout")
+		gor      = fs.Bool("goroutines", false, "run the goroutine-per-process runtime")
+		trials   = fs.Int("trials", 1, "run this many independently seeded trials and print aggregate stats")
+		parallel = fs.Int("parallel", 0, "worker-pool size for -trials (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var alg adhocconsensus.Algorithm
-	switch strings.ToLower(*algName) {
-	case "propose", "alg1":
-		alg = adhocconsensus.AlgorithmPropose
-	case "bitbybit", "alg2":
-		alg = adhocconsensus.AlgorithmBitByBit
-	case "treewalk", "alg3":
-		alg = adhocconsensus.AlgorithmTreeWalk
-	case "leaderrelay", "nonanon":
-		alg = adhocconsensus.AlgorithmLeaderRelay
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algName)
+	cfg, err := cf.Config()
+	if err != nil {
+		return err
 	}
-
-	var values []adhocconsensus.Value
-	for _, part := range strings.Split(*valuesCSV, ",") {
-		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad value %q: %w", part, err)
-		}
-		values = append(values, adhocconsensus.Value(v))
-	}
-
-	var lossMode adhocconsensus.LossMode
-	switch strings.ToLower(*lossName) {
-	case "none":
-		lossMode = adhocconsensus.LossNone
-	case "prob", "probabilistic":
-		lossMode = adhocconsensus.LossProbabilistic
-	case "capture":
-		lossMode = adhocconsensus.LossCapture
-	case "drop":
-		lossMode = adhocconsensus.LossDrop
-	default:
-		return fmt.Errorf("unknown loss model %q", *lossName)
-	}
-
-	cfg := adhocconsensus.Config{
-		Algorithm:         alg,
-		Values:            values,
-		Domain:            *domain,
-		IDSpace:           *idSpace,
-		Loss:              lossMode,
-		LossP:             *lossP,
-		ECFRound:          *cst,
-		Stable:            *cst,
-		DetectorRace:      *cst,
-		FalsePositiveRate: *fpRate,
-		Seed:              *seed,
-		MaxRounds:         *maxRounds,
-		UseGoroutines:     *gor,
-	}
-	if *backoff {
-		cfg.Contention = adhocconsensus.ContentionBackoff
-	}
-	if alg == adhocconsensus.AlgorithmTreeWalk {
-		cfg.ECFRound = 0 // the tree walk needs no delivery guarantee
-	}
+	cfg.UseGoroutines = *gor
 
 	if *trials > 1 {
 		if *trace || *jsonOut {
 			return fmt.Errorf("-trace and -json require a single run (drop -trials)")
 		}
-		st, err := cfg.RunTrials(*trials, *parallel)
-		if err != nil {
+		// One collection serves both the statistics and the provenance
+		// report (RunTrials would keep a second internal copy).
+		var collected trialCollector
+		if err := cfg.StreamTrials(*trials, *parallel, 0, 1, &collected); err != nil {
 			return err
 		}
-		fmt.Printf("algorithm : %v\n", alg)
-		fmt.Printf("processes : %d\n", len(values))
-		fmt.Printf("trials    : %d\n", st.Trials)
-		fmt.Printf("decided   : %d/%d\n", st.Decided, st.Trials)
-		fmt.Printf("rounds    : min=%d med=%g mean=%.4g p95=%g max=%d\n",
-			st.MinRounds, st.MedianRounds, st.MeanRounds, st.P95Rounds, st.MaxRounds)
-		for _, va := range sortedAgreements(st.Agreements) {
-			fmt.Printf("  agreed on %d in %d trial(s)\n", uint64(va.value), va.trials)
-		}
-		if st.AgreementViolations > 0 {
-			fmt.Printf("  AGREEMENT VIOLATED in %d trial(s)\n", st.AgreementViolations)
-		}
+		cli.PrintTrialStats(out, cfg.Algorithm, len(cfg.Values), adhocconsensus.TrialStatsOf(collected))
+		cli.PrintSeedProvenance(out, collected)
 		return nil
 	}
 
@@ -143,45 +82,28 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("algorithm : %v\n", alg)
-	fmt.Printf("processes : %d\n", len(values))
-	fmt.Printf("rounds    : %d\n", report.Rounds)
-	fmt.Printf("decided   : %v\n", report.Decided)
+	fmt.Fprintf(out, "algorithm : %v\n", cfg.Algorithm)
+	fmt.Fprintf(out, "processes : %d\n", len(cfg.Values))
+	fmt.Fprintf(out, "rounds    : %d\n", report.Rounds)
+	fmt.Fprintf(out, "decided   : %v\n", report.Decided)
 	if report.Decided {
-		fmt.Printf("agreed on : %d\n", uint64(report.Agreed))
+		fmt.Fprintf(out, "agreed on : %d\n", uint64(report.Agreed))
 	}
-	for id := 1; id <= len(values); id++ {
+	for id := 1; id <= len(cfg.Values); id++ {
 		if d, ok := report.Decisions[adhocconsensus.ProcessID(id)]; ok {
-			fmt.Printf("  p%d decided %d at round %d\n", id, uint64(d.Value), d.Round)
+			fmt.Fprintf(out, "  p%d decided %d at round %d\n", id, uint64(d.Value), d.Round)
 		} else {
-			fmt.Printf("  p%d undecided\n", id)
+			fmt.Fprintf(out, "  p%d undecided\n", id)
 		}
 	}
 	if *trace {
-		fmt.Println("\ntrace:")
-		fmt.Print(report.Execution.String())
+		fmt.Fprintln(out, "\ntrace:")
+		fmt.Fprint(out, report.Execution.String())
 	}
 	if *jsonOut {
-		if err := report.Execution.WriteJSON(os.Stdout); err != nil {
+		if err := report.Execution.WriteJSON(out); err != nil {
 			return fmt.Errorf("json export: %w", err)
 		}
 	}
 	return nil
-}
-
-// valueCount is one agreement-histogram entry.
-type valueCount struct {
-	value  adhocconsensus.Value
-	trials int
-}
-
-// sortedAgreements orders the agreement histogram by value for stable
-// output.
-func sortedAgreements(m map[adhocconsensus.Value]int) []valueCount {
-	out := make([]valueCount, 0, len(m))
-	for v, n := range m {
-		out = append(out, valueCount{v, n})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
-	return out
 }

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"strconv"
 	"strings"
 	"testing"
 )
 
 func TestRunDefaults(t *testing.T) {
-	if err := run(nil); err != nil {
+	if err := run(nil, io.Discard); err != nil {
 		t.Fatalf("default run failed: %v", err)
 	}
 }
@@ -20,7 +23,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 	}
 	for _, args := range tests {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
-			if err := run(args); err != nil {
+			if err := run(args, io.Discard); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -40,7 +43,7 @@ func TestRunFlagVariants(t *testing.T) {
 	}
 	for _, args := range tests {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
-			if err := run(args); err != nil {
+			if err := run(args, io.Discard); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -60,9 +63,53 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := run(tt.args); err == nil {
+			if err := run(tt.args, io.Discard); err == nil {
 				t.Fatal("bad input accepted")
 			}
 		})
+	}
+}
+
+// TestTrialsSeedProvenance is the re-runnability contract of the -trials
+// summary: the report names the slowest trial's derived seed, and a single
+// run with exactly that seed reproduces the trial's round count.
+func TestTrialsSeedProvenance(t *testing.T) {
+	var buf strings.Builder
+	args := []string{"-alg", "bitbybit", "-values", "3,7,7,1", "-domain", "16",
+		"-loss", "prob", "-p", "0.4", "-trials", "25", "-seed", "7"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "seeds     :") {
+		t.Fatalf("no seed-provenance block in:\n%s", out)
+	}
+	var trial, rounds int
+	var seed int64
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "slowest") {
+			if _, err := fmt.Sscanf(strings.TrimSpace(line), "slowest   : trial %d (%d rounds) seed %d",
+				&trial, &rounds, &seed); err != nil {
+				t.Fatalf("unparseable slowest line %q: %v", line, err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no slowest line in:\n%s", out)
+	}
+
+	// Re-run the flagged trial standalone with its derived seed: same
+	// environment flags, the trial seed, no -trials.
+	buf.Reset()
+	single := []string{"-alg", "bitbybit", "-values", "3,7,7,1", "-domain", "16",
+		"-loss", "prob", "-p", "0.4", "-seed", strconv.FormatInt(seed, 10)}
+	if err := run(single, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "rounds    : " + strconv.Itoa(rounds) + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("standalone re-run of trial %d did not reproduce %d rounds:\n%s", trial, rounds, buf.String())
 	}
 }

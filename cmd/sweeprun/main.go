@@ -1,0 +1,345 @@
+// Command sweeprun executes experiment sweeps shard-by-shard and folds the
+// shard files back together — the multi-machine face of the streaming
+// result-sink subsystem (internal/sink).
+//
+// "sweeprun run" executes the i-of-k shard of a sweep and streams one JSONL
+// record per trial: either the scenario grids of the paper's experiment
+// tables (-exp), or an N-trial sweep of one configuration (-trials, with
+// the same configuration flags as consensus-sim). Trial seeds depend only
+// on the sweep seed and the GLOBAL trial index, never on the shard layout,
+// so k workers running "run -shard 0/k .. (k-1)/k" produce files whose
+// union is byte-identical to a single machine's run.
+//
+// "sweeprun merge" reads any set of shard files, verifies they form a
+// complete, non-overlapping, fingerprint-consistent cover, and renders
+// exactly what the in-process single-machine path produces: the experiment
+// tables of cmd/benchtab, or the trial statistics of consensus-sim -trials
+// (golden-tested byte-identical, including the seed-provenance report).
+//
+// Examples:
+//
+//	sweeprun run -exp T3 -shard 0/2 -o shard0.jsonl
+//	sweeprun run -exp T3 -shard 1/2 -o shard1.jsonl
+//	sweeprun merge shard0.jsonl shard1.jsonl
+//
+//	sweeprun run -trials 10000 -shard 0/4 -alg bitbybit -values 3,7,7,1 \
+//	    -loss prob -p 0.4 -seed 7 -o t0.jsonl   # ... one worker per shard
+//	sweeprun merge t0.jsonl t1.jsonl t2.jsonl t3.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"adhocconsensus"
+	"adhocconsensus/internal/cli"
+	"adhocconsensus/internal/experiments"
+	"adhocconsensus/internal/sim"
+	"adhocconsensus/internal/sink"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweeprun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: sweeprun run|merge [flags]")
+	}
+	switch args[0] {
+	case "run":
+		return runShard(args[1:], out)
+	case "merge":
+		return merge(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want run or merge)", args[0])
+	}
+}
+
+// parseShard decodes "-shard i/k", strictly: trailing garbage (a typo like
+// "1/2/3") must error rather than silently run the wrong partition.
+func parseShard(s string) (shard, shards int, err error) {
+	i, k, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/k, e.g. 0/2)", s)
+	}
+	if shard, err = strconv.Atoi(i); err == nil {
+		shards, err = strconv.Atoi(k)
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/k, e.g. 0/2)", s)
+	}
+	if shards < 1 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("bad -shard %q: shard must be in [0,%d)", s, shards)
+	}
+	return shard, shards, nil
+}
+
+// runShard is the "run" subcommand: execute one shard, stream JSONL.
+func runShard(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweeprun run", flag.ContinueOnError)
+	cf := cli.RegisterConfig(fs)
+	var (
+		expList  = fs.String("exp", "", "comma-separated grid experiments (T1..T5, T8, A1, A2) or 'all'")
+		trials   = fs.Int("trials", 0, "instead of -exp: sweep this many trials of the flagged configuration")
+		shardStr = fs.String("shard", "0/1", "shard to execute, as i/k")
+		workers  = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		output   = fs.String("o", "", "output JSONL file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shard, shards, err := parseShard(*shardStr)
+	if err != nil {
+		return err
+	}
+	if *trials < 0 {
+		return fmt.Errorf("-trials %d must be positive", *trials)
+	}
+	if (*expList == "") == (*trials == 0) {
+		return fmt.Errorf("pick exactly one of -exp or -trials")
+	}
+
+	w := out
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *trials > 0 {
+		cfg, err := cf.Config()
+		if err != nil {
+			return err
+		}
+		return streamTrialsShard(cfg, *trials, *workers, shard, shards, w)
+	}
+
+	var exps []experiments.GridExperiment
+	if *expList == "all" {
+		exps = experiments.GridExperiments()
+	} else {
+		for _, name := range strings.Split(*expList, ",") {
+			e, ok := experiments.GridExperimentByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("no grid experiment %q (grid experiments: T1..T5, T8, A1, A2; the bespoke pipelines T6/T7/T9, A3, M1 run in-process only, via benchtab)", name)
+			}
+			exps = append(exps, e)
+		}
+	}
+	for _, e := range exps {
+		if err := streamExperimentShard(e, shard, shards, *workers, w); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+	}
+	return nil
+}
+
+// streamExperimentShard runs one experiment grid's shard into a JSONL
+// stream.
+func streamExperimentShard(e experiments.GridExperiment, shard, shards, workers int, w io.Writer) error {
+	scenarios, _, err := e.Build()
+	if err != nil {
+		return err
+	}
+	shardTrials, err := sim.ShardScenarios(scenarios, shard, shards)
+	if err != nil {
+		return err
+	}
+	// Precompute params once per grid point: the sink's lookup runs per
+	// trial on the streaming path.
+	params := make([]sink.Params, len(scenarios))
+	for i, s := range scenarios {
+		params[i] = sink.ParamsOf(s)
+	}
+	j := sink.NewJSONL(w)
+	j.Exp = e.Name
+	j.Params = func(i int) sink.Params { return params[i] }
+	if err := (sim.Runner{Workers: workers}).SweepTrialsTo(shardTrials, j); err != nil {
+		return err
+	}
+	return j.Flush()
+}
+
+// jsonlTrials adapts the public per-trial stream to JSONL records, reusing
+// a values scratch so million-trial shards stay allocation-free per record
+// like the sim-sweep path.
+type jsonlTrials struct {
+	j      *sink.JSONL
+	params sink.Params
+	vals   []uint64
+}
+
+func (s *jsonlTrials) Consume(r adhocconsensus.TrialResult) error {
+	rec := sink.Record{
+		Fingerprint:       r.Fingerprint,
+		Index:             r.Trial,
+		Seed:              r.Seed,
+		Rounds:            r.Rounds,
+		AllDecided:        r.Decided,
+		Decisions:         r.Decisions,
+		LastDecisionRound: r.LastDecisionRound,
+		AgreementOK:       r.AgreementOK,
+		ValidityOK:        r.ValidityOK,
+		TerminationOK:     r.TerminationOK,
+		Params:            s.params,
+	}
+	s.vals = s.vals[:0]
+	for _, v := range r.DecidedValues {
+		s.vals = append(s.vals, uint64(v))
+	}
+	rec.DecidedValues = s.vals
+	return s.j.WriteRecord(rec)
+}
+
+// streamTrialsShard runs one configuration-sweep shard into JSONL via the
+// public streaming API.
+func streamTrialsShard(cfg adhocconsensus.Config, trials, workers, shard, shards int, w io.Writer) error {
+	j := sink.NewJSONL(w)
+	j.Exp = "trials"
+	if err := cfg.StreamTrials(trials, workers, shard, shards,
+		&jsonlTrials{j: j, params: cli.RecordParams(cfg)}); err != nil {
+		return err
+	}
+	return j.Flush()
+}
+
+// merge is the "merge" subcommand: fold shard files into tables and stats.
+func merge(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweeprun merge", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("merge needs at least one shard file")
+	}
+	var recs []sink.Record
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		fileRecs, err := sink.ReadRecords(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		recs = append(recs, fileRecs...)
+	}
+	groups, order := sink.GroupByExp(recs)
+	failed := 0
+	for _, name := range order {
+		group := groups[name]
+		if name == "trials" {
+			if err := mergeTrials(group, out); err != nil {
+				return fmt.Errorf("trials: %w", err)
+			}
+			continue
+		}
+		pass, err := mergeExperiment(name, group, out)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if !pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed their internal checks", failed)
+	}
+	return nil
+}
+
+// mergeExperiment folds one experiment's shard records and renders its
+// table exactly as the in-process path does.
+func mergeExperiment(name string, recs []sink.Record, out io.Writer) (pass bool, err error) {
+	e, ok := experiments.GridExperimentByName(name)
+	if !ok {
+		return false, fmt.Errorf("no grid experiment %q in this build", name)
+	}
+	scenarios, render, err := e.Build()
+	if err != nil {
+		return false, err
+	}
+	results, err := sink.Merge(recs)
+	if err != nil {
+		return false, err
+	}
+	if len(results) != len(scenarios) {
+		return false, fmt.Errorf("%d trials merged, this build's grid has %d — incomplete shard set or version skew",
+			len(results), len(scenarios))
+	}
+	params := make([]sink.Params, len(scenarios))
+	for i, s := range scenarios {
+		params[i] = sink.ParamsOf(s)
+	}
+	if err := sink.VerifyFingerprints(recs, func(i int) sink.Params { return params[i] }); err != nil {
+		return false, err
+	}
+	// Fingerprints exclude per-trial seeds; check those against the grid
+	// directly, so shards from a build with different seed derivation (or a
+	// reseeded grid) cannot fold into a chimera table.
+	for i, res := range results {
+		if res.Seed != scenarios[i].Seed {
+			return false, fmt.Errorf("trial %d ran with seed %d, this build's grid derives %d — shard produced by a different grid or version",
+				i, res.Seed, scenarios[i].Seed)
+		}
+	}
+	table, err := render(results)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintln(out, table)
+	return table.Pass, nil
+}
+
+// mergeTrials folds configuration-sweep records into the statistics and
+// seed-provenance report consensus-sim -trials prints.
+func mergeTrials(recs []sink.Record, out io.Writer) error {
+	results, err := sink.Merge(recs)
+	if err != nil {
+		return err
+	}
+	// All trials of one configuration share its fingerprint; reject mixed
+	// files.
+	fp := recs[0].Fingerprint
+	for _, rec := range recs {
+		if rec.Fingerprint != fp {
+			return fmt.Errorf("trial %d fingerprint %s differs from %s — shards from different configurations",
+				rec.Index, rec.Fingerprint, fp)
+		}
+	}
+	trs := make([]adhocconsensus.TrialResult, len(results))
+	for i, r := range results {
+		trs[i] = adhocconsensus.TrialResult{
+			Trial:             r.Index,
+			Seed:              r.Seed,
+			Fingerprint:       fp,
+			Rounds:            r.Rounds,
+			Decided:           r.AllDecided,
+			Decisions:         r.Decisions,
+			DecidedValues:     r.DecidedValues,
+			LastDecisionRound: r.LastDecisionRound,
+			AgreementOK:       r.AgreementOK,
+			ValidityOK:        r.ValidityOK,
+			TerminationOK:     r.TerminationOK,
+		}
+	}
+	alg, err := cli.ParseAlgorithm(recs[0].Params.Algorithm)
+	if err != nil {
+		return fmt.Errorf("records carry no usable algorithm param: %w", err)
+	}
+	cli.PrintTrialStats(out, alg, recs[0].Params.N, adhocconsensus.TrialStatsOf(trs))
+	cli.PrintSeedProvenance(out, trs)
+	return nil
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adhocconsensus"
+	"adhocconsensus/internal/cli"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/experiments"
+)
+
+// runShards executes an experiment sharded k ways into JSONL files and
+// returns the merged output.
+func runShards(t *testing.T, exp string, k, workers int) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i))
+		args := []string{"run", "-exp", exp,
+			"-shard", fmt.Sprintf("%d/%d", i, k),
+			"-workers", fmt.Sprint(workers), "-o", path}
+		if err := run(args, os.Stdout); err != nil {
+			t.Fatalf("shard %d/%d: %v", i, k, err)
+		}
+		files = append(files, path)
+	}
+	var out strings.Builder
+	if err := run(append([]string{"merge"}, files...), &out); err != nil {
+		t.Fatalf("merge %d shards: %v", k, err)
+	}
+	return out.String()
+}
+
+// TestMergeByteIdenticalAcrossShardCounts is the subsystem's acceptance
+// test: for k in {1, 2, 4, 7}, merging the k shard files reproduces the
+// in-process single-machine table byte for byte. T4 exercises crash
+// schedules; T3 seeded loss and noise; both run under both trace modes via
+// the forced-trace hook.
+func TestMergeByteIdenticalAcrossShardCounts(t *testing.T) {
+	for _, tc := range []struct {
+		exp string
+		fn  func() (*experiments.Table, error)
+	}{
+		{"T3", experiments.T3Alg2ValueSweep},
+		{"T4", experiments.T4Alg3NoCF}, // crash schedules
+	} {
+		for _, mode := range []struct {
+			name  string
+			trace engine.TraceMode
+		}{
+			{"decisions", engine.TraceDecisionsOnly},
+			{"full", engine.TraceFull},
+		} {
+			t.Run(tc.exp+"/"+mode.name, func(t *testing.T) {
+				restore := experiments.ForceTraceMode(mode.trace)
+				defer restore()
+				table, err := tc.fn()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !table.Pass {
+					t.Fatalf("in-process %s failed:\n%s", tc.exp, table)
+				}
+				want := fmt.Sprintln(table)
+				for _, k := range []int{1, 2, 4, 7} {
+					got := runShards(t, tc.exp, k, 3)
+					if got != want {
+						t.Fatalf("k=%d shards diverged from in-process run:\n--- merged ---\n%s--- in-process ---\n%s", k, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMergeTrialsByteIdentical covers the configuration-sweep path: shard a
+// 60-trial sweep 4 ways through the CLI, merge, and require the exact
+// stats + seed-provenance block the in-process RunTrials path prints.
+func TestMergeTrialsByteIdentical(t *testing.T) {
+	cfgFlags := []string{"-alg", "bitbybit", "-values", "3,7,7,1", "-domain", "16",
+		"-loss", "prob", "-p", "0.4", "-cst", "9", "-seed", "11"}
+	const trials = 60
+
+	// In-process expectation, via the same public API consensus-sim uses.
+	cfg := adhocconsensus.Config{
+		Algorithm:    adhocconsensus.AlgorithmBitByBit,
+		Values:       []adhocconsensus.Value{3, 7, 7, 1},
+		Domain:       16,
+		Loss:         adhocconsensus.LossProbabilistic,
+		LossP:        0.4,
+		ECFRound:     9,
+		Stable:       9,
+		DetectorRace: 9,
+		Seed:         11,
+		MaxRounds:    100000,
+		ResultSink:   nil,
+	}
+	var collected []adhocconsensus.TrialResult
+	cfg.ResultSink = trialCollector{&collected}
+	st, err := cfg.RunTrials(trials, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	cli.PrintTrialStats(&want, cfg.Algorithm, len(cfg.Values), st)
+	cli.PrintSeedProvenance(&want, collected)
+
+	dir := t.TempDir()
+	const k = 4
+	files := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("t%d.jsonl", i))
+		args := append([]string{"run", "-trials", fmt.Sprint(trials),
+			"-shard", fmt.Sprintf("%d/%d", i, k), "-o", path}, cfgFlags...)
+		if err := run(args, os.Stdout); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		files = append(files, path)
+	}
+	var got strings.Builder
+	if err := run(append([]string{"merge"}, files...), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("merged trials output diverged:\n--- merged ---\n%s--- in-process ---\n%s", got.String(), want.String())
+	}
+}
+
+// trialCollector mirrors consensus-sim's sink for the expectation side.
+type trialCollector struct {
+	results *[]adhocconsensus.TrialResult
+}
+
+func (c trialCollector) Consume(r adhocconsensus.TrialResult) error {
+	*c.results = append(*c.results, r)
+	return nil
+}
+
+// TestMergeRejectsBadShardSets covers the merge guards: incomplete covers,
+// overlapping shards, and mixed configurations must fail loudly rather
+// than fold into wrong tables.
+func TestMergeRejectsBadShardSets(t *testing.T) {
+	dir := t.TempDir()
+	s0 := filepath.Join(dir, "s0.jsonl")
+	s1 := filepath.Join(dir, "s1.jsonl")
+	for i, path := range []string{s0, s1} {
+		if err := run([]string{"run", "-exp", "T8", "-shard", fmt.Sprintf("%d/2", i), "-o", path}, os.Stdout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run([]string{"merge", s0}, os.Stdout); err == nil {
+		t.Fatal("merge accepted an incomplete shard set")
+	}
+	if err := run([]string{"merge", s0, s1, s1}, os.Stdout); err == nil {
+		t.Fatal("merge accepted overlapping shards")
+	}
+
+	// A shard of a different configuration must be rejected by fingerprint.
+	tr0 := filepath.Join(dir, "tr0.jsonl")
+	tr1 := filepath.Join(dir, "tr1.jsonl")
+	if err := run([]string{"run", "-trials", "10", "-shard", "0/2", "-seed", "1", "-o", tr0}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "-trials", "10", "-shard", "1/2", "-p", "0.4", "-loss", "prob", "-seed", "1", "-o", tr1}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"merge", tr0, tr1}, os.Stdout); err == nil {
+		t.Fatal("merge accepted shards of two different configurations")
+	}
+
+	// Same parameters but a different base -seed is also a different sweep:
+	// the fingerprint covers the sweep seed, so the mix must be rejected.
+	sd1 := filepath.Join(dir, "sd1.jsonl")
+	if err := run([]string{"run", "-trials", "10", "-shard", "1/2", "-seed", "2", "-o", sd1}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"merge", tr0, sd1}, os.Stdout); err == nil {
+		t.Fatal("merge accepted shards run with different base seeds")
+	}
+}
+
+// TestRunRejectsBadInput covers the CLI's own validation.
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		args []string
+	}{
+		{"no subcommand", nil},
+		{"unknown subcommand", []string{"frobnicate"}},
+		{"no mode", []string{"run"}},
+		{"both modes", []string{"run", "-exp", "T3", "-trials", "5"}},
+		{"bad shard", []string{"run", "-exp", "T3", "-shard", "2/2"}},
+		{"shard trailing garbage", []string{"run", "-exp", "T3", "-shard", "1/2/3"}},
+		{"shard not numeric", []string{"run", "-exp", "T3", "-shard", "a/b"}},
+		{"unknown experiment", []string{"run", "-exp", "T6"}},
+		{"merge without files", []string{"merge"}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, os.Stdout); err == nil {
+				t.Fatal("bad input accepted")
+			}
+		})
+	}
+}

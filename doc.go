@@ -65,9 +65,16 @@
 //	full trace                2621         5339   (2.2× / 1.8×)
 //	decisions only            1615         1317   (3.6× / 7.3×)
 //
+// Since PR 3 the automata recycle their broadcast messages through
+// per-automaton scratch buffers, which removed the last steady-state
+// allocations from the decisions-only round loop (n=8: 46 allocs per
+// 256-round run, down from 821; ~1200 ns/round).
+//
 // BENCH_baseline.json records the full benchmark suite; regenerate it with
 // go test -run '^$' -bench . -benchmem. BENCH_pr2.json snapshots the suite
-// after the declarative-scenario refactor.
+// after the declarative-scenario refactor, BENCH_pr3.json after the
+// streaming-sink subsystem and the message-recycling satellite (including
+// the focused before/after comparison).
 //
 // # Scenario sweeps
 //
@@ -84,6 +91,26 @@
 // Config.RunTrials exposes the parallel path publicly (cmd/consensus-sim
 // -trials/-parallel); every experiment table in internal/experiments is a
 // scenario grid on the same runner (cmd/benchtab -workers).
+//
+// # Streaming sinks and sharded sweeps
+//
+// Sweeps stream instead of accumulating: the runner delivers each trial's
+// digested result, in trial order, into a result sink (internal/sink) —
+// in-memory collection, buffered JSONL with a stable versioned schema
+// (scenario fingerprint, trial seed, rounds, decision digest,
+// detector/CM/loss params), or a fan-out to several sinks. Publicly,
+// Config.ResultSink taps the per-trial stream of RunTrials, and
+// Config.StreamTrials executes one shard of a larger run: trial seeds
+// depend only on Config.Seed and the global trial index, so k machines
+// each running one shard produce JSONL files whose union is byte-identical
+// to the single-machine sweep. cmd/sweeprun drives both directions — "run"
+// executes a shard of an experiment grid or configuration sweep, "merge"
+// folds shard files back into exactly the tables cmd/benchtab prints and
+// the statistics consensus-sim -trials prints (golden-tested, with
+// fingerprint verification rejecting shards from mismatched grids or
+// versions). consensus-sim -trials additionally reports per-trial seed
+// provenance, so one anomalous trial out of a million can be re-run
+// standalone by passing its derived seed to a single Run.
 //
 // # Quick start
 //

@@ -36,6 +36,8 @@ type Alg1 struct {
 	propValues map[model.Value]struct{}
 	propCD     model.CDAdvice
 
+	msg model.Message // reusable broadcast buffer (see Automaton.Message)
+
 	decided  bool
 	decision model.Value
 	halted   bool
@@ -62,12 +64,14 @@ func (a *Alg1) Message(_ int, cmAdvice model.CMAdvice) *model.Message {
 	switch a.phase {
 	case alg1Proposal:
 		if cmAdvice == model.CMActive {
-			return &model.Message{Kind: model.KindEstimate, Value: a.estimate}
+			a.msg = model.Message{Kind: model.KindEstimate, Value: a.estimate}
+			return &a.msg
 		}
 		return nil
 	case alg1Veto:
 		if a.propCD == model.CDCollision || len(a.propValues) > 1 {
-			return &model.Message{Kind: model.KindVeto}
+			a.msg = model.Message{Kind: model.KindVeto}
+			return &a.msg
 		}
 		return nil
 	default:
@@ -141,6 +145,7 @@ func minValue(set map[model.Value]struct{}) model.Value {
 // phase is load-bearing; do not use it for anything else.
 type Alg1NoVeto struct {
 	estimate model.Value
+	msg      model.Message // reusable broadcast buffer
 	decided  bool
 	decision model.Value
 	halted   bool
@@ -161,7 +166,8 @@ func (a *Alg1NoVeto) Message(_ int, cmAdvice model.CMAdvice) *model.Message {
 	if a.halted || cmAdvice != model.CMActive {
 		return nil
 	}
-	return &model.Message{Kind: model.KindEstimate, Value: a.estimate}
+	a.msg = model.Message{Kind: model.KindEstimate, Value: a.estimate}
+	return &a.msg
 }
 
 // Deliver implements model.Automaton.

@@ -43,6 +43,8 @@ type Alg2 struct {
 	bit      int
 	decide   bool
 
+	msg model.Message // reusable broadcast buffer (see Automaton.Message)
+
 	decided  bool
 	decision model.Value
 	halted   bool
@@ -81,15 +83,18 @@ func (a *Alg2) Message(_ int, cmAdvice model.CMAdvice) *model.Message {
 		if cmAdvice != model.CMActive {
 			return nil
 		}
-		return &model.Message{Kind: model.KindEstimate, Value: a.estimate}
+		a.msg = model.Message{Kind: model.KindEstimate, Value: a.estimate}
+		return &a.msg
 	case alg2Propose:
 		if valueset.Bit(a.estimate, a.bit, a.width) == 1 {
-			return &model.Message{Kind: model.KindVote}
+			a.msg = model.Message{Kind: model.KindVote}
+			return &a.msg
 		}
 		return nil
 	case alg2Accept:
 		if !a.decide {
-			return &model.Message{Kind: model.KindVeto}
+			a.msg = model.Message{Kind: model.KindVeto}
+			return &a.msg
 		}
 		return nil
 	default:

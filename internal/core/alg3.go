@@ -42,6 +42,8 @@ type Alg3 struct {
 
 	heard [3]bool // per voting phase: received a message or notification
 
+	msg model.Message // reusable broadcast buffer (see Automaton.Message)
+
 	decided  bool
 	decision model.Value
 	halted   bool
@@ -72,19 +74,22 @@ func (a *Alg3) Message(_ int, _ model.CMAdvice) *model.Message {
 	if a.halted {
 		return nil
 	}
-	vote := &model.Message{Kind: model.KindVote}
+	vote := func() *model.Message {
+		a.msg = model.Message{Kind: model.KindVote}
+		return &a.msg
+	}
 	switch a.phase {
 	case alg3VoteVal:
 		if a.estimate == a.curr.Value() {
-			return vote
+			return vote()
 		}
 	case alg3VoteLeft:
 		if a.curr.InLeft(a.estimate) {
-			return vote
+			return vote()
 		}
 	case alg3VoteRight:
 		if a.curr.InRight(a.estimate) {
-			return vote
+			return vote()
 		}
 	case alg3Recurse:
 		// The recurse phase is local computation only (the paper keeps it

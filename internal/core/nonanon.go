@@ -64,6 +64,10 @@ type NonAnon struct {
 	leaderDead bool
 	sawValue   bool // received the leader value in the current cycle's phase 2
 
+	// msg is the reusable broadcast buffer (see Automaton.Message), shared
+	// with the election: at most one of the two broadcasts per round.
+	msg model.Message
+
 	decided  bool
 	decision model.Value
 	halted   bool
@@ -105,12 +109,14 @@ func (n *NonAnon) Message(r int, cmAdvice model.CMAdvice) *model.Message {
 		return n.elect.message(cmAdvice)
 	case 2:
 		if n.isLeader() {
-			return &model.Message{Kind: model.KindLeaderValue, Value: n.adopted}
+			n.msg = model.Message{Kind: model.KindLeaderValue, Value: n.adopted}
+			return &n.msg
 		}
 		return nil
 	default: // phase 3: veto unless this cycle's value arrived
 		if !n.sawValue {
-			return &model.Message{Kind: model.KindVeto}
+			n.msg = model.Message{Kind: model.KindVeto}
+			return &n.msg
 		}
 		return nil
 	}
@@ -249,15 +255,18 @@ func (e *election) message(cmAdvice model.CMAdvice) *model.Message {
 		if cmAdvice != model.CMActive || e.owner.leaderBelievedAlive() {
 			return nil
 		}
-		return &model.Message{Kind: model.KindEstimate, Value: e.estimate}
+		e.owner.msg = model.Message{Kind: model.KindEstimate, Value: e.estimate}
+		return &e.owner.msg
 	case alg2Propose:
 		if valueset.Bit(e.estimate, e.bit, e.width) == 1 {
-			return &model.Message{Kind: model.KindVote}
+			e.owner.msg = model.Message{Kind: model.KindVote}
+			return &e.owner.msg
 		}
 		return nil
 	case alg2Accept:
 		if !e.decideFlag {
-			return &model.Message{Kind: model.KindVeto}
+			e.owner.msg = model.Message{Kind: model.KindVeto}
+			return &e.owner.msg
 		}
 		return nil
 	default:

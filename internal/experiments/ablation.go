@@ -18,11 +18,10 @@ import (
 // violations across partition adversaries and seeds: the negative-
 // acknowledgment round is load-bearing.
 func A1NoVetoAblation() (*Table, error) {
-	t := &Table{
-		Title:  "A1 — ablation: Algorithm 1 without its veto phase",
-		Header: []string{"variant", "adversary", "runs", "agreement violations"},
-		Pass:   true,
-	}
+	return GridExperiment{Name: "A1", build: a1Build}.Run()
+}
+
+func a1Build() ([]sim.Scenario, RenderFunc, error) {
 	const runs = 20
 	values := []model.Value{1, 1, 2, 2}
 	adversaries := []struct {
@@ -63,57 +62,60 @@ func A1NoVetoAblation() (*Table, error) {
 			}
 		}
 	}
-	results, err := runGrid(scenarios)
-	if err != nil {
-		return nil, err
-	}
-	idx := 0
-	for _, variant := range variants {
-		for _, adv := range adversaries {
-			violations := 0
-			for k := 0; k < runs; k++ {
-				if len(results[idx].DecidedValues) > 1 {
-					violations++
+	render := func(results []sim.Result) (*Table, error) {
+		t := &Table{
+			Title:  "A1 — ablation: Algorithm 1 without its veto phase",
+			Header: []string{"variant", "adversary", "runs", "agreement violations"},
+			Pass:   true,
+		}
+		idx := 0
+		for _, variant := range variants {
+			for _, adv := range adversaries {
+				violations := 0
+				for k := 0; k < runs; k++ {
+					if len(results[idx].DecidedValues) > 1 {
+						violations++
+					}
+					idx++
 				}
-				idx++
-			}
-			// The full algorithm under half-AC CAN violate (that is
-			// Theorem 6's point — see T8); what the ablation shows is that
-			// removing the veto phase makes violations strictly more
-			// frequent, including under non-adversarial stochastic loss.
-			t.Rows = append(t.Rows, Row{Cells: []string{
-				variant.name, adv.name, fmt.Sprint(runs), fmt.Sprint(violations),
-			}})
-		}
-	}
-	// Structured check: under capture loss, the no-veto variant must
-	// violate strictly more often than the full algorithm.
-	var full, ablated int
-	for _, r := range t.Rows {
-		if r.Cells[1] == "capture p=0.5" {
-			if r.Cells[0] == "full Alg 1" {
-				fmt.Sscan(r.Cells[3], &full)
-			} else {
-				fmt.Sscan(r.Cells[3], &ablated)
+				// The full algorithm under half-AC CAN violate (that is
+				// Theorem 6's point — see T8); what the ablation shows is that
+				// removing the veto phase makes violations strictly more
+				// frequent, including under non-adversarial stochastic loss.
+				t.Rows = append(t.Rows, Row{Cells: []string{
+					variant.name, adv.name, fmt.Sprint(runs), fmt.Sprint(violations),
+				}})
 			}
 		}
+		// Structured check: under capture loss, the no-veto variant must
+		// violate strictly more often than the full algorithm.
+		var full, ablated int
+		for _, r := range t.Rows {
+			if r.Cells[1] == "capture p=0.5" {
+				if r.Cells[0] == "full Alg 1" {
+					fmt.Sscan(r.Cells[3], &full)
+				} else {
+					fmt.Sscan(r.Cells[3], &ablated)
+				}
+			}
+		}
+		if ablated <= full {
+			t.Pass = false
+		}
+		t.Notes = append(t.Notes, "the veto phase converts 'I might be wrong' into 'nobody objects': dropping it breaks safety even under stochastic loss")
+		return t, nil
 	}
-	if ablated <= full {
-		t.Pass = false
-	}
-	t.Notes = append(t.Notes, "the veto phase converts 'I might be wrong' into 'nobody objects': dropping it breaks safety even under stochastic loss")
-	return t, nil
+	return scenarios, render, nil
 }
 
 // A2LossRateSweep measures time-to-decide for Algorithms 1 and 2 across the
 // empirical 20–50% loss regimes of §1.1, with the channel stabilizing at
 // round 20.
 func A2LossRateSweep() (*Table, error) {
-	t := &Table{
-		Title:  "A2 — rounds to decide vs pre-CST loss rate (CST = 20)",
-		Header: []string{"algorithm", "loss rate", "rounds (summary over 10 seeds)"},
-		Pass:   true,
-	}
+	return GridExperiment{Name: "A2", build: a2Build}.Run()
+}
+
+func a2Build() ([]sim.Scenario, RenderFunc, error) {
 	domain := valueset.MustDomain(256)
 	const cst = 20
 	const seeds = 10
@@ -148,31 +150,35 @@ func A2LossRateSweep() (*Table, error) {
 			}
 		}
 	}
-	results, err := runGrid(scenarios)
-	if err != nil {
-		return nil, err
-	}
-	idx := 0
-	for _, alg := range algs {
-		for _, p := range rates {
-			rounds := stats.NewCollector(seeds)
-			for k := 0; k < seeds; k++ {
-				res := results[idx]
-				if !res.ConsensusOK() {
-					t.Pass = false
-				}
-				rounds.Set(k, float64(res.LastDecisionRound))
-				idx++
-			}
-			t.Rows = append(t.Rows, Row{Cells: []string{
-				alg.name, fmt.Sprintf("%.0f%%", p*100), rounds.Summary().String(),
-			}})
+	render := func(results []sim.Result) (*Table, error) {
+		t := &Table{
+			Title:  "A2 — rounds to decide vs pre-CST loss rate (CST = 20)",
+			Header: []string{"algorithm", "loss rate", "rounds (summary over 10 seeds)"},
+			Pass:   true,
 		}
+		idx := 0
+		for _, alg := range algs {
+			for _, p := range rates {
+				rounds := stats.NewCollector(seeds)
+				for k := 0; k < seeds; k++ {
+					res := results[idx]
+					if !res.ConsensusOK() {
+						t.Pass = false
+					}
+					rounds.Set(k, float64(res.LastDecisionRound))
+					idx++
+				}
+				t.Rows = append(t.Rows, Row{Cells: []string{
+					alg.name, fmt.Sprintf("%.0f%%", p*100), rounds.Summary().String(),
+				}})
+			}
+		}
+		t.Notes = append(t.Notes,
+			"pre-CST loss cannot delay decisions past CST+2 (Alg 1) / CST+2(lg|V|+1) (Alg 2): the bounds absorb any loss rate",
+			"some runs decide BEFORE CST when the stochastic channel happens to behave")
+		return t, nil
 	}
-	t.Notes = append(t.Notes,
-		"pre-CST loss cannot delay decisions past CST+2 (Alg 1) / CST+2(lg|V|+1) (Alg 2): the bounds absorb any loss rate",
-		"some runs decide BEFORE CST when the stochastic channel happens to behave")
-	return t, nil
+	return scenarios, render, nil
 }
 
 // A3Substrates measures the assumed services: backoff stabilization time by

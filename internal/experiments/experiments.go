@@ -142,15 +142,89 @@ func baseScenario() sim.Scenario {
 	}
 }
 
-// runGrid executes a scenario grid on the shared runner, applying the
-// forced trace override first.
-func runGrid(scenarios []sim.Scenario) ([]sim.Result, error) {
+// applyForcedTrace applies the test-only trace override to a grid in place.
+func applyForcedTrace(scenarios []sim.Scenario) {
 	if f := forcedTrace.Load(); f >= 0 {
 		for i := range scenarios {
 			scenarios[i].Trace = engine.TraceMode(f)
 		}
 	}
+}
+
+// runGrid executes a scenario grid on the shared runner, applying the
+// forced trace override first.
+func runGrid(scenarios []sim.Scenario) ([]sim.Result, error) {
+	applyForcedTrace(scenarios)
 	return runner().Sweep(scenarios)
+}
+
+// RenderFunc turns the digested results of an experiment's scenario grid
+// into its rendered table. Renderers are pure functions of the result
+// slice, so the same renderer serves the in-process sweep and results
+// merged back from sharded JSONL files (cmd/sweeprun).
+type RenderFunc func([]sim.Result) (*Table, error)
+
+// GridExperiment is an experiment whose trials are exactly a declarative
+// scenario grid: it can be built (grid + renderer) without running, which
+// is what lets cmd/sweeprun shard the grid across machines and fold the
+// shard files back into the identical table. Experiments with bespoke
+// non-scenario pipelines (the lower-bound constructions T6/T7/T9, the A3
+// substrates, the M1 multihop floods) are not grid experiments and run
+// in-process only.
+type GridExperiment struct {
+	// Name is the table's short ID (T1..T5, T8, A1, A2).
+	Name  string
+	build func() ([]sim.Scenario, RenderFunc, error)
+}
+
+// Build returns the expanded scenario grid — with the test-only trace
+// override applied, exactly as the in-process path applies it — and the
+// renderer that folds the grid's results into the table.
+func (e GridExperiment) Build() ([]sim.Scenario, RenderFunc, error) {
+	scenarios, render, err := e.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	applyForcedTrace(scenarios)
+	return scenarios, render, nil
+}
+
+// Run executes the whole grid in-process on the shared runner and renders
+// the table: the single-machine path every TNXxx() function uses.
+func (e GridExperiment) Run() (*Table, error) {
+	scenarios, render, err := e.Build()
+	if err != nil {
+		return nil, err
+	}
+	results, err := runner().Sweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	return render(results)
+}
+
+// GridExperiments lists every scenario-grid experiment in table order.
+func GridExperiments() []GridExperiment {
+	return []GridExperiment{
+		{Name: "T1", build: t1Build},
+		{Name: "T2", build: t2Build},
+		{Name: "T3", build: t3Build},
+		{Name: "T4", build: t4Build},
+		{Name: "T5", build: t5Build},
+		{Name: "T8", build: t8Build},
+		{Name: "A1", build: a1Build},
+		{Name: "A2", build: a2Build},
+	}
+}
+
+// GridExperimentByName resolves a grid experiment by its (case-exact) ID.
+func GridExperimentByName(name string) (GridExperiment, bool) {
+	for _, e := range GridExperiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return GridExperiment{}, false
 }
 
 // probLoss returns a factory for a seeded probabilistic adversary. The

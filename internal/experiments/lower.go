@@ -128,11 +128,10 @@ func T7NonAnonLowerBound() (*Table, error) {
 // adversary breaks Algorithm 1 under half-AC (agreement violation) but is
 // harmless under maj-AC (forced notifications make everyone veto forever).
 func T8MajHalfGap() (*Table, error) {
-	t := &Table{
-		Title:  "T8 — the maj/half single-message gap: Algorithm 1 under the exact-half partition",
-		Header: []string{"detector", "n", "decisions", "agreement", "expected"},
-		Pass:   true,
-	}
+	return GridExperiment{Name: "T8", build: t8Build}.Run()
+}
+
+func t8Build() ([]sim.Scenario, RenderFunc, error) {
 	const n = 4
 	cases := []struct {
 		class  detector.Class
@@ -153,32 +152,36 @@ func T8MajHalfGap() (*Table, error) {
 		s.MaxRounds = 40
 		scenarios = append(scenarios, s)
 	}
-	results, err := runGrid(scenarios)
-	if err != nil {
-		return nil, err
+	render := func(results []sim.Result) (*Table, error) {
+		t := &Table{
+			Title:  "T8 — the maj/half single-message gap: Algorithm 1 under the exact-half partition",
+			Header: []string{"detector", "n", "decisions", "agreement", "expected"},
+			Pass:   true,
+		}
+		for i, tc := range cases {
+			res := results[i]
+			violated := len(res.DecidedValues) > 1
+			agreement := "ok"
+			if violated {
+				agreement = "VIOLATED"
+			}
+			ok := (tc.expect == "violated") == violated
+			if tc.expect == "safe" && res.Decisions != 0 {
+				ok = false // must not decide at all during a permanent partition
+			}
+			if !ok {
+				t.Pass = false
+			}
+			t.Rows = append(t.Rows, Row{Cells: []string{
+				tc.class.Name, fmt.Sprint(n), fmt.Sprint(res.Decisions), agreement, tc.expect,
+			}})
+		}
+		t.Notes = append(t.Notes,
+			"each process receives exactly half the proposals (its own group's): half-completeness permits silence, majority completeness does not",
+			"one message of detector strength separates Θ(1) from Θ(lg|V|) consensus")
+		return t, nil
 	}
-	for i, tc := range cases {
-		res := results[i]
-		violated := len(res.DecidedValues) > 1
-		agreement := "ok"
-		if violated {
-			agreement = "VIOLATED"
-		}
-		ok := (tc.expect == "violated") == violated
-		if tc.expect == "safe" && res.Decisions != 0 {
-			ok = false // must not decide at all during a permanent partition
-		}
-		if !ok {
-			t.Pass = false
-		}
-		t.Rows = append(t.Rows, Row{Cells: []string{
-			tc.class.Name, fmt.Sprint(n), fmt.Sprint(res.Decisions), agreement, tc.expect,
-		}})
-	}
-	t.Notes = append(t.Notes,
-		"each process receives exactly half the proposals (its own group's): half-completeness permits silence, majority completeness does not",
-		"one message of detector strength separates Θ(1) from Θ(lg|V|) consensus")
-	return t, nil
+	return scenarios, render, nil
 }
 
 // T9Impossibility runs the Theorem 4, 8, and 9 constructions, exercising

@@ -14,11 +14,10 @@ import (
 // ECF (with a wake-up service) and under NOCF (no delivery guarantee), the
 // algorithm that solves it, and the measured termination round (CST = 1).
 func T1ClassMatrix() (*Table, error) {
-	t := &Table{
-		Title:  "T1 — Figure 1 + §1.5: solvability and round complexity by detector class",
-		Header: []string{"class", "completeness", "accuracy", "ECF+WS", "rounds", "NOCF", "rounds"},
-		Pass:   true,
-	}
+	return GridExperiment{Name: "T1", build: t1Build}.Run()
+}
+
+func t1Build() ([]sim.Scenario, RenderFunc, error) {
 	domain := valueset.MustDomain(256)
 	values := spreadValues(4, domain)
 
@@ -68,54 +67,57 @@ func T1ClassMatrix() (*Table, error) {
 		}
 		runs = append(runs, cr)
 	}
-	results, err := runGrid(scenarios)
-	if err != nil {
-		return nil, err
-	}
-	for _, cr := range runs {
-		ecfResult, ecfRounds := "impossible (Thm 4/5)", "-"
-		if cr.ecf >= 0 {
-			res := results[cr.ecf]
-			if !res.ConsensusOK() {
-				t.Pass = false
+	render := func(results []sim.Result) (*Table, error) {
+		t := &Table{
+			Title:  "T1 — Figure 1 + §1.5: solvability and round complexity by detector class",
+			Header: []string{"class", "completeness", "accuracy", "ECF+WS", "rounds", "NOCF", "rounds"},
+			Pass:   true,
+		}
+		for _, cr := range runs {
+			ecfResult, ecfRounds := "impossible (Thm 4/5)", "-"
+			if cr.ecf >= 0 {
+				res := results[cr.ecf]
+				if !res.ConsensusOK() {
+					t.Pass = false
+				}
+				ecfResult = cr.ecfLabel
+				ecfRounds = fmt.Sprint(res.LastDecisionRound)
 			}
-			ecfResult = cr.ecfLabel
-			ecfRounds = fmt.Sprint(res.LastDecisionRound)
-		}
-		nocfResult, nocfRounds := "impossible (Thm 8)", "-"
-		if cr.class == detector.NoCD || cr.class == detector.NoACC {
-			nocfResult = "impossible (Thm 4/5)"
-		}
-		if cr.nocf >= 0 {
-			res := results[cr.nocf]
-			if !res.ConsensusOK() {
-				t.Pass = false
+			nocfResult, nocfRounds := "impossible (Thm 8)", "-"
+			if cr.class == detector.NoCD || cr.class == detector.NoACC {
+				nocfResult = "impossible (Thm 4/5)"
 			}
-			nocfResult = "Alg 3: Θ(lg|V|)"
-			nocfRounds = fmt.Sprint(res.LastDecisionRound)
+			if cr.nocf >= 0 {
+				res := results[cr.nocf]
+				if !res.ConsensusOK() {
+					t.Pass = false
+				}
+				nocfResult = "Alg 3: Θ(lg|V|)"
+				nocfRounds = fmt.Sprint(res.LastDecisionRound)
+			}
+			t.Rows = append(t.Rows, Row{Cells: []string{
+				cr.class.Name,
+				cr.class.Completeness.String(),
+				cr.class.Accuracy.String(),
+				ecfResult, ecfRounds, nocfResult, nocfRounds,
+			}})
 		}
-		t.Rows = append(t.Rows, Row{Cells: []string{
-			cr.class.Name,
-			cr.class.Completeness.String(),
-			cr.class.Accuracy.String(),
-			ecfResult, ecfRounds, nocfResult, nocfRounds,
-		}})
+		t.Notes = append(t.Notes,
+			"ECF column: wake-up service stable from round 1, |V|=256, n=4",
+			"half-complete classes solve consensus but NOT in constant rounds (Thm 6; see T6/T8)")
+		return t, nil
 	}
-	t.Notes = append(t.Notes,
-		"ECF column: wake-up service stable from round 1, |V|=256, n=4",
-		"half-complete classes solve consensus but NOT in constant rounds (Thm 6; see T6/T8)")
-	return t, nil
+	return scenarios, render, nil
 }
 
 // T2Alg1Termination measures Theorem 1's CST+2 bound across network sizes
 // and stabilization times, with pre-CST noise (false positives, contention,
 // probabilistic loss).
 func T2Alg1Termination() (*Table, error) {
-	t := &Table{
-		Title:  "T2 — Theorem 1: Algorithm 1 terminates by CST+2 (maj-◇AC, WS, ECF)",
-		Header: []string{"n", "CST", "decided at", "bound", "ok"},
-		Pass:   true,
-	}
+	return GridExperiment{Name: "T2", build: t2Build}.Run()
+}
+
+func t2Build() ([]sim.Scenario, RenderFunc, error) {
 	domain := valueset.MustDomain(1 << 16)
 	type point struct{ n, cst int }
 	var grid []point
@@ -140,39 +142,42 @@ func T2Alg1Termination() (*Table, error) {
 			scenarios = append(scenarios, s)
 		}
 	}
-	results, err := runGrid(scenarios)
-	if err != nil {
-		return nil, err
-	}
-	for i, p := range grid {
-		res := results[i]
-		// +1 slack: CST may land on a veto round (Lemma 8's "worst
-		// case, CST is a veto-phase round" gives CST+2; with CST
-		// falling mid-phase the next full cycle starts one later).
-		bound := p.cst + 3
-		ok := res.ConsensusOK() && res.LastDecisionRound <= bound
-		if !ok {
-			t.Pass = false
+	render := func(results []sim.Result) (*Table, error) {
+		t := &Table{
+			Title:  "T2 — Theorem 1: Algorithm 1 terminates by CST+2 (maj-◇AC, WS, ECF)",
+			Header: []string{"n", "CST", "decided at", "bound", "ok"},
+			Pass:   true,
 		}
-		t.Rows = append(t.Rows, Row{Cells: []string{
-			fmt.Sprint(p.n), fmt.Sprint(p.cst),
-			fmt.Sprint(res.LastDecisionRound),
-			fmt.Sprint(bound), yesNo(ok),
-		}})
+		for i, p := range grid {
+			res := results[i]
+			// +1 slack: CST may land on a veto round (Lemma 8's "worst
+			// case, CST is a veto-phase round" gives CST+2; with CST
+			// falling mid-phase the next full cycle starts one later).
+			bound := p.cst + 3
+			ok := res.ConsensusOK() && res.LastDecisionRound <= bound
+			if !ok {
+				t.Pass = false
+			}
+			t.Rows = append(t.Rows, Row{Cells: []string{
+				fmt.Sprint(p.n), fmt.Sprint(p.cst),
+				fmt.Sprint(res.LastDecisionRound),
+				fmt.Sprint(bound), yesNo(ok),
+			}})
+		}
+		t.Notes = append(t.Notes, "bound shown is CST+3: +2 from Theorem 1 plus cycle-alignment slack",
+			"|V|=65536 — constant in |V| and n, unlike Alg 2 (T3)")
+		return t, nil
 	}
-	t.Notes = append(t.Notes, "bound shown is CST+3: +2 from Theorem 1 plus cycle-alignment slack",
-		"|V|=65536 — constant in |V| and n, unlike Alg 2 (T3)")
-	return t, nil
+	return scenarios, render, nil
 }
 
 // T3Alg2ValueSweep measures Theorem 2's CST + 2(⌈lg|V|⌉+1) bound across
 // value-domain sizes: the logarithmic shape.
 func T3Alg2ValueSweep() (*Table, error) {
-	t := &Table{
-		Title:  "T3 — Theorem 2: Algorithm 2 terminates by CST+2(⌈lg|V|⌉+1) (0-◇AC, WS, ECF)",
-		Header: []string{"|V|", "⌈lg|V|⌉", "CST", "decided at", "bound", "ok"},
-		Pass:   true,
-	}
+	return GridExperiment{Name: "T3", build: t3Build}.Run()
+}
+
+func t3Build() ([]sim.Scenario, RenderFunc, error) {
 	type point struct {
 		size uint64
 		bw   int
@@ -201,36 +206,39 @@ func T3Alg2ValueSweep() (*Table, error) {
 			scenarios = append(scenarios, s)
 		}
 	}
-	results, err := runGrid(scenarios)
-	if err != nil {
-		return nil, err
-	}
-	for i, p := range grid {
-		res := results[i]
-		bound := p.cst + 2*(p.bw+1) + 1
-		ok := res.ConsensusOK() && res.LastDecisionRound <= bound
-		if !ok {
-			t.Pass = false
+	render := func(results []sim.Result) (*Table, error) {
+		t := &Table{
+			Title:  "T3 — Theorem 2: Algorithm 2 terminates by CST+2(⌈lg|V|⌉+1) (0-◇AC, WS, ECF)",
+			Header: []string{"|V|", "⌈lg|V|⌉", "CST", "decided at", "bound", "ok"},
+			Pass:   true,
 		}
-		t.Rows = append(t.Rows, Row{Cells: []string{
-			fmt.Sprint(p.size), fmt.Sprint(p.bw), fmt.Sprint(p.cst),
-			fmt.Sprint(res.LastDecisionRound),
-			fmt.Sprint(bound), yesNo(ok),
-		}})
+		for i, p := range grid {
+			res := results[i]
+			bound := p.cst + 2*(p.bw+1) + 1
+			ok := res.ConsensusOK() && res.LastDecisionRound <= bound
+			if !ok {
+				t.Pass = false
+			}
+			t.Rows = append(t.Rows, Row{Cells: []string{
+				fmt.Sprint(p.size), fmt.Sprint(p.bw), fmt.Sprint(p.cst),
+				fmt.Sprint(res.LastDecisionRound),
+				fmt.Sprint(bound), yesNo(ok),
+			}})
+		}
+		t.Notes = append(t.Notes, "rounds grow as 2·lg|V|: one prepare/propose/accept cycle per decision attempt")
+		return t, nil
 	}
-	t.Notes = append(t.Notes, "rounds grow as 2·lg|V|: one prepare/propose/accept cycle per decision attempt")
-	return t, nil
+	return scenarios, render, nil
 }
 
 // T4Alg3NoCF measures Theorem 3's 8·lg|V| bound for Algorithm 3 under
 // total message loss, including the §7.4 deep-left-crash scenario that
 // costs an extra climb.
 func T4Alg3NoCF() (*Table, error) {
-	t := &Table{
-		Title:  "T4 — Theorem 3: Algorithm 3 terminates within 8·lg|V| after failures cease (0-AC, NoCM, NO ECF)",
-		Header: []string{"|V|", "height", "failures", "last crash", "decided at", "bound", "ok"},
-		Pass:   true,
-	}
+	return GridExperiment{Name: "T4", build: t4Build}.Run()
+}
+
+func t4Build() ([]sim.Scenario, RenderFunc, error) {
 	type point struct {
 		size            uint64
 		h               int
@@ -268,35 +276,38 @@ func T4Alg3NoCF() (*Table, error) {
 		grid = append(grid, point{size, h, "deep-left crash", fmt.Sprint(crashRound), crashRound + 8*h + 4})
 		scenarios = append(scenarios, deep)
 	}
-	results, err := runGrid(scenarios)
-	if err != nil {
-		return nil, err
-	}
-	for i, p := range grid {
-		res := results[i]
-		ok := res.ConsensusOK() && res.LastDecisionRound <= p.bound
-		if !ok {
-			t.Pass = false
+	render := func(results []sim.Result) (*Table, error) {
+		t := &Table{
+			Title:  "T4 — Theorem 3: Algorithm 3 terminates within 8·lg|V| after failures cease (0-AC, NoCM, NO ECF)",
+			Header: []string{"|V|", "height", "failures", "last crash", "decided at", "bound", "ok"},
+			Pass:   true,
 		}
-		t.Rows = append(t.Rows, Row{Cells: []string{
-			fmt.Sprint(p.size), fmt.Sprint(p.h), p.failures, p.crash,
-			fmt.Sprint(res.LastDecisionRound), fmt.Sprint(p.bound), yesNo(ok),
-		}})
+		for i, p := range grid {
+			res := results[i]
+			ok := res.ConsensusOK() && res.LastDecisionRound <= p.bound
+			if !ok {
+				t.Pass = false
+			}
+			t.Rows = append(t.Rows, Row{Cells: []string{
+				fmt.Sprint(p.size), fmt.Sprint(p.h), p.failures, p.crash,
+				fmt.Sprint(res.LastDecisionRound), fmt.Sprint(p.bound), yesNo(ok),
+			}})
+		}
+		t.Notes = append(t.Notes,
+			"every cross-process message is lost in every round: collision notifications are the only signal",
+			"deep-left crash adds ≈ 8·lg|V| rounds (climb back + re-descend), as §7.4 predicts")
+		return t, nil
 	}
-	t.Notes = append(t.Notes,
-		"every cross-process message is lost in every round: collision notifications are the only signal",
-		"deep-left crash adds ≈ 8·lg|V| rounds (climb back + re-descend), as §7.4 predicts")
-	return t, nil
+	return scenarios, render, nil
 }
 
 // T5Crossover measures the §7.3 result: the non-anonymous algorithm's
 // rounds track min{lg|V|, lg|I|}, with the crossover at |I| = |V|.
 func T5Crossover() (*Table, error) {
-	t := &Table{
-		Title:  "T5 — §7.3: non-anonymous consensus in CST+O(min{lg|V|, lg|I|})",
-		Header: []string{"|V|", "|I|", "regime", "decided at", "Alg2-on-V bound", "ok"},
-		Pass:   true,
-	}
+	return GridExperiment{Name: "T5", build: t5Build}.Run()
+}
+
+func t5Build() ([]sim.Scenario, RenderFunc, error) {
 	type point struct {
 		vSize, iSize uint64
 		regime       string
@@ -319,7 +330,7 @@ func T5Crossover() (*Table, error) {
 		n := 4
 		ids, err := valueset.RandomIDs(n, idD, 99)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		s := baseScenario()
 		s.Name = fmt.Sprintf("T5/V=%d/I=%d", tc.vSize, tc.iSize)
@@ -344,23 +355,27 @@ func T5Crossover() (*Table, error) {
 		grid = append(grid, point{tc.vSize, tc.iSize, regime, bound, 2 * (valD.BitWidth() + 1)})
 		scenarios = append(scenarios, s)
 	}
-	results, err := runGrid(scenarios)
-	if err != nil {
-		return nil, err
-	}
-	for i, p := range grid {
-		res := results[i]
-		ok := res.ConsensusOK() && res.LastDecisionRound <= p.bound
-		if !ok {
-			t.Pass = false
+	render := func(results []sim.Result) (*Table, error) {
+		t := &Table{
+			Title:  "T5 — §7.3: non-anonymous consensus in CST+O(min{lg|V|, lg|I|})",
+			Header: []string{"|V|", "|I|", "regime", "decided at", "Alg2-on-V bound", "ok"},
+			Pass:   true,
 		}
-		t.Rows = append(t.Rows, Row{Cells: []string{
-			fmt.Sprint(p.vSize), fmt.Sprint(p.iSize), p.regime,
-			fmt.Sprint(res.LastDecisionRound),
-			fmt.Sprint(p.alg2Bound), yesNo(ok),
-		}})
+		for i, p := range grid {
+			res := results[i]
+			ok := res.ConsensusOK() && res.LastDecisionRound <= p.bound
+			if !ok {
+				t.Pass = false
+			}
+			t.Rows = append(t.Rows, Row{Cells: []string{
+				fmt.Sprint(p.vSize), fmt.Sprint(p.iSize), p.regime,
+				fmt.Sprint(res.LastDecisionRound),
+				fmt.Sprint(p.alg2Bound), yesNo(ok),
+			}})
+		}
+		t.Notes = append(t.Notes,
+			"when |I| < |V| the measured rounds beat the Alg2-on-V bound: IDs only help when the ID space is SMALLER than the value space (§1.5)")
+		return t, nil
 	}
-	t.Notes = append(t.Notes,
-		"when |I| < |V| the measured rounds beat the Alg2-on-V bound: IDs only help when the ID space is SMALLER than the value space (§1.5)")
-	return t, nil
+	return scenarios, render, nil
 }

@@ -133,7 +133,11 @@ func (a CMAdvice) String() string {
 // executions replayable and the indistinguishability harness sound.
 type Automaton interface {
 	// Message returns the message this process broadcasts in round r, or
-	// nil for silence.
+	// nil for silence. The returned pointer is read (and copied) by the
+	// engine before the automaton's next Message call and never retained,
+	// so implementations may return a pointer to a per-automaton scratch
+	// buffer reused across rounds — the paper's automata do, which keeps
+	// the round hot path allocation-free.
 	Message(r int, cm CMAdvice) *Message
 	// Deliver completes round r: recv is the received multiset (always
 	// including the process's own broadcast, per Definition 11 constraint

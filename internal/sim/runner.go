@@ -73,6 +73,15 @@ func RunTrial(index int, s Scenario) Result {
 	}
 }
 
+// ResultSink consumes digested trial results as a sweep produces them.
+// Runner.SweepTo delivers results strictly in ascending index order and
+// never calls Consume concurrently, so implementations need no locking.
+// internal/sink provides the standard implementations (in-memory
+// collection, buffered JSONL streaming, fan-out).
+type ResultSink interface {
+	Consume(r Result) error
+}
+
 // Runner executes independent trials on a worker pool.
 type Runner struct {
 	// Workers is the pool size; <= 0 selects GOMAXPROCS.
@@ -124,13 +133,89 @@ func (r Runner) Map(n int, fn func(i int)) {
 // the result slice is complete either way.
 func (r Runner) Sweep(scenarios []Scenario) ([]Result, error) {
 	results := make([]Result, len(scenarios))
-	r.Map(len(scenarios), func(i int) {
-		results[i] = RunTrial(i, scenarios[i])
-	})
-	for i := range results {
-		if results[i].Err != nil {
-			return results, fmt.Errorf("sim: trial %d (%s): %w", i, results[i].Name, results[i].Err)
+	err := r.SweepTo(scenarios, sliceSink(results))
+	return results, err
+}
+
+// sliceSink is the in-memory sink behind Sweep: results land in their slot.
+type sliceSink []Result
+
+func (s sliceSink) Consume(r Result) error {
+	s[r.Index] = r
+	return nil
+}
+
+// SweepTo executes every scenario on the worker pool and streams the
+// digested results into sink in strict scenario order, without accumulating
+// them: the sweep's memory footprint is the reorder window (bounded by the
+// worker count's out-of-orderness), not the grid size. The stream delivered
+// to the sink is byte-identical for any worker count. Results whose trial
+// errored are delivered too (with Err set) and do not stop the sweep; a
+// sink Consume error does — remaining trials are skipped and the sink error
+// is returned. Otherwise SweepTo returns the first per-trial error by
+// index, after all trials complete.
+func (r Runner) SweepTo(scenarios []Scenario, sink ResultSink) error {
+	return r.sweepTo(len(scenarios), func(i int) Result {
+		return RunTrial(i, scenarios[i])
+	}, sink)
+}
+
+// SweepTrialsTo is SweepTo over an indexed shard (see ShardScenarios): each
+// trial's Result carries its global sweep index, and delivery order is the
+// trials slice order — ascending global index for shards built by
+// ShardScenarios, so concatenating the k shard streams sorted by index
+// reproduces the unsharded stream byte for byte.
+func (r Runner) SweepTrialsTo(trials []Trial, sink ResultSink) error {
+	return r.sweepTo(len(trials), func(i int) Result {
+		res := RunTrial(trials[i].Index, trials[i].Scenario)
+		return res
+	}, sink)
+}
+
+// sweepTo runs fn(0..n-1) on the pool and hands each Result to the sink in
+// ascending slot order. A mutex-guarded reorder window bridges out-of-order
+// completion to the sink's strictly sequential contract; the sink is never
+// called concurrently. A Consume error aborts the sweep: trials already in
+// flight finish (at most one per worker), every other remaining trial is
+// skipped, and the sink error is returned. Per-trial errors, by contrast,
+// never stop the sweep — each trial is independent, and the caller gets the
+// first one (by index) after all trials ran.
+func (r Runner) sweepTo(n int, fn func(i int) Result, sink ResultSink) error {
+	buf := make([]Result, n)
+	done := make([]bool, n)
+	var (
+		aborted  atomic.Bool
+		mu       sync.Mutex
+		next     int
+		firstErr error // first per-trial Err, by slot order
+		sinkErr  error // first Consume error; aborts the sweep
+	)
+	r.Map(n, func(i int) {
+		if aborted.Load() {
+			return
 		}
+		res := fn(i)
+		mu.Lock()
+		defer mu.Unlock()
+		buf[i] = res
+		done[i] = true
+		for next < n && done[next] {
+			out := buf[next]
+			buf[next] = Result{} // release the trial's memory once delivered
+			if out.Err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("sim: trial %d (%s): %w", out.Index, out.Name, out.Err)
+			}
+			if sinkErr == nil {
+				if err := sink.Consume(out); err != nil {
+					sinkErr = fmt.Errorf("sim: result sink: %w", err)
+					aborted.Store(true)
+				}
+			}
+			next++
+		}
+	})
+	if sinkErr != nil {
+		return sinkErr
 	}
-	return results, nil
+	return firstErr
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"reflect"
 	stdruntime "runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
 	"adhocconsensus/internal/detector"
 	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
 	"adhocconsensus/internal/model"
 )
 
@@ -158,6 +160,169 @@ func TestSweepExpansion(t *testing.T) {
 	for _, s := range pinned {
 		if s.Seed != 99 {
 			t.Fatalf("pinned seed overridden to %d", s.Seed)
+		}
+	}
+}
+
+// orderSink records the delivery order and results it sees.
+type orderSink struct {
+	results []Result
+	failAt  int // Consume error on this call number (1-based); 0 = never
+	calls   int
+}
+
+func (s *orderSink) Consume(r Result) error {
+	s.calls++
+	if s.failAt > 0 && s.calls == s.failAt {
+		return fmt.Errorf("sink full")
+	}
+	s.results = append(s.results, r)
+	return nil
+}
+
+// TestSweepToStreamsInOrder is the streaming contract: whatever the worker
+// count, the sink sees exactly the Sweep result slice, in ascending index
+// order, one call per trial.
+func TestSweepToStreamsInOrder(t *testing.T) {
+	want, err := Runner{Workers: 1}.Sweep(determinismGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4, stdruntime.GOMAXPROCS(0)} {
+		var sink orderSink
+		if err := (Runner{Workers: w}).SweepTo(determinismGrid(), &sink); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sink.results, want) {
+			t.Fatalf("workers=%d: streamed results differ from Sweep's", w)
+		}
+	}
+}
+
+// TestSweepToPropagatesErrors covers both failure directions: a sink error
+// aborts with the sink's error; a trial error still streams every result
+// and surfaces afterwards, exactly like Sweep.
+func TestSweepToPropagatesErrors(t *testing.T) {
+	grid := determinismGrid()[:6]
+	sink := &orderSink{failAt: 3}
+	err := Runner{Workers: 2}.SweepTo(grid, sink)
+	if err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("sink error lost: %v", err)
+	}
+	if len(sink.results) != 2 {
+		t.Fatalf("sink consumed %d results after failing at call 3", len(sink.results))
+	}
+
+	// A sink error must also stop EXECUTING trials, not just delivering
+	// them: with one worker, failing on the very first Consume means no
+	// later trial's components are ever built.
+	var built atomic.Int64
+	counted := determinismGrid()[:6]
+	for i := range counted {
+		counted[i].BuildLoss = func(s *Scenario) loss.Adversary {
+			built.Add(1)
+			return loss.NewProbabilistic(s.LossP, s.Seed+4)
+		}
+	}
+	if err := (Runner{Workers: 1}).SweepTo(counted, &orderSink{failAt: 1}); err == nil {
+		t.Fatal("sink error lost")
+	}
+	if built.Load() != 1 {
+		t.Fatalf("%d trials executed after the sink failed on trial 0, want 1", built.Load())
+	}
+
+	bad := determinismGrid()[:4]
+	bad[2].Values = nil // materialization error
+	var all orderSink
+	err = Runner{Workers: 2}.SweepTo(bad, &all)
+	if err == nil || !strings.Contains(err.Error(), "trial 2") {
+		t.Fatalf("trial error lost: %v", err)
+	}
+	if len(all.results) != 4 {
+		t.Fatalf("streamed %d of 4 results on trial error", len(all.results))
+	}
+	if all.results[2].Err == nil {
+		t.Fatal("errored trial's result did not carry its error")
+	}
+}
+
+// TestShardScenarios covers the partition: a disjoint cover of the index
+// space preserving scenarios and seeds, with validation of bad shard specs.
+func TestShardScenarios(t *testing.T) {
+	grid := determinismGrid()
+	for _, k := range []int{1, 2, 4, 7, len(grid), len(grid) + 3} {
+		seen := make(map[int]Scenario)
+		for i := 0; i < k; i++ {
+			trials, err := ShardScenarios(grid, i, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := -1
+			for _, tr := range trials {
+				if tr.Index <= last {
+					t.Fatalf("shard %d/%d not ascending", i, k)
+				}
+				last = tr.Index
+				if _, dup := seen[tr.Index]; dup {
+					t.Fatalf("index %d in two shards (k=%d)", tr.Index, k)
+				}
+				seen[tr.Index] = tr.Scenario
+			}
+		}
+		if len(seen) != len(grid) {
+			t.Fatalf("k=%d covers %d of %d trials", k, len(seen), len(grid))
+		}
+		for i := range grid {
+			if seen[i].Seed != grid[i].Seed || seen[i].Name != grid[i].Name {
+				t.Fatalf("k=%d: trial %d scenario altered by sharding", k, i)
+			}
+		}
+	}
+	if _, err := ShardScenarios(grid, 0, 0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := ShardScenarios(grid, 2, 2); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+// TestSweepTrialsToGlobalIndices: a sharded sweep reports results under
+// global indices, and concatenating all shards sorted by index reproduces
+// the unsharded stream.
+func TestSweepTrialsToGlobalIndices(t *testing.T) {
+	grid := determinismGrid()
+	want, err := Runner{Workers: 1}.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	merged := make([]Result, len(grid))
+	for i := 0; i < k; i++ {
+		trials, err := ShardScenarios(grid, i, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink orderSink
+		if err := (Runner{Workers: 4}).SweepTrialsTo(trials, &sink); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range sink.results {
+			merged[r.Index] = r
+		}
+	}
+	if !reflect.DeepEqual(merged, want) {
+		t.Fatal("merged shard streams differ from the unsharded sweep")
+	}
+	// Sweep.Shard goes through the same partition.
+	sw := NewSweep(Scenario{Name: "s"}).Seed(3).Trials(10)
+	trials, err := sw.Shard(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := sw.Scenarios()
+	for _, tr := range trials {
+		if tr.Index%4 != 1 || tr.Scenario.Seed != full[tr.Index].Seed {
+			t.Fatalf("Sweep.Shard trial %+v inconsistent with expansion", tr)
 		}
 	}
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // splitmix64 is the SplitMix64 output function: a bijective avalanche mix
 // used to derive well-separated per-trial seeds from structured inputs.
 func splitmix64(x uint64) uint64 {
@@ -71,6 +73,43 @@ func (w *Sweep) Size() int {
 		points *= len(axis)
 	}
 	return points * w.trials
+}
+
+// Trial pairs a scenario with its global index in the full sweep. Shards
+// are slices of Trials so that a shard worker reports results under the
+// indices the unsharded sweep would have used.
+type Trial struct {
+	Index    int
+	Scenario Scenario
+}
+
+// Shard expands the grid and returns its i-of-k shard: every trial whose
+// global index is congruent to shard mod shards. Expansion happens before
+// partitioning, so each trial keeps the exact Seed the unsharded sweep
+// derives for it (TrialSeed over the sweep seed, grid index, and trial
+// index) and the union of the k shards is the unsharded scenario slice —
+// byte-identical executions at any worker or shard count.
+func (w *Sweep) Shard(shard, shards int) ([]Trial, error) {
+	return ShardScenarios(w.Scenarios(), shard, shards)
+}
+
+// ShardScenarios partitions an already-expanded scenario slice (the grid ×
+// trials order of Sweep.Scenarios, or any experiment grid) into its
+// shard-of-shards subset by round-robin on the global index. Round-robin
+// balances cost-skewed grids (e.g. one axis varying |V|) better than
+// contiguous blocks would.
+func ShardScenarios(scenarios []Scenario, shard, shards int) ([]Trial, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: shard count %d < 1", shards)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("sim: shard %d outside [0,%d)", shard, shards)
+	}
+	out := make([]Trial, 0, (len(scenarios)+shards-1)/shards)
+	for i := shard; i < len(scenarios); i += shards {
+		out = append(out, Trial{Index: i, Scenario: scenarios[i]})
+	}
+	return out, nil
 }
 
 // Scenarios expands the grid. Each scenario receives Seed =

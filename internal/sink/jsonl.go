@@ -1,0 +1,262 @@
+package sink
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"adhocconsensus/internal/sim"
+)
+
+// JSONL streams records to a writer, one JSON object per line, in sweep
+// order. The encoder is hand-rolled over reusable scratch buffers with a
+// fixed field order, so steady-state Consume performs zero allocations
+// (asserted in this package's tests) and the byte stream for a given sweep
+// is deterministic — shard files produced by different workers can be
+// compared and merged byte-exactly.
+type JSONL struct {
+	// Exp labels every record with the experiment (or sweep) name; merge
+	// groups records by it.
+	Exp string
+	// Params, when non-nil, supplies the declarative parameters of the trial
+	// at a global sweep index; the record carries them plus their
+	// fingerprint. Precompute a Params slice when streaming large sweeps:
+	// the lookup runs once per trial. When nil, records carry empty params
+	// and the zero-Params fingerprint.
+	Params func(index int) Params
+
+	w       *bufio.Writer
+	scratch []byte
+	vals    []uint64
+	fps     map[Params]string // fingerprint cache: grids repeat configurations across trials
+}
+
+// NewJSONL returns a JSONL sink writing to w through a buffer. Call Flush
+// (or sink.Flush) after the sweep; the tail is lost otherwise.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Consume implements Sink: it digests the result into a record and appends
+// its line.
+func (j *JSONL) Consume(r sim.Result) error {
+	rec := Record{
+		Index:             r.Index,
+		Name:              r.Name,
+		Seed:              r.Seed,
+		Rounds:            r.Rounds,
+		AllDecided:        r.AllDecided,
+		Decisions:         r.Decisions,
+		LastDecisionRound: r.LastDecisionRound,
+		AgreementOK:       r.AgreementOK,
+		ValidityOK:        r.ValidityOK,
+		TerminationOK:     r.TerminationOK,
+	}
+	if j.Params != nil {
+		rec.Params = j.Params(r.Index)
+	}
+	rec.Fingerprint = j.fingerprint(rec.Params)
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+	}
+	j.vals = j.vals[:0]
+	for _, v := range r.DecidedValues {
+		j.vals = append(j.vals, uint64(v))
+	}
+	rec.DecidedValues = j.vals
+	return j.WriteRecord(rec)
+}
+
+// WriteRecord appends one pre-built record line (used by trial streams that
+// did not come from a sim sweep, e.g. the public RunTrials path). Schema,
+// and Exp when the sink has one, are stamped here so callers cannot write a
+// mislabeled line.
+func (j *JSONL) WriteRecord(rec Record) error {
+	rec.Schema = Schema
+	if j.Exp != "" {
+		rec.Exp = j.Exp
+	}
+	j.scratch = appendRecord(j.scratch[:0], rec)
+	_, err := j.w.Write(j.scratch)
+	return err
+}
+
+// Flush implements Flusher.
+func (j *JSONL) Flush() error { return j.w.Flush() }
+
+// fingerprint memoizes Params.Fingerprint: a sweep revisits the same
+// configuration once per trial, and the hash (with its fmt formatting)
+// would otherwise be the sink's only steady-state allocation.
+func (j *JSONL) fingerprint(p Params) string {
+	if fp, ok := j.fps[p]; ok {
+		return fp
+	}
+	if j.fps == nil {
+		j.fps = make(map[Params]string)
+	}
+	fp := p.Fingerprint()
+	j.fps[p] = fp
+	return fp
+}
+
+// appendRecord writes the record as one JSON line. The field order and
+// omission rules match the Record struct's json tags exactly, so the output
+// decodes through encoding/json with no loss.
+func appendRecord(b []byte, rec Record) []byte {
+	b = append(b, `{"schema":`...)
+	b = strconv.AppendInt(b, int64(rec.Schema), 10)
+	if rec.Exp != "" {
+		b = append(b, `,"exp":`...)
+		b = appendString(b, rec.Exp)
+	}
+	if rec.Fingerprint != "" {
+		b = append(b, `,"fp":`...)
+		b = appendString(b, rec.Fingerprint)
+	}
+	b = append(b, `,"i":`...)
+	b = strconv.AppendInt(b, int64(rec.Index), 10)
+	if rec.Name != "" {
+		b = append(b, `,"name":`...)
+		b = appendString(b, rec.Name)
+	}
+	b = append(b, `,"seed":`...)
+	b = strconv.AppendInt(b, rec.Seed, 10)
+	b = append(b, `,"rounds":`...)
+	b = strconv.AppendInt(b, int64(rec.Rounds), 10)
+	b = append(b, `,"decided":`...)
+	b = strconv.AppendBool(b, rec.AllDecided)
+	b = append(b, `,"decisions":`...)
+	b = strconv.AppendInt(b, int64(rec.Decisions), 10)
+	if len(rec.DecidedValues) > 0 {
+		b = append(b, `,"values":[`...)
+		for i, v := range rec.DecidedValues {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendUint(b, v, 10)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"lastround":`...)
+	b = strconv.AppendInt(b, int64(rec.LastDecisionRound), 10)
+	b = append(b, `,"agreement":`...)
+	b = strconv.AppendBool(b, rec.AgreementOK)
+	b = append(b, `,"validity":`...)
+	b = strconv.AppendBool(b, rec.ValidityOK)
+	b = append(b, `,"termination":`...)
+	b = strconv.AppendBool(b, rec.TerminationOK)
+	if rec.Err != "" {
+		b = append(b, `,"err":`...)
+		b = appendString(b, rec.Err)
+	}
+	b = append(b, `,"params":`...)
+	b = appendParams(b, rec.Params)
+	b = append(b, '}', '\n')
+	return b
+}
+
+// appendParams writes the params object, omitting zero fields like the json
+// tags do.
+func appendParams(b []byte, p Params) []byte {
+	b = append(b, '{')
+	n := len(b)
+	comma := func(b []byte) []byte {
+		if len(b) > n {
+			return append(b, ',')
+		}
+		return b
+	}
+	if p.Algorithm != "" {
+		b = append(comma(b), `"alg":`...)
+		b = appendString(b, p.Algorithm)
+	}
+	if p.N != 0 {
+		b = append(comma(b), `"n":`...)
+		b = strconv.AppendInt(b, int64(p.N), 10)
+	}
+	if p.Domain != 0 {
+		b = append(comma(b), `"domain":`...)
+		b = strconv.AppendUint(b, p.Domain, 10)
+	}
+	if p.IDSpace != 0 {
+		b = append(comma(b), `"idspace":`...)
+		b = strconv.AppendUint(b, p.IDSpace, 10)
+	}
+	if p.Detector != "" {
+		b = append(comma(b), `"detector":`...)
+		b = appendString(b, p.Detector)
+	}
+	if p.Race != 0 {
+		b = append(comma(b), `"race":`...)
+		b = strconv.AppendInt(b, int64(p.Race), 10)
+	}
+	if p.FPRate != 0 {
+		b = append(comma(b), `"fprate":`...)
+		b = strconv.AppendFloat(b, p.FPRate, 'g', -1, 64)
+	}
+	if p.CM != "" {
+		b = append(comma(b), `"cm":`...)
+		b = appendString(b, p.CM)
+	}
+	if p.Stable != 0 {
+		b = append(comma(b), `"stable":`...)
+		b = strconv.AppendInt(b, int64(p.Stable), 10)
+	}
+	if p.Loss != "" {
+		b = append(comma(b), `"loss":`...)
+		b = appendString(b, p.Loss)
+	}
+	if p.LossP != 0 {
+		b = append(comma(b), `"lossp":`...)
+		b = strconv.AppendFloat(b, p.LossP, 'g', -1, 64)
+	}
+	if p.ECFRound != 0 {
+		b = append(comma(b), `"ecf":`...)
+		b = strconv.AppendInt(b, int64(p.ECFRound), 10)
+	}
+	if p.MaxRounds != 0 {
+		b = append(comma(b), `"maxrounds":`...)
+		b = strconv.AppendInt(b, int64(p.MaxRounds), 10)
+	}
+	if p.Trace != "" {
+		b = append(comma(b), `"trace":`...)
+		b = appendString(b, p.Trace)
+	}
+	if p.Gor {
+		b = append(comma(b), `"goroutines":true`...)
+	}
+	if p.Crashes != "" {
+		b = append(comma(b), `"crashes":`...)
+		b = appendString(b, p.Crashes)
+	}
+	if p.SweepSeed != 0 {
+		b = append(comma(b), `"sweepseed":`...)
+		b = strconv.AppendInt(b, p.SweepSeed, 10)
+	}
+	if p.Bespoke != "" {
+		b = append(comma(b), `"bespoke":`...)
+		b = appendString(b, p.Bespoke)
+	}
+	return append(b, '}')
+}
+
+// appendString writes a JSON string. Scenario names and class names are
+// plain ASCII; bytes needing escapes take the explicit path, and non-ASCII
+// passes through verbatim (valid UTF-8 needs no escaping in JSON).
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, `\u00`...)
+			const hex = "0123456789abcdef"
+			b = append(b, hex[c>>4], hex[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

@@ -1,0 +1,103 @@
+package sink
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"adhocconsensus/internal/sim"
+)
+
+// ReadRecords decodes a JSONL stream (one shard file) into records,
+// rejecting lines whose schema version this build does not understand.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("sink: line %d: %w", line, err)
+		}
+		if rec.Schema != Schema {
+			return nil, fmt.Errorf("sink: line %d: schema %d, this build reads schema %d", line, rec.Schema, Schema)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sink: %w", err)
+	}
+	return out, nil
+}
+
+// GroupByExp splits records by experiment label, preserving each group's
+// record order and returning the labels in order of first appearance, so a
+// merged multi-experiment run renders its tables in the order the shards
+// produced them.
+func GroupByExp(recs []Record) (map[string][]Record, []string) {
+	groups := make(map[string][]Record)
+	var order []string
+	for _, rec := range recs {
+		if _, ok := groups[rec.Exp]; !ok {
+			order = append(order, rec.Exp)
+		}
+		groups[rec.Exp] = append(groups[rec.Exp], rec)
+	}
+	return groups, order
+}
+
+// Merge folds shard records back into the result slice the unsharded
+// in-process sweep would have produced: sorted by global index, verified to
+// be a complete 0..n-1 cover with no duplicates and no conflicting
+// duplicates of one index. The output feeds the same renderers and
+// aggregators as an in-process Runner.Sweep, byte-identically.
+func Merge(recs []Record) ([]sim.Result, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("sink: no records to merge")
+	}
+	sorted := make([]Record, len(recs))
+	copy(sorted, recs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	out := make([]sim.Result, 0, len(sorted))
+	for i, rec := range sorted {
+		if i > 0 && rec.Index == sorted[i-1].Index {
+			return nil, fmt.Errorf("sink: duplicate record for trial %d (overlapping shards?)", rec.Index)
+		}
+		if rec.Index != len(out) {
+			return nil, fmt.Errorf("sink: trial %d missing (have %d, next record is %d) — incomplete shard set",
+				len(out), len(recs), rec.Index)
+		}
+		out = append(out, rec.Result())
+	}
+	return out, nil
+}
+
+// VerifyFingerprints checks every record's fingerprint against the
+// parameters the merging side derives for the same trial index — the guard
+// that shard files were produced against the same grid and defaults as the
+// binary doing the merge. Call it after Merge's completeness check, with
+// the same Params source the producing sinks used.
+func VerifyFingerprints(recs []Record, params func(index int) Params) error {
+	fps := make(map[Params]string)
+	for _, rec := range recs {
+		p := params(rec.Index)
+		want, ok := fps[p]
+		if !ok {
+			want = p.Fingerprint()
+			fps[p] = want
+		}
+		if rec.Fingerprint != want {
+			return fmt.Errorf("sink: trial %d (%s) fingerprint %s does not match this build's grid (%s) — shard produced by a different grid or version",
+				rec.Index, rec.Name, rec.Fingerprint, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package sink
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/sim"
+)
+
+// Schema is the JSONL record schema version. Bump it whenever a field is
+// renamed, removed, or changes meaning; readers reject records whose schema
+// they do not understand, so shard files produced by incompatible builds
+// cannot be silently merged. Adding a new omitempty field is backward
+// compatible and does NOT require a bump.
+const Schema = 1
+
+// Params is the declarative environment of one trial — everything that
+// identifies the scenario's configuration except the per-trial seed. It is
+// recorded alongside each result so a shard file is self-describing, and it
+// is the input to the fingerprint that guards merges.
+type Params struct {
+	Algorithm string  `json:"alg,omitempty"`
+	N         int     `json:"n,omitempty"`
+	Domain    uint64  `json:"domain,omitempty"`
+	IDSpace   uint64  `json:"idspace,omitempty"`
+	Detector  string  `json:"detector,omitempty"`
+	Race      int     `json:"race,omitempty"`
+	FPRate    float64 `json:"fprate,omitempty"`
+	CM        string  `json:"cm,omitempty"`
+	Stable    int     `json:"stable,omitempty"`
+	Loss      string  `json:"loss,omitempty"`
+	LossP     float64 `json:"lossp,omitempty"`
+	ECFRound  int     `json:"ecf,omitempty"`
+	MaxRounds int     `json:"maxrounds,omitempty"`
+	Trace     string  `json:"trace,omitempty"`
+	Gor       bool    `json:"goroutines,omitempty"`
+	// Crashes digests the crash schedule as "p<id>@<round><b|a>" terms,
+	// sorted by process, comma-joined ("a" = after-send).
+	Crashes string `json:"crashes,omitempty"`
+	// SweepSeed is the base seed every trial seed of a configuration sweep
+	// derives from (Config.Seed in the public API). Unlike the per-trial
+	// seed it IS part of the configuration — two sweeps of the same
+	// parameters with different base seeds must not merge — so it joins the
+	// fingerprint. Grid experiments leave it zero: their per-scenario
+	// seeding is pinned by the grid itself.
+	SweepSeed int64 `json:"sweepseed,omitempty"`
+	// Bespoke flags factory escape hatches (BuildProc/BuildLoss/
+	// BuildBehavior) whose closures cannot be serialized: two scenarios with
+	// the same flags and different factories fingerprint identically, so
+	// bespoke sweeps must carry the distinction in the scenario Name.
+	Bespoke string `json:"bespoke,omitempty"`
+}
+
+// algName mirrors the sim.Algorithm enumeration.
+func algName(a sim.Algorithm) string {
+	switch a {
+	case sim.AlgPropose:
+		return "propose"
+	case sim.AlgBitByBit:
+		return "bitbybit"
+	case sim.AlgTreeWalk:
+		return "treewalk"
+	case sim.AlgLeaderRelay:
+		return "leaderrelay"
+	case sim.AlgProposeNoVeto:
+		return "propose-noveto"
+	case 0:
+		return ""
+	default:
+		return fmt.Sprintf("alg(%d)", int(a))
+	}
+}
+
+// cmName mirrors the sim.CMMode enumeration.
+func cmName(m sim.CMMode) string {
+	switch m {
+	case sim.CMAuto:
+		return "auto"
+	case sim.CMWakeUp:
+		return "wakeup"
+	case sim.CMLeader:
+		return "leader"
+	case sim.CMBackoff:
+		return "backoff"
+	case sim.CMNone:
+		return "none"
+	default:
+		return fmt.Sprintf("cm(%d)", int(m))
+	}
+}
+
+// lossName mirrors the sim.LossMode enumeration.
+func lossName(m sim.LossMode) string {
+	switch m {
+	case sim.LossNone:
+		return "none"
+	case sim.LossProbabilistic:
+		return "prob"
+	case sim.LossCapture:
+		return "capture"
+	case sim.LossDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("loss(%d)", int(m))
+	}
+}
+
+// crashDigest renders a crash schedule canonically: sorted by process.
+func crashDigest(s model.Schedule) string {
+	if len(s) == 0 {
+		return ""
+	}
+	ids := make([]model.ProcessID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		c := s[id]
+		when := "b"
+		if c.Time == model.CrashAfterSend {
+			when = "a"
+		}
+		fmt.Fprintf(&b, "p%d@%d%s", id, c.Round, when)
+	}
+	return b.String()
+}
+
+// ParamsOf extracts the recorded parameters of a scenario. The per-trial
+// Seed is deliberately excluded: Params (and its fingerprint) identify the
+// CONFIGURATION, while the seed travels in the record itself.
+func ParamsOf(s sim.Scenario) Params {
+	var bespoke []string
+	if s.BuildProc != nil {
+		bespoke = append(bespoke, "proc")
+	}
+	if s.BuildBehavior != nil {
+		bespoke = append(bespoke, "behavior")
+	}
+	if s.BuildLoss != nil {
+		bespoke = append(bespoke, "loss")
+	}
+	trace := "full"
+	if s.Trace == engine.TraceDecisionsOnly {
+		trace = "decisions"
+	}
+	det := ""
+	if s.Detector != (detector.Class{}) {
+		det = s.Detector.Name
+	}
+	return Params{
+		Algorithm: algName(s.Algorithm),
+		N:         len(s.Values),
+		Domain:    s.Domain,
+		IDSpace:   s.IDSpace,
+		Detector:  det,
+		Race:      s.Race,
+		FPRate:    s.FalsePositiveRate,
+		CM:        cmName(s.CM),
+		Stable:    s.Stable,
+		Loss:      lossName(s.Loss),
+		LossP:     s.LossP,
+		ECFRound:  s.ECFRound,
+		MaxRounds: s.MaxRounds,
+		Trace:     trace,
+		Gor:       s.UseGoroutines,
+		Crashes:   crashDigest(s.Crashes),
+		Bespoke:   strings.Join(bespoke, ","),
+	}
+}
+
+// Fingerprint hashes the canonical rendering of the parameters into a
+// 16-hex-digit string. Two records merge into one sweep only if their
+// fingerprints match what the merging side derives for the same index, so
+// shard files produced against a different grid (or an incompatible code
+// version that changed a default) are rejected instead of silently folded.
+func (p Params) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%s|%d|%g|%s|%d|%s|%g|%d|%d|%s|%t|%s|%s|%d",
+		p.Algorithm, p.N, p.Domain, p.IDSpace, p.Detector, p.Race, p.FPRate,
+		p.CM, p.Stable, p.Loss, p.LossP, p.ECFRound, p.MaxRounds, p.Trace,
+		p.Gor, p.Crashes, p.Bespoke, p.SweepSeed)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// Record is one JSONL line: the digested outcome of one trial plus enough
+// provenance (experiment, fingerprint, global index, seed, parameters) to
+// merge shard files deterministically and to re-run the trial standalone.
+// The field set mirrors sim.Result — a Record round-trips through Result()
+// with no loss.
+type Record struct {
+	Schema      int    `json:"schema"`
+	Exp         string `json:"exp,omitempty"`
+	Fingerprint string `json:"fp,omitempty"`
+	Index       int    `json:"i"`
+	Name        string `json:"name,omitempty"`
+	Seed        int64  `json:"seed"`
+
+	Rounds            int      `json:"rounds"`
+	AllDecided        bool     `json:"decided"`
+	Decisions         int      `json:"decisions"`
+	DecidedValues     []uint64 `json:"values,omitempty"`
+	LastDecisionRound int      `json:"lastround"`
+
+	AgreementOK   bool `json:"agreement"`
+	ValidityOK    bool `json:"validity"`
+	TerminationOK bool `json:"termination"`
+
+	Err string `json:"err,omitempty"`
+
+	Params Params `json:"params"`
+}
+
+// RecordOf digests one trial result into a record.
+func RecordOf(exp string, p Params, r sim.Result) Record {
+	rec := Record{
+		Schema:            Schema,
+		Exp:               exp,
+		Fingerprint:       p.Fingerprint(),
+		Index:             r.Index,
+		Name:              r.Name,
+		Seed:              r.Seed,
+		Rounds:            r.Rounds,
+		AllDecided:        r.AllDecided,
+		Decisions:         r.Decisions,
+		LastDecisionRound: r.LastDecisionRound,
+		AgreementOK:       r.AgreementOK,
+		ValidityOK:        r.ValidityOK,
+		TerminationOK:     r.TerminationOK,
+		Params:            p,
+	}
+	if len(r.DecidedValues) > 0 {
+		rec.DecidedValues = make([]uint64, len(r.DecidedValues))
+		for i, v := range r.DecidedValues {
+			rec.DecidedValues[i] = uint64(v)
+		}
+	}
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+	}
+	return rec
+}
+
+// Result reconstructs the sim.Result this record digested. The
+// reconstruction is exact — byte-identical to the in-process Result for
+// error-free trials — so merged shard files feed the same renderers and
+// aggregators the in-process sweep feeds.
+func (rec Record) Result() sim.Result {
+	if rec.Err != "" {
+		// Mirror sim.RunTrial's error shape: identity plus Err, zero digest
+		// (including a nil DecidedValues).
+		return sim.Result{
+			Index: rec.Index, Name: rec.Name, Seed: rec.Seed,
+			Err: fmt.Errorf("%s", rec.Err),
+		}
+	}
+	r := sim.Result{
+		Index:             rec.Index,
+		Name:              rec.Name,
+		Seed:              rec.Seed,
+		Rounds:            rec.Rounds,
+		AllDecided:        rec.AllDecided,
+		Decisions:         rec.Decisions,
+		DecidedValues:     make([]model.Value, len(rec.DecidedValues)),
+		LastDecisionRound: rec.LastDecisionRound,
+		AgreementOK:       rec.AgreementOK,
+		ValidityOK:        rec.ValidityOK,
+		TerminationOK:     rec.TerminationOK,
+	}
+	for i, v := range rec.DecidedValues {
+		r.DecidedValues[i] = model.Value(v)
+	}
+	return r
+}

@@ -1,0 +1,286 @@
+package sink
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adhocconsensus/internal/detector"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/loss"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/sim"
+)
+
+// testGrid is a small mixed grid with seeded loss, noise, and a crash
+// schedule on odd trials — enough structure to make ordering or field
+// mix-ups visible.
+func testGrid() []sim.Scenario {
+	var scs []sim.Scenario
+	for i := 0; i < 10; i++ {
+		s := sim.Scenario{
+			Name:      "sink/trial",
+			Algorithm: sim.AlgBitByBit,
+			Detector:  detector.ZeroOAC,
+			Race:      4,
+			Values:    []model.Value{3, 7, 7, 1},
+			Domain:    16,
+			CM:        sim.CMWakeUp,
+			Stable:    4,
+			Loss:      sim.LossProbabilistic,
+			LossP:     0.35,
+			ECFRound:  4,
+			MaxRounds: 500,
+			Trace:     engine.TraceDecisionsOnly,
+			Seed:      sim.TrialSeed(5, 0, i),
+		}
+		if i%2 == 1 {
+			s.Crashes = model.Schedule{2: {Round: 3, Time: model.CrashAfterSend}}
+		}
+		scs = append(scs, s)
+	}
+	return scs
+}
+
+// TestJSONLRoundTrip is the subsystem's core contract: stream a sweep to
+// JSONL, read it back, merge, and recover the exact result slice the
+// in-memory sweep produces.
+func TestJSONLRoundTrip(t *testing.T) {
+	grid := testGrid()
+	want, err := sim.Runner{Workers: 1}.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Exp = "test"
+	j.Params = func(i int) Params { return ParamsOf(grid[i]) }
+	if err := (sim.Runner{Workers: 4}).SweepTo(grid, j); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(grid) {
+		t.Fatalf("%d records for %d scenarios", len(recs), len(grid))
+	}
+	for i, rec := range recs {
+		if rec.Exp != "test" || rec.Schema != Schema {
+			t.Fatalf("record %d mislabeled: %+v", i, rec)
+		}
+		if rec.Params.Crashes == "" && i%2 == 1 {
+			t.Fatalf("record %d lost its crash digest", i)
+		}
+	}
+	got, err := Merge(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if err := VerifyFingerprints(recs, func(i int) Params { return ParamsOf(grid[i]) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncoderMatchesEncodingJSON pins the hand-rolled encoder to the
+// Record struct's json tags: every line must decode into the record that
+// produced it, including escapes and omitted empties.
+func TestEncoderMatchesEncodingJSON(t *testing.T) {
+	recs := []Record{
+		{Schema: Schema, Index: 0, Seed: -12345, Rounds: 7, AllDecided: true,
+			Decisions: 3, DecidedValues: []uint64{1, 9}, LastDecisionRound: 7,
+			AgreementOK: true, ValidityOK: true, TerminationOK: true,
+			Exp: "T1", Fingerprint: "abc123", Name: `odd "name"\with escapes` + "\x01",
+			Params: Params{Algorithm: "bitbybit", N: 4, Domain: 16, Detector: "0-◇AC",
+				LossP: 0.35, Crashes: "p2@3a", Bespoke: "loss"}},
+		{Schema: Schema, Index: 1, Seed: 0, Err: "engine: exploded"},
+	}
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		buf.Write(appendRecord(nil, rec))
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(recs) {
+		t.Fatalf("%d lines for %d records", len(lines), len(recs))
+	}
+	for i, line := range lines {
+		var got Record
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d does not decode: %v\n%s", i, err, line)
+		}
+		if !reflect.DeepEqual(got, recs[i]) {
+			t.Fatalf("line %d decoded differently:\n got %+v\nwant %+v", i, got, recs[i])
+		}
+	}
+}
+
+// TestRecordResultRoundTrip covers RecordOf/Result, including the error
+// shape.
+func TestRecordResultRoundTrip(t *testing.T) {
+	ok := sim.Result{Index: 3, Name: "x", Seed: 9, Rounds: 12, AllDecided: true,
+		Decisions: 4, DecidedValues: []model.Value{2}, LastDecisionRound: 11,
+		AgreementOK: true, ValidityOK: true, TerminationOK: true}
+	if got := RecordOf("e", Params{}, ok).Result(); !reflect.DeepEqual(got, ok) {
+		t.Fatalf("ok round-trip: got %+v want %+v", got, ok)
+	}
+	bad := sim.Result{Index: 1, Name: "y", Seed: 2, Err: errors.New("boom")}
+	got := RecordOf("e", Params{}, bad).Result()
+	if got.Err == nil || got.Err.Error() != "boom" || got.Index != 1 || got.DecidedValues != nil {
+		t.Fatalf("error round-trip: got %+v", got)
+	}
+}
+
+// TestMergeGuards covers the completeness and overlap checks.
+func TestMergeGuards(t *testing.T) {
+	mk := func(indices ...int) []Record {
+		recs := make([]Record, len(indices))
+		for i, idx := range indices {
+			recs[i] = Record{Schema: Schema, Index: idx}
+		}
+		return recs
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, err := Merge(mk(0, 2)); err == nil {
+		t.Fatal("gap accepted")
+	}
+	if _, err := Merge(mk(0, 1, 1)); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := Merge(mk(1, 2)); err == nil {
+		t.Fatal("missing trial 0 accepted")
+	}
+	if res, err := Merge(mk(2, 0, 1)); err != nil || len(res) != 3 {
+		t.Fatalf("out-of-order complete set rejected: %v", err)
+	}
+	bad := mk(0, 1)
+	bad[1].Fingerprint = "deadbeef"
+	if err := VerifyFingerprints(bad, func(int) Params { return Params{} }); err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	}
+}
+
+// TestReadRecordsRejectsUnknownSchema freezes the versioning contract.
+func TestReadRecordsRejectsUnknownSchema(t *testing.T) {
+	line := appendRecord(nil, Record{Schema: Schema + 1, Index: 0})
+	if _, err := ReadRecords(bytes.NewReader(line)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+	if _, err := ReadRecords(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if recs, err := ReadRecords(strings.NewReader("")); err != nil || len(recs) != 0 {
+		t.Fatalf("empty input: %v, %d records", err, len(recs))
+	}
+}
+
+// TestFanoutAndMemory covers the composition sinks.
+func TestFanoutAndMemory(t *testing.T) {
+	var mem Memory
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	f := Fanout{&mem, j}
+	for i := 0; i < 3; i++ {
+		if err := f.Consume(sim.Result{Index: i, Rounds: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Flush(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Results) != 3 || mem.Results[2].Rounds != 3 {
+		t.Fatalf("memory sink collected %+v", mem.Results)
+	}
+	if recs, err := ReadRecords(&buf); err != nil || len(recs) != 3 {
+		t.Fatalf("jsonl side of the fanout: %v, %d records", err, len(recs))
+	}
+
+	boom := errors.New("boom")
+	failing := Fanout{&Memory{}, errSink{boom}}
+	if err := failing.Consume(sim.Result{}); !errors.Is(err, boom) {
+		t.Fatalf("fanout swallowed the sink error: %v", err)
+	}
+}
+
+type errSink struct{ err error }
+
+func (s errSink) Consume(sim.Result) error { return s.err }
+
+// TestParamsOf covers the scenario digest: defaults, crash digests, and
+// bespoke factory flags.
+func TestParamsOf(t *testing.T) {
+	p := ParamsOf(testGrid()[1])
+	if p.Algorithm != "bitbybit" || p.N != 4 || p.Domain != 16 ||
+		p.Detector != detector.ZeroOAC.Name || p.CM != "wakeup" ||
+		p.Loss != "prob" || p.Crashes != "p2@3a" || p.Trace != "decisions" {
+		t.Fatalf("ParamsOf = %+v", p)
+	}
+	if ParamsOf(testGrid()[0]).Crashes != "" {
+		t.Fatal("crash digest on crash-free scenario")
+	}
+	// Fingerprints: seed-independent, parameter-sensitive.
+	a, b := testGrid()[0], testGrid()[2]
+	if ParamsOf(a).Fingerprint() != ParamsOf(b).Fingerprint() {
+		t.Fatal("fingerprint depends on the trial seed")
+	}
+	b.LossP = 0.5
+	if ParamsOf(a).Fingerprint() == ParamsOf(b).Fingerprint() {
+		t.Fatal("fingerprint misses a parameter change")
+	}
+	// Factory escape hatches flag as bespoke.
+	c := testGrid()[0]
+	c.BuildLoss = func(*sim.Scenario) loss.Adversary { return nil }
+	if p := ParamsOf(c); p.Bespoke != "loss" {
+		t.Fatalf("bespoke flags = %q, want \"loss\"", p.Bespoke)
+	}
+}
+
+// TestJSONLConsumeSteadyStateAllocs is the perf contract of the streaming
+// path: after warm-up, Consume allocates nothing — adding a JSONL sink to a
+// sweep leaves the engine hot path's allocation profile untouched.
+func TestJSONLConsumeSteadyStateAllocs(t *testing.T) {
+	grid := testGrid()
+	params := make([]Params, len(grid))
+	for i, s := range grid {
+		params[i] = ParamsOf(s)
+	}
+	j := NewJSONL(io.Discard)
+	j.Exp = "alloc"
+	j.Params = func(i int) Params { return params[i%len(params)] }
+	res := sim.Result{
+		Index: 0, Name: "sink/trial", Seed: 42, Rounds: 100, AllDecided: true,
+		Decisions: 4, DecidedValues: []model.Value{3}, LastDecisionRound: 99,
+		AgreementOK: true, ValidityOK: true, TerminationOK: true,
+	}
+	// Warm up scratch buffers and the fingerprint cache.
+	for i := 0; i < len(params); i++ {
+		res.Index = i
+		if err := j.Consume(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		res.Index = i % len(params)
+		i++
+		if err := j.Consume(res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("JSONL.Consume allocates %.1f times per record in steady state, want 0", allocs)
+	}
+}
