@@ -175,6 +175,14 @@ type Config struct {
 	// UseGoroutines runs the goroutine-per-process runtime instead of the
 	// deterministic in-loop engine. Both produce identical executions.
 	UseGoroutines bool
+	// DeliveryWorkers shards each round's delivery inner loop across up to
+	// this many goroutines — intra-run parallelism for large networks,
+	// complementing the cross-trial parallelism of RunTrials. 0 or 1 runs
+	// sequentially. Results are byte-identical at any worker count: the
+	// engine auto-falls back to the sequential loop for small systems
+	// (under 64 processes) and for order-dependent components (a detector
+	// with FalsePositiveRate noise draws its false positives sequentially).
+	DeliveryWorkers int
 	// TraceDecisionsOnly skips recording per-round views: the Report's
 	// Execution carries decisions but no Rounds, and the run is several
 	// times faster and nearly allocation-free. Decisions, rounds, and the
@@ -304,6 +312,7 @@ func (c Config) toScenario() (sim.Scenario, error) {
 		Crashes:           crashes,
 		MaxRounds:         c.MaxRounds,
 		Trace:             trace,
+		DeliveryWorkers:   c.DeliveryWorkers,
 		UseGoroutines:     c.UseGoroutines,
 		Seed:              c.Seed,
 	}, nil

@@ -194,22 +194,34 @@ func BenchmarkSweepJSONL(b *testing.B) {
 
 // BenchmarkEngineRoundThroughput measures raw simulated rounds per second
 // in the deterministic engine (Algorithm 2, lossy channel) across network
-// sizes and trace modes. The decisions-only variants are the experiment
-// sweep hot path; the full variants price view recording. ReportAllocs
-// tracks the allocation budget per run (256 rounds), so allocs/op ÷ 256 is
-// the steady-state allocs/round.
+// sizes, trace modes, and delivery worker counts. The decisions-only
+// variants are the experiment sweep hot path; the full variants price the
+// columnar trace arena (they should cost nearly the same allocations as
+// decisions-only); the w>1 variants price the sharded delivery core at
+// sizes where it engages (n >= engine.DefaultDeliveryMinProcs — on a
+// single-core host they measure pure barrier overhead, the speedup shows at
+// GOMAXPROCS >= 4). ReportAllocs tracks the allocation budget per run (256
+// rounds), so allocs/op ÷ 256 is the steady-state allocs/round.
 func BenchmarkEngineRoundThroughput(b *testing.B) {
-	benchRoundMatrix(b, false, []int{8, 64, 256})
+	benchRoundMatrix(b, false, []int{8, 64, 256, 1024})
 }
 
 // BenchmarkRuntimeRoundThroughput is the goroutine runtime counterpart,
 // quantifying the cost of the channel barrier per round.
 func BenchmarkRuntimeRoundThroughput(b *testing.B) {
-	benchRoundMatrix(b, true, []int{8})
+	benchRoundMatrix(b, true, []int{8, 1024})
 }
 
 func benchRoundMatrix(b *testing.B, goroutines bool, sizes []int) {
 	b.Helper()
+	workerCounts := []int{1}
+	if w := stdruntime.GOMAXPROCS(0); w > 1 {
+		workerCounts = append(workerCounts, w)
+	} else {
+		// Single-core host: w=2 still exercises the sharded path and prices
+		// its barrier; the wall-clock win needs real parallelism.
+		workerCounts = append(workerCounts, 2)
+	}
 	for _, n := range sizes {
 		for _, tm := range []struct {
 			name string
@@ -218,14 +230,19 @@ func benchRoundMatrix(b *testing.B, goroutines bool, sizes []int) {
 			{"decisions", engine.TraceDecisionsOnly},
 			{"full", engine.TraceFull},
 		} {
-			b.Run(fmt.Sprintf("n=%d/%s", n, tm.name), func(b *testing.B) {
-				benchRounds(b, goroutines, n, tm.mode)
-			})
+			for _, w := range workerCounts {
+				if w > 1 && n < engine.DefaultDeliveryMinProcs {
+					continue // auto-off: would duplicate the w=1 measurement
+				}
+				b.Run(fmt.Sprintf("n=%d/%s/w=%d", n, tm.name, w), func(b *testing.B) {
+					benchRounds(b, goroutines, n, tm.mode, w)
+				})
+			}
 		}
 	}
 }
 
-func benchRounds(b *testing.B, goroutines bool, n int, trace engine.TraceMode) {
+func benchRounds(b *testing.B, goroutines bool, n int, trace engine.TraceMode, workers int) {
 	b.Helper()
 	const roundsPerRun = 256
 	d := valueset.MustDomain(1 << 16)
@@ -239,13 +256,14 @@ func benchRounds(b *testing.B, goroutines bool, n int, trace engine.TraceMode) {
 			initial[model.ProcessID(p)] = model.Value(p * 31)
 		}
 		cfg := engine.Config{
-			Procs:          procs,
-			Initial:        initial,
-			Detector:       detector.New(detector.ZeroOAC, detector.WithRace(roundsPerRun+1)),
-			Loss:           loss.NewProbabilistic(0.3, int64(i)),
-			MaxRounds:      roundsPerRun,
-			RunFullHorizon: true,
-			Trace:          trace,
+			Procs:           procs,
+			Initial:         initial,
+			Detector:        detector.New(detector.ZeroOAC, detector.WithRace(roundsPerRun+1)),
+			Loss:            loss.NewProbabilistic(0.3, int64(i)),
+			MaxRounds:       roundsPerRun,
+			RunFullHorizon:  true,
+			Trace:           trace,
+			DeliveryWorkers: workers,
 		}
 		var (
 			res *engine.Result

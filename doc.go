@@ -53,8 +53,22 @@
 //   - trace modes: Config.TraceDecisionsOnly (engine.TraceDecisionsOnly
 //     internally) skips recording per-round views entirely for callers
 //     that only read decisions — the default for the experiment tables —
-//     while the full mode records executions exactly as before and stays
-//     byte-for-byte equivalent on decisions.
+//     while the full mode stays byte-for-byte equivalent on decisions;
+//   - columnar trace arena: full traces record into model.TraceArena —
+//     one flat slice per view field plus a shared receive arena of
+//     (message, count) segments — instead of per-round map[ProcessID]View,
+//     so recording a full execution is also allocation-free in steady
+//     state (n=8: 60 allocs per 256-round run vs 49 decisions-only, down
+//     from 4065). Views materialize lazily through the model accessors;
+//     Execution.MaterializeRounds is the escape hatch back to the legacy
+//     []Round shape;
+//   - parallel delivery: Config.DeliveryWorkers (engine.Config
+//     .DeliveryWorkers) shards each round's O(n·senders) delivery loop
+//     across a worker pool for large systems — intra-run parallelism
+//     complementing the sweep runner's cross-trial parallelism — with
+//     decisions and traces byte-identical at any worker count; it
+//     auto-disables below 64 processes and for order-dependent detector
+//     behaviors or bespoke adversaries.
 //
 // Headline numbers from BenchmarkEngineRoundThroughput (Algorithm 2, 8
 // processes, 30% probabilistic loss, 256 rounds/run, one 2.7GHz core),
@@ -62,19 +76,15 @@
 //
 //	                      ns/round   allocs/run
 //	seed (full trace)         5749         9589
-//	full trace                2621         5339   (2.2× / 1.8×)
-//	decisions only            1615         1317   (3.6× / 7.3×)
-//
-// Since PR 3 the automata recycle their broadcast messages through
-// per-automaton scratch buffers, which removed the last steady-state
-// allocations from the decisions-only round loop (n=8: 46 allocs per
-// 256-round run, down from 821; ~1200 ns/round).
+//	full trace (PR 4)         1402           60   (4.1× / 160×)
+//	decisions only            1185           49   (4.9× / 196×)
 //
 // BENCH_baseline.json records the full benchmark suite; regenerate it with
 // go test -run '^$' -bench . -benchmem. BENCH_pr2.json snapshots the suite
 // after the declarative-scenario refactor, BENCH_pr3.json after the
-// streaming-sink subsystem and the message-recycling satellite (including
-// the focused before/after comparison).
+// streaming-sink subsystem and the message-recycling satellite, and
+// BENCH_pr4.json after the columnar trace arena and parallel delivery core
+// (benchmark matrix now n = 8/64/256/1024 × trace mode × worker count).
 //
 // # Scenario sweeps
 //

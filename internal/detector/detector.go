@@ -214,6 +214,18 @@ type Behavior interface {
 	Choose(r int, id model.ProcessID, senders, recv int) model.CDAdvice
 }
 
+// ConcurrentBehavior marks behaviors whose Choose is pure: stateless and a
+// function of its arguments alone, so calls may run concurrently and in any
+// order with identical results. The engines' parallel delivery core only
+// engages for detectors whose behavior carries this marker — order-dependent
+// behaviors (Noisy's sequential RNG draws, bespoke Funcs) silently fall back
+// to the sequential path, keeping executions byte-identical.
+type ConcurrentBehavior interface {
+	Behavior
+	// ConcurrentChoose is the marker method; it is never called.
+	ConcurrentChoose()
+}
+
 // Honest reports a collision exactly when the process actually lost a
 // message. An honest behavior makes any class's detector also satisfy
 // Property 4 + Property 8 pointwise — the "perfect detector" of the total
@@ -228,6 +240,9 @@ func (Honest) Choose(_ int, _ model.ProcessID, senders, recv int) model.CDAdvice
 	return model.CDNull
 }
 
+// ConcurrentChoose marks Honest as pure.
+func (Honest) ConcurrentChoose() {}
+
 // Minimal reports a collision only when completeness forces it: the weakest
 // legal detector of a class. Under Minimal, a half-complete detector stays
 // silent when exactly half the messages are lost — the behavior the
@@ -239,6 +254,9 @@ func (Minimal) Choose(_ int, _ model.ProcessID, _, _ int) model.CDAdvice {
 	return model.CDNull
 }
 
+// ConcurrentChoose marks Minimal as pure.
+func (Minimal) ConcurrentChoose() {}
+
 // MaxNoise reports a collision whenever accuracy does not forbid it: the
 // noisiest legal detector, used to stress algorithms with false positives
 // before the accuracy stabilization round.
@@ -248,6 +266,9 @@ type MaxNoise struct{}
 func (MaxNoise) Choose(_ int, _ model.ProcessID, _, _ int) model.CDAdvice {
 	return model.CDCollision
 }
+
+// ConcurrentChoose marks MaxNoise as pure.
+func (MaxNoise) ConcurrentChoose() {}
 
 // Noisy reports false positives with probability P when allowed and
 // otherwise behaves honestly. The zero value is deterministic-honest.
@@ -329,4 +350,16 @@ func (d *Detector) Advise(r int, id model.ProcessID, senders, recv int) model.CD
 		return adv
 	}
 	return d.behavior.Choose(r, id, senders, recv)
+}
+
+// ConcurrentSafe reports whether Advise may be called concurrently and in
+// any order with identical results: the class window is always pure, so the
+// detector is safe exactly when its behavior is marked ConcurrentBehavior —
+// or is never consulted, as for the pinned always-± NoCD class.
+func (d *Detector) ConcurrentSafe() bool {
+	if d.class.AlwaysCollide {
+		return true
+	}
+	_, ok := d.behavior.(ConcurrentBehavior)
+	return ok
 }

@@ -16,13 +16,29 @@
 // per-process state (crash schedule, contention advice, broadcasts, halted
 // and decided flags) lives in dense slices indexed by a sorted process
 // table built once per run, and receive multisets are drawn from a
-// sync.Pool and reset in place between rounds. With Config.Trace set to
-// TraceDecisionsOnly nothing is recorded per round, so the only remaining
-// allocations are the automata's own broadcast messages and whatever the
-// configured adversary allocates in Plan. TraceFull (the default) records
-// every view exactly as before; both modes produce identical decisions
-// because they drive the detector, manager, and adversary through identical
-// call sequences.
+// sync.Pool and reset in place between rounds — in both trace modes. With
+// Config.Trace set to TraceDecisionsOnly nothing is recorded per round.
+// TraceFull (the default) records every view into a columnar
+// model.TraceArena — flat per-field columns plus a shared receive arena —
+// so full traces are also allocation-free in steady state; views are
+// materialized lazily by the model package's accessors. Both modes produce
+// identical decisions because they drive the detector, manager, and
+// adversary through identical call sequences.
+//
+// # Parallel delivery
+//
+// For large systems the per-round delivery loop (receive-set construction,
+// detector advice, automaton transition — the O(n·senders) inner loop) can
+// be sharded across a bounded worker pool via Config.DeliveryWorkers. The
+// shard split is a pure function of (n, workers) and every per-process step
+// is independent, so decisions and recorded traces are byte-identical to
+// the sequential path at any worker count. The parallel path engages only
+// when every randomized component is order-independent (the detector's
+// behavior is a detector.ConcurrentBehavior and the adversary a
+// loss.ConcurrentPlanner — true for all honest/minimal/maxnoise detectors
+// and the built-in channel models) and the system is at least
+// DefaultDeliveryMinProcs processes; otherwise it silently falls back to
+// the sequential loop.
 package engine
 
 import (
@@ -80,7 +96,24 @@ type Config struct {
 	RunFullHorizon bool
 	// Trace selects full view recording (default) or decisions-only.
 	Trace TraceMode
+	// DeliveryWorkers shards each round's delivery loop across up to this
+	// many goroutines. 0 or 1 runs sequentially. The parallel path requires
+	// automata free of shared mutable state (sim.Scenario guarantees this)
+	// and engages only when the detector and adversary are order-independent
+	// (detector.ConcurrentBehavior / loss.ConcurrentPlanner) and the system
+	// has at least DeliveryMinProcs processes; decisions and traces are
+	// byte-identical to the sequential path at any worker count.
+	DeliveryWorkers int
+	// DeliveryMinProcs is the smallest system the parallel delivery path
+	// engages for (0 selects DefaultDeliveryMinProcs). Below it the round
+	// barrier costs more than the sharded loop saves.
+	DeliveryMinProcs int
 }
+
+// DefaultDeliveryMinProcs is the default auto-off threshold for parallel
+// delivery: systems smaller than this run the sequential loop even when
+// DeliveryWorkers is set.
+const DefaultDeliveryMinProcs = 64
 
 // Result reports the outcome of an execution.
 type Result struct {
@@ -108,11 +141,12 @@ type runState struct {
 	halted  []bool
 	decided []bool
 
-	cm         []model.CMAdvice  // this round's contention advice
-	sendOrd    []int             // procs[i]'s position in senders, -1 if silent
-	senders    []model.ProcessID // this round's broadcasters, sorted
-	senderMsgs []model.Message   // senders' messages, parallel to senders
-	recvs      []*model.RecvSet  // pooled receive sets (TraceDecisionsOnly)
+	cm         []model.CMAdvice    // this round's contention advice
+	sendOrd    []int               // procs[i]'s position in senders, -1 if silent
+	senders    []model.ProcessID   // this round's broadcasters, sorted
+	senderMsgs []model.Message     // senders' messages, parallel to senders
+	recvs      []*model.RecvSet    // pooled receive sets, reset every round
+	recvBuf    [][]model.RecvEntry // per-process arena snapshots (TraceFull)
 }
 
 // newRunState builds the sorted process-index table and the dense per-run
@@ -146,10 +180,38 @@ func newRunState(cfg *Config) *runState {
 	return st
 }
 
-// recvPool recycles receive multisets across rounds and runs. Only
-// decisions-only runs use it: TraceFull receive sets are retained forever
-// by the recorded views.
+// recvPool recycles receive multisets across rounds and runs in both trace
+// modes: full traces snapshot each receive set into the columnar arena
+// instead of retaining the multiset, so nothing recorded ever aliases a
+// pooled set.
 var recvPool = sync.Pool{New: func() any { return multiset.New[model.Message]() }}
+
+// ResolveDeliveryWorkers resolves the effective worker count for a run's
+// delivery loop: 1 (sequential) unless the configuration opts in, the
+// system is at least the auto-off threshold, and both the detector and the
+// adversary are order-independent — the conditions under which the sharded
+// loop is provably byte-identical to the sequential one. The runtime
+// package applies the identical rule.
+func ResolveDeliveryWorkers(cfg *Config, n int, det *detector.Detector, adversary loss.Adversary) int {
+	w := cfg.DeliveryWorkers
+	if w <= 1 {
+		return 1
+	}
+	minProcs := cfg.DeliveryMinProcs
+	if minProcs <= 0 {
+		minProcs = DefaultDeliveryMinProcs
+	}
+	if n < minProcs {
+		return 1
+	}
+	if !det.ConcurrentSafe() || !loss.ConcurrentSafe(adversary) {
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
 
 // Run executes the configured system and returns the recorded execution.
 func Run(cfg Config) (*Result, error) {
@@ -179,27 +241,101 @@ func Run(cfg Config) (*Result, error) {
 	traceFull := cfg.Trace == TraceFull
 
 	exec := model.NewExecution(st.procs, cfg.Initial)
-	if !traceFull {
-		st.recvs = make([]*model.RecvSet, len(st.procs))
-		for i := range st.recvs {
-			st.recvs[i] = recvPool.Get().(*model.RecvSet)
+	workers := ResolveDeliveryWorkers(&cfg, len(st.procs), det, adversary)
+	parallel := workers > 1
+	var arena *model.TraceArena
+	if traceFull {
+		arena = model.NewTraceArena(len(st.procs), maxRounds)
+		exec.Arena = arena
+		if parallel {
+			// Shard workers snapshot receive sets into per-process buffers;
+			// the sequential path appends straight into the arena instead.
+			st.recvBuf = make([][]model.RecvEntry, len(st.procs))
 		}
-		defer func() {
-			for _, rs := range st.recvs {
-				rs.Reset()
-				recvPool.Put(rs)
-			}
-		}()
 	}
+	st.recvs = make([]*model.RecvSet, len(st.procs))
+	for i := range st.recvs {
+		st.recvs[i] = recvPool.Get().(*model.RecvSet)
+	}
+	defer func() {
+		for _, rs := range st.recvs {
+			rs.Reset()
+			recvPool.Put(rs)
+		}
+	}()
 
 	// A halted (decided) process no longer contends for the channel, so the
 	// contention manager treats it like a crashed one — a backoff
 	// implementation would observe the same thing. The closure reads the
 	// loop's round variable, so it is allocated once per run.
-	var r int
+	var (
+		r    int
+		row  int               // open arena row (TraceFull)
+		plan loss.DeliveryFunc // this round's delivery plan
+	)
 	aliveForCM := func(id model.ProcessID) bool {
 		i := st.index[id]
 		return !st.sched.CrashedForSend(i, r) && !st.halted[i]
+	}
+
+	// deliver performs the per-process half of a round's delivery phase for
+	// process indices [lo, hi): receive-set construction, detector advice,
+	// arena recording, and the automaton transition. Every index is
+	// independent of every other — the shard pool runs disjoint ranges
+	// concurrently — and the closure captures only run-level variables, so
+	// it is allocated once per run.
+	deliver := func(lo, hi int) {
+		// Copy the by-reference captures into locals so the inner loops read
+		// registers, not the closure environment.
+		r, row, plan := r, row, plan
+		senders, senderMsgs := st.senders, st.senderMsgs
+		for i := lo; i < hi; i++ {
+			id := st.procs[i]
+			if st.sched.CrashedForSend(i, r) {
+				// A crashed process receives nothing; its advice is still
+				// part of the formal CD trace and must be legal for the
+				// class, so it is computed like any other process's.
+				advice := det.Advise(r, id, len(senders), 0)
+				if traceFull {
+					arena.RecordCell(row, i, nil, advice, st.cm[i], true)
+					if parallel {
+						st.recvBuf[i] = st.recvBuf[i][:0]
+					} else {
+						arena.FinishCellRecv(nil)
+					}
+				}
+				continue
+			}
+			recv := st.recvs[i]
+			recv.Reset()
+			for j, snd := range senders {
+				if snd == id || plan(id, snd) {
+					recv.Add(senderMsgs[j])
+				}
+			}
+			advice := det.Advise(r, id, len(senders), recv.Len())
+			if traceFull {
+				var sentMsg *model.Message
+				if st.sendOrd[i] >= 0 {
+					sentMsg = &senderMsgs[st.sendOrd[i]]
+				}
+				arena.RecordCell(row, i, sentMsg, advice, st.cm[i], false)
+				if parallel {
+					st.recvBuf[i] = recv.AppendPairs(st.recvBuf[i][:0])
+				} else {
+					arena.FinishCellFromMultiset(recv)
+				}
+			}
+			if st.sched.CrashedForDeliver(i, r) || st.halted[i] {
+				continue // crashed mid-round or already halted: no transition
+			}
+			st.autos[i].Deliver(r, recv, advice, st.cm[i])
+		}
+	}
+	var pool *ShardPool
+	if parallel {
+		pool = NewShardPool(workers, deliver)
+		defer pool.Close()
 	}
 
 	rounds := 0
@@ -230,61 +366,28 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		plan := adversary.Plan(r, st.senders, st.procs)
+		plan = adversary.Plan(r, st.senders, st.procs)
 
-		// Delivery, collision advice, and state transitions.
-		var views map[model.ProcessID]model.View
-		var sentCopies []model.Message // stable backing for the views' Sent pointers
+		// Delivery, collision advice, arena recording, and state
+		// transitions: sequential, or sharded over the pool for large
+		// systems. Both paths run the identical deliver body over the same
+		// index order semantics, so they produce identical executions.
 		if traceFull {
-			views = make(map[model.ProcessID]model.View, len(st.procs))
-			sentCopies = make([]model.Message, len(st.senders))
-			copy(sentCopies, st.senderMsgs)
+			row = arena.BeginRound(r, len(st.senders))
 		}
-		for i, id := range st.procs {
-			if st.sched.CrashedForSend(i, r) {
-				// A crashed process receives nothing; its advice is still
-				// part of the formal CD trace and must be legal for the
-				// class, so it is computed like any other process's.
-				advice := det.Advise(r, id, len(st.senders), 0)
-				if traceFull {
-					views[id] = model.View{
-						Crashed: true,
-						Recv:    multiset.New[model.Message](),
-						CD:      advice,
-						CM:      st.cm[i],
-					}
-				}
-				continue
-			}
-			var recv *model.RecvSet
-			if traceFull {
-				recv = multiset.New[model.Message]()
-			} else {
-				recv = st.recvs[i]
-				recv.Reset()
-			}
-			for j, snd := range st.senders {
-				if snd == id || plan(id, snd) {
-					recv.Add(st.senderMsgs[j])
-				}
-			}
-			advice := det.Advise(r, id, len(st.senders), recv.Len())
-
-			if traceFull {
-				var sentMsg *model.Message
-				if st.sendOrd[i] >= 0 {
-					sentMsg = &sentCopies[st.sendOrd[i]]
-				}
-				views[id] = model.View{Sent: sentMsg, Recv: recv, CD: advice, CM: st.cm[i]}
-			}
-
-			if st.sched.CrashedForDeliver(i, r) || st.halted[i] {
-				continue // crashed mid-round or already halted: no transition
-			}
-			st.autos[i].Deliver(r, recv, advice, st.cm[i])
+		if pool != nil {
+			pool.Run(len(st.procs))
+		} else {
+			deliver(0, len(st.procs))
 		}
-		if traceFull {
-			exec.Rounds = append(exec.Rounds, model.Round{Number: r, Views: views})
+		if traceFull && parallel {
+			// Receive segments merge into the shared arena in process order
+			// regardless of which worker built them, keeping the recorded
+			// trace deterministic (the sequential path finished each cell
+			// inline).
+			for i := range st.procs {
+				arena.FinishCellRecv(st.recvBuf[i])
+			}
 		}
 
 		if observer != nil {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strings"
 	"testing"
 
 	"adhocconsensus/internal/cm"
@@ -584,5 +585,218 @@ func TestCheckTerminationCatchesUndecided(t *testing.T) {
 	// A crashed process is exempt.
 	if err := CheckTermination(res, model.Schedule{1: {Round: 1}}); err != nil {
 		t.Errorf("crashed process wrongly required to decide: %v", err)
+	}
+}
+
+// TestTraceFullSteadyStateAllocations mirrors the decisions-only assertion
+// for the columnar arena: with silent automata and a lossless channel, a
+// full-trace round appends to preallocated columns and allocates nothing —
+// the allocation count of a run is independent of its length.
+func TestTraceFullSteadyStateAllocations(t *testing.T) {
+	run := func(rounds int) func() {
+		return func() {
+			d1 := &decideAfter{value: 1, round: 1}
+			d2 := &decideAfter{value: 1, round: 1}
+			if _, err := Run(Config{
+				Procs:          map[model.ProcessID]model.Automaton{1: d1, 2: d2},
+				MaxRounds:      rounds,
+				RunFullHorizon: true,
+				Trace:          TraceFull,
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	run(8)() // warm the receive-set pool
+	short := testing.AllocsPerRun(20, run(8))
+	long := testing.AllocsPerRun(20, run(520))
+	if perRound := (long - short) / 512; perRound > 0.05 {
+		t.Fatalf("full-trace steady state allocates %.2f objects/round (short run %.0f, long run %.0f allocs), want 0",
+			perRound, short, long)
+	}
+}
+
+// TestTraceFullWithinTwiceDecisionsOnlyAllocs pins the headline arena
+// property end to end: recording a full execution costs at most 2x the
+// allocations of a decisions-only run of the same noisy, lossy, crashy
+// configuration (the seed full-trace path cost ~90x).
+func TestTraceFullWithinTwiceDecisionsOnlyAllocs(t *testing.T) {
+	measure := func(mode TraceMode) float64 {
+		run := func() {
+			if _, err := Run(traceConfig(mode)); err != nil {
+				t.Error(err)
+			}
+		}
+		run() // warm pools
+		return testing.AllocsPerRun(20, run)
+	}
+	dec := measure(TraceDecisionsOnly)
+	full := measure(TraceFull)
+	if full > 2*dec {
+		t.Fatalf("full trace costs %.0f allocs/run, decisions-only %.0f: ratio %.2f exceeds 2x",
+			full, dec, full/dec)
+	}
+}
+
+// TestArenaMatchesLegacyViews runs a crashy, lossy full-trace execution and
+// checks the arena-backed views against the materialize-to-legacy escape
+// hatch: every view equal, every derived trace equal, identical JSON.
+func TestArenaMatchesLegacyViews(t *testing.T) {
+	res, err := Run(traceConfig(TraceFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := res.Execution
+	if exec.Arena == nil {
+		t.Fatal("full-trace run did not record an arena")
+	}
+	legacy := &model.Execution{
+		Procs:     exec.Procs,
+		Rounds:    exec.MaterializeRounds(),
+		Decisions: exec.Decisions,
+		Initial:   exec.Initial,
+	}
+	if legacy.NumRounds() != exec.NumRounds() {
+		t.Fatalf("materialized %d rounds, arena has %d", legacy.NumRounds(), exec.NumRounds())
+	}
+	for r := 1; r <= exec.NumRounds(); r++ {
+		for _, id := range exec.Procs {
+			va, ok1 := exec.View(id, r)
+			vl, ok2 := legacy.View(id, r)
+			if !ok1 || !ok2 || !model.EqualView(va, vl) {
+				t.Fatalf("round %d process %d: arena and materialized views differ", r, id)
+			}
+		}
+	}
+	for _, id := range exec.Procs {
+		if !exec.IndistinguishableTo(legacy, id, exec.NumRounds()) {
+			t.Fatalf("process %d distinguishes the arena from its materialization", id)
+		}
+	}
+	if err := exec.Validate(); err != nil {
+		t.Fatalf("arena execution invalid: %v", err)
+	}
+	if err := legacy.Validate(); err != nil {
+		t.Fatalf("materialized execution invalid: %v", err)
+	}
+	var ab, lb strings.Builder
+	if err := exec.WriteJSON(&ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.WriteJSON(&lb); err != nil {
+		t.Fatal(err)
+	}
+	if ab.String() != lb.String() {
+		t.Fatal("arena JSON export differs from materialized legacy export")
+	}
+}
+
+// parallelConfig builds a concurrency-safe system (honest detector,
+// probabilistic loss under ECF, crashes with both timings) whose delivery
+// loop is eligible for sharding.
+func parallelConfig(n int, trace TraceMode, workers int) Config {
+	procs := make(map[model.ProcessID]model.Automaton, n)
+	initial := make(map[model.ProcessID]model.Value, n)
+	for p := 1; p <= n; p++ {
+		procs[model.ProcessID(p)] = &decideAfter{value: model.Value(p%3 + 1), round: 6 + p%5}
+		initial[model.ProcessID(p)] = model.Value(p%3 + 1)
+	}
+	procs[model.ProcessID(n+1)] = &beacon{value: 9}
+	return Config{
+		Procs:    procs,
+		Initial:  initial,
+		Detector: detector.New(detector.ZeroOAC, detector.WithRace(5)),
+		Loss:     loss.ECF{Base: loss.NewProbabilistic(0.35, 41), From: 9},
+		Crashes: model.Schedule{
+			2: {Round: 4, Time: model.CrashBeforeSend},
+			5: {Round: 7, Time: model.CrashAfterSend},
+		},
+		MaxRounds:        40,
+		RunFullHorizon:   true,
+		Trace:            trace,
+		DeliveryWorkers:  workers,
+		DeliveryMinProcs: 1, // force the parallel path even for small n
+	}
+}
+
+// TestParallelDeliveryMatchesSequential requires the sharded delivery loop
+// to produce byte-identical results to the sequential path at every worker
+// count, in both trace modes, under crashes and message loss.
+func TestParallelDeliveryMatchesSequential(t *testing.T) {
+	for _, trace := range []TraceMode{TraceFull, TraceDecisionsOnly} {
+		name := map[TraceMode]string{TraceFull: "full", TraceDecisionsOnly: "decisions"}[trace]
+		t.Run(name, func(t *testing.T) {
+			seq, err := Run(parallelConfig(9, trace, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 8, 32} {
+				par, err := Run(parallelConfig(9, trace, workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.Rounds != seq.Rounds || par.AllDecided != seq.AllDecided {
+					t.Fatalf("workers=%d: rounds/AllDecided = %d/%v, sequential %d/%v",
+						workers, par.Rounds, par.AllDecided, seq.Rounds, seq.AllDecided)
+				}
+				if len(par.Decisions) != len(seq.Decisions) {
+					t.Fatalf("workers=%d: %d decisions, sequential %d", workers, len(par.Decisions), len(seq.Decisions))
+				}
+				for id, d := range seq.Decisions {
+					if par.Decisions[id] != d {
+						t.Fatalf("workers=%d: process %d decided %v, sequential %v", workers, id, par.Decisions[id], d)
+					}
+				}
+				if trace == TraceFull {
+					for _, id := range seq.Execution.Procs {
+						if !seq.Execution.IndistinguishableTo(par.Execution, id, seq.Rounds) {
+							t.Fatalf("workers=%d: process %d distinguishes parallel from sequential trace", workers, id)
+						}
+					}
+					var sb, pb strings.Builder
+					if err := seq.Execution.WriteJSON(&sb); err != nil {
+						t.Fatal(err)
+					}
+					if err := par.Execution.WriteJSON(&pb); err != nil {
+						t.Fatal(err)
+					}
+					if sb.String() != pb.String() {
+						t.Fatalf("workers=%d: parallel trace export differs from sequential", workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResolveDeliveryWorkers pins the auto-off rules: order-dependent
+// detectors and adversaries, small systems, and workers<=1 all fall back to
+// the sequential path; eligible configurations are capped at n.
+func TestResolveDeliveryWorkers(t *testing.T) {
+	honest := detector.New(detector.ZeroOAC)
+	noisy := detector.New(detector.ZeroOAC, detector.WithBehavior(detector.Noisy{P: 0.5}))
+	safeLoss := loss.NewProbabilistic(0.3, 1)
+	bespoke := loss.Func(func(int, []model.ProcessID, []model.ProcessID) loss.DeliveryFunc { return nil })
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		n    int
+		det  *detector.Detector
+		adv  loss.Adversary
+		want int
+	}{
+		{"off by default", Config{}, 256, honest, safeLoss, 1},
+		{"opt-in large n", Config{DeliveryWorkers: 4}, 256, honest, safeLoss, 4},
+		{"below threshold", Config{DeliveryWorkers: 4}, 63, honest, safeLoss, 1},
+		{"threshold override", Config{DeliveryWorkers: 4, DeliveryMinProcs: 2}, 8, honest, safeLoss, 4},
+		{"capped at n", Config{DeliveryWorkers: 512, DeliveryMinProcs: 2}, 100, honest, safeLoss, 100},
+		{"noisy detector falls back", Config{DeliveryWorkers: 4}, 256, noisy, safeLoss, 1},
+		{"bespoke loss falls back", Config{DeliveryWorkers: 4}, 256, honest, bespoke, 1},
+		{"ecf over safe base", Config{DeliveryWorkers: 4}, 256, honest, loss.ECF{Base: safeLoss, From: 3}, 4},
+		{"ecf over bespoke base", Config{DeliveryWorkers: 4}, 256, honest, loss.ECF{Base: bespoke, From: 3}, 1},
+	} {
+		if got := ResolveDeliveryWorkers(&tc.cfg, tc.n, tc.det, tc.adv); got != tc.want {
+			t.Errorf("%s: workers = %d, want %d", tc.name, got, tc.want)
+		}
 	}
 }

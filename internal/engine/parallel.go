@@ -1,0 +1,78 @@
+package engine
+
+// ShardPool runs one fixed function over contiguous index shards on a set
+// of persistent worker goroutines. The engines use it to split each round's
+// delivery loop across cores: the pool is created once per run (so round
+// dispatch allocates nothing), Run blocks until every shard completes (the
+// round barrier), and the shard boundaries depend only on (n, workers) —
+// combined with per-index-independent work functions this makes the
+// parallel rounds byte-identical to sequential ones at any worker count.
+//
+// The runtime package shares this implementation so the two round loops
+// cannot drift apart.
+type ShardPool struct {
+	fn   func(lo, hi int)
+	req  []chan shard
+	done chan struct{}
+}
+
+type shard struct{ lo, hi int }
+
+// NewShardPool starts `workers` goroutines that each execute fn over the
+// shards Run hands them. fn must be safe to call concurrently on disjoint
+// index ranges. Call Close to release the goroutines.
+func NewShardPool(workers int, fn func(lo, hi int)) *ShardPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &ShardPool{
+		fn:   fn,
+		req:  make([]chan shard, workers),
+		done: make(chan struct{}, workers),
+	}
+	for w := range p.req {
+		c := make(chan shard)
+		p.req[w] = c
+		go func() {
+			for s := range c {
+				p.fn(s.lo, s.hi)
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// Run splits [0, n) into up to len(workers) contiguous shards (remainder
+// spread over the first shards, so the split is a pure function of n and
+// the worker count), dispatches them, and blocks until all complete.
+func (p *ShardPool) Run(n int) {
+	if n <= 0 {
+		return
+	}
+	workers := len(p.req)
+	base, rem := n/workers, n%workers
+	lo, dispatched := 0, 0
+	for w := 0; w < workers && lo < n; w++ {
+		hi := lo + base
+		if w < rem {
+			hi++
+		}
+		if hi == lo {
+			continue
+		}
+		p.req[w] <- shard{lo, hi}
+		dispatched++
+		lo = hi
+	}
+	for i := 0; i < dispatched; i++ {
+		<-p.done
+	}
+}
+
+// Close shuts the worker goroutines down. The pool must be idle.
+func (p *ShardPool) Close() {
+	for _, c := range p.req {
+		close(c)
+	}
+}

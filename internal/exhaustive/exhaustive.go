@@ -179,5 +179,8 @@ func runOne(cfg Config, env uint64, lossBits, cdBits int) (*engine.Result, error
 		Loss:           adversary,
 		MaxRounds:      cfg.Horizon,
 		RunFullHorizon: true,
+		// The explorer only inspects decisions, never views; skipping trace
+		// recording keeps the 2^bits enumeration nearly allocation-free.
+		Trace: engine.TraceDecisionsOnly,
 	})
 }

@@ -27,6 +27,34 @@ type Adversary interface {
 	Plan(r int, senders, procs []model.ProcessID) DeliveryFunc
 }
 
+// ConcurrentPlanner marks adversaries whose planned DeliveryFunc is safe for
+// concurrent calls: Plan itself is still invoked sequentially once per
+// round, but the returned func must be a pure read of the plan (no lazy
+// draws, no memoization writes). The engines' parallel delivery core only
+// engages for adversaries carrying this marker; everything else (notably
+// bespoke Func closures) silently falls back to the sequential path.
+type ConcurrentPlanner interface {
+	Adversary
+	// ConcurrentPlan is the marker method; it is never called.
+	ConcurrentPlan()
+}
+
+// ConcurrentSafe reports whether a's delivery funcs may be consulted
+// concurrently: a carries the ConcurrentPlanner marker, or is an ECF
+// wrapper around a safe (or nil) base.
+func ConcurrentSafe(a Adversary) bool {
+	switch x := a.(type) {
+	case ECF:
+		if x.Base == nil {
+			return true
+		}
+		return ConcurrentSafe(x.Base)
+	default:
+		_, ok := a.(ConcurrentPlanner)
+		return ok
+	}
+}
+
 // deliverAll is the everything-arrives plan.
 func deliverAll(model.ProcessID, model.ProcessID) bool { return true }
 
@@ -39,6 +67,9 @@ type None struct{}
 // Plan implements Adversary.
 func (None) Plan(int, []model.ProcessID, []model.ProcessID) DeliveryFunc { return deliverAll }
 
+// ConcurrentPlan marks the constant plan as concurrency-safe.
+func (None) ConcurrentPlan() {}
+
 // Drop loses every message except self-deliveries: the "never-ending
 // collisions" environment of Section 7.4 and Theorem 9, where collision
 // notifications are the only channel.
@@ -46,6 +77,9 @@ type Drop struct{}
 
 // Plan implements Adversary.
 func (Drop) Plan(int, []model.ProcessID, []model.ProcessID) DeliveryFunc { return deliverNone }
+
+// ConcurrentPlan marks the constant plan as concurrency-safe.
+func (Drop) ConcurrentPlan() {}
 
 // Alpha is the loss rule of the paper's alpha executions (Definition 24):
 // if a single process broadcasts, everyone receives it; if more than one
@@ -60,6 +94,9 @@ func (Alpha) Plan(_ int, senders, _ []model.ProcessID) DeliveryFunc {
 	}
 	return deliverNone
 }
+
+// ConcurrentPlan marks the constant plan as concurrency-safe.
+func (Alpha) ConcurrentPlan() {}
 
 // ECF wraps a base adversary with eventual collision freedom (Property 1):
 // from round From on, a lone broadcaster is heard by every process. Other
@@ -141,6 +178,10 @@ func (a *Probabilistic) Plan(_ int, senders, procs []model.ProcessID) DeliveryFu
 	return a.fn
 }
 
+// ConcurrentPlan marks the delivery func — a pure read of the loss matrix
+// drawn during Plan — as concurrency-safe.
+func (*Probabilistic) ConcurrentPlan() {}
+
 // Capture models the capture effect (Section 1.1, [71]): when two or more
 // processes broadcast simultaneously, each receiver either locks onto
 // exactly one transmission (probability 1−PNone, uniformly chosen per
@@ -219,6 +260,10 @@ func (a *Capture) Plan(_ int, senders, procs []model.ProcessID) DeliveryFunc {
 	}
 	return a.fn
 }
+
+// ConcurrentPlan marks the delivery func — a pure read of the capture table
+// drawn during Plan — as concurrency-safe.
+func (*Capture) ConcurrentPlan() {}
 
 // Partition splits the processes into groups and loses every cross-group
 // message through round Until (inclusive); afterwards the channel is

@@ -121,7 +121,7 @@ func FindCollidingAlphaPair(factory AnonFactory, procs []model.ProcessID, domain
 		if err != nil {
 			return nil, fmt.Errorf("alpha execution for value %d: %w", raw, err)
 		}
-		key := prefixKey(res.Execution.BroadcastCountSequence(), k)
+		key := prefixKey(res.Execution, k)
 		if prev, ok := seen[key]; ok {
 			return &CollidingPair{
 				V1: prev.v, V2: v, P1: procs, P2: procs,
@@ -157,7 +157,7 @@ func FindCollidingAlphaPairNonAnon(factory Factory, subsets [][]model.ProcessID,
 			if err != nil {
 				return nil, fmt.Errorf("alpha execution subset %d value %d: %w", si, raw, err)
 			}
-			key := prefixKey(res.Execution.BroadcastCountSequence(), k)
+			key := prefixKey(res.Execution, k)
 			for _, prev := range seen[key] {
 				if prev.subset != si && prev.v != v {
 					return &CollidingPair{
@@ -173,14 +173,18 @@ func FindCollidingAlphaPairNonAnon(factory Factory, subsets [][]model.ProcessID,
 	return nil, fmt.Errorf("lowerbound: no non-anonymous colliding pair through %d rounds", k)
 }
 
-// prefixKey encodes the first k symbols of a broadcast count sequence.
-func prefixKey(seq []model.BroadcastCountSymbol, k int) string {
-	if k > len(seq) {
-		k = len(seq)
+// prefixKey encodes the first k symbols of an execution's basic broadcast
+// count sequence (Definition 22), reading the per-round counts straight off
+// the trace arena's dense senders column instead of materializing the whole
+// sequence — the pigeonhole searches call this once per enumerated value.
+func prefixKey(e *model.Execution, k int) string {
+	if n := e.NumRounds(); k > n {
+		k = n
 	}
 	buf := make([]byte, k)
 	for i := 0; i < k; i++ {
-		buf[i] = byte('0' + seq[i])
+		s, _ := e.BroadcastCountAt(i + 1)
+		buf[i] = byte('0' + s)
 	}
 	return string(buf)
 }

@@ -382,7 +382,7 @@ func RunTheorem9(factory AnonFactory, n int, domain valueset.Domain) (*Theorem9R
 		if err != nil {
 			return nil, err
 		}
-		key := prefixKey(res.Execution.BroadcastCountSequence(), k)
+		key := prefixKey(res.Execution, k)
 		if prev, ok := seen[key]; ok {
 			pairV1, pairV2 = prev.v, v
 			res1, res2 = prev.res, res

@@ -43,15 +43,28 @@ func EqualView(a, b View) bool {
 	}
 }
 
-// Round records one synchronized round of an execution.
+// Round records one synchronized round of an execution. Engine-produced
+// rounds are lightweight views over the execution's TraceArena (obtained via
+// Execution.RoundAt); hand-built rounds populate the legacy Views map
+// directly. Both shapes answer every accessor identically.
 type Round struct {
 	Number int
 	Views  map[ProcessID]View
+
+	arena *TraceArena // non-nil for arena-backed rounds
+	row   int
+	procs []ProcessID // the execution's sorted process table
 }
 
 // Senders returns the number of processes that broadcast in this round (the
-// c component of the transmission trace, Definition 4).
+// c component of the transmission trace, Definition 4). Arena-backed rounds
+// answer in O(1) from the broadcaster count the engine recorded once per
+// round; only legacy hand-built map rounds still derive it by summation
+// (a commutative count, so map order cannot affect it).
 func (r Round) Senders() int {
+	if r.arena != nil {
+		return r.arena.Senders(r.row)
+	}
 	c := 0
 	for _, v := range r.Views {
 		if v.Sent != nil {
@@ -59,6 +72,34 @@ func (r Round) Senders() int {
 		}
 	}
 	return c
+}
+
+// ViewOf returns process id's view of this round, materializing it from the
+// arena for arena-backed rounds.
+func (r Round) ViewOf(id ProcessID) (View, bool) {
+	if r.arena != nil {
+		i, ok := procIndex(r.procs, id)
+		if !ok {
+			return View{}, false
+		}
+		return r.arena.ViewAt(r.row, i), true
+	}
+	v, ok := r.Views[id]
+	return v, ok
+}
+
+// procIndex locates id in a sorted process table.
+func procIndex(procs []ProcessID, id ProcessID) (int, bool) {
+	lo, hi := 0, len(procs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if procs[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(procs) && procs[lo] == id
 }
 
 // Decision records a process's consensus decision.
@@ -71,15 +112,22 @@ type Decision struct {
 // per-round views of every process, plus decision bookkeeping maintained by
 // the engine.
 //
-// Under the engine's decisions-only trace mode Rounds stays empty: the
+// Engine-produced full traces live in the columnar Arena; Rounds stays
+// empty and every view accessor reads the arena. Hand-built executions
+// (tests, proof constructions) may instead append legacy map-backed Rounds;
+// when Rounds is non-empty it takes precedence. MaterializeRounds converts
+// an arena trace into the legacy shape for external consumers.
+//
+// Under the engine's decisions-only trace mode both are empty: the
 // execution then carries only Procs, Initial, and Decisions. Decision-
-// derived observations (DecidedValues, LastDecisionRound) work in both
-// shapes; view-derived ones (View, TransmissionTrace, CDTrace, CMTrace,
+// derived observations (DecidedValues, LastDecisionRound) work in every
+// shape; view-derived ones (View, TransmissionTrace, CDTrace, CMTrace,
 // Validate, IndistinguishableTo) require a full trace — check HasViews
 // before relying on them.
 type Execution struct {
 	Procs     []ProcessID
 	Rounds    []Round
+	Arena     *TraceArena
 	Decisions map[ProcessID]Decision
 	Initial   map[ProcessID]Value // initial consensus values, for validity checks
 }
@@ -87,7 +135,58 @@ type Execution struct {
 // HasViews reports whether per-round views were recorded: false for
 // executions produced under the engine's decisions-only trace mode (and
 // for zero-round runs).
-func (e *Execution) HasViews() bool { return len(e.Rounds) > 0 }
+func (e *Execution) HasViews() bool { return e.NumRounds() > 0 }
+
+// arenaBacked reports whether view accessors should read the arena.
+func (e *Execution) arenaBacked() bool {
+	return len(e.Rounds) == 0 && e.Arena != nil
+}
+
+// RoundAt returns the r-th recorded round (1-based): the legacy Round for
+// hand-built executions, a lightweight arena view otherwise.
+func (e *Execution) RoundAt(r int) (Round, bool) {
+	if r < 1 || r > e.NumRounds() {
+		return Round{}, false
+	}
+	if !e.arenaBacked() {
+		return e.Rounds[r-1], true
+	}
+	return Round{
+		Number: e.Arena.Number(r - 1),
+		arena:  e.Arena,
+		row:    r - 1,
+		procs:  e.Procs,
+	}, true
+}
+
+// RoundNumber returns the round number of the r-th recorded round.
+func (e *Execution) RoundNumber(r int) int {
+	if e.arenaBacked() {
+		return e.Arena.Number(r - 1)
+	}
+	return e.Rounds[r-1].Number
+}
+
+// MaterializeRounds converts the recorded trace into the legacy
+// []Round/map[ProcessID]View shape: the escape hatch for external consumers
+// that walk Rounds directly. For arena-backed executions the result is a
+// deep snapshot (every View's Sent pointer and Recv multiset freshly
+// allocated); for legacy executions the returned rounds share their views'
+// contents with the originals. The execution itself is not modified.
+func (e *Execution) MaterializeRounds() []Round {
+	out := make([]Round, 0, e.NumRounds())
+	for r := 1; r <= e.NumRounds(); r++ {
+		rd, _ := e.RoundAt(r)
+		views := make(map[ProcessID]View, len(e.Procs))
+		for _, id := range e.Procs {
+			if v, ok := rd.ViewOf(id); ok {
+				views[id] = v
+			}
+		}
+		out = append(out, Round{Number: rd.Number, Views: views})
+	}
+	return out
+}
 
 // NewExecution returns an empty execution over the given sorted process set.
 func NewExecution(procs []ProcessID, initial map[ProcessID]Value) *Execution {
@@ -106,23 +205,45 @@ func NewExecution(procs []ProcessID, initial map[ProcessID]Value) *Execution {
 }
 
 // NumRounds returns the number of recorded rounds.
-func (e *Execution) NumRounds() int { return len(e.Rounds) }
+func (e *Execution) NumRounds() int {
+	if len(e.Rounds) > 0 {
+		return len(e.Rounds)
+	}
+	if e.Arena != nil {
+		return e.Arena.NumRounds()
+	}
+	return 0
+}
 
 // View returns process id's view of round r (1-based). ok is false if the
-// round is out of range or the process unknown.
+// round is out of range or the process unknown. Arena-backed executions
+// materialize the view (a fresh snapshot) per call.
 func (e *Execution) View(id ProcessID, r int) (View, bool) {
-	if r < 1 || r > len(e.Rounds) {
+	rd, ok := e.RoundAt(r)
+	if !ok {
 		return View{}, false
 	}
-	v, ok := e.Rounds[r-1].Views[id]
-	return v, ok
+	return rd.ViewOf(id)
 }
 
 // TransmissionTrace derives the unique transmission trace (Definition 4) of
 // the recorded prefix: per round, the broadcaster count c and the number of
-// messages each process received.
+// messages each process received. Arena-backed executions read the dense
+// columns directly, never materializing a view.
 func (e *Execution) TransmissionTrace() TransmissionTrace {
-	tt := make(TransmissionTrace, 0, len(e.Rounds))
+	n := e.NumRounds()
+	tt := make(TransmissionTrace, 0, n)
+	if e.arenaBacked() {
+		a := e.Arena
+		for k := 0; k < n; k++ {
+			rt := RoundTransmission{Senders: a.Senders(k), Received: make(map[ProcessID]int, len(e.Procs))}
+			for i, id := range e.Procs {
+				rt.Received[id] = a.RecvLen(k, i)
+			}
+			tt = append(tt, rt)
+		}
+		return tt
+	}
 	for _, rd := range e.Rounds {
 		rt := RoundTransmission{Received: make(map[ProcessID]int, len(rd.Views))}
 		for id, v := range rd.Views {
@@ -138,7 +259,18 @@ func (e *Execution) TransmissionTrace() TransmissionTrace {
 
 // CDTrace derives the collision-advice trace (Definition 5).
 func (e *Execution) CDTrace() CDTrace {
-	out := make(CDTrace, 0, len(e.Rounds))
+	n := e.NumRounds()
+	out := make(CDTrace, 0, n)
+	if e.arenaBacked() {
+		for k := 0; k < n; k++ {
+			m := make(map[ProcessID]CDAdvice, len(e.Procs))
+			for i, id := range e.Procs {
+				m[id] = e.Arena.CD(k, i)
+			}
+			out = append(out, m)
+		}
+		return out
+	}
 	for _, rd := range e.Rounds {
 		m := make(map[ProcessID]CDAdvice, len(rd.Views))
 		for id, v := range rd.Views {
@@ -151,7 +283,18 @@ func (e *Execution) CDTrace() CDTrace {
 
 // CMTrace derives the contention-advice trace (Definition 7).
 func (e *Execution) CMTrace() CMTrace {
-	out := make(CMTrace, 0, len(e.Rounds))
+	n := e.NumRounds()
+	out := make(CMTrace, 0, n)
+	if e.arenaBacked() {
+		for k := 0; k < n; k++ {
+			m := make(map[ProcessID]CMAdvice, len(e.Procs))
+			for i, id := range e.Procs {
+				m[id] = e.Arena.CM(k, i)
+			}
+			out = append(out, m)
+		}
+		return out
+	}
 	for _, rd := range e.Rounds {
 		m := make(map[ProcessID]CMAdvice, len(rd.Views))
 		for id, v := range rd.Views {
@@ -165,10 +308,24 @@ func (e *Execution) CMTrace() CMTrace {
 // IndistinguishableTo reports whether e and other are indistinguishable with
 // respect to process id through round r (Definition 12): same views in both
 // executions for rounds 1..r. Both executions must contain the process and
-// at least r rounds.
+// at least r rounds. When both executions are arena-backed the comparison
+// runs column-to-column without materializing any view.
 func (e *Execution) IndistinguishableTo(other *Execution, id ProcessID, r int) bool {
-	if r > len(e.Rounds) || r > len(other.Rounds) {
+	if r > e.NumRounds() || r > other.NumRounds() {
 		return false
+	}
+	if e.arenaBacked() && other.arenaBacked() {
+		i, ok1 := procIndex(e.Procs, id)
+		j, ok2 := procIndex(other.Procs, id)
+		if !ok1 || !ok2 {
+			return false
+		}
+		for k := 0; k < r; k++ {
+			if !e.Arena.cellEqual(k, i, other.Arena, k, j) {
+				return false
+			}
+		}
+		return true
 	}
 	for k := 1; k <= r; k++ {
 		va, ok1 := e.View(id, k)
@@ -210,10 +367,11 @@ func (e *Execution) LastDecisionRound() int {
 // failing tests and the consensus-sim CLI.
 func (e *Execution) String() string {
 	var b strings.Builder
-	for _, rd := range e.Rounds {
+	for r := 1; r <= e.NumRounds(); r++ {
+		rd, _ := e.RoundAt(r)
 		fmt.Fprintf(&b, "r%-3d", rd.Number)
 		for _, id := range e.Procs {
-			v := rd.Views[id]
+			v, _ := rd.ViewOf(id)
 			sent := "-"
 			if v.Sent != nil {
 				sent = v.Sent.String()
@@ -278,19 +436,39 @@ func (s BroadcastCountSymbol) String() string {
 	}
 }
 
+// BroadcastCountAt returns the broadcast count symbol of round r (1-based):
+// one symbol of the basic broadcast count sequence of Definition 22,
+// answered from the dense senders column for arena-backed executions. ok is
+// false when the round is out of the recorded range (including
+// decisions-only executions, which record no rounds at all).
+func (e *Execution) BroadcastCountAt(r int) (BroadcastCountSymbol, bool) {
+	if r < 1 || r > e.NumRounds() {
+		return CountZero, false
+	}
+	var c int
+	if e.arenaBacked() {
+		c = e.Arena.Senders(r - 1)
+	} else {
+		c = e.Rounds[r-1].Senders()
+	}
+	switch {
+	case c == 0:
+		return CountZero, true
+	case c == 1:
+		return CountOne, true
+	default:
+		return CountTwoPlus, true
+	}
+}
+
 // BroadcastCountSequence returns the basic broadcast count sequence
 // (Definition 22) of the recorded prefix.
 func (e *Execution) BroadcastCountSequence() []BroadcastCountSymbol {
-	out := make([]BroadcastCountSymbol, 0, len(e.Rounds))
-	for _, rd := range e.Rounds {
-		switch c := rd.Senders(); {
-		case c == 0:
-			out = append(out, CountZero)
-		case c == 1:
-			out = append(out, CountOne)
-		default:
-			out = append(out, CountTwoPlus)
-		}
+	n := e.NumRounds()
+	out := make([]BroadcastCountSymbol, 0, n)
+	for r := 1; r <= n; r++ {
+		s, _ := e.BroadcastCountAt(r)
+		out = append(out, s)
 	}
 	return out
 }

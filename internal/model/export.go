@@ -55,10 +55,11 @@ func (e *Execution) WriteJSON(w io.Writer) error {
 	for id, v := range e.Initial {
 		out.Initial[fmt.Sprint(int(id))] = uint64(v)
 	}
-	for _, rd := range e.Rounds {
+	for r := 1; r <= e.NumRounds(); r++ {
+		rd, _ := e.RoundAt(r)
 		er := exportRound{Round: rd.Number}
 		for _, id := range e.Procs {
-			v := rd.Views[id]
+			v, _ := rd.ViewOf(id)
 			ev := exportView{
 				Process: int(id),
 				CD:      cdName(v.CD),

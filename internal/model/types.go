@@ -5,6 +5,18 @@
 //
 // Rounds are numbered starting at 1, matching the paper. Trace slices are
 // indexed by round-1.
+//
+// Executions come in two storage shapes with identical observable behavior.
+// Engine-produced full traces live in a columnar TraceArena (dense
+// append-only columns, zero steady-state allocation while recording; see
+// the TraceArena type for the ownership and reuse rules) and materialize
+// Views lazily through the accessors (Execution.View, Round.ViewOf,
+// Execution.RoundAt). Hand-built executions — tests and proof
+// constructions — populate the legacy Execution.Rounds/map[ProcessID]View
+// shape directly. Every derived observation (Senders, traces, Validate,
+// EqualView, indistinguishability, export) answers identically over both;
+// Execution.MaterializeRounds converts an arena trace to the legacy shape
+// for consumers that walk Rounds themselves.
 package model
 
 import (
@@ -143,8 +155,9 @@ type Automaton interface {
 	// including the process's own broadcast, per Definition 11 constraint
 	// 5), cd is the collision detector advice, and cm repeats the advice
 	// given to Message. recv is only valid for the duration of the call
-	// and must not be retained: under the engine's decisions-only trace
-	// mode it is a pooled multiset reset and refilled the next round.
+	// and must not be retained: in every engine trace mode it is a pooled
+	// multiset reset and refilled the next round (full traces snapshot its
+	// contents into the columnar TraceArena instead of retaining it).
 	Deliver(r int, recv *RecvSet, cd CDAdvice, cm CMAdvice)
 }
 

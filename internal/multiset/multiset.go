@@ -204,6 +204,36 @@ func (m *Multiset[T]) Elems() []T {
 	return out
 }
 
+// Pair is one distinct element of a multiset together with its
+// multiplicity: the unit of the columnar trace arena's receive-set storage
+// and of AppendPairs.
+type Pair[T comparable] struct {
+	Elem  T
+	Count int
+}
+
+// AppendPairs appends every distinct element with its multiplicity to dst
+// and returns the extended slice. Like Range, the order is unspecified (for
+// the compact representation it is insertion order). Pass dst[:0] to reuse a
+// scratch buffer: steady-state calls then allocate nothing once the buffer
+// has grown to its working size.
+func (m *Multiset[T]) AppendPairs(dst []Pair[T]) []Pair[T] {
+	m.Range(func(e T, n int) bool {
+		dst = append(dst, Pair[T]{Elem: e, Count: n})
+		return true
+	})
+	return dst
+}
+
+// AddPairs inserts every pair of the slice, with multiplicity: the inverse
+// of AppendPairs, used when materializing receive multisets from arena
+// segments.
+func (m *Multiset[T]) AddPairs(pairs []Pair[T]) {
+	for _, p := range pairs {
+		m.AddN(p.Elem, p.Count)
+	}
+}
+
 // Range calls fn for every distinct element with its multiplicity, stopping
 // early if fn returns false. Iteration order is unspecified.
 func (m *Multiset[T]) Range(fn func(e T, count int) bool) {

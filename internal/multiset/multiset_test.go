@@ -445,3 +445,37 @@ func TestQuickUnionIntoMatchesUnion(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAppendPairsRoundTrip(t *testing.T) {
+	m := Of(1, 1, 2, 3, 3, 3)
+	pairs := m.AppendPairs(nil)
+	if len(pairs) != 3 {
+		t.Fatalf("AppendPairs returned %d pairs, want 3", len(pairs))
+	}
+	back := New[int]()
+	back.AddPairs(pairs)
+	if !back.Equal(m) {
+		t.Fatalf("AddPairs(AppendPairs(m)) = %v, want %v", back, m)
+	}
+}
+
+func TestAppendPairsReusesScratch(t *testing.T) {
+	m := Of(1, 2, 2, 3)
+	buf := m.AppendPairs(nil)
+	fill := func() { buf = m.AppendPairs(buf[:0]) }
+	if avg := testing.AllocsPerRun(100, fill); avg != 0 {
+		t.Fatalf("AppendPairs into warmed scratch allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+func TestQuickAppendPairsPreservesMultiset(t *testing.T) {
+	prop := func(elems []uint8) bool {
+		m := fromElems(elems)
+		back := New[uint8]()
+		back.AddPairs(m.AppendPairs(nil))
+		return back.Equal(m)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

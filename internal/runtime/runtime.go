@@ -14,9 +14,12 @@
 // The coordinator mirrors the engine's dense-state hot path: per-process
 // bookkeeping lives in slices indexed by a sorted process table built once
 // per run, contention advice goes through the same cm.DenseAdviser fast
-// path, and under Config.Trace == TraceDecisionsOnly receive multisets are
-// pooled and reset between rounds instead of freshly allocated. Keeping the
-// two round loops structurally identical is what keeps them byte-for-byte
+// path, receive multisets are pooled and reset between rounds in both trace
+// modes, full traces record into the same columnar model.TraceArena, and
+// Config.DeliveryWorkers shards the coordinator's receive-set/advice loop
+// over the same engine.ShardPool (the automaton transitions themselves
+// already run concurrently, one goroutine per process). Keeping the two
+// round loops structurally identical is what keeps them byte-for-byte
 // equivalence-testable.
 package runtime
 
@@ -95,8 +98,10 @@ type coordState struct {
 	sendOrd    []int
 	senders    []model.ProcessID
 	senderMsgs []model.Message
-	asked      []int            // indices asked in the current phase
-	recvs      []*model.RecvSet // pooled receive sets (TraceDecisionsOnly)
+	asked      []int               // indices asked in the current phase
+	recvs      []*model.RecvSet    // pooled receive sets, reset every round
+	cdBuf      []model.CDAdvice    // this round's detector advice
+	recvBuf    [][]model.RecvEntry // per-process arena snapshots (TraceFull)
 }
 
 func newCoordState(cfg *engine.Config) *coordState {
@@ -113,6 +118,7 @@ func newCoordState(cfg *engine.Config) *coordState {
 		senders:    make([]model.ProcessID, 0, n),
 		senderMsgs: make([]model.Message, 0, n),
 		asked:      make([]int, 0, n),
+		cdBuf:      make([]model.CDAdvice, n),
 	}
 	for id := range cfg.Procs {
 		st.procs = append(st.procs, id)
@@ -132,8 +138,9 @@ func newCoordState(cfg *engine.Config) *coordState {
 	return st
 }
 
-// recvPool recycles receive multisets across rounds and runs in
-// decisions-only mode.
+// recvPool recycles receive multisets across rounds and runs in both trace
+// modes: full traces snapshot each receive set into the columnar arena
+// instead of retaining the multiset.
 var recvPool = sync.Pool{New: func() any { return multiset.New[model.Message]() }}
 
 // Run executes the configured system with one goroutine per process and
@@ -181,23 +188,87 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 	}()
 
 	exec := model.NewExecution(st.procs, cfg.Initial)
-	if !traceFull {
-		st.recvs = make([]*model.RecvSet, len(st.procs))
-		for i := range st.recvs {
-			st.recvs[i] = recvPool.Get().(*model.RecvSet)
+	parallelWorkers := engine.ResolveDeliveryWorkers(&cfg, len(st.procs), det, adversary)
+	parallel := parallelWorkers > 1
+	var arena *model.TraceArena
+	if traceFull {
+		arena = model.NewTraceArena(len(st.procs), maxRounds)
+		exec.Arena = arena
+		if parallel {
+			st.recvBuf = make([][]model.RecvEntry, len(st.procs))
 		}
-		defer func() {
-			for _, rs := range st.recvs {
-				rs.Reset()
-				recvPool.Put(rs)
-			}
-		}()
 	}
+	st.recvs = make([]*model.RecvSet, len(st.procs))
+	for i := range st.recvs {
+		st.recvs[i] = recvPool.Get().(*model.RecvSet)
+	}
+	defer func() {
+		for _, rs := range st.recvs {
+			rs.Reset()
+			recvPool.Put(rs)
+		}
+	}()
 
-	var r int
+	var (
+		r    int
+		row  int               // open arena row (TraceFull)
+		plan loss.DeliveryFunc // this round's delivery plan
+	)
 	aliveForCM := func(id model.ProcessID) bool {
 		i := st.index[id]
 		return !st.sched.CrashedForSend(i, r) && !st.halted[i]
+	}
+
+	// buildRecv mirrors the engine's deliver shard body for process indices
+	// [lo, hi): receive-set construction, detector advice, and arena
+	// recording. The automaton transition itself stays in the per-process
+	// goroutine — the coordinator only prepares each round's inputs here.
+	buildRecv := func(lo, hi int) {
+		// Copy the by-reference captures into locals so the inner loops read
+		// registers, not the closure environment.
+		r, row, plan := r, row, plan
+		senders, senderMsgs := st.senders, st.senderMsgs
+		for i := lo; i < hi; i++ {
+			id := st.procs[i]
+			if st.sched.CrashedForSend(i, r) {
+				advice := det.Advise(r, id, len(senders), 0)
+				if traceFull {
+					arena.RecordCell(row, i, nil, advice, st.cm[i], true)
+					if parallel {
+						st.recvBuf[i] = st.recvBuf[i][:0]
+					} else {
+						arena.FinishCellRecv(nil)
+					}
+				}
+				continue
+			}
+			recv := st.recvs[i]
+			recv.Reset()
+			for j, snd := range senders {
+				if snd == id || plan(id, snd) {
+					recv.Add(senderMsgs[j])
+				}
+			}
+			advice := det.Advise(r, id, len(senders), recv.Len())
+			st.cdBuf[i] = advice
+			if traceFull {
+				var sentMsg *model.Message
+				if st.sendOrd[i] >= 0 {
+					sentMsg = &senderMsgs[st.sendOrd[i]]
+				}
+				arena.RecordCell(row, i, sentMsg, advice, st.cm[i], false)
+				if parallel {
+					st.recvBuf[i] = recv.AppendPairs(st.recvBuf[i][:0])
+				} else {
+					arena.FinishCellFromMultiset(recv)
+				}
+			}
+		}
+	}
+	var pool *engine.ShardPool
+	if parallel {
+		pool = engine.NewShardPool(parallelWorkers, buildRecv)
+		defer pool.Close()
 	}
 
 	rounds := 0
@@ -234,56 +305,31 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 			}
 		}
 
-		plan := adversary.Plan(r, st.senders, st.procs)
+		plan = adversary.Plan(r, st.senders, st.procs)
 
-		// Deliver phase.
-		var views map[model.ProcessID]model.View
-		var sentCopies []model.Message
+		// Deliver phase: receive sets and advice are prepared sequentially
+		// or over the shard pool, merged into the arena in process order,
+		// then fanned out to the process goroutines with a fixed collection
+		// order — so the run is deterministic at any worker count.
 		if traceFull {
-			views = make(map[model.ProcessID]model.View, len(st.procs))
-			sentCopies = make([]model.Message, len(st.senders))
-			copy(sentCopies, st.senderMsgs)
+			row = arena.BeginRound(r, len(st.senders))
+		}
+		if pool != nil {
+			pool.Run(len(st.procs))
+		} else {
+			buildRecv(0, len(st.procs))
+		}
+		if traceFull && parallel {
+			for i := range st.procs {
+				arena.FinishCellRecv(st.recvBuf[i])
+			}
 		}
 		st.asked = st.asked[:0]
-		for i, id := range st.procs {
-			if st.sched.CrashedForSend(i, r) {
-				advice := det.Advise(r, id, len(st.senders), 0)
-				if traceFull {
-					views[id] = model.View{
-						Crashed: true,
-						Recv:    multiset.New[model.Message](),
-						CD:      advice,
-						CM:      st.cm[i],
-					}
-				}
+		for i := range st.procs {
+			if st.sched.CrashedForSend(i, r) || st.sched.CrashedForDeliver(i, r) || st.halted[i] {
 				continue
 			}
-			var recv *model.RecvSet
-			if traceFull {
-				recv = multiset.New[model.Message]()
-			} else {
-				recv = st.recvs[i]
-				recv.Reset()
-			}
-			for j, snd := range st.senders {
-				if snd == id || plan(id, snd) {
-					recv.Add(st.senderMsgs[j])
-				}
-			}
-			advice := det.Advise(r, id, len(st.senders), recv.Len())
-
-			if traceFull {
-				var sentMsg *model.Message
-				if st.sendOrd[i] >= 0 {
-					sentMsg = &sentCopies[st.sendOrd[i]]
-				}
-				views[id] = model.View{Sent: sentMsg, Recv: recv, CD: advice, CM: st.cm[i]}
-			}
-
-			if st.sched.CrashedForDeliver(i, r) || st.halted[i] {
-				continue
-			}
-			st.workers[i].req <- request{round: r, cm: st.cm[i], recv: recv, cd: advice}
+			st.workers[i].req <- request{round: r, cm: st.cm[i], recv: st.recvs[i], cd: st.cdBuf[i]}
 			st.asked = append(st.asked, i)
 		}
 		for _, i := range st.asked {
@@ -295,9 +341,6 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 			if out.halted {
 				st.halted[i] = true
 			}
-		}
-		if traceFull {
-			exec.Rounds = append(exec.Rounds, model.Round{Number: r, Views: views})
 		}
 
 		if observer != nil {

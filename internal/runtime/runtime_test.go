@@ -278,3 +278,91 @@ func TestRuntimeCrashHandling(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// parallelCrashConfig is multiCrashConfig with an honest (order-independent)
+// detector, so the sharded delivery path is eligible, plus a worker count
+// and trace mode: the configuration for cross-engine parallel equivalence.
+func parallelCrashConfig(seed int64, trace engine.TraceMode, workers int) engine.Config {
+	d := valueset.MustDomain(64)
+	procs := make(map[model.ProcessID]model.Automaton, 6)
+	initial := make(map[model.ProcessID]model.Value, 6)
+	for p := 1; p <= 6; p++ {
+		v := model.Value(p * 11 % 64)
+		procs[model.ProcessID(p)] = core.NewAlg2(d, v)
+		initial[model.ProcessID(p)] = v
+	}
+	return engine.Config{
+		Procs:    procs,
+		Initial:  initial,
+		Detector: detector.New(detector.ZeroOAC, detector.WithRace(7)),
+		CM:       cm.WakeUp{Stable: 7},
+		Loss:     loss.ECF{Base: loss.NewProbabilistic(0.3, seed), From: 7},
+		Crashes: model.Schedule{
+			2: {Round: 3, Time: model.CrashBeforeSend},
+			4: {Round: 8, Time: model.CrashAfterSend},
+		},
+		MaxRounds:        300,
+		Trace:            trace,
+		DeliveryWorkers:  workers,
+		DeliveryMinProcs: 1, // force the parallel path for this small system
+	}
+}
+
+// TestParallelDeliveryEquivalence runs crash-scheduled systems through
+// (engine|runtime) × (full|decisions-only) × worker counts {1, 3, 6}: every
+// combination must produce identical decisions, rounds, and AllDecided, and
+// all full traces must be indistinguishable to every process. This is the
+// determinism contract of the sharded delivery core across both round-loop
+// implementations.
+func TestParallelDeliveryEquivalence(t *testing.T) {
+	const seed = 23
+	baseline, err := engine.Run(parallelCrashConfig(seed, engine.TraceFull, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 6} {
+		for _, tm := range []struct {
+			name  string
+			trace engine.TraceMode
+		}{
+			{"full", engine.TraceFull},
+			{"decisions", engine.TraceDecisionsOnly},
+		} {
+			for _, impl := range []struct {
+				name string
+				run  func(engine.Config) (*engine.Result, error)
+			}{
+				{"engine", engine.Run},
+				{"runtime", Run},
+			} {
+				name := impl.name + "/" + tm.name
+				res, err := impl.run(parallelCrashConfig(seed, tm.trace, workers))
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", name, workers, err)
+				}
+				if res.Rounds != baseline.Rounds || res.AllDecided != baseline.AllDecided {
+					t.Fatalf("%s workers=%d: rounds/AllDecided = %d/%v, baseline %d/%v",
+						name, workers, res.Rounds, res.AllDecided, baseline.Rounds, baseline.AllDecided)
+				}
+				if len(res.Decisions) != len(baseline.Decisions) {
+					t.Fatalf("%s workers=%d: %d decisions, baseline %d", name, workers, len(res.Decisions), len(baseline.Decisions))
+				}
+				for id, d := range baseline.Decisions {
+					if res.Decisions[id] != d {
+						t.Fatalf("%s workers=%d: process %d decided %v, baseline %v", name, workers, id, res.Decisions[id], d)
+					}
+				}
+				if tm.trace == engine.TraceFull {
+					for _, id := range baseline.Execution.Procs {
+						if !baseline.Execution.IndistinguishableTo(res.Execution, id, baseline.Rounds) {
+							t.Fatalf("%s workers=%d: process %d distinguishes the trace from the sequential engine baseline",
+								name, workers, id)
+						}
+					}
+				} else if res.Execution.NumRounds() != 0 {
+					t.Fatalf("%s workers=%d: decisions-only run recorded %d rounds", name, workers, res.Execution.NumRounds())
+				}
+			}
+		}
+	}
+}

@@ -117,6 +117,13 @@ type Scenario struct {
 	RunFullHorizon bool
 	// Trace selects full view recording (zero value) or decisions-only.
 	Trace engine.TraceMode
+	// DeliveryWorkers shards each round's delivery loop across up to this
+	// many goroutines (0 or 1: sequential). Results are byte-identical at
+	// any worker count; the engine auto-disables the parallel path for
+	// small systems and order-dependent detectors/adversaries. Scenario
+	// components are safely shardable by construction: Materialize builds
+	// every automaton fresh and shares nothing mutable between them.
+	DeliveryWorkers int
 	// UseGoroutines runs the goroutine-per-process runtime instead of the
 	// deterministic in-loop engine.
 	UseGoroutines bool
@@ -233,15 +240,16 @@ func (s *Scenario) Materialize() (*engine.Config, error) {
 		return nil, err
 	}
 	return &engine.Config{
-		Procs:          procs,
-		Initial:        initial,
-		Detector:       det,
-		CM:             manager,
-		Loss:           adversary,
-		Crashes:        s.Crashes,
-		MaxRounds:      s.MaxRounds,
-		RunFullHorizon: s.RunFullHorizon,
-		Trace:          s.Trace,
+		Procs:           procs,
+		Initial:         initial,
+		Detector:        det,
+		CM:              manager,
+		Loss:            adversary,
+		Crashes:         s.Crashes,
+		MaxRounds:       s.MaxRounds,
+		RunFullHorizon:  s.RunFullHorizon,
+		Trace:           s.Trace,
+		DeliveryWorkers: s.DeliveryWorkers,
 	}, nil
 }
 

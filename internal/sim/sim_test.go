@@ -385,3 +385,52 @@ func TestMaterializeValidation(t *testing.T) {
 		t.Fatal("tree walk undecided under auto rules")
 	}
 }
+
+// TestDeliveryWorkersDeterminism runs one at-threshold (n = 64) scenario
+// with the intra-run parallel delivery core at several worker counts: the
+// declarative layer must hand the knob through to the engine without
+// changing a single decision or round count.
+func TestDeliveryWorkersDeterminism(t *testing.T) {
+	scenario := func(workers int) Scenario {
+		values := make([]model.Value, 64)
+		for i := range values {
+			values[i] = model.Value(i * 13 % 256)
+		}
+		return Scenario{
+			Algorithm:       AlgBitByBit,
+			Values:          values,
+			Domain:          256,
+			Stable:          8,
+			Loss:            LossProbabilistic,
+			LossP:           0.3,
+			ECFRound:        8,
+			Crashes:         model.Schedule{5: {Round: 6, Time: model.CrashAfterSend}},
+			MaxRounds:       2000,
+			Trace:           engine.TraceDecisionsOnly,
+			Seed:            77,
+			DeliveryWorkers: workers,
+		}
+	}
+	base, err := Run(scenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.AllDecided {
+		t.Fatal("baseline scenario undecided")
+	}
+	for _, workers := range []int{2, 4} {
+		res, err := Run(scenario(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds != base.Rounds || len(res.Decisions) != len(base.Decisions) {
+			t.Fatalf("workers=%d: rounds %d (want %d), decisions %d (want %d)",
+				workers, res.Rounds, base.Rounds, len(res.Decisions), len(base.Decisions))
+		}
+		for id, d := range base.Decisions {
+			if res.Decisions[id] != d {
+				t.Fatalf("workers=%d: process %d decided %v, baseline %v", workers, id, res.Decisions[id], d)
+			}
+		}
+	}
+}
