@@ -7,6 +7,7 @@ import (
 	"adhocconsensus/internal/detector"
 	"adhocconsensus/internal/engine"
 	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/replay"
 	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/sink"
 	"adhocconsensus/internal/stats"
@@ -508,6 +509,178 @@ func (a trialAdapter) Consume(r sim.Result) error {
 		ValidityOK:        r.ValidityOK,
 		TerminationOK:     r.TerminationOK,
 	})
+}
+
+// ReplayReport is the outcome of forensically re-executing one recorded
+// trial: a fresh full-trace run of the trial's derived seed, audited
+// against the recorded digest and the formal model's execution legality
+// constraints.
+type ReplayReport struct {
+	// Trial and Seed identify the re-executed trial.
+	Trial int
+	Seed  int64
+	// Reasons says why ReplayFlagged selected the trial (empty for a direct
+	// Replay call).
+	Reasons []string
+	// DigestOK reports that the fresh run reproduced the recorded outcome —
+	// rounds, decisions, decided values, property verdicts — field for
+	// field; Mismatch names the first divergence otherwise. A mismatch means
+	// the record and this build disagree about the same seed: version skew,
+	// a corrupted record, or nondeterminism, all worth alarm.
+	DigestOK bool
+	Mismatch string
+	// TraceValid reports that the re-executed trace satisfies the execution
+	// constraints of the formal model (integrity, self-delivery, fail-state
+	// permanence); TraceError carries the violation otherwise.
+	TraceValid bool
+	TraceError string
+	// Report is the fresh full-trace run, for further inspection. Call
+	// Report.Execution.Release when done with its views to recycle the
+	// trace arena.
+	Report *Report
+}
+
+// OK reports a clean audit: digest reproduced and trace legal.
+func (r *ReplayReport) OK() bool { return r.DigestOK && r.TraceValid }
+
+// BundleText renders the report's forensic trace bundle — the provenance
+// header (trial, seed, flag reasons, digest and legality verdicts) followed
+// by the full per-round execution table — in exactly the format "sweeprun
+// verify -bundle" writes for experiment records. Empty once the execution
+// has been released.
+func (r *ReplayReport) BundleText() string {
+	if r.Report == nil || r.Report.Execution == nil || !r.Report.Execution.HasViews() {
+		return ""
+	}
+	return replay.BundleText(&replay.Verification{
+		Index:      r.Trial,
+		Seed:       r.Seed,
+		Reasons:    r.Reasons,
+		DigestOK:   r.DigestOK,
+		Mismatch:   r.Mismatch,
+		TraceValid: r.TraceValid,
+		TraceError: r.TraceError,
+	}, r.Report.Execution)
+}
+
+// Replay forensically re-executes one recorded trial of this configuration:
+// the trial's derived seed is re-run at full trace fidelity (regardless of
+// Config.TraceDecisionsOnly) and the fresh execution is audited against the
+// recorded digest and the model's legality constraints. The configuration
+// must be the one that produced the trial — a fingerprint mismatch is
+// rejected before anything runs.
+func (c Config) Replay(r TrialResult) (*ReplayReport, error) {
+	return c.replay(r, nil)
+}
+
+// ReplaySelector chooses which trials of a recorded multi-trial run
+// ReplayFlagged audits.
+type ReplaySelector struct {
+	// Undecided selects trials in which not every correct process decided.
+	Undecided bool
+	// Violations selects trials that broke agreement or strong validity.
+	Violations bool
+	// TopSlowest selects the k trials with the highest round counts (ties
+	// broken by trial index).
+	TopSlowest int
+}
+
+// ReplayFlagged audits a recorded multi-trial run: it selects the anomalous
+// trials (undecided, safety violations, round-count outliers) and replays
+// each at full trace fidelity, returning one report per flagged trial in
+// trial order. Records with mismatched fingerprints or seeds are rejected.
+// The selection semantics are exactly internal/replay's FlagRecords — the
+// same rules "sweeprun verify" applies to shard files.
+func (c Config) ReplayFlagged(results []TrialResult, sel ReplaySelector) ([]*ReplayReport, error) {
+	recs := make([]sink.Record, len(results))
+	byTrial := make(map[int]TrialResult, len(results))
+	for i, r := range results {
+		recs[i] = sink.Record{
+			Index:      r.Trial,
+			Rounds:     r.Rounds,
+			AllDecided: r.Decided,
+			// FlagRecords reads only the digest verdict fields.
+			AgreementOK: r.AgreementOK,
+			ValidityOK:  r.ValidityOK,
+		}
+		byTrial[r.Trial] = r
+	}
+	var out []*ReplayReport
+	for _, f := range replay.FlagRecords(recs, replay.Selector{
+		Undecided:  sel.Undecided,
+		Violations: sel.Violations,
+		TopSlowest: sel.TopSlowest,
+	}) {
+		rep, err := c.replay(byTrial[f.Rec.Index], f.Reasons)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// replay is the shared audit body of Replay and ReplayFlagged.
+func (c Config) replay(r TrialResult, reasons []string) (*ReplayReport, error) {
+	// The recorded stream ran decisions-only (multi-trial runs never record
+	// views); fingerprints must be derived the same way StreamTrials derived
+	// them, or the provenance check would reject every record.
+	c.TraceDecisionsOnly = true
+	base, err := c.toScenario()
+	if err != nil {
+		return nil, err
+	}
+	baseParams := sink.ParamsOf(base)
+	baseParams.SweepSeed = c.Seed
+	if fp := baseParams.Fingerprint(); r.Fingerprint != "" && r.Fingerprint != fp {
+		return nil, fmt.Errorf("adhocconsensus: trial %d carries fingerprint %s, this configuration derives %s — recorded under a different configuration or version",
+			r.Trial, r.Fingerprint, fp)
+	}
+	// Fingerprints exclude per-trial seeds; check the recorded seed against
+	// this configuration's derivation directly (exactly as the grid replay
+	// paths do), so a record regenerated at a foreign seed cannot pass off
+	// its own execution as this sweep's.
+	if want := sim.TrialSeed(c.Seed, 0, r.Trial); r.Seed != want {
+		return nil, fmt.Errorf("adhocconsensus: trial %d ran with seed %d, this configuration derives %d — recorded under a different configuration or version",
+			r.Trial, r.Seed, want)
+	}
+	sc := base
+	sc.Seed = r.Seed
+	recorded := sim.Result{
+		Index:             r.Trial,
+		Seed:              r.Seed,
+		Rounds:            r.Rounds,
+		AllDecided:        r.Decided,
+		Decisions:         r.Decisions,
+		DecidedValues:     r.DecidedValues,
+		LastDecisionRound: r.LastDecisionRound,
+		AgreementOK:       r.AgreementOK,
+		ValidityOK:        r.ValidityOK,
+		TerminationOK:     r.TerminationOK,
+	}
+	v, res := replay.ReExecuteScenarioKeep(recorded, sc, reasons, false)
+	rep := &ReplayReport{
+		Trial:      v.Index,
+		Seed:       v.Seed,
+		Reasons:    reasons,
+		DigestOK:   v.DigestOK,
+		Mismatch:   v.Mismatch,
+		TraceValid: v.TraceValid,
+		TraceError: v.TraceError,
+	}
+	if res == nil {
+		return nil, fmt.Errorf("adhocconsensus: trial %d re-execution failed: %s", r.Trial, v.TraceError)
+	}
+	rep.Report = &Report{
+		Decided:   res.AllDecided,
+		Rounds:    res.Rounds,
+		Decisions: res.Decisions,
+		Execution: res.Execution,
+	}
+	if vals := res.Execution.DecidedValues(); len(vals) == 1 {
+		rep.Report.Agreed = vals[0]
+	}
+	return rep, nil
 }
 
 // TrialStatsOf aggregates per-trial results — from RunTrials' own stream or

@@ -419,3 +419,130 @@ func TestStreamTrialsShardsMergeToRunTrials(t *testing.T) {
 		t.Fatalf("ResultSink tee saw %d results, explicit sink %d", len(tee.results), len(explicit.results))
 	}
 }
+
+// TestReplayAuditsRecordedTrial covers the public forensic loop: record a
+// multi-trial run, replay one trial at full trace, and audit it against the
+// recorded digest; tampered digests and foreign configurations are
+// rejected.
+func TestReplayAuditsRecordedTrial(t *testing.T) {
+	cfg := Config{
+		Algorithm: AlgorithmBitByBit,
+		Values:    []Value{3, 7, 7, 1},
+		Domain:    16,
+		Loss:      LossProbabilistic,
+		LossP:     0.4,
+		ECFRound:  6,
+		Stable:    6,
+		Seed:      5,
+	}
+	var recorded []TrialResult
+	cfg.ResultSink = trialRecorder{&recorded}
+	if _, err := cfg.RunTrials(12, 0); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ResultSink = nil
+
+	rep, err := cfg.Replay(recorded[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("honest trial failed its audit: mismatch=%q traceErr=%q", rep.Mismatch, rep.TraceError)
+	}
+	if rep.Trial != 3 || rep.Seed != recorded[3].Seed {
+		t.Fatalf("replay identity %d/%d, want %d/%d", rep.Trial, rep.Seed, 3, recorded[3].Seed)
+	}
+	// The replay runs at FULL trace regardless of the recorded mode: the
+	// execution must expose per-round views for forensics.
+	if rep.Report == nil || !rep.Report.Execution.HasViews() {
+		t.Fatal("replayed execution carries no views")
+	}
+	if rep.Report.Rounds != recorded[3].Rounds {
+		t.Fatalf("replayed %d rounds, recorded %d", rep.Report.Rounds, recorded[3].Rounds)
+	}
+	rep.Report.Execution.Release()
+
+	// A tampered digest must be caught, with the diverging field named.
+	tampered := recorded[3]
+	tampered.Decisions--
+	rep, err = cfg.Replay(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DigestOK || !strings.Contains(rep.Mismatch, "decisions") {
+		t.Fatalf("tampered digest passed: ok=%v mismatch=%q", rep.DigestOK, rep.Mismatch)
+	}
+	rep.Report.Execution.Release()
+
+	// A foreign configuration is rejected by fingerprint before running.
+	foreign := cfg
+	foreign.Seed = 6
+	if _, err := foreign.Replay(recorded[3]); err == nil {
+		t.Fatal("foreign configuration accepted for replay")
+	}
+
+	// A record whose seed does not derive from this configuration is
+	// rejected even when its fingerprint matches (fingerprints exclude
+	// trial seeds): a wholesale-regenerated record cannot pass off its own
+	// execution as this sweep's.
+	reseeded := recorded[3]
+	reseeded.Seed++
+	if _, err := cfg.Replay(reseeded); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("foreign-seed record accepted for replay: %v", err)
+	}
+}
+
+// trialRecorder collects the per-trial stream for replay tests.
+type trialRecorder struct{ results *[]TrialResult }
+
+func (r trialRecorder) Consume(tr TrialResult) error {
+	*r.results = append(*r.results, tr)
+	return nil
+}
+
+// TestReplayFlaggedSelectsAnomalies: the selector picks the slowest trials
+// (and nothing else in a healthy run), replays each, and reports in trial
+// order with reasons attached.
+func TestReplayFlaggedSelectsAnomalies(t *testing.T) {
+	cfg := Config{
+		Algorithm: AlgorithmBitByBit,
+		Values:    []Value{3, 7, 7, 1},
+		Domain:    16,
+		Loss:      LossProbabilistic,
+		LossP:     0.4,
+		ECFRound:  6,
+		Stable:    6,
+		Seed:      5,
+	}
+	var recorded []TrialResult
+	cfg.ResultSink = trialRecorder{&recorded}
+	if _, err := cfg.RunTrials(12, 0); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ResultSink = nil
+
+	reports, err := cfg.ReplayFlagged(recorded, ReplaySelector{Undecided: true, Violations: true, TopSlowest: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("flagged %d trials, want exactly the 2 slowest (healthy run)", len(reports))
+	}
+	last := -1
+	for _, rep := range reports {
+		if !rep.OK() {
+			t.Fatalf("trial %d failed its audit: %q %q", rep.Trial, rep.Mismatch, rep.TraceError)
+		}
+		if len(rep.Reasons) == 0 || rep.Reasons[0] != "slowest" {
+			t.Fatalf("trial %d reasons %v", rep.Trial, rep.Reasons)
+		}
+		if rep.Trial <= last {
+			t.Fatalf("reports out of trial order: %d after %d", rep.Trial, last)
+		}
+		last = rep.Trial
+		rep.Report.Execution.Release()
+	}
+	if reports, err := cfg.ReplayFlagged(recorded, ReplaySelector{}); err != nil || len(reports) != 0 {
+		t.Fatalf("empty selector flagged %d trials (%v)", len(reports), err)
+	}
+}

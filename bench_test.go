@@ -24,6 +24,7 @@ import (
 	"adhocconsensus/internal/loss"
 	"adhocconsensus/internal/model"
 	"adhocconsensus/internal/multiset"
+	"adhocconsensus/internal/replay"
 	"adhocconsensus/internal/runtime"
 	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/sink"
@@ -188,6 +189,56 @@ func BenchmarkSweepJSONL(b *testing.B) {
 		}
 		if err := j.Flush(); err != nil {
 			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkReplayRender prices render-without-rerun (internal/replay): the
+// "render" sub-benchmark reproduces the full A2 table from recorded results
+// alone — grid re-expansion, merge guards, fingerprint verification, and
+// rendering, but not one engine round — while "resimulate" regenerates the
+// same table by running the grid. Render must be at least an order of
+// magnitude cheaper: that gap is what makes re-rendering a month-old
+// multi-machine run from its merged JSONL effectively free.
+func BenchmarkReplayRender(b *testing.B) {
+	e, ok := experiments.GridExperimentByName("A2")
+	if !ok {
+		b.Fatal("no A2 grid experiment")
+	}
+	scenarios, _, err := e.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	results, err := sim.Runner{Workers: 1}.Sweep(scenarios)
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := make([]sink.Record, len(results))
+	for i, res := range results {
+		records[i] = sink.RecordOf("A2", sink.ParamsOf(scenarios[i]), res)
+	}
+	b.Run("render", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			table, err := replay.RenderExperiment("A2", records)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !table.Pass {
+				b.Fatalf("replayed table failed:\n%s", table)
+			}
+		}
+	})
+	b.Run("resimulate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			table, err := e.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !table.Pass {
+				b.Fatalf("resimulated table failed:\n%s", table)
+			}
 		}
 	})
 }

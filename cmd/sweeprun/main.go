@@ -1,26 +1,44 @@
-// Command sweeprun executes experiment sweeps shard-by-shard and folds the
-// shard files back together — the multi-machine face of the streaming
-// result-sink subsystem (internal/sink).
+// Command sweeprun drives the record→replay→verify loop of the streaming
+// result pipeline (internal/sink + internal/replay) across machines.
 //
 // "sweeprun run" executes the i-of-k shard of a sweep and streams one JSONL
-// record per trial: either the scenario grids of the paper's experiment
-// tables (-exp), or an N-trial sweep of one configuration (-trials, with
-// the same configuration flags as consensus-sim). Trial seeds depend only
-// on the sweep seed and the GLOBAL trial index, never on the shard layout,
-// so k workers running "run -shard 0/k .. (k-1)/k" produce files whose
-// union is byte-identical to a single machine's run.
+// record per trial: the scenario grids of the paper's experiment tables and
+// the work-itemized bespoke pipelines (-exp; T1..T5, T8, A1, A2 shard as
+// scenario grids, T6, T7, T9, A3, M1 as universal work items), or an
+// N-trial sweep of one configuration (-trials, with the same configuration
+// flags as consensus-sim). Trial seeds depend only on the sweep seed and
+// the GLOBAL trial index, never on the shard layout, so k workers running
+// "run -shard 0/k .. (k-1)/k" produce files whose union is byte-identical
+// to a single machine's run.
 //
 // "sweeprun merge" reads any set of shard files, verifies they form a
 // complete, non-overlapping, fingerprint-consistent cover, and renders
-// exactly what the in-process single-machine path produces: the experiment
-// tables of cmd/benchtab, or the trial statistics of consensus-sim -trials
-// (golden-tested byte-identical, including the seed-provenance report).
+// exactly what the in-process single-machine path produces (golden-tested
+// byte-identical). When verification rejects the set, it prints a per-shard
+// verdict identifying the offending file(s) and exits non-zero; -quiet
+// reduces success output to one PASS/FAIL line per experiment for CI.
+//
+// "sweeprun replay" renders the same tables from recorded results alone —
+// no simulation runs; the engine is never invoked. It is the
+// render-without-rerun face of internal/replay: re-render a month-old run
+// from its merged JSONL, byte-identical to the day it executed.
+//
+// "sweeprun verify" is the forensic side: it flags recorded trials worth
+// auditing (-flag undecided,violations,slowest=K,recheck), re-executes each
+// flagged seed through the engine at full trace fidelity, validates the
+// fresh columnar trace against the recorded decision digest and the formal
+// model's legality constraints, and (with -bundle) writes per-trial trace
+// bundles. Any failed audit exits non-zero.
 //
 // Examples:
 //
 //	sweeprun run -exp T3 -shard 0/2 -o shard0.jsonl
 //	sweeprun run -exp T3 -shard 1/2 -o shard1.jsonl
 //	sweeprun merge shard0.jsonl shard1.jsonl
+//	sweeprun replay shard0.jsonl shard1.jsonl   # render, no simulation
+//	sweeprun verify -flag violations,slowest=3 shard0.jsonl shard1.jsonl
+//
+//	sweeprun run -exp M1 -shard 0/4 -o m1-s0.jsonl   # bespoke pipelines shard too
 //
 //	sweeprun run -trials 10000 -shard 0/4 -alg bitbybit -values 3,7,7,1 \
 //	    -loss prob -p 0.4 -seed 7 -o t0.jsonl   # ... one worker per shard
@@ -32,12 +50,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"adhocconsensus"
 	"adhocconsensus/internal/cli"
 	"adhocconsensus/internal/experiments"
+	"adhocconsensus/internal/replay"
 	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/sink"
 )
@@ -51,15 +71,19 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sweeprun run|merge [flags]")
+		return fmt.Errorf("usage: sweeprun run|merge|replay|verify [flags]")
 	}
 	switch args[0] {
 	case "run":
 		return runShard(args[1:], out)
 	case "merge":
 		return merge(args[1:], out)
+	case "replay":
+		return replayCmd(args[1:], out)
+	case "verify":
+		return verifyCmd(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want run or merge)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want run, merge, replay, or verify)", args[0])
 	}
 }
 
@@ -87,7 +111,7 @@ func runShard(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweeprun run", flag.ContinueOnError)
 	cf := cli.RegisterConfig(fs)
 	var (
-		expList  = fs.String("exp", "", "comma-separated grid experiments (T1..T5, T8, A1, A2) or 'all'")
+		expList  = fs.String("exp", "", "comma-separated experiments (T1..T9, A1..A3, M1) or 'all'")
 		trials   = fs.Int("trials", 0, "instead of -exp: sweep this many trials of the flagged configuration")
 		shardStr = fs.String("shard", "0/1", "shard to execute, as i/k")
 		workers  = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
@@ -125,21 +149,48 @@ func runShard(args []string, out io.Writer) error {
 		return streamTrialsShard(cfg, *trials, *workers, shard, shards, w)
 	}
 
-	var exps []experiments.GridExperiment
+	// An experiment shard runner: a scenario grid or a work-item pipeline.
+	type expRunner struct {
+		name string
+		run  func() error
+	}
+	var exps []expRunner
+	add := func(name string) error {
+		if e, ok := experiments.GridExperimentByName(name); ok {
+			exps = append(exps, expRunner{name, func() error {
+				return streamExperimentShard(e, shard, shards, *workers, w)
+			}})
+			return nil
+		}
+		if e, ok := experiments.WorkExperimentByName(name); ok {
+			exps = append(exps, expRunner{name, func() error {
+				return streamWorkShard(e, shard, shards, *workers, w)
+			}})
+			return nil
+		}
+		return fmt.Errorf("no experiment %q (grids: T1..T5, T8, A1, A2; work pipelines: T6, T7, T9, A3, M1)", name)
+	}
 	if *expList == "all" {
-		exps = experiments.GridExperiments()
+		for _, e := range experiments.GridExperiments() {
+			if err := add(e.Name); err != nil {
+				return err
+			}
+		}
+		for _, e := range experiments.WorkExperiments() {
+			if err := add(e.Name); err != nil {
+				return err
+			}
+		}
 	} else {
 		for _, name := range strings.Split(*expList, ",") {
-			e, ok := experiments.GridExperimentByName(strings.TrimSpace(name))
-			if !ok {
-				return fmt.Errorf("no grid experiment %q (grid experiments: T1..T5, T8, A1, A2; the bespoke pipelines T6/T7/T9, A3, M1 run in-process only, via benchtab)", name)
+			if err := add(strings.TrimSpace(name)); err != nil {
+				return err
 			}
-			exps = append(exps, e)
 		}
 	}
 	for _, e := range exps {
-		if err := streamExperimentShard(e, shard, shards, *workers, w); err != nil {
-			return fmt.Errorf("%s: %w", e.Name, err)
+		if err := e.run(); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
 		}
 	}
 	return nil
@@ -167,6 +218,35 @@ func streamExperimentShard(e experiments.GridExperiment, shard, shards, workers 
 	j.Params = func(i int) sink.Params { return params[i] }
 	if err := (sim.Runner{Workers: workers}).SweepTrialsTo(shardTrials, j); err != nil {
 		return err
+	}
+	return j.Flush()
+}
+
+// streamWorkShard runs one work-item pipeline's shard into a JSONL stream:
+// the bespoke analog of streamExperimentShard. Items execute on the worker
+// pool; records stream in item order.
+func streamWorkShard(e experiments.WorkExperiment, shard, shards, workers int, w io.Writer) error {
+	items, runItem, _, err := e.Build()
+	if err != nil {
+		return err
+	}
+	shardItems, err := experiments.ShardItems(items, shard, shards)
+	if err != nil {
+		return err
+	}
+	outs := make([]string, len(shardItems))
+	errs := make([]error, len(shardItems))
+	(sim.Runner{Workers: workers}).Map(len(shardItems), func(i int) {
+		outs[i], errs[i] = runItem(shardItems[i])
+	})
+	j := sink.NewJSONL(w)
+	for i, item := range shardItems {
+		if errs[i] != nil {
+			return fmt.Errorf("item %d: %w", item.Index, errs[i])
+		}
+		if err := j.WriteRecord(sink.RecordOfItem(e.Name, item, outs[i])); err != nil {
+			return err
+		}
 	}
 	return j.Flush()
 }
@@ -214,43 +294,230 @@ func streamTrialsShard(cfg adhocconsensus.Config, trials, workers, shard, shards
 	return j.Flush()
 }
 
-// merge is the "merge" subcommand: fold shard files into tables and stats.
-func merge(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("sweeprun merge", flag.ContinueOnError)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if fs.NArg() == 0 {
-		return fmt.Errorf("merge needs at least one shard file")
-	}
-	var recs []sink.Record
-	for _, path := range fs.Args() {
+// shardFile is one input file's read outcome, kept for per-shard verdicts.
+type shardFile struct {
+	path string
+	recs []sink.Record
+	err  error
+}
+
+// readShardFiles reads every input file, continuing past failures so a bad
+// shard set produces one verdict per file instead of stopping at the first.
+func readShardFiles(paths []string) (files []shardFile, all []sink.Record, failed int) {
+	for _, path := range paths {
+		sf := shardFile{path: path}
 		f, err := os.Open(path)
+		if err != nil {
+			sf.err = err
+		} else {
+			sf.recs, sf.err = sink.ReadRecords(f)
+			f.Close()
+		}
+		if sf.err != nil {
+			failed++
+		} else {
+			all = append(all, sf.recs...)
+		}
+		files = append(files, sf)
+	}
+	return files, all, failed
+}
+
+// printShardVerdicts writes one line per input file: OK with its record
+// count, or the rejection reason. A non-empty exp restricts the count to
+// the experiment group being diagnosed, so a multi-experiment shard file
+// does not overstate what it contributes to the rejected group.
+func printShardVerdicts(out io.Writer, files []shardFile, exp string, verdict func(sf shardFile) error) {
+	for _, sf := range files {
+		err := sf.err
+		if err == nil && verdict != nil {
+			err = verdict(sf)
+		}
+		if err != nil {
+			fmt.Fprintf(out, "  shard %s: REJECTED: %v\n", sf.path, err)
+			continue
+		}
+		n := len(sf.recs)
+		if exp != "" {
+			n = 0
+			for _, rec := range sf.recs {
+				if rec.Exp == exp {
+					n++
+				}
+			}
+		}
+		fmt.Fprintf(out, "  shard %s: ok (%d records)\n", sf.path, n)
+	}
+}
+
+// experimentShardVerdict checks one file's records for one experiment
+// against this build's derivation — a partial-cover version of the merge
+// guards, used to point at the offending shard when the merged set is
+// rejected.
+func experimentShardVerdict(name string, sf shardFile) error {
+	var recs []sink.Record
+	for _, rec := range sf.recs {
+		if rec.Exp == name {
+			recs = append(recs, rec)
+		}
+	}
+	if len(recs) == 0 {
+		return nil // carries nothing for this experiment
+	}
+	seen := make(map[int]bool, len(recs))
+	for _, rec := range recs {
+		if seen[rec.Index] {
+			return fmt.Errorf("duplicate record for trial %d", rec.Index)
+		}
+		seen[rec.Index] = true
+	}
+	if e, ok := experiments.GridExperimentByName(name); ok {
+		scenarios, _, err := e.Build()
 		if err != nil {
 			return err
 		}
-		fileRecs, err := sink.ReadRecords(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+		for _, rec := range recs {
+			if rec.Index < 0 || rec.Index >= len(scenarios) {
+				return fmt.Errorf("trial %d outside this build's %d-trial grid", rec.Index, len(scenarios))
+			}
+			if fp := sink.ParamsOf(scenarios[rec.Index]).Fingerprint(); rec.Fingerprint != fp {
+				return fmt.Errorf("trial %d fingerprint %s does not match this build's grid (%s)", rec.Index, rec.Fingerprint, fp)
+			}
+			if rec.Seed != scenarios[rec.Index].Seed {
+				return fmt.Errorf("trial %d seed %d does not match this build's grid (%d)", rec.Index, rec.Seed, scenarios[rec.Index].Seed)
+			}
 		}
-		recs = append(recs, fileRecs...)
+		return nil
 	}
-	groups, order := sink.GroupByExp(recs)
+	if e, ok := experiments.WorkExperimentByName(name); ok {
+		items, _, _, err := e.Build()
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if rec.Index < 0 || rec.Index >= len(items) {
+				return fmt.Errorf("item %d outside this build's %d-item pipeline", rec.Index, len(items))
+			}
+			item := items[rec.Index]
+			if rec.Item != item.Kind || rec.ItemParams != item.Params || rec.Fingerprint != item.Fingerprint() || rec.Seed != item.Seed {
+				return fmt.Errorf("item %d does not match this build's pipeline (recorded %s(%s) fp=%s seed=%d)",
+					rec.Index, rec.Item, rec.ItemParams, rec.Fingerprint, rec.Seed)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("no experiment %q in this build", name)
+}
+
+// trialsShardVerdict builds a per-file verdict for a rejected "trials"
+// group. A configuration sweep has no build-side derivation to check
+// against (the producing Config is not in the shard files), so the verdict
+// is relative: every file must be internally consistent and carry the
+// majority fingerprint across the whole set — which names the foreign
+// shard(s) when configurations were mixed.
+func trialsShardVerdict(files []shardFile) func(sf shardFile) error {
+	counts := make(map[string]int)
+	for _, sf := range files {
+		seen := make(map[string]bool)
+		for _, rec := range sf.recs {
+			if rec.Exp == "trials" && !seen[rec.Fingerprint] {
+				seen[rec.Fingerprint] = true
+				counts[rec.Fingerprint]++
+			}
+		}
+	}
+	majority := ""
+	for fp, n := range counts {
+		if n > counts[majority] || (n == counts[majority] && fp > majority) {
+			majority = fp
+		}
+	}
+	return func(sf shardFile) error {
+		var fp string
+		for _, rec := range sf.recs {
+			if rec.Exp != "trials" {
+				continue
+			}
+			switch {
+			case fp == "":
+				fp = rec.Fingerprint
+			case rec.Fingerprint != fp:
+				return fmt.Errorf("mixes configurations (fingerprints %s and %s)", fp, rec.Fingerprint)
+			}
+		}
+		if fp != "" && fp != majority {
+			return fmt.Errorf("fingerprint %s differs from the set's majority %s — different configuration or base seed", fp, majority)
+		}
+		return nil
+	}
+}
+
+// merge is the "merge" subcommand: fold shard files into tables and stats.
+// A rejected shard set prints per-shard verdicts and exits non-zero.
+func merge(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweeprun merge", flag.ContinueOnError)
+	quiet := fs.Bool("quiet", false, "per-experiment PASS/FAIL lines instead of full tables (CI use)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return mergeRender(fs.Args(), out, *quiet)
+}
+
+// replayCmd is the "replay" subcommand: render-without-rerun. It folds
+// recorded results through the same verified path as merge — byte-identical
+// tables, no simulation (the engine is never invoked on this path).
+func replayCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweeprun replay", flag.ContinueOnError)
+	quiet := fs.Bool("quiet", false, "per-experiment PASS/FAIL lines instead of full tables (CI use)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return mergeRender(fs.Args(), out, *quiet)
+}
+
+// mergeRender is the shared body of merge and replay.
+func mergeRender(paths []string, out io.Writer, quiet bool) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("need at least one shard file")
+	}
+	files, all, failedReads := readShardFiles(paths)
+	if failedReads > 0 {
+		printShardVerdicts(out, files, "", nil)
+		return fmt.Errorf("%d of %d shard file(s) unreadable", failedReads, len(files))
+	}
+	run := replay.Group(all)
+	if len(run.Order) == 0 {
+		return fmt.Errorf("no records in %d file(s)", len(files))
+	}
 	failed := 0
-	for _, name := range order {
-		group := groups[name]
+	for _, name := range run.Order {
+		group := run.Groups[name]
 		if name == "trials" {
-			if err := mergeTrials(group, out); err != nil {
+			if err := mergeTrials(group, out, quiet); err != nil {
+				fmt.Fprintln(out, "trials: shard set rejected")
+				printShardVerdicts(out, files, "trials", trialsShardVerdict(files))
 				return fmt.Errorf("trials: %w", err)
 			}
 			continue
 		}
-		pass, err := mergeExperiment(name, group, out)
+		table, err := replay.RenderExperiment(name, group)
 		if err != nil {
+			fmt.Fprintf(out, "%s: shard set rejected\n", name)
+			printShardVerdicts(out, files, name, func(sf shardFile) error {
+				return experimentShardVerdict(name, sf)
+			})
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		if !pass {
+		if quiet {
+			verdict := "PASS"
+			if !table.Pass {
+				verdict = "FAIL"
+			}
+			fmt.Fprintf(out, "%s: %s\n", name, verdict)
+		} else {
+			fmt.Fprintln(out, table)
+		}
+		if !table.Pass {
 			failed++
 		}
 	}
@@ -260,62 +527,19 @@ func merge(args []string, out io.Writer) error {
 	return nil
 }
 
-// mergeExperiment folds one experiment's shard records and renders its
-// table exactly as the in-process path does.
-func mergeExperiment(name string, recs []sink.Record, out io.Writer) (pass bool, err error) {
-	e, ok := experiments.GridExperimentByName(name)
-	if !ok {
-		return false, fmt.Errorf("no grid experiment %q in this build", name)
-	}
-	scenarios, render, err := e.Build()
-	if err != nil {
-		return false, err
-	}
+// trialResultsOf reconstructs the public TrialResults of a merged
+// configuration-sweep group, verifying the single-fingerprint invariant.
+func trialResultsOf(recs []sink.Record) ([]adhocconsensus.TrialResult, error) {
 	results, err := sink.Merge(recs)
 	if err != nil {
-		return false, err
-	}
-	if len(results) != len(scenarios) {
-		return false, fmt.Errorf("%d trials merged, this build's grid has %d — incomplete shard set or version skew",
-			len(results), len(scenarios))
-	}
-	params := make([]sink.Params, len(scenarios))
-	for i, s := range scenarios {
-		params[i] = sink.ParamsOf(s)
-	}
-	if err := sink.VerifyFingerprints(recs, func(i int) sink.Params { return params[i] }); err != nil {
-		return false, err
-	}
-	// Fingerprints exclude per-trial seeds; check those against the grid
-	// directly, so shards from a build with different seed derivation (or a
-	// reseeded grid) cannot fold into a chimera table.
-	for i, res := range results {
-		if res.Seed != scenarios[i].Seed {
-			return false, fmt.Errorf("trial %d ran with seed %d, this build's grid derives %d — shard produced by a different grid or version",
-				i, res.Seed, scenarios[i].Seed)
-		}
-	}
-	table, err := render(results)
-	if err != nil {
-		return false, err
-	}
-	fmt.Fprintln(out, table)
-	return table.Pass, nil
-}
-
-// mergeTrials folds configuration-sweep records into the statistics and
-// seed-provenance report consensus-sim -trials prints.
-func mergeTrials(recs []sink.Record, out io.Writer) error {
-	results, err := sink.Merge(recs)
-	if err != nil {
-		return err
+		return nil, err
 	}
 	// All trials of one configuration share its fingerprint; reject mixed
 	// files.
 	fp := recs[0].Fingerprint
 	for _, rec := range recs {
 		if rec.Fingerprint != fp {
-			return fmt.Errorf("trial %d fingerprint %s differs from %s — shards from different configurations",
+			return nil, fmt.Errorf("trial %d fingerprint %s differs from %s — shards from different configurations",
 				rec.Index, rec.Fingerprint, fp)
 		}
 	}
@@ -335,11 +559,194 @@ func mergeTrials(recs []sink.Record, out io.Writer) error {
 			TerminationOK:     r.TerminationOK,
 		}
 	}
+	return trs, nil
+}
+
+// mergeTrials folds configuration-sweep records into the statistics and
+// seed-provenance report consensus-sim -trials prints.
+func mergeTrials(recs []sink.Record, out io.Writer, quiet bool) error {
+	trs, err := trialResultsOf(recs)
+	if err != nil {
+		return err
+	}
+	st := adhocconsensus.TrialStatsOf(trs)
+	if quiet {
+		fmt.Fprintf(out, "trials: %d merged, %d decided, %d violation(s)\n",
+			st.Trials, st.Decided, st.AgreementViolations)
+		return nil
+	}
 	alg, err := cli.ParseAlgorithm(recs[0].Params.Algorithm)
 	if err != nil {
 		return fmt.Errorf("records carry no usable algorithm param: %w", err)
 	}
-	cli.PrintTrialStats(out, alg, recs[0].Params.N, adhocconsensus.TrialStatsOf(trs))
+	cli.PrintTrialStats(out, alg, recs[0].Params.N, st)
 	cli.PrintSeedProvenance(out, trs)
 	return nil
+}
+
+// parseSelector decodes the -flag spec: comma-separated selector names.
+func parseSelector(spec string) (replay.Selector, error) {
+	var sel replay.Selector
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "undecided":
+			sel.Undecided = true
+		case part == "violations":
+			sel.Violations = true
+		case part == "recheck":
+			sel.Recheck = true
+		case strings.HasPrefix(part, "slowest="):
+			k, err := strconv.Atoi(strings.TrimPrefix(part, "slowest="))
+			if err != nil || k < 1 {
+				return sel, fmt.Errorf("bad selector %q (want slowest=K, K >= 1)", part)
+			}
+			sel.TopSlowest = k
+		case part == "slowest":
+			sel.TopSlowest = 1
+		default:
+			return sel, fmt.Errorf("unknown selector %q (want undecided, violations, slowest[=K], recheck)", part)
+		}
+	}
+	return sel, nil
+}
+
+// verifyCmd is the "verify" subcommand: forensic re-execution of flagged
+// recorded trials at full trace fidelity.
+func verifyCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweeprun verify", flag.ContinueOnError)
+	cf := cli.RegisterConfig(fs)
+	var (
+		flagSpec  = fs.String("flag", "undecided,violations,slowest=1", "trial selectors: undecided, violations, slowest[=K], recheck")
+		bundleDir = fs.String("bundle", "", "write per-trial trace bundles into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("verify needs at least one shard file")
+	}
+	sel, err := parseSelector(*flagSpec)
+	if err != nil {
+		return err
+	}
+	if *bundleDir != "" {
+		if err := os.MkdirAll(*bundleDir, 0o755); err != nil {
+			return err
+		}
+	}
+	run, err := replay.LoadFiles(fs.Args()...)
+	if err != nil {
+		return err
+	}
+	failedAudits := 0
+	for _, name := range run.Order {
+		group := run.Groups[name]
+		switch {
+		case name == "trials":
+			n, err := verifyTrials(cf, group, sel, *bundleDir, out)
+			if err != nil {
+				return fmt.Errorf("trials: %w", err)
+			}
+			failedAudits += n
+		default:
+			if _, isWork := experiments.WorkExperimentByName(name); isWork {
+				// Work-item outcomes are not engine digests; their audit is
+				// the render-side item verification (sweeprun replay).
+				fmt.Fprintf(out, "%s: work-item pipeline, per-seed re-execution not applicable (render-verify via 'sweeprun replay')\n", name)
+				continue
+			}
+			vs, err := replay.VerifyExperiment(name, group, sel, *bundleDir != "")
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			failedAudits += reportVerifications(out, name, vs, *bundleDir)
+		}
+	}
+	if failedAudits > 0 {
+		return fmt.Errorf("%d audit(s) failed", failedAudits)
+	}
+	return nil
+}
+
+// verifyTrials audits a configuration-sweep group through the public
+// Config.ReplayFlagged API; the configuration flags must match the recorded
+// run (fingerprint-checked).
+func verifyTrials(cf *cli.ConfigFlags, recs []sink.Record, sel replay.Selector, bundleDir string, out io.Writer) (failed int, err error) {
+	if sel.Recheck {
+		return 0, fmt.Errorf("recheck is not supported for configuration sweeps; select trials with undecided/violations/slowest instead")
+	}
+	cfg, err := cf.Config()
+	if err != nil {
+		return 0, err
+	}
+	trs, err := trialResultsOf(recs)
+	if err != nil {
+		return 0, err
+	}
+	reports, err := cfg.ReplayFlagged(trs, adhocconsensus.ReplaySelector{
+		Undecided:  sel.Undecided,
+		Violations: sel.Violations,
+		TopSlowest: sel.TopSlowest,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("%w (pass the run's configuration flags to verify a -trials sweep)", err)
+	}
+	fmt.Fprintf(out, "trials: %d trial(s) flagged of %d\n", len(reports), len(trs))
+	for _, rep := range reports {
+		status, ok := auditStatus(rep.OK(), rep.Mismatch, rep.TraceError)
+		if !ok {
+			failed++
+		}
+		fmt.Fprintf(out, "  trial %d seed %d [%s]: %s\n", rep.Trial, rep.Seed, strings.Join(rep.Reasons, ","), status)
+		if bundleDir != "" {
+			if bundle := rep.BundleText(); bundle != "" {
+				path := filepath.Join(bundleDir, fmt.Sprintf("trials-%d.txt", rep.Trial))
+				if err := os.WriteFile(path, []byte(bundle), 0o644); err != nil {
+					return failed, err
+				}
+			}
+		}
+		if rep.Report != nil {
+			rep.Report.Execution.Release()
+		}
+	}
+	return failed, nil
+}
+
+// auditStatus renders one audit verdict line fragment — shared by the
+// experiment and trials verify reports so the two outputs cannot drift.
+func auditStatus(ok bool, mismatch, traceErr string) (status string, clean bool) {
+	if ok {
+		return "digest ok, trace legal", true
+	}
+	status = "AUDIT FAILED"
+	if mismatch != "" {
+		status += ": " + mismatch
+	}
+	if traceErr != "" {
+		status += ": " + traceErr
+	}
+	return status, false
+}
+
+// reportVerifications prints one audit line per verification and writes
+// bundles; it returns how many audits failed.
+func reportVerifications(out io.Writer, name string, vs []*replay.Verification, bundleDir string) (failed int) {
+	fmt.Fprintf(out, "%s: %d trial(s) flagged\n", name, len(vs))
+	for _, v := range vs {
+		status, ok := auditStatus(v.OK(), v.Mismatch, v.TraceError)
+		if !ok {
+			failed++
+		}
+		fmt.Fprintf(out, "  trial %d (%s) seed %d [%s]: %s\n", v.Index, v.Name, v.Seed, strings.Join(v.Reasons, ","), status)
+		if bundleDir != "" && v.Bundle != "" {
+			path := filepath.Join(bundleDir, fmt.Sprintf("%s-%d.txt", name, v.Index))
+			if err := os.WriteFile(path, []byte(v.Bundle), 0o644); err != nil {
+				fmt.Fprintf(out, "  bundle %s: %v\n", path, err)
+				failed++
+			}
+		}
+	}
+	return failed
 }

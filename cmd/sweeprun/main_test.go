@@ -11,6 +11,7 @@ import (
 	"adhocconsensus/internal/cli"
 	"adhocconsensus/internal/engine"
 	"adhocconsensus/internal/experiments"
+	"adhocconsensus/internal/sink"
 )
 
 // runShards executes an experiment sharded k ways into JSONL files and
@@ -141,6 +142,245 @@ func (c trialCollector) Consume(r adhocconsensus.TrialResult) error {
 	return nil
 }
 
+// TestWorkItemShardsByteIdentical is the work-item acceptance test: the
+// bespoke pipelines shard through universal work items, and for k in
+// {1, 2, 4} the merged shard files reproduce the in-process table byte for
+// byte. M1 covers seeded stochastic floods; T9 the deterministic
+// impossibility constructions (detail strings with unicode).
+func TestWorkItemShardsByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		exp string
+		fn  func() (*experiments.Table, error)
+	}{
+		{"M1", experiments.M1MultihopFlood},
+		{"T9", experiments.T9Impossibility},
+	} {
+		t.Run(tc.exp, func(t *testing.T) {
+			table, err := tc.fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !table.Pass {
+				t.Fatalf("in-process %s failed:\n%s", tc.exp, table)
+			}
+			want := fmt.Sprintln(table)
+			for _, k := range []int{1, 2, 4} {
+				got := runShards(t, tc.exp, k, 3)
+				if got != want {
+					t.Fatalf("k=%d shards diverged from in-process run:\n--- merged ---\n%s--- in-process ---\n%s", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayRendersWithoutRerun: the replay subcommand reproduces the
+// IN-PROCESS tables byte-identically from shard files alone —
+// render-without-rerun through the CLI, for a grid and a work experiment
+// in one run. (merge shares replay's code path, so the reference here is
+// deliberately the in-process renderer, not merge's output.)
+func TestReplayRendersWithoutRerun(t *testing.T) {
+	dir := t.TempDir()
+	files := make([]string, 0, 2)
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("s%d.jsonl", i))
+		if err := run([]string{"run", "-exp", "T8,T9", "-shard", fmt.Sprintf("%d/2", i), "-o", path}, os.Stdout); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, path)
+	}
+	t8, err := experiments.T8MajHalfGap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t9, err := experiments.T9Impossibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintln(t8) + fmt.Sprintln(t9)
+	var replayed strings.Builder
+	if err := run(append([]string{"replay"}, files...), &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if replayed.String() != want {
+		t.Fatalf("replay diverged from in-process tables:\n--- replay ---\n%s--- in-process ---\n%s", replayed.String(), want)
+	}
+
+	// -quiet reduces each experiment to one PASS/FAIL line.
+	var quiet strings.Builder
+	if err := run(append([]string{"replay", "-quiet"}, files...), &quiet); err != nil {
+		t.Fatal(err)
+	}
+	if quiet.String() != "T8: PASS\nT9: PASS\n" {
+		t.Fatalf("quiet output:\n%s", quiet.String())
+	}
+}
+
+// TestVerifyAuditsFlaggedSeeds drives the forensic loop through the CLI:
+// T8's recorded agreement violation is flagged and re-executed at full
+// trace against the recorded digest; a corrupted record makes verify exit
+// non-zero; -bundle writes the trace bundle.
+func TestVerifyAuditsFlaggedSeeds(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, "t8.jsonl")
+	if err := run([]string{"run", "-exp", "T8", "-shard", "0/1", "-o", shard}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	bundles := filepath.Join(dir, "bundles")
+	var out strings.Builder
+	if err := run([]string{"verify", "-flag", "violations,slowest=1", "-bundle", bundles, shard}, &out); err != nil {
+		t.Fatalf("honest verify failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "digest ok, trace legal") {
+		t.Fatalf("verify output missing clean audits:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "[violation]") {
+		t.Fatalf("verify output missing the violation flag:\n%s", out.String())
+	}
+	written, err := filepath.Glob(filepath.Join(bundles, "T8-*.txt"))
+	if err != nil || len(written) == 0 {
+		t.Fatalf("no trace bundles written: %v %v", written, err)
+	}
+	bundle, err := os.ReadFile(written[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(bundle), "trace bundle") {
+		t.Fatalf("bundle content:\n%s", bundle)
+	}
+
+	// Corrupt one record's digest: recheck must catch it and exit non-zero.
+	corrupted := filepath.Join(dir, "bad.jsonl")
+	corruptRecord(t, shard, corrupted)
+	var bad strings.Builder
+	if err := run([]string{"verify", "-flag", "recheck", corrupted}, &bad); err == nil {
+		t.Fatalf("corrupted shard passed verification:\n%s", bad.String())
+	}
+	if !strings.Contains(bad.String(), "AUDIT FAILED") || !strings.Contains(bad.String(), "digest-mismatch") {
+		t.Fatalf("verify output does not report the failed audit:\n%s", bad.String())
+	}
+}
+
+// corruptRecord copies a shard file, bumping the first record's round count.
+func corruptRecord(t *testing.T, src, dst string) {
+	t.Helper()
+	f, err := os.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sink.ReadRecords(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs[0].Rounds += 2
+	out, err := os.Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := sink.NewJSONL(out)
+	for _, rec := range recs {
+		if err := j.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+}
+
+// TestVerifyTrialsThroughPublicAPI: configuration-sweep records verify
+// through Config.ReplayFlagged when the run's flags are repeated; a
+// mismatched configuration is rejected by fingerprint.
+func TestVerifyTrialsThroughPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, "trials.jsonl")
+	cfgFlags := []string{"-alg", "bitbybit", "-values", "3,7,7,1", "-domain", "16",
+		"-loss", "prob", "-p", "0.4", "-cst", "9", "-seed", "11"}
+	if err := run(append([]string{"run", "-trials", "20", "-shard", "0/1", "-o", shard}, cfgFlags...), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(append(append([]string{"verify", "-flag", "slowest=2"}, cfgFlags...), shard), &out); err != nil {
+		t.Fatalf("honest trials verify failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 trial(s) flagged of 20") || !strings.Contains(out.String(), "digest ok, trace legal") {
+		t.Fatalf("trials verify output:\n%s", out.String())
+	}
+	// Different -seed => different sweep fingerprint => rejected.
+	var mism strings.Builder
+	wrong := append([]string{"verify", "-flag", "slowest=1", "-alg", "bitbybit", "-values", "3,7,7,1",
+		"-domain", "16", "-loss", "prob", "-p", "0.4", "-cst", "9", "-seed", "12"}, shard)
+	if err := run(wrong, &mism); err == nil {
+		t.Fatal("mismatched configuration accepted for trials verification")
+	}
+}
+
+// TestMergeShardVerdicts: a rejected shard set names the offending file and
+// exits non-zero, and -quiet condenses passing merges.
+func TestMergeShardVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.jsonl")
+	if err := run([]string{"run", "-exp", "T8", "-shard", "0/2", "-o", good}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := run([]string{"run", "-exp", "T8", "-shard", "1/2", "-o", bad}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := filepath.Join(dir, "corrupted.jsonl")
+	corruptSeed(t, bad, corrupted)
+	var out strings.Builder
+	if err := run([]string{"merge", good, corrupted}, &out); err == nil {
+		t.Fatal("merge accepted a corrupted shard")
+	}
+	if !strings.Contains(out.String(), "shard "+good+": ok") {
+		t.Fatalf("good shard not marked ok:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "shard "+corrupted+": REJECTED") {
+		t.Fatalf("corrupted shard not named:\n%s", out.String())
+	}
+
+	var quiet strings.Builder
+	if err := run([]string{"merge", "-quiet", good, bad}, &quiet); err != nil {
+		t.Fatalf("quiet merge of honest shards failed: %v\n%s", err, quiet.String())
+	}
+	if quiet.String() != "T8: PASS\n" {
+		t.Fatalf("quiet merge output:\n%s", quiet.String())
+	}
+}
+
+// corruptSeed copies a shard file, bumping the first record's seed (a
+// provenance violation the per-shard verdict must localize).
+func corruptSeed(t *testing.T, src, dst string) {
+	t.Helper()
+	f, err := os.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sink.ReadRecords(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs[0].Seed++
+	out, err := os.Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := sink.NewJSONL(out)
+	for _, rec := range recs {
+		if err := j.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+}
+
 // TestMergeRejectsBadShardSets covers the merge guards: incomplete covers,
 // overlapping shards, and mixed configurations must fail loudly rather
 // than fold into wrong tables.
@@ -197,8 +437,11 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"bad shard", []string{"run", "-exp", "T3", "-shard", "2/2"}},
 		{"shard trailing garbage", []string{"run", "-exp", "T3", "-shard", "1/2/3"}},
 		{"shard not numeric", []string{"run", "-exp", "T3", "-shard", "a/b"}},
-		{"unknown experiment", []string{"run", "-exp", "T6"}},
+		{"unknown experiment", []string{"run", "-exp", "T99"}},
 		{"merge without files", []string{"merge"}},
+		{"replay without files", []string{"replay"}},
+		{"verify without files", []string{"verify"}},
+		{"verify bad selector", []string{"verify", "-flag", "frobnicate", "x.jsonl"}},
 	} {
 		t.Run(tt.name, func(t *testing.T) {
 			if err := run(tt.args, os.Stdout); err == nil {

@@ -122,6 +122,38 @@
 // provenance, so one anomalous trial out of a million can be re-run
 // standalone by passing its derived seed to a single Run.
 //
+// # Replay and forensics
+//
+// The record→replay→verify loop (internal/replay) makes recorded runs
+// first-class artifacts:
+//
+//   - universal work items: the bespoke pipelines — the lower-bound
+//     constructions T6/T7/T9, the A3 substrates, the M1 multihop floods —
+//     declare their trials as serializable sink.WorkItems (kind, canonical
+//     parameters, seed) dispatched through registered executors, so the same
+//     deterministic shard-and-merge machinery that serves scenario grids
+//     serves EVERY experiment ("sweeprun run -exp M1 -shard 0/4"; k-shard
+//     merges are golden-tested byte-identical);
+//   - render-without-rerun: "sweeprun replay" (and merge) reproduce every
+//     experiment table from merged JSONL alone — fingerprint-verified,
+//     byte-identical, and without invoking the engine; re-rendering a
+//     recorded run is an order of magnitude cheaper than re-simulating it
+//     (BenchmarkReplayRender);
+//   - forensic re-execution: "sweeprun verify" flags recorded trials worth
+//     auditing (undecided, agreement/validity violations, top-k slowest, or
+//     a full digest recheck), re-runs each flagged seed at full trace
+//     fidelity, validates the fresh columnar trace against the recorded
+//     decision digest and the formal model's legality constraints, and
+//     writes per-trial trace bundles. Publicly, Config.Replay audits one
+//     recorded TrialResult and Config.ReplayFlagged sweeps a recorded run
+//     for anomalies. A recorded agreement violation is only evidence when
+//     its execution replays exactly — this is what makes the sweep pipeline
+//     audit-grade;
+//   - arena recycling: executions expose Release, handing the columnar
+//     trace arena back to a shape-keyed pool, so trace-heavy loops (the
+//     replay verifier, validation pipelines) allocate nothing per run in
+//     steady state.
+//
 // # Quick start
 //
 //	report, err := adhocconsensus.Config{

@@ -245,7 +245,9 @@ func Run(cfg Config) (*Result, error) {
 	parallel := workers > 1
 	var arena *model.TraceArena
 	if traceFull {
-		arena = model.NewTraceArena(len(st.procs), maxRounds)
+		// Acquired from the shape-keyed reuse pool: callers that digest the
+		// trace and call Execution.Release recycle the columns run to run.
+		arena = model.AcquireTraceArena(len(st.procs), maxRounds)
 		exec.Arena = arena
 		if parallel {
 			// Shard workers snapshot receive sets into per-process buffers;

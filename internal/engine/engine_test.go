@@ -638,6 +638,48 @@ func TestTraceFullWithinTwiceDecisionsOnlyAllocs(t *testing.T) {
 	}
 }
 
+// TestReleaseClosesTraceAllocations pins the arena release-for-reuse API:
+// a loop that runs at TraceFull, digests the execution (validation +
+// decision digest), and hands the arena back via Execution.Release performs
+// ZERO steady-state allocations for the trace itself — the same per-run
+// count as a decisions-only loop, which records nothing. This is the
+// contract the replay verifier and the validation pipelines rely on.
+func TestReleaseClosesTraceAllocations(t *testing.T) {
+	measure := func(trace TraceMode, release bool) float64 {
+		run := func() {
+			res, err := Run(traceConfig(trace))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if trace == TraceFull {
+				if err := res.Execution.Validate(); err != nil {
+					t.Error(err)
+				}
+			}
+			_ = res.Execution.DecidedValues()
+			if release {
+				res.Execution.Release()
+			}
+		}
+		run() // warm the receive-set and arena pools
+		run()
+		return testing.AllocsPerRun(20, run)
+	}
+	dec := measure(TraceDecisionsOnly, false)
+	full := measure(TraceFull, true)
+	// DecidedValues allocates its result map either way; the only allowed
+	// full-trace overhead is Validate's reusable scratch multiset (a handful
+	// of fixed allocations, not proportional to the trace).
+	if full > dec+6 {
+		t.Fatalf("full trace with Release costs %.0f allocs/run vs %.0f decisions-only: arena not recycled", full, dec)
+	}
+	withoutRelease := measure(TraceFull, false)
+	if withoutRelease <= full {
+		t.Logf("note: full trace without Release measured %.0f allocs/run vs %.0f with (GC may have recycled)", withoutRelease, full)
+	}
+}
+
 // TestArenaMatchesLegacyViews runs a crashy, lossy full-trace execution and
 // checks the arena-backed views against the materialize-to-legacy escape
 // hatch: every view equal, every derived trace equal, identical JSON.

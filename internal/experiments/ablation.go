@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"adhocconsensus/internal/backoff"
 	"adhocconsensus/internal/cm"
@@ -10,6 +11,7 @@ import (
 	"adhocconsensus/internal/model"
 	"adhocconsensus/internal/roundsync"
 	"adhocconsensus/internal/sim"
+	"adhocconsensus/internal/sink"
 	"adhocconsensus/internal/stats"
 	"adhocconsensus/internal/valueset"
 )
@@ -184,94 +186,146 @@ func a2Build() ([]sim.Scenario, RenderFunc, error) {
 // A3Substrates measures the assumed services: backoff stabilization time by
 // network size, and round-synchronization skew by clock drift.
 func A3Substrates() (*Table, error) {
-	t := &Table{
-		Title:  "A3 — substrates: backoff wake-up stabilization and round-sync skew",
-		Header: []string{"substrate", "parameter", "result"},
-		Pass:   true,
+	return WorkExperiment{Name: "A3", build: a3WorkBuild}.Run()
+}
+
+// a3Sizes and a3Drifts are the substrate grid axes: backoff stabilization
+// across network sizes × seeds, and one round-sync simulation per drift.
+var (
+	a3Sizes  = []int{2, 8, 32}
+	a3Drifts = []float64{10e-6, 50e-6, 500e-6}
+)
+
+const a3Seeds = 20
+
+func a3WorkBuild() ([]sink.WorkItem, WorkRunFunc, WorkRenderFunc, error) {
+	// Every (n, seed) backoff pair is one independent work item, followed by
+	// one deterministic round-sync item per drift.
+	items := make([]sink.WorkItem, 0, len(a3Sizes)*a3Seeds+len(a3Drifts))
+	for i := 0; i < len(a3Sizes)*a3Seeds; i++ {
+		items = append(items, sink.WorkItem{
+			Kind:   "substrate",
+			Index:  i,
+			Seed:   int64(i%a3Seeds) + 1,
+			Params: encodeKV(kv{"sub", "backoff"}, kv{"n", strconv.Itoa(a3Sizes[i/a3Seeds])}),
+		})
 	}
-	// Backoff stabilization rounds across sizes and seeds: every (n, seed)
-	// pair is one independent trial of the parallel map.
-	sizes := []int{2, 8, 32}
-	const seeds = 20
-	type backoffTrial struct {
-		rounds int
-		ok     bool
+	for i, drift := range a3Drifts {
+		items = append(items, sink.WorkItem{
+			Kind:   "substrate",
+			Index:  len(a3Sizes)*a3Seeds + i,
+			Seed:   1,
+			Params: encodeKV(kv{"sub", "roundsync"}, kv{"drift", fmtFloat(drift)}),
+		})
 	}
-	trials := make([]backoffTrial, len(sizes)*seeds)
-	runner().Map(len(trials), func(i int) {
-		n := sizes[i/seeds]
-		seed := int64(i%seeds) + 1
-		m := backoff.New(seed)
-		procs := make([]model.ProcessID, n)
-		for j := range procs {
-			procs[j] = model.ProcessID(j + 1)
-		}
-		var trace model.CMTrace
-		for r := 1; r <= 500; r++ {
-			adv := m.Advise(r, procs, func(model.ProcessID) bool { return true })
-			broadcasters := 0
-			for _, a := range adv {
-				if a == model.CMActive {
-					broadcasters++
+
+	run := func(item sink.WorkItem) (string, error) {
+		f := decodeKV(item.Params)
+		switch sub := f.str("sub"); sub {
+		case "backoff":
+			n := f.int("n")
+			if err := f.Err(); err != nil {
+				return "", err
+			}
+			m := backoff.New(item.Seed)
+			procs := make([]model.ProcessID, n)
+			for j := range procs {
+				procs[j] = model.ProcessID(j + 1)
+			}
+			var trace model.CMTrace
+			for r := 1; r <= 500; r++ {
+				adv := m.Advise(r, procs, func(model.ProcessID) bool { return true })
+				broadcasters := 0
+				for _, a := range adv {
+					if a == model.CMActive {
+						broadcasters++
+					}
+				}
+				m.Observe(r, broadcasters)
+				trace = append(trace, adv)
+				if _, ok := m.Stabilized(); ok {
+					break
 				}
 			}
-			m.Observe(r, broadcasters)
-			trace = append(trace, adv)
-			if _, ok := m.Stabilized(); ok {
-				break
+			rwake, err := cm.WakeUpStabilization(trace)
+			return encodeKV(kv{"rounds", strconv.Itoa(rwake)}, kv{"ok", fmtBool(err == nil)}), nil
+		case "roundsync":
+			drift := f.float("drift")
+			if err := f.Err(); err != nil {
+				return "", err
 			}
+			rep, err := roundsync.Simulate(roundsync.Config{
+				Nodes:          8,
+				MaxDrift:       drift,
+				BeaconInterval: 10,
+				BeaconJitter:   1e-3,
+				RoundLength:    0.1,
+				Duration:       300,
+				Seed:           item.Seed,
+			})
+			if err != nil {
+				return "", err
+			}
+			return encodeKV(
+				kv{"maxskew", fmtFloat(rep.MaxSkew)},
+				kv{"bound", fmtFloat(rep.SkewBound)},
+				kv{"agreeok", fmtBool(rep.AgreementOutsideGuard)},
+				kv{"agreefrac", fmtFloat(rep.AgreementFraction)},
+			), nil
+		default:
+			return "", fmt.Errorf("experiments: unknown substrate %q", sub)
 		}
-		rwake, err := cm.WakeUpStabilization(trace)
-		trials[i] = backoffTrial{rounds: rwake, ok: err == nil}
-	})
-	for si, n := range sizes {
-		var stab []int
-		for k := 0; k < seeds; k++ {
-			trial := trials[si*seeds+k]
-			if !trial.ok {
+	}
+
+	render := func(outs []string) (*Table, error) {
+		if len(outs) != len(a3Sizes)*a3Seeds+len(a3Drifts) {
+			return nil, fmt.Errorf("experiments: A3 render got %d outcomes, want %d", len(outs), len(a3Sizes)*a3Seeds+len(a3Drifts))
+		}
+		t := &Table{
+			Title:  "A3 — substrates: backoff wake-up stabilization and round-sync skew",
+			Header: []string{"substrate", "parameter", "result"},
+			Pass:   true,
+		}
+		for si, n := range a3Sizes {
+			var stab []int
+			for k := 0; k < a3Seeds; k++ {
+				f := decodeKV(outs[si*a3Seeds+k])
+				rounds, ok := f.int("rounds"), f.bool("ok")
+				if err := f.Err(); err != nil {
+					return nil, err
+				}
+				if !ok {
+					t.Pass = false
+					continue
+				}
+				stab = append(stab, rounds)
+			}
+			t.Rows = append(t.Rows, Row{Cells: []string{
+				"backoff wake-up", fmt.Sprintf("n=%d", n), stats.SummarizeInts(stab).String(),
+			}})
+		}
+		for i, drift := range a3Drifts {
+			f := decodeKV(outs[len(a3Sizes)*a3Seeds+i])
+			maxSkew, bound := f.float("maxskew"), f.float("bound")
+			agreeOK, agreeFrac := f.bool("agreeok"), f.float("agreefrac")
+			if err := f.Err(); err != nil {
+				return nil, err
+			}
+			if maxSkew > bound || !agreeOK {
 				t.Pass = false
-				continue
 			}
-			stab = append(stab, trial.rounds)
+			t.Rows = append(t.Rows, Row{Cells: []string{
+				"round sync", fmt.Sprintf("drift=%.0fppm", drift*1e6),
+				fmt.Sprintf("skew=%.3gms bound=%.3gms agree=%.4f",
+					maxSkew*1e3, bound*1e3, agreeFrac),
+			}})
 		}
-		t.Rows = append(t.Rows, Row{Cells: []string{
-			"backoff wake-up", fmt.Sprintf("n=%d", n), stats.SummarizeInts(stab).String(),
-		}})
+		t.Notes = append(t.Notes,
+			"backoff realizes the wake-up service (Property 2): stabilization is the CST component the paper abstracts away",
+			"round sync skew stays within 2(ρT+J): synchronized rounds are implementable, as §1.3 argues via RBS")
+		return t, nil
 	}
-	// Round sync skew vs drift, one deterministic simulation per drift.
-	drifts := []float64{10e-6, 50e-6, 500e-6}
-	reps := make([]*roundsync.Report, len(drifts))
-	errs := make([]error, len(drifts))
-	runner().Map(len(drifts), func(i int) {
-		cfg := roundsync.Config{
-			Nodes:          8,
-			MaxDrift:       drifts[i],
-			BeaconInterval: 10,
-			BeaconJitter:   1e-3,
-			RoundLength:    0.1,
-			Duration:       300,
-			Seed:           1,
-		}
-		reps[i], errs[i] = roundsync.Simulate(cfg)
-	})
-	for i, drift := range drifts {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		rep := reps[i]
-		if rep.MaxSkew > rep.SkewBound || !rep.AgreementOutsideGuard {
-			t.Pass = false
-		}
-		t.Rows = append(t.Rows, Row{Cells: []string{
-			"round sync", fmt.Sprintf("drift=%.0fppm", drift*1e6),
-			fmt.Sprintf("skew=%.3gms bound=%.3gms agree=%.4f",
-				rep.MaxSkew*1e3, rep.SkewBound*1e3, rep.AgreementFraction),
-		}})
-	}
-	t.Notes = append(t.Notes,
-		"backoff realizes the wake-up service (Property 2): stabilization is the CST component the paper abstracts away",
-		"round sync skew stays within 2(ρT+J): synchronized rounds are implementable, as §1.3 argues via RBS")
-	return t, nil
+	return items, run, render, nil
 }
 
 // All runs every experiment in order.

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"adhocconsensus/internal/detector"
 	"adhocconsensus/internal/model"
 	"adhocconsensus/internal/multihop"
+	"adhocconsensus/internal/sink"
 	"adhocconsensus/internal/stats"
 )
 
@@ -14,113 +16,147 @@ import (
 // line and grid topologies, with per-link loss. Coverage time must respect
 // the Ω(D) distance bound and grow linearly with the diameter.
 func M1MultihopFlood() (*Table, error) {
-	t := &Table{
-		Title:  "M1 — multihop extension: CD-assisted flooding (coverage rounds vs diameter, Ω(D) bound)",
-		Header: []string{"topology", "nodes", "D from source", "loss", "coverage rounds (10 seeds)", "ok"},
-		Pass:   true,
-	}
-	type topoCase struct {
-		name   string
-		build  func() (*multihop.Topology, error)
-		source multihop.NodeID
-		slots  int
-		lossP  float64
-	}
-	cases := []topoCase{
+	return WorkExperiment{Name: "M1", build: m1WorkBuild}.Run()
+}
+
+// m1Case is one flooding topology of the M1 grid.
+type m1Case struct {
+	name   string
+	build  func() (*multihop.Topology, error)
+	source multihop.NodeID
+	slots  int
+	lossP  float64
+}
+
+// m1Cases lists the topologies; the case name is the work item's parameter,
+// so the builder closures never need to serialize.
+func m1Cases() []m1Case {
+	return []m1Case{
 		{"line-10", func() (*multihop.Topology, error) { return multihop.NewLine(10, 1, 1.5) }, 0, 3, 0},
 		{"line-20", func() (*multihop.Topology, error) { return multihop.NewLine(20, 1, 1.5) }, 0, 3, 0},
 		{"line-40", func() (*multihop.Topology, error) { return multihop.NewLine(40, 1, 1.5) }, 0, 3, 0},
 		{"grid-5x5", func() (*multihop.Topology, error) { return multihop.NewGrid(5, 5, 1, 1.1) }, 12, 4, 0.3},
 		{"grid-8x8", func() (*multihop.Topology, error) { return multihop.NewGrid(8, 8, 1, 1.1) }, 0, 4, 0.3},
 	}
-	// Per-case metadata (node count, eccentricity) is computed once up
-	// front; the trials and the render loop share it read-only.
-	type caseInfo struct {
-		size int
-		ecc  int
-	}
-	infos := make([]caseInfo, len(cases))
-	for i, tc := range cases {
-		topo, err := tc.build()
-		if err != nil {
-			return nil, err
-		}
-		infos[i] = caseInfo{size: topo.Size(), ecc: topo.Eccentricity(tc.source)}
+}
+
+// m1Seeds is how many independently seeded floods each topology runs.
+const m1Seeds = 10
+
+func m1WorkBuild() ([]sink.WorkItem, WorkRunFunc, WorkRenderFunc, error) {
+	cases := m1Cases()
+	// Every (case, seed) pair is one independent flood trial; each trial
+	// builds its own topology and network, so items share no mutable state.
+	items := make([]sink.WorkItem, 0, len(cases)*m1Seeds)
+	for i := 0; i < len(cases)*m1Seeds; i++ {
+		items = append(items, sink.WorkItem{
+			Kind:   "multihop-flood",
+			Index:  i,
+			Seed:   int64(i%m1Seeds) + 1,
+			Params: encodeKV(kv{"case", cases[i/m1Seeds].name}),
+		})
 	}
 
-	// Grid: every (case, seed) pair is one independent flood trial; each
-	// trial builds its own topology and network, so the parallel map shares
-	// no mutable state.
-	const seeds = 10
-	type floodTrial struct {
-		rounds int
-		ok     bool
-		err    error
+	caseByName := func(name string) (m1Case, error) {
+		for _, tc := range cases {
+			if tc.name == name {
+				return tc, nil
+			}
+		}
+		return m1Case{}, fmt.Errorf("experiments: unknown multihop case %q", name)
 	}
-	trials := make([]floodTrial, len(cases)*seeds)
-	runner().Map(len(trials), func(i int) {
-		tc := cases[i/seeds]
-		seed := int64(i%seeds) + 1
+
+	run := func(item sink.WorkItem) (string, error) {
+		f := decodeKV(item.Params)
+		name := f.str("case")
+		if err := f.Err(); err != nil {
+			return "", err
+		}
+		tc, err := caseByName(name)
+		if err != nil {
+			return "", err
+		}
 		topo, err := tc.build()
 		if err != nil {
-			trials[i] = floodTrial{err: err}
-			return
+			return "", err
 		}
-		ecc := infos[i/seeds].ecc
+		ecc := topo.Eccentricity(tc.source)
 		flooders := make([]*multihop.Flooder, topo.Size())
 		nodes := make([]multihop.Node, topo.Size())
 		for j := range nodes {
 			flooders[j] = multihop.NewFlooder(j, tc.slots, 3)
 			nodes[j] = flooders[j]
 		}
-		net, err := multihop.NewNetwork(topo, nodes, detector.ZeroAC, tc.lossP, seed)
+		net, err := multihop.NewNetwork(topo, nodes, detector.ZeroAC, tc.lossP, item.Seed)
 		if err != nil {
-			trials[i] = floodTrial{err: err}
-			return
+			return "", err
 		}
 		flooders[tc.source].Inject(model.Value(7))
 		covered := func() bool {
-			for _, f := range flooders {
-				if !f.Informed() {
+			for _, fl := range flooders {
+				if !fl.Informed() {
 					return false
 				}
 			}
 			return true
 		}
 		r, done := net.RunUntil(covered, 5000)
-		trials[i] = floodTrial{rounds: r, ok: done && r >= ecc}
-	})
+		return encodeKV(
+			kv{"rounds", strconv.Itoa(r)},
+			kv{"ok", fmtBool(done && r >= ecc)},
+		), nil
+	}
 
-	lineRounds := make(map[string]float64)
-	for ci, tc := range cases {
-		rounds := stats.NewCollector(seeds)
-		ok := true
-		for k := 0; k < seeds; k++ {
-			trial := trials[ci*seeds+k]
-			if trial.err != nil {
-				return nil, trial.err
-			}
-			if !trial.ok {
-				ok = false
-			}
-			rounds.Set(k, float64(trial.rounds))
+	render := func(outs []string) (*Table, error) {
+		if len(outs) != len(cases)*m1Seeds {
+			return nil, fmt.Errorf("experiments: M1 render got %d outcomes, want %d", len(outs), len(cases)*m1Seeds)
 		}
-		if !ok {
+		t := &Table{
+			Title:  "M1 — multihop extension: CD-assisted flooding (coverage rounds vs diameter, Ω(D) bound)",
+			Header: []string{"topology", "nodes", "D from source", "loss", "coverage rounds (10 seeds)", "ok"},
+			Pass:   true,
+		}
+		// Per-case metadata (node count, eccentricity) is derived from the
+		// topology definitions, not the outcomes: rebuilding them here is
+		// what keeps the renderer a pure function of the outcome slice.
+		lineRounds := make(map[string]float64)
+		for ci, tc := range cases {
+			topo, err := tc.build()
+			if err != nil {
+				return nil, err
+			}
+			size, ecc := topo.Size(), topo.Eccentricity(tc.source)
+			rounds := stats.NewCollector(m1Seeds)
+			ok := true
+			for k := 0; k < m1Seeds; k++ {
+				f := decodeKV(outs[ci*m1Seeds+k])
+				r, trialOK := f.int("rounds"), f.bool("ok")
+				if err := f.Err(); err != nil {
+					return nil, err
+				}
+				if !trialOK {
+					ok = false
+				}
+				rounds.Set(k, float64(r))
+			}
+			if !ok {
+				t.Pass = false
+			}
+			summary := rounds.Summary()
+			lineRounds[tc.name] = summary.Median
+			t.Rows = append(t.Rows, Row{Cells: []string{
+				tc.name, fmt.Sprint(size), fmt.Sprint(ecc),
+				fmt.Sprintf("%.0f%%", tc.lossP*100), summary.String(), yesNo(ok),
+			}})
+		}
+		// Shape: doubling the line length must grow coverage rounds.
+		if !(lineRounds["line-10"] < lineRounds["line-20"] && lineRounds["line-20"] < lineRounds["line-40"]) {
 			t.Pass = false
 		}
-		summary := rounds.Summary()
-		lineRounds[tc.name] = summary.Median
-		t.Rows = append(t.Rows, Row{Cells: []string{
-			tc.name, fmt.Sprint(infos[ci].size), fmt.Sprint(infos[ci].ecc),
-			fmt.Sprintf("%.0f%%", tc.lossP*100), summary.String(), yesNo(ok),
-		}})
+		t.Notes = append(t.Notes,
+			"coverage always ≥ source eccentricity (the Ω(D) broadcast lower bound of [7,39,46])",
+			"zero-complete collision detection re-arms relays, so 30% per-link loss cannot stall coverage")
+		return t, nil
 	}
-	// Shape: doubling the line length must grow coverage rounds.
-	if !(lineRounds["line-10"] < lineRounds["line-20"] && lineRounds["line-20"] < lineRounds["line-40"]) {
-		t.Pass = false
-	}
-	t.Notes = append(t.Notes,
-		"coverage always ≥ source eccentricity (the Ω(D) broadcast lower bound of [7,39,46])",
-		"zero-complete collision detection re-arms relays, so 30% per-link loss cannot stall coverage")
-	return t, nil
+	return items, run, render, nil
 }

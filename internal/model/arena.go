@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"adhocconsensus/internal/multiset"
 )
@@ -56,20 +57,17 @@ type TraceArena struct {
 	recv []RecvEntry // shared receive arena; cell k owns recv[end(k-1):end(k)]
 
 	cell int // next cell to finish in the open row (writer cursor)
+
+	poolKey arenaKey // reuse-pool bucket this arena returns to on Release
 }
 
-// NewTraceArena returns an empty arena for n-process rounds. roundsHint
-// pre-sizes the columns (clamped — both per-dimension and in total cells —
-// so huge horizons do not reserve huge buffers up front); the arena grows
-// geometrically past the hint.
-func NewTraceArena(n, roundsHint int) *TraceArena {
+// hintRows clamps a rounds hint to the pre-sizing bounds: both per-dimension
+// and in total cells, so huge horizons do not reserve huge buffers up front.
+func hintRows(n, roundsHint int) int {
 	const (
 		maxHintRows  = 1 << 10
 		maxHintCells = 1 << 16
 	)
-	if n <= 0 {
-		panic("model: TraceArena needs n >= 1")
-	}
 	rows := roundsHint
 	if rows < 1 {
 		rows = 1
@@ -83,6 +81,17 @@ func NewTraceArena(n, roundsHint int) *TraceArena {
 			rows = 1
 		}
 	}
+	return rows
+}
+
+// NewTraceArena returns an empty arena for n-process rounds. roundsHint
+// pre-sizes the columns (clamped by hintRows); the arena grows geometrically
+// past the hint.
+func NewTraceArena(n, roundsHint int) *TraceArena {
+	if n <= 0 {
+		panic("model: TraceArena needs n >= 1")
+	}
+	rows := hintRows(n, roundsHint)
 	cells := rows * n
 	return &TraceArena{
 		n:       n,
@@ -96,7 +105,73 @@ func NewTraceArena(n, roundsHint int) *TraceArena {
 		recvEnd: make([]int32, 0, cells),
 		recvLen: make([]int32, 0, cells),
 		recv:    make([]RecvEntry, 0, cells),
+		poolKey: arenaKey{n: n, rows: rows},
 	}
+}
+
+// arenaKey buckets the reuse pool by shape: arenas are interchangeable only
+// within a process count, and bucketing by the clamped rounds hint keeps a
+// short run from being handed (and then growing) a small arena meant for a
+// long horizon's pool.
+type arenaKey struct{ n, rows int }
+
+// arenaPools recycles released arenas per shape bucket. Trace-heavy
+// pipelines that digest an execution and hand its arena back (validation
+// sweeps, lower-bound searches, the replay verifier) run allocation-free in
+// steady state: the arena's columns — the last per-run allocation of a
+// TraceFull run — are reused with their grown capacity instead of being
+// reallocated every run.
+var arenaPools sync.Map // arenaKey -> *sync.Pool
+
+// AcquireTraceArena returns a reset arena from the (rounds, n) reuse pool,
+// or a fresh one when the bucket is empty. Pair with Execution.Release (or
+// TraceArena.Release) once the recorded trace has been fully digested.
+func AcquireTraceArena(n, roundsHint int) *TraceArena {
+	key := arenaKey{n: n, rows: hintRows(n, roundsHint)}
+	if p, ok := arenaPools.Load(key); ok {
+		if a, _ := p.(*sync.Pool).Get().(*TraceArena); a != nil {
+			return a
+		}
+	}
+	return NewTraceArena(n, roundsHint)
+}
+
+// Release resets the arena and returns it to its shape bucket of the reuse
+// pool. The caller must be done with every view, round, and RecvPairs slice
+// derived from it: released memory is handed to the next run. Execution.
+// Release is the usual entry point.
+func (a *TraceArena) Release() {
+	a.Reset()
+	p, ok := arenaPools.Load(a.poolKey)
+	if !ok {
+		p, _ = arenaPools.LoadOrStore(a.poolKey, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(a)
+}
+
+// Reset truncates the arena for reuse, keeping every column's grown
+// capacity. The writer protocol starts over at BeginRound. hasSent is
+// cleared through its full capacity: BeginRound re-slices over the old
+// memory and RecordCell only ever sets the flag, so a stale true from the
+// previous run would otherwise fabricate a broadcast in any cell the new
+// run leaves silent. The sent column also keeps stale Messages for silent
+// cells (RecordCell writes it only when the process broadcast) — that is
+// safe ONLY because every reader gates on hasSent; cd/cm/crashed and the
+// receive offsets are written unconditionally per cell, so stale values
+// there are always overwritten.
+func (a *TraceArena) Reset() {
+	a.numbers = a.numbers[:0]
+	a.senders = a.senders[:0]
+	a.sent = a.sent[:0]
+	clear(a.hasSent[:cap(a.hasSent)])
+	a.hasSent = a.hasSent[:0]
+	a.cd = a.cd[:0]
+	a.cm = a.cm[:0]
+	a.crashed = a.crashed[:0]
+	a.recvEnd = a.recvEnd[:0]
+	a.recvLen = a.recvLen[:0]
+	a.recv = a.recv[:0]
+	a.cell = 0
 }
 
 // NumRounds returns the number of recorded rounds.
@@ -145,9 +220,10 @@ func (a *TraceArena) BeginRound(number, senders int) int {
 	a.crashed = grow(a.crashed, need)
 	a.recvEnd = grow(a.recvEnd, need)
 	a.recvLen = grow(a.recvLen, need)
-	// The new cells are zero-valued: columns only ever grow, cells are
-	// written at most once, and Go zeroes slice memory through its capacity,
-	// so hasSent=false is the correct default for any cell RecordCell skips.
+	// The new cells read as zero-valued: cells are written at most once per
+	// run, fresh column memory is zeroed by Go, and Reset clears hasSent
+	// through its capacity before a pooled arena is reused — so
+	// hasSent=false is the correct default for any cell RecordCell skips.
 	return row
 }
 

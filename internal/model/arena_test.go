@@ -265,6 +265,70 @@ func TestMaterializeRoundsEqualsArena(t *testing.T) {
 	}
 }
 
+// TestArenaResetClearsBroadcastFlags is the reuse-safety test: after a run
+// full of broadcasts, Reset must leave no stale hasSent bit behind —
+// otherwise a reused arena would fabricate broadcasts in cells the next run
+// leaves silent (every other column is overwritten unconditionally).
+func TestArenaResetClearsBroadcastFlags(t *testing.T) {
+	est := Message{Kind: KindEstimate, Value: 3}
+	a := NewTraceArena(2, 2)
+	for r := 1; r <= 3; r++ {
+		row := a.BeginRound(r, 2)
+		a.RecordCell(row, 0, &est, CDNull, CMActive, false)
+		a.RecordCell(row, 1, &est, CDNull, CMActive, false)
+		a.FinishCellRecv([]RecvEntry{{Elem: est, Count: 2}})
+		a.FinishCellRecv([]RecvEntry{{Elem: est, Count: 2}})
+	}
+	a.Reset()
+	if a.NumRounds() != 0 {
+		t.Fatalf("reset arena still reports %d rounds", a.NumRounds())
+	}
+	// Re-record over the same memory, everyone silent this time.
+	row := a.BeginRound(1, 0)
+	a.RecordCell(row, 0, nil, CDNull, CMPassive, false)
+	a.RecordCell(row, 1, nil, CDNull, CMPassive, false)
+	a.FinishCellRecv(nil)
+	a.FinishCellRecv(nil)
+	for i := 0; i < 2; i++ {
+		if _, sent := a.Sent(0, i); sent {
+			t.Fatalf("reused arena fabricated a broadcast for process index %d", i)
+		}
+		if a.RecvLen(0, i) != 0 || len(a.RecvPairs(0, i)) != 0 {
+			t.Fatalf("reused arena kept a stale receive segment for process index %d", i)
+		}
+	}
+}
+
+// TestAcquireReleaseRoundTrip exercises the (rounds, n) reuse pool end to
+// end: a released execution's arena comes back reset and shaped for the
+// same configuration, and Release is idempotent/safe on executions without
+// an arena.
+func TestAcquireReleaseRoundTrip(t *testing.T) {
+	a := AcquireTraceArena(3, 64)
+	if a.Procs() != 3 || a.NumRounds() != 0 {
+		t.Fatalf("acquired arena has n=%d rounds=%d", a.Procs(), a.NumRounds())
+	}
+	e := NewExecution([]ProcessID{1, 2, 3}, nil)
+	e.Arena = a
+	row := a.BeginRound(1, 0)
+	for i := 0; i < 3; i++ {
+		a.RecordCell(row, i, nil, CDNull, CMPassive, false)
+		a.FinishCellRecv(nil)
+	}
+	e.Release()
+	if e.Arena != nil {
+		t.Fatal("Release left the arena attached")
+	}
+	if e.HasViews() {
+		t.Fatal("released execution still reports views")
+	}
+	e.Release() // idempotent
+	b := AcquireTraceArena(3, 64)
+	if b.Procs() != 3 || b.NumRounds() != 0 {
+		t.Fatalf("re-acquired arena has n=%d rounds=%d, want a reset 3-process arena", b.Procs(), b.NumRounds())
+	}
+}
+
 func TestArenaWriterProtocolGuards(t *testing.T) {
 	a := NewTraceArena(2, 1)
 	a.BeginRound(1, 0)

@@ -188,6 +188,26 @@ func (e *Execution) MaterializeRounds() []Round {
 	return out
 }
 
+// Release hands the execution's trace arena back to the reuse pool and
+// detaches it, closing the last per-run allocation of trace-heavy pipelines
+// (the arena's columns): a caller that runs, digests, and releases in a loop
+// — the lower-bound searches, the validation sweeps, the replay verifier —
+// reuses one arena's grown columns across every run of the same shape.
+//
+// After Release the execution answers only decision-derived observations
+// (HasViews reports false); every view, Round, or RecvPairs slice previously
+// derived from the arena is invalid, because the next run writes over it.
+// Release is a no-op for executions without an arena (decisions-only runs,
+// hand-built legacy executions).
+func (e *Execution) Release() {
+	if e.Arena == nil {
+		return
+	}
+	a := e.Arena
+	e.Arena = nil
+	a.Release()
+}
+
 // NewExecution returns an empty execution over the given sorted process set.
 func NewExecution(procs []ProcessID, initial map[ProcessID]Value) *Execution {
 	sorted := make([]ProcessID, len(procs))

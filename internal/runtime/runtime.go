@@ -192,7 +192,8 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 	parallel := parallelWorkers > 1
 	var arena *model.TraceArena
 	if traceFull {
-		arena = model.NewTraceArena(len(st.procs), maxRounds)
+		// Same shape-keyed reuse pool as the engine (see Execution.Release).
+		arena = model.AcquireTraceArena(len(st.procs), maxRounds)
 		exec.Arena = arena
 		if parallel {
 			st.recvBuf = make([][]model.RecvEntry, len(st.procs))

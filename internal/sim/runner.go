@@ -52,11 +52,22 @@ func (r Result) ConsensusOK() bool {
 	return r.AgreementOK && r.ValidityOK && r.TerminationOK
 }
 
-// RunTrial executes one scenario and digests its outcome.
+// RunTrial executes one scenario and digests its outcome, discarding the
+// underlying execution.
 func RunTrial(index int, s Scenario) Result {
+	r, _ := RunTrialFull(index, s)
+	return r
+}
+
+// RunTrialFull executes one scenario and returns both the digested outcome
+// and the underlying engine result — with whatever trace the scenario's
+// mode recorded. The forensic replay path uses it to audit a fresh
+// TraceFull execution against a recorded digest produced by this same
+// digest logic; the engine result is nil when the trial errored.
+func RunTrialFull(index int, s Scenario) (Result, *engine.Result) {
 	res, err := Run(s)
 	if err != nil {
-		return Result{Index: index, Name: s.Name, Seed: s.Seed, Err: err}
+		return Result{Index: index, Name: s.Name, Seed: s.Seed, Err: err}, nil
 	}
 	return Result{
 		Index:             index,
@@ -70,7 +81,7 @@ func RunTrial(index int, s Scenario) Result {
 		AgreementOK:       engine.CheckAgreement(res) == nil,
 		ValidityOK:        engine.CheckStrongValidity(res) == nil,
 		TerminationOK:     engine.CheckTermination(res, s.Crashes) == nil,
-	}
+	}, res
 }
 
 // ResultSink consumes digested trial results as a sweep produces them.

@@ -149,6 +149,18 @@ func appendRecord(b []byte, rec Record) []byte {
 		b = append(b, `,"err":`...)
 		b = appendString(b, rec.Err)
 	}
+	if rec.Item != "" {
+		b = append(b, `,"item":`...)
+		b = appendString(b, rec.Item)
+	}
+	if rec.ItemParams != "" {
+		b = append(b, `,"itemparams":`...)
+		b = appendString(b, rec.ItemParams)
+	}
+	if rec.Out != "" {
+		b = append(b, `,"out":`...)
+		b = appendString(b, rec.Out)
+	}
 	b = append(b, `,"params":`...)
 	b = appendParams(b, rec.Params)
 	b = append(b, '}', '\n')

@@ -10,32 +10,52 @@ import (
 	"adhocconsensus/internal/sim"
 )
 
-// ReadRecords decodes a JSONL stream (one shard file) into records,
-// rejecting lines whose schema version this build does not understand.
+// ReadRecords decodes a JSONL stream (one shard file) into records. Every
+// malformed line fails loudly with its line number: unparseable JSON, a
+// schema version this build does not understand, and — because the writer
+// terminates every record with a newline — a final line missing its
+// terminator, which is how a truncated shard file (a worker killed
+// mid-flush, a partial copy) announces itself even when the surviving bytes
+// happen to parse.
 func ReadRecords(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	br := bufio.NewReaderSize(r, 1<<16)
 	var out []Record
 	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	for {
+		raw, err := br.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
 		}
-		var rec Record
-		if err := json.Unmarshal(raw, &rec); err != nil {
+		truncated := err == io.EOF && len(raw) > 0
+		if err != nil && err != io.EOF {
 			return nil, fmt.Errorf("sink: line %d: %w", line, err)
 		}
-		if rec.Schema != Schema {
-			return nil, fmt.Errorf("sink: line %d: schema %d, this build reads schema %d", line, rec.Schema, Schema)
+		if trimmed := trimLine(raw); len(trimmed) > 0 {
+			if truncated {
+				return nil, fmt.Errorf("sink: line %d: truncated final record (%d bytes, no newline terminator) — incomplete shard file", line, len(raw))
+			}
+			var rec Record
+			if uerr := json.Unmarshal(trimmed, &rec); uerr != nil {
+				return nil, fmt.Errorf("sink: line %d: %w", line, uerr)
+			}
+			if rec.Schema != Schema {
+				return nil, fmt.Errorf("sink: line %d: schema %d, this build reads schema %d", line, rec.Schema, Schema)
+			}
+			out = append(out, rec)
 		}
-		out = append(out, rec)
+		if err == io.EOF {
+			return out, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("sink: %w", err)
+}
+
+// trimLine strips the newline terminator (and a carriage return, for files
+// that crossed a Windows filesystem) from one raw line.
+func trimLine(raw []byte) []byte {
+	for len(raw) > 0 && (raw[len(raw)-1] == '\n' || raw[len(raw)-1] == '\r') {
+		raw = raw[:len(raw)-1]
 	}
-	return out, nil
+	return raw
 }
 
 // GroupByExp splits records by experiment label, preserving each group's

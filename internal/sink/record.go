@@ -18,7 +18,12 @@ import (
 // they do not understand, so shard files produced by incompatible builds
 // cannot be silently merged. Adding a new omitempty field is backward
 // compatible and does NOT require a bump.
-const Schema = 1
+//
+// v2 added universal work items: records may carry an item kind plus
+// executor parameters (Item, ItemParams) and a canonical outcome digest
+// (Out) instead of a scenario digest, which changes what the record's
+// fingerprint covers for those records.
+const Schema = 2
 
 // Params is the declarative environment of one trial — everything that
 // identifies the scenario's configuration except the per-trial seed. It is
@@ -218,7 +223,73 @@ type Record struct {
 
 	Err string `json:"err,omitempty"`
 
+	// Item and ItemParams identify the work item of a bespoke (non-scenario)
+	// pipeline trial: the executor kind that ran it and the canonical
+	// parameter string it ran with (see WorkItem). Empty for scenario-grid
+	// and configuration-sweep trials.
+	Item       string `json:"item,omitempty"`
+	ItemParams string `json:"itemparams,omitempty"`
+	// Out is the canonical outcome digest of a bespoke work item — the
+	// executor-defined key=value encoding its renderer folds back into table
+	// rows. Empty for scenario trials, whose outcome lives in the digest
+	// fields above.
+	Out string `json:"out,omitempty"`
+
 	Params Params `json:"params"`
+}
+
+// WorkItem is the universal unit of sharded execution: one trial of any
+// experiment pipeline, scenario-backed or bespoke. Scenario grids already
+// serialize through Params; WorkItem extends the same deterministic
+// partition-and-merge machinery to pipelines whose trials are not
+// sim.Scenario values (lower-bound enumeration slices, substrate trials,
+// multihop floods). An item is pure serializable data — Kind dispatches to a
+// registered executor on the running side, Params carries everything the
+// executor needs to rebuild the trial, and Index/Seed give it the same
+// global-order identity scenario trials have.
+type WorkItem struct {
+	// Kind names the executor that runs this item (e.g. "theorem6",
+	// "multihop-flood"). The merging side rejects kinds it has no executor
+	// for.
+	Kind string
+	// Index is the item's position in the pipeline's full item list; shard
+	// files report results under these global indices, exactly like scenario
+	// trials.
+	Index int
+	// Seed drives the item's randomized components (0 for deterministic
+	// constructions).
+	Seed int64
+	// Params is the canonical executor-parameter encoding (an
+	// executor-defined deterministic key=value string). Two items with equal
+	// Kind and Params describe the same trial up to seed.
+	Params string
+}
+
+// Fingerprint hashes the item's identity — kind and parameters, not the
+// per-item seed, mirroring how scenario fingerprints exclude trial seeds.
+// The merging side re-derives every item and rejects records whose
+// fingerprints do not match, so shard files produced by a build with a
+// different pipeline definition cannot be silently folded.
+func (w WorkItem) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "item|%s|%s", w.Kind, w.Params)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// RecordOfItem digests one work-item outcome into a record. The item's seed
+// travels in the record like a trial seed; kind and params make the shard
+// file self-describing and join the fingerprint.
+func RecordOfItem(exp string, item WorkItem, out string) Record {
+	return Record{
+		Schema:      Schema,
+		Exp:         exp,
+		Fingerprint: item.Fingerprint(),
+		Index:       item.Index,
+		Seed:        item.Seed,
+		Item:        item.Kind,
+		ItemParams:  item.Params,
+		Out:         out,
+	}
 }
 
 // RecordOf digests one trial result into a record.

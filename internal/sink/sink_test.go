@@ -187,6 +187,87 @@ func TestReadRecordsRejectsUnknownSchema(t *testing.T) {
 	}
 }
 
+// TestReadRecordsErrorPaths pins the reader's loud-failure contract: a
+// truncated final record, a mixed-schema file, and a duplicate global trial
+// index on merge each fail with a positioned error naming what went wrong.
+func TestReadRecordsErrorPaths(t *testing.T) {
+	line0 := appendRecord(nil, Record{Schema: Schema, Index: 0, Rounds: 3})
+	line1 := appendRecord(nil, Record{Schema: Schema, Index: 1, Rounds: 5})
+
+	// Truncated final record: a worker killed mid-flush leaves a line with
+	// no newline terminator. Even when the surviving prefix happens to be
+	// valid JSON (cut exactly after '}'), the reader must reject it.
+	for _, cut := range []int{len(line1) - 1, len(line1) / 2} {
+		stream := append(append([]byte(nil), line0...), line1[:cut]...)
+		_, err := ReadRecords(bytes.NewReader(stream))
+		if err == nil {
+			t.Fatalf("truncated stream (cut at %d) accepted", cut)
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("truncation error not positioned: %v", err)
+		}
+		if !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("truncation error does not say truncated: %v", err)
+		}
+	}
+
+	// Mixed schema versions in one file: the foreign line is named.
+	mixed := append(append([]byte(nil), line0...),
+		appendRecord(nil, Record{Schema: Schema + 1, Index: 1})...)
+	_, err := ReadRecords(bytes.NewReader(mixed))
+	if err == nil {
+		t.Fatal("mixed-schema file accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("mixed-schema error not positioned: %v", err)
+	}
+
+	// Duplicate global trial index on merge: the trial is named.
+	dup := []Record{{Schema: Schema, Index: 0}, {Schema: Schema, Index: 1}, {Schema: Schema, Index: 1}}
+	if _, err := Merge(dup); err == nil || !strings.Contains(err.Error(), "trial 1") {
+		t.Fatalf("duplicate-index merge error not positioned: %v", err)
+	}
+}
+
+// TestWorkItemRecords covers the v2 work-item surface: fingerprints depend
+// on kind and params but not seed, RecordOfItem stamps provenance, and the
+// hand-rolled encoder round-trips the new fields through encoding/json.
+func TestWorkItemRecords(t *testing.T) {
+	item := WorkItem{Kind: "theorem6", Index: 2, Seed: 7, Params: "alg=alg2 size=64"}
+	same := item
+	same.Seed = 99
+	same.Index = 5
+	if item.Fingerprint() != same.Fingerprint() {
+		t.Fatal("work-item fingerprint depends on seed or index")
+	}
+	other := item
+	other.Params = "alg=alg1 size=64"
+	if item.Fingerprint() == other.Fingerprint() {
+		t.Fatal("work-item fingerprint misses a parameter change")
+	}
+	otherKind := item
+	otherKind.Kind = "theorem7"
+	if item.Fingerprint() == otherKind.Fingerprint() {
+		t.Fatal("work-item fingerprint misses a kind change")
+	}
+
+	rec := RecordOfItem("T6", item, "k=2 decided=false")
+	if rec.Schema != Schema || rec.Exp != "T6" || rec.Index != 2 || rec.Seed != 7 ||
+		rec.Item != "theorem6" || rec.ItemParams != item.Params ||
+		rec.Out != "k=2 decided=false" || rec.Fingerprint != item.Fingerprint() {
+		t.Fatalf("RecordOfItem = %+v", rec)
+	}
+
+	line := appendRecord(nil, rec)
+	var got Record
+	if err := json.Unmarshal(bytes.TrimRight(line, "\n"), &got); err != nil {
+		t.Fatalf("work-item line does not decode: %v\n%s", err, line)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("work-item line decoded differently:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
 // TestFanoutAndMemory covers the composition sinks.
 func TestFanoutAndMemory(t *testing.T) {
 	var mem Memory
