@@ -1,8 +1,10 @@
 package adhocconsensus
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"adhocconsensus/internal/detector"
 	"adhocconsensus/internal/engine"
@@ -168,6 +170,12 @@ type Config struct {
 	Seed int64
 	// MaxRounds bounds the run (default 100000).
 	MaxRounds int
+	// TrialTimeout, when positive, bounds each trial of RunTrials and
+	// StreamTrials by wall-clock time: a watchdog stops a runaway trial at
+	// its next round boundary and the trial is reported with a
+	// deterministic deadline error instead of blocking the run forever.
+	// Single runs via Run are not bounded.
+	TrialTimeout time.Duration
 	// ResultSink, when set, receives the digested outcome of every trial of
 	// RunTrials/StreamTrials as it completes, in trial order — stream
 	// per-trial data out (JSONL, another machine, live dashboards) instead
@@ -320,16 +328,28 @@ func (c Config) toScenario() (sim.Scenario, error) {
 }
 
 // apiErr rewrites internal sim errors into this package's public prefix,
-// preserving the error contract Config.Run has always had.
+// preserving the error contract Config.Run has always had. The original
+// error stays on the chain, so errors.Is/As classification (context
+// cancellation, deadline quarantines, sink failures) survives the rewrite.
 func apiErr(err error) error {
 	if err == nil {
 		return nil
 	}
 	if msg, ok := strings.CutPrefix(err.Error(), "sim: "); ok {
-		return fmt.Errorf("adhocconsensus: %s", msg)
+		return &wrappedErr{msg: "adhocconsensus: " + msg, err: err}
 	}
 	return err
 }
+
+// wrappedErr re-prefixes a message without truncating the error chain.
+type wrappedErr struct {
+	msg string
+	err error
+}
+
+func (e *wrappedErr) Error() string { return e.msg }
+
+func (e *wrappedErr) Unwrap() error { return e.err }
 
 // TrialResult is the digested outcome of one trial of a multi-trial run:
 // everything RunTrials aggregates, per trial, plus the provenance needed to
@@ -365,6 +385,13 @@ type TrialResult struct {
 	AgreementOK   bool
 	ValidityOK    bool
 	TerminationOK bool
+
+	// Err is the trial's quarantine record: non-empty when the trial
+	// panicked (the message, without the stack), overran
+	// Config.TrialTimeout, or failed to execute. All digest fields above
+	// are zero then. The run itself continues past errored trials; the
+	// first per-trial error is also returned after the sweep completes.
+	Err string
 }
 
 // ResultSink consumes per-trial results as a multi-trial run produces
@@ -404,12 +431,21 @@ type TrialStats struct {
 // use Run for a single fully traced execution. When Config.ResultSink is
 // set, every per-trial result additionally streams into it, in order.
 func (c Config) RunTrials(trials, workers int) (*TrialStats, error) {
+	return c.RunTrialsContext(context.Background(), trials, workers)
+}
+
+// RunTrialsContext is RunTrials with cooperative cancellation: once ctx is
+// done, no new trials start, in-flight trials finish, and the error wraps
+// ctx's error (classify with errors.Is). Trials already completed are not
+// aggregated — a canceled aggregate would be statistics over an arbitrary
+// prefix.
+func (c Config) RunTrialsContext(ctx context.Context, trials, workers int) (*TrialStats, error) {
 	if trials < 1 {
 		trials = 1
 	}
 	collected := make([]TrialResult, 0, trials)
 	// StreamTrials tees Config.ResultSink in before the explicit sink.
-	if err := c.StreamTrials(trials, workers, 0, 1, collectSink{&collected}); err != nil {
+	if err := c.StreamTrialsContext(ctx, trials, workers, 0, 1, collectSink{&collected}); err != nil {
 		return nil, err
 	}
 	return TrialStatsOf(collected), nil
@@ -435,7 +471,33 @@ func (s collectSink) Consume(r TrialResult) error {
 // the statistics match RunTrials exactly. When Config.ResultSink is also
 // set, each result is delivered to it first, then to out. cmd/sweeprun
 // drives this for multi-machine sweeps.
+//
+// A trial that panics or overruns Config.TrialTimeout does not stop the
+// stream: it is delivered as a quarantine result (TrialResult.Err set,
+// digest fields zero) in its ordered slot, and the first such per-trial
+// error is returned after every trial has run.
 func (c Config) StreamTrials(trials, workers, shard, shards int, out ResultSink) error {
+	return c.StreamTrialsContext(context.Background(), trials, workers, shard, shards, out)
+}
+
+// StreamTrialsContext is StreamTrials with cooperative cancellation: once
+// ctx is done the sweep stops claiming trials, drains the ones in flight,
+// delivers the contiguous completed prefix to the sink, and returns an
+// error wrapping ctx's error — so the delivered stream remains a valid
+// resumable prefix of the full run.
+func (c Config) StreamTrialsContext(ctx context.Context, trials, workers, shard, shards int, out ResultSink) error {
+	return c.StreamTrialsFrom(ctx, trials, workers, shard, shards, 0, out)
+}
+
+// StreamTrialsFrom is StreamTrialsContext resuming at the shard's skip-th
+// trial: the first skip trials of the shard — ascending global indices
+// congruent to shard mod shards — are assumed durable (typically salvaged
+// from a partially written shard file) and are not re-executed. Trial seeds
+// depend only on the global index, so the results streamed here, appended
+// after the durable prefix, reproduce the uninterrupted shard stream byte
+// for byte. skip at or past the shard's length streams nothing and returns
+// nil.
+func (c Config) StreamTrialsFrom(ctx context.Context, trials, workers, shard, shards, skip int, out ResultSink) error {
 	if out == nil {
 		return fmt.Errorf("adhocconsensus: StreamTrials needs a sink")
 	}
@@ -447,6 +509,9 @@ func (c Config) StreamTrials(trials, workers, shard, shards int, out ResultSink)
 	}
 	if shards < 1 || shard < 0 || shard >= shards {
 		return fmt.Errorf("adhocconsensus: shard %d/%d out of range", shard, shards)
+	}
+	if skip < 0 {
+		skip = 0
 	}
 	c.TraceDecisionsOnly = true
 	base, err := c.toScenario()
@@ -461,13 +526,18 @@ func (c Config) StreamTrials(trials, workers, shard, shards int, out ResultSink)
 	baseParams := sink.ParamsOf(base)
 	baseParams.SweepSeed = c.Seed // part of a sweep's identity, unlike trial seeds
 	fingerprint := baseParams.Fingerprint()
-	shardTrials := make([]sim.Trial, 0, (trials-shard+shards-1)/shards)
-	for t := shard; t < trials; t += shards {
+	start := shard + skip*shards
+	var shardTrials []sim.Trial
+	if start < trials {
+		shardTrials = make([]sim.Trial, 0, (trials-start+shards-1)/shards)
+	}
+	for t := start; t < trials; t += shards {
 		s := base
 		s.Seed = sim.TrialSeed(c.Seed, 0, t)
 		shardTrials = append(shardTrials, sim.Trial{Index: t, Scenario: s})
 	}
-	err = sim.Runner{Workers: workers}.SweepTrialsTo(shardTrials, trialAdapter{sink: out, fingerprint: fingerprint})
+	runner := sim.Runner{Workers: workers, TrialTimeout: c.TrialTimeout}
+	err = runner.SweepTrialsToCtx(ctx, shardTrials, trialAdapter{sink: out, fingerprint: fingerprint})
 	return apiErr(err)
 }
 
@@ -492,9 +562,15 @@ type trialAdapter struct {
 
 func (a trialAdapter) Consume(r sim.Result) error {
 	if r.Err != nil {
-		// The runner surfaces the error after the sweep; the sink only sees
-		// well-formed results.
-		return nil
+		// Quarantine record: identity plus the error, zero digest. The
+		// runner additionally surfaces the first per-trial error after the
+		// sweep.
+		return a.sink.Consume(TrialResult{
+			Trial:       r.Index,
+			Seed:        r.Seed,
+			Fingerprint: a.fingerprint,
+			Err:         r.Err.Error(),
+		})
 	}
 	return a.sink.Consume(TrialResult{
 		Trial:             r.Index,

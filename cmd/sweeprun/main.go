@@ -11,6 +11,20 @@
 // "run -shard 0/k .. (k-1)/k" produce files whose union is byte-identical
 // to a single machine's run.
 //
+// A run is crash-safe end to end. A trial that panics or exceeds
+// -trialtimeout does not stop the shard: it streams as a quarantine record
+// (err set, digest fields zero) in its ordered slot, and the sweep
+// continues. Interrupting a run (SIGINT/SIGTERM) is clean: workers stop
+// claiming trials, in-flight trials drain, the JSONL tail is flushed, and
+// the process exits with code 5 after printing the command that resumes the
+// shard; a second signal kills the process immediately. "sweeprun run
+// -resume -o FILE ..." reloads a partial shard file — including one a crash
+// or SIGKILL left with a torn final line — salvages its valid record
+// prefix, verifies that prefix against this build's derivation (experiment
+// membership, global indices, seed schedule, fingerprints), truncates the
+// torn tail, and appends only the trials not yet durable, so the finished
+// file is byte-identical to an uninterrupted run's.
+//
 // "sweeprun merge" reads any set of shard files, verifies they form a
 // complete, non-overlapping, fingerprint-consistent cover, and renders
 // exactly what the in-process single-machine path produces (golden-tested
@@ -30,6 +44,15 @@
 // model's legality constraints, and (with -bundle) writes per-trial trace
 // bundles. Any failed audit exits non-zero.
 //
+// Exit codes are uniform across subcommands:
+//
+//	0  success
+//	1  usage or configuration error
+//	2  the sweep completed but quarantined per-trial errors (panic, deadline)
+//	3  sink/IO failure — the stream aborted, leaving a valid resumable prefix
+//	4  merge/verify/resume rejected its input files
+//	5  clean interrupt — in-flight trials drained, tail flushed, resumable
+//
 // Examples:
 //
 //	sweeprun run -exp T3 -shard 0/2 -o shard0.jsonl
@@ -43,16 +66,25 @@
 //	sweeprun run -trials 10000 -shard 0/4 -alg bitbybit -values 3,7,7,1 \
 //	    -loss prob -p 0.4 -seed 7 -o t0.jsonl   # ... one worker per shard
 //	sweeprun merge t0.jsonl t1.jsonl t2.jsonl t3.jsonl
+//
+//	sweeprun run -resume -exp T3 -shard 0/2 -o shard0.jsonl   # after a crash
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"adhocconsensus"
 	"adhocconsensus/internal/cli"
@@ -62,20 +94,92 @@ import (
 	"adhocconsensus/internal/sink"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "sweeprun:", err)
-		os.Exit(1)
-	}
+// Exit codes, documented in the command comment. Typed errors from the
+// sweep layer classify themselves (see exitCodeOf); subcommands pin a code
+// explicitly with withExit where the chain alone is ambiguous.
+const (
+	exitOK        = 0
+	exitUsage     = 1
+	exitTrial     = 2
+	exitSink      = 3
+	exitReject    = 4
+	exitInterrupt = 5
+)
+
+// exitErr pins an exit code onto an error chain.
+type exitErr struct {
+	code int
+	err  error
 }
 
-func run(args []string, out io.Writer) error {
+func (e *exitErr) Error() string { return e.err.Error() }
+
+func (e *exitErr) Unwrap() error { return e.err }
+
+// withExit wraps err with an explicit exit code (nil stays nil).
+func withExit(code int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &exitErr{code: code, err: err}
+}
+
+// exitCodeOf classifies an error chain into the documented exit codes: an
+// explicit pin wins, then the interrupt, sink, and per-trial markers from
+// the sweep layer; anything else is a usage/configuration error.
+func exitCodeOf(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var ee *exitErr
+	if errors.As(err, &ee) {
+		return ee.code
+	}
+	if isInterrupt(err) {
+		return exitInterrupt
+	}
+	var se *sim.SinkError
+	if errors.As(err, &se) {
+		return exitSink
+	}
+	var te *sim.TrialError
+	if errors.As(err, &te) {
+		return exitTrial
+	}
+	return exitUsage
+}
+
+// isInterrupt reports whether the error chain records a cooperative
+// cancellation (the sweep drained and the stream holds a valid prefix).
+func isInterrupt(err error) bool {
+	var ce *sim.CanceledError
+	return errors.As(err, &ce) || errors.Is(err, context.Canceled)
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		// First signal: cancel ctx, drain in-flight trials, flush, exit 5.
+		// Once that is in motion, unregister — a second signal takes the
+		// default disposition and kills the process immediately.
+		<-ctx.Done()
+		stop()
+	}()
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweeprun:", err)
+	}
+	os.Exit(exitCodeOf(err))
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: sweeprun run|merge|replay|verify [flags]")
 	}
 	switch args[0] {
 	case "run":
-		return runShard(args[1:], out)
+		return runShard(ctx, args[1:], out)
 	case "merge":
 		return merge(args[1:], out)
 	case "replay":
@@ -106,8 +210,29 @@ func parseShard(s string) (shard, shards int, err error) {
 	return shard, shards, nil
 }
 
-// runShard is the "run" subcommand: execute one shard, stream JSONL.
-func runShard(args []string, out io.Writer) error {
+// segment is one experiment's (or the configuration sweep's) contribution
+// to a shard file: the planned record sequence of THIS invocation's shard,
+// with enough derivation to verify a salvaged prefix record-by-record and
+// to stream the remainder after a skip. Segments are laid down in request
+// order, so the file's full record sequence is the segments' concatenation
+// — which is what makes a byte prefix of the file a prefix of the plan.
+type segment struct {
+	// name labels errors ("T3", "trials").
+	name string
+	// length is the number of records the segment contributes to this shard.
+	length int
+	// verify checks that rec is exactly the segment's pos-th planned record
+	// (identity only — outcomes are whatever the recorded run produced).
+	verify func(pos int, rec sink.Record) error
+	// stream executes the segment's trials from skip on, appending records
+	// to w. It must flush its JSONL tail before returning, even when
+	// canceled, so an interrupted file still ends on a record boundary.
+	stream func(ctx context.Context, skip int, w io.Writer) error
+}
+
+// runShard is the "run" subcommand: execute one shard, stream JSONL,
+// optionally resuming a partial shard file in place.
+func runShard(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweeprun run", flag.ContinueOnError)
 	cf := cli.RegisterConfig(fs)
 	var (
@@ -116,6 +241,8 @@ func runShard(args []string, out io.Writer) error {
 		shardStr = fs.String("shard", "0/1", "shard to execute, as i/k")
 		workers  = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		output   = fs.String("o", "", "output JSONL file (default stdout)")
+		resume   = fs.Bool("resume", false, "salvage the -o file's valid record prefix, verify it against this invocation, and append only the remaining trials")
+		timeout  = fs.Duration("trialtimeout", 0, "per-trial wall-clock budget; an overrunning trial is quarantined with a deadline error (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,10 +257,69 @@ func runShard(args []string, out io.Writer) error {
 	if (*expList == "") == (*trials == 0) {
 		return fmt.Errorf("pick exactly one of -exp or -trials")
 	}
+	if *resume && *output == "" {
+		return fmt.Errorf("-resume needs -o (a shard file to salvage and append to)")
+	}
+
+	// Build the invocation's plan: one segment per experiment, in request
+	// order, or the single configuration-sweep segment.
+	var segs []segment
+	if *trials > 0 {
+		seg, err := trialsSegment(cf, *trials, shard, shards, *workers, *timeout)
+		if err != nil {
+			return err
+		}
+		segs = append(segs, seg)
+	} else {
+		add := func(name string) error {
+			if e, ok := experiments.GridExperimentByName(name); ok {
+				seg, err := gridSegment(e, shard, shards, *workers, *timeout)
+				if err != nil {
+					return err
+				}
+				segs = append(segs, seg)
+				return nil
+			}
+			if e, ok := experiments.WorkExperimentByName(name); ok {
+				seg, err := workSegment(e, shard, shards, *workers, *timeout)
+				if err != nil {
+					return err
+				}
+				segs = append(segs, seg)
+				return nil
+			}
+			return fmt.Errorf("no experiment %q (grids: T1..T5, T8, A1, A2; work pipelines: T6, T7, T9, A3, M1)", name)
+		}
+		if *expList == "all" {
+			for _, e := range experiments.GridExperiments() {
+				if err := add(e.Name); err != nil {
+					return err
+				}
+			}
+			for _, e := range experiments.WorkExperiments() {
+				if err := add(e.Name); err != nil {
+					return err
+				}
+			}
+		} else {
+			for _, name := range strings.Split(*expList, ",") {
+				if err := add(strings.TrimSpace(name)); err != nil {
+					return err
+				}
+			}
+		}
+	}
 
 	w := out
+	skips := make([]int, len(segs))
 	if *output != "" {
-		f, err := os.Create(*output)
+		var f *os.File
+		if *resume {
+			f, err = resumeOutput(*output, segs, skips, out)
+		} else {
+			f, err = os.Create(*output)
+			err = withExit(exitSink, err)
+		}
 		if err != nil {
 			return err
 		}
@@ -141,71 +327,107 @@ func runShard(args []string, out io.Writer) error {
 		w = f
 	}
 
-	if *trials > 0 {
-		cfg, err := cf.Config()
-		if err != nil {
-			return err
+	// Per-trial errors (quarantined panics, deadline overruns) do not stop
+	// the run: later segments still execute and the first error is reported
+	// at the end with exit code 2. Everything else — sink failures,
+	// interrupts — aborts, leaving the flushed valid prefix on disk.
+	var firstTrialErr error
+	for i, s := range segs {
+		err := s.stream(ctx, skips[i], w)
+		if err == nil {
+			continue
 		}
-		return streamTrialsShard(cfg, *trials, *workers, shard, shards, w)
-	}
-
-	// An experiment shard runner: a scenario grid or a work-item pipeline.
-	type expRunner struct {
-		name string
-		run  func() error
-	}
-	var exps []expRunner
-	add := func(name string) error {
-		if e, ok := experiments.GridExperimentByName(name); ok {
-			exps = append(exps, expRunner{name, func() error {
-				return streamExperimentShard(e, shard, shards, *workers, w)
-			}})
-			return nil
-		}
-		if e, ok := experiments.WorkExperimentByName(name); ok {
-			exps = append(exps, expRunner{name, func() error {
-				return streamWorkShard(e, shard, shards, *workers, w)
-			}})
-			return nil
-		}
-		return fmt.Errorf("no experiment %q (grids: T1..T5, T8, A1, A2; work pipelines: T6, T7, T9, A3, M1)", name)
-	}
-	if *expList == "all" {
-		for _, e := range experiments.GridExperiments() {
-			if err := add(e.Name); err != nil {
-				return err
+		err = fmt.Errorf("%s: %w", s.name, err)
+		var te *sim.TrialError
+		if errors.As(err, &te) {
+			if firstTrialErr == nil {
+				firstTrialErr = err
 			}
+			continue
 		}
-		for _, e := range experiments.WorkExperiments() {
-			if err := add(e.Name); err != nil {
-				return err
-			}
+		if isInterrupt(err) && *output != "" {
+			fmt.Fprintf(out, "interrupted: %s holds a valid prefix — resume with: sweeprun run %s\n",
+				*output, resumeCommand(args, *resume))
 		}
-	} else {
-		for _, name := range strings.Split(*expList, ",") {
-			if err := add(strings.TrimSpace(name)); err != nil {
-				return err
-			}
-		}
+		return err
 	}
-	for _, e := range exps {
-		if err := e.run(); err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
-		}
-	}
-	return nil
+	return firstTrialErr
 }
 
-// streamExperimentShard runs one experiment grid's shard into a JSONL
-// stream.
-func streamExperimentShard(e experiments.GridExperiment, shard, shards, workers int, w io.Writer) error {
+// resumeCommand renders the argument list that resumes this invocation.
+func resumeCommand(args []string, alreadyResume bool) string {
+	if alreadyResume {
+		return strings.Join(args, " ")
+	}
+	return "-resume " + strings.Join(args, " ")
+}
+
+// resumeOutput reopens a partial shard file, salvages its valid record
+// prefix, verifies the prefix against the invocation's planned record
+// sequence, truncates the torn tail, and fills skips with how many of each
+// segment's trials are already durable. The returned file is positioned at
+// the truncation point, ready for appending. A missing file is an empty
+// prefix: resuming a run that never started is a fresh run.
+func resumeOutput(path string, segs []segment, skips []int, out io.Writer) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, withExit(exitSink, err)
+	}
+	recs, valid, torn := sink.ReadRecordsPartial(f)
+	if torn != nil {
+		fmt.Fprintf(out, "resume %s: discarding torn tail at byte %d (line %d): %v\n",
+			path, torn.Offset, torn.Line, torn.Err)
+	}
+	// The salvaged records must be exactly the plan's prefix: delivery is
+	// strictly ordered, so a valid byte prefix that does not align with the
+	// plan means the file was produced by a different invocation (other
+	// -exp/-trials set, shard layout, seed, or build) and appending to it
+	// would corrupt the shard.
+	pos := 0
+	for si := range segs {
+		m := 0
+		for m < segs[si].length && pos < len(recs) {
+			if err := segs[si].verify(m, recs[pos]); err != nil {
+				f.Close()
+				return nil, withExit(exitReject,
+					fmt.Errorf("resume %s: record %d: %v", path, pos+1, err))
+			}
+			m++
+			pos++
+		}
+		skips[si] = m
+	}
+	if pos < len(recs) {
+		f.Close()
+		return nil, withExit(exitReject,
+			fmt.Errorf("resume %s: file carries %d record(s) beyond what this invocation produces — different -exp/-trials or -shard?", path, len(recs)-pos))
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, withExit(exitSink, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, withExit(exitSink, err)
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.length
+	}
+	fmt.Fprintf(out, "resume %s: %d of %d trial(s) durable, %d to run\n",
+		path, len(recs), total, total-len(recs))
+	return f, nil
+}
+
+// gridSegment plans one scenario-grid experiment's shard.
+func gridSegment(e experiments.GridExperiment, shard, shards, workers int, timeout time.Duration) (segment, error) {
 	scenarios, _, err := e.Build()
 	if err != nil {
-		return err
+		return segment{}, err
 	}
 	shardTrials, err := sim.ShardScenarios(scenarios, shard, shards)
 	if err != nil {
-		return err
+		return segment{}, err
 	}
 	// Precompute params once per grid point: the sink's lookup runs per
 	// trial on the streaming path.
@@ -213,42 +435,192 @@ func streamExperimentShard(e experiments.GridExperiment, shard, shards, workers 
 	for i, s := range scenarios {
 		params[i] = sink.ParamsOf(s)
 	}
-	j := sink.NewJSONL(w)
-	j.Exp = e.Name
-	j.Params = func(i int) sink.Params { return params[i] }
-	if err := (sim.Runner{Workers: workers}).SweepTrialsTo(shardTrials, j); err != nil {
-		return err
-	}
-	return j.Flush()
+	return segment{
+		name:   e.Name,
+		length: len(shardTrials),
+		verify: func(pos int, rec sink.Record) error {
+			want := shardTrials[pos]
+			switch {
+			case rec.Exp != e.Name:
+				return fmt.Errorf("record belongs to %q, expected %s", rec.Exp, e.Name)
+			case rec.Index != want.Index:
+				return fmt.Errorf("trial %d, expected global index %d", rec.Index, want.Index)
+			case rec.Seed != want.Scenario.Seed:
+				return fmt.Errorf("trial %d seed %d does not match this build's grid (%d)", rec.Index, rec.Seed, want.Scenario.Seed)
+			}
+			if fp := params[want.Index].Fingerprint(); rec.Fingerprint != fp {
+				return fmt.Errorf("trial %d fingerprint %s does not match this build's grid (%s)", rec.Index, rec.Fingerprint, fp)
+			}
+			return nil
+		},
+		stream: func(ctx context.Context, skip int, w io.Writer) error {
+			j := sink.NewJSONL(w)
+			j.Exp = e.Name
+			j.Params = func(i int) sink.Params { return params[i] }
+			// Retry absorbs transiently failing writes (sink.MarkRetryable)
+			// under bounded exponential backoff before aborting the sweep.
+			err := (sim.Runner{Workers: workers, TrialTimeout: timeout}).
+				SweepTrialsToCtx(ctx, shardTrials[skip:], &sink.Retry{Base: j})
+			if ferr := j.Flush(); err == nil && ferr != nil {
+				err = withExit(exitSink, ferr)
+			}
+			return err
+		},
+	}, nil
 }
 
-// streamWorkShard runs one work-item pipeline's shard into a JSONL stream:
-// the bespoke analog of streamExperimentShard. Items execute on the worker
-// pool; records stream in item order.
-func streamWorkShard(e experiments.WorkExperiment, shard, shards, workers int, w io.Writer) error {
+// workSegment plans one work-item pipeline's shard: the bespoke analog of
+// gridSegment. Items execute on the worker pool through the crash guard
+// (and the deadline watchdog when -trialtimeout is set); records stream in
+// item order, quarantined items included.
+func workSegment(e experiments.WorkExperiment, shard, shards, workers int, timeout time.Duration) (segment, error) {
 	items, runItem, _, err := e.Build()
 	if err != nil {
-		return err
+		return segment{}, err
 	}
 	shardItems, err := experiments.ShardItems(items, shard, shards)
 	if err != nil {
-		return err
+		return segment{}, err
 	}
-	outs := make([]string, len(shardItems))
-	errs := make([]error, len(shardItems))
-	(sim.Runner{Workers: workers}).Map(len(shardItems), func(i int) {
-		outs[i], errs[i] = runItem(shardItems[i])
-	})
+	run := experiments.GuardRun(runItem)
+	if timeout > 0 {
+		run = experiments.RunWithDeadline(runItem, timeout)
+	}
+	return segment{
+		name:   e.Name,
+		length: len(shardItems),
+		verify: func(pos int, rec sink.Record) error {
+			want := shardItems[pos]
+			switch {
+			case rec.Exp != e.Name:
+				return fmt.Errorf("record belongs to %q, expected %s", rec.Exp, e.Name)
+			case rec.Index != want.Index:
+				return fmt.Errorf("item %d, expected global index %d", rec.Index, want.Index)
+			case rec.Item != want.Kind || rec.ItemParams != want.Params ||
+				rec.Fingerprint != want.Fingerprint() || rec.Seed != want.Seed:
+				return fmt.Errorf("item %d does not match this build's pipeline (recorded %s(%s) fp=%s seed=%d)",
+					rec.Index, rec.Item, rec.ItemParams, rec.Fingerprint, rec.Seed)
+			}
+			return nil
+		},
+		stream: func(ctx context.Context, skip int, w io.Writer) error {
+			return streamWorkItems(ctx, e.Name, shardItems[skip:], run, workers, w)
+		},
+	}, nil
+}
+
+// streamWorkItems executes work items on the pool and streams their records
+// in item order through a reorder window, mirroring the ordered-delivery
+// contract of sim's sweep path: an item that fails (a recovered executor
+// panic, a deadline overrun) streams as a quarantine record in its slot and
+// does not stop the pipeline; the first such error is returned after all
+// items ran (a *sim.TrialError). Cancellation drains in-flight items,
+// flushes the contiguous completed prefix, and returns a *sim.CanceledError.
+func streamWorkItems(ctx context.Context, exp string, items []sink.WorkItem, run experiments.WorkRunFunc, workers int, w io.Writer) error {
 	j := sink.NewJSONL(w)
-	for i, item := range shardItems {
-		if errs[i] != nil {
-			return fmt.Errorf("item %d: %w", item.Index, errs[i])
+	var (
+		aborted  atomic.Bool
+		mu       sync.Mutex
+		next     int
+		outs     = make([]string, len(items))
+		errs     = make([]error, len(items))
+		done     = make([]bool, len(items))
+		firstErr error
+		sinkErr  error
+	)
+	ctxErr := (sim.Runner{Workers: workers}).MapCtx(ctx, len(items), func(i int) {
+		if aborted.Load() {
+			return
 		}
-		if err := j.WriteRecord(sink.RecordOfItem(e.Name, item, outs[i])); err != nil {
-			return err
+		out, err := run(items[i])
+		mu.Lock()
+		defer mu.Unlock()
+		outs[i], errs[i], done[i] = out, err, true
+		for next < len(items) && done[next] {
+			item := items[next]
+			rec := sink.RecordOfItem(exp, item, outs[next])
+			if err := errs[next]; err != nil {
+				rec.Out, rec.Err = "", err.Error()
+				if firstErr == nil {
+					firstErr = &sim.TrialError{Index: item.Index, Name: item.Kind, Err: err}
+				}
+			}
+			outs[next], errs[next] = "", nil // release once delivered
+			if sinkErr == nil {
+				if err := j.WriteRecord(rec); err != nil {
+					sinkErr = &sim.SinkError{Err: err}
+					aborted.Store(true)
+				}
+			}
+			next++
 		}
+	})
+	ferr := j.Flush()
+	switch {
+	case sinkErr != nil:
+		return sinkErr
+	case ctxErr != nil:
+		return &sim.CanceledError{Done: next, Total: len(items), Err: ctxErr}
+	case ferr != nil:
+		return withExit(exitSink, ferr)
 	}
-	return j.Flush()
+	return firstErr
+}
+
+// trialsSegment plans one configuration-sweep shard through the public
+// streaming API.
+func trialsSegment(cf *cli.ConfigFlags, trials, shard, shards, workers int, timeout time.Duration) (segment, error) {
+	cfg, err := cf.Config()
+	if err != nil {
+		return segment{}, err
+	}
+	cfg.TrialTimeout = timeout
+	params := cli.RecordParams(cfg)
+	length := 0
+	if trials > shard {
+		length = (trials - shard + shards - 1) / shards
+	}
+	// The sweep fingerprint is derived inside the library per trial; resume
+	// captures the salvaged records' fingerprint and the streaming sink
+	// checks the first fresh result against it before anything is appended,
+	// so a resume under different configuration flags aborts with the file
+	// untouched (the seed schedule and recorded params are checked up front).
+	var salvagedFP string
+	return segment{
+		name:   "trials",
+		length: length,
+		verify: func(pos int, rec sink.Record) error {
+			want := shard + pos*shards
+			switch {
+			case rec.Exp != "trials":
+				return fmt.Errorf("record belongs to %q, expected trials", rec.Exp)
+			case rec.Index != want:
+				return fmt.Errorf("trial %d, expected global index %d", rec.Index, want)
+			case rec.Seed != sim.TrialSeed(cfg.Seed, 0, want):
+				return fmt.Errorf("trial %d seed %d does not match this configuration's seed schedule (%d)",
+					want, rec.Seed, sim.TrialSeed(cfg.Seed, 0, want))
+			case rec.Params != params:
+				return fmt.Errorf("trial %d was recorded under different configuration parameters", want)
+			}
+			switch {
+			case salvagedFP == "":
+				salvagedFP = rec.Fingerprint
+			case rec.Fingerprint != salvagedFP:
+				return fmt.Errorf("trial %d fingerprint %s differs from the file's %s — mixed configurations", want, rec.Fingerprint, salvagedFP)
+			}
+			return nil
+		},
+		stream: func(ctx context.Context, skip int, w io.Writer) error {
+			j := sink.NewJSONL(w)
+			j.Exp = "trials"
+			s := &jsonlTrials{j: j, params: params, wantFP: salvagedFP}
+			err := cfg.StreamTrialsFrom(ctx, trials, workers, shard, shards, skip, s)
+			if ferr := j.Flush(); err == nil && ferr != nil {
+				err = withExit(exitSink, ferr)
+			}
+			return err
+		},
+	}, nil
 }
 
 // jsonlTrials adapts the public per-trial stream to JSONL records, reusing
@@ -257,10 +629,20 @@ func streamWorkShard(e experiments.WorkExperiment, shard, shards, workers int, w
 type jsonlTrials struct {
 	j      *sink.JSONL
 	params sink.Params
+	// wantFP, when set, is the fingerprint of the salvaged prefix being
+	// resumed: every fresh result must match it, or the configurations
+	// differ and appending would corrupt the shard. The mismatch aborts
+	// through the sink-error path before any byte is written.
+	wantFP string
 	vals   []uint64
 }
 
 func (s *jsonlTrials) Consume(r adhocconsensus.TrialResult) error {
+	if s.wantFP != "" && r.Fingerprint != s.wantFP {
+		return withExit(exitReject, fmt.Errorf(
+			"resumed sweep fingerprint %s does not match the file's %s — configuration flags differ from the recorded run",
+			r.Fingerprint, s.wantFP))
+	}
 	rec := sink.Record{
 		Fingerprint:       r.Fingerprint,
 		Index:             r.Trial,
@@ -272,6 +654,7 @@ func (s *jsonlTrials) Consume(r adhocconsensus.TrialResult) error {
 		AgreementOK:       r.AgreementOK,
 		ValidityOK:        r.ValidityOK,
 		TerminationOK:     r.TerminationOK,
+		Err:               r.Err,
 		Params:            s.params,
 	}
 	s.vals = s.vals[:0]
@@ -280,18 +663,6 @@ func (s *jsonlTrials) Consume(r adhocconsensus.TrialResult) error {
 	}
 	rec.DecidedValues = s.vals
 	return s.j.WriteRecord(rec)
-}
-
-// streamTrialsShard runs one configuration-sweep shard into JSONL via the
-// public streaming API.
-func streamTrialsShard(cfg adhocconsensus.Config, trials, workers, shard, shards int, w io.Writer) error {
-	j := sink.NewJSONL(w)
-	j.Exp = "trials"
-	if err := cfg.StreamTrials(trials, workers, shard, shards,
-		&jsonlTrials{j: j, params: cli.RecordParams(cfg)}); err != nil {
-		return err
-	}
-	return j.Flush()
 }
 
 // shardFile is one input file's read outcome, kept for per-shard verdicts.
@@ -475,7 +846,8 @@ func replayCmd(args []string, out io.Writer) error {
 	return mergeRender(fs.Args(), out, *quiet)
 }
 
-// mergeRender is the shared body of merge and replay.
+// mergeRender is the shared body of merge and replay. Unreadable inputs
+// exit 3; a rejected or failing shard set exits 4.
 func mergeRender(paths []string, out io.Writer, quiet bool) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("need at least one shard file")
@@ -483,11 +855,11 @@ func mergeRender(paths []string, out io.Writer, quiet bool) error {
 	files, all, failedReads := readShardFiles(paths)
 	if failedReads > 0 {
 		printShardVerdicts(out, files, "", nil)
-		return fmt.Errorf("%d of %d shard file(s) unreadable", failedReads, len(files))
+		return withExit(exitSink, fmt.Errorf("%d of %d shard file(s) unreadable", failedReads, len(files)))
 	}
 	run := replay.Group(all)
 	if len(run.Order) == 0 {
-		return fmt.Errorf("no records in %d file(s)", len(files))
+		return withExit(exitReject, fmt.Errorf("no records in %d file(s)", len(files)))
 	}
 	failed := 0
 	for _, name := range run.Order {
@@ -496,7 +868,7 @@ func mergeRender(paths []string, out io.Writer, quiet bool) error {
 			if err := mergeTrials(group, out, quiet); err != nil {
 				fmt.Fprintln(out, "trials: shard set rejected")
 				printShardVerdicts(out, files, "trials", trialsShardVerdict(files))
-				return fmt.Errorf("trials: %w", err)
+				return withExit(exitReject, fmt.Errorf("trials: %w", err))
 			}
 			continue
 		}
@@ -506,7 +878,7 @@ func mergeRender(paths []string, out io.Writer, quiet bool) error {
 			printShardVerdicts(out, files, name, func(sf shardFile) error {
 				return experimentShardVerdict(name, sf)
 			})
-			return fmt.Errorf("%s: %w", name, err)
+			return withExit(exitReject, fmt.Errorf("%s: %w", name, err))
 		}
 		if quiet {
 			verdict := "PASS"
@@ -522,7 +894,7 @@ func mergeRender(paths []string, out io.Writer, quiet bool) error {
 		}
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d experiment(s) failed their internal checks", failed)
+		return withExit(exitReject, fmt.Errorf("%d experiment(s) failed their internal checks", failed))
 	}
 	return nil
 }
@@ -612,7 +984,8 @@ func parseSelector(spec string) (replay.Selector, error) {
 }
 
 // verifyCmd is the "verify" subcommand: forensic re-execution of flagged
-// recorded trials at full trace fidelity.
+// recorded trials at full trace fidelity. Failed audits exit 4; unreadable
+// inputs exit 3.
 func verifyCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweeprun verify", flag.ContinueOnError)
 	cf := cli.RegisterConfig(fs)
@@ -632,12 +1005,12 @@ func verifyCmd(args []string, out io.Writer) error {
 	}
 	if *bundleDir != "" {
 		if err := os.MkdirAll(*bundleDir, 0o755); err != nil {
-			return err
+			return withExit(exitSink, err)
 		}
 	}
 	run, err := replay.LoadFiles(fs.Args()...)
 	if err != nil {
-		return err
+		return withExit(exitSink, err)
 	}
 	failedAudits := 0
 	for _, name := range run.Order {
@@ -646,7 +1019,7 @@ func verifyCmd(args []string, out io.Writer) error {
 		case name == "trials":
 			n, err := verifyTrials(cf, group, sel, *bundleDir, out)
 			if err != nil {
-				return fmt.Errorf("trials: %w", err)
+				return withExit(exitReject, fmt.Errorf("trials: %w", err))
 			}
 			failedAudits += n
 		default:
@@ -658,13 +1031,13 @@ func verifyCmd(args []string, out io.Writer) error {
 			}
 			vs, err := replay.VerifyExperiment(name, group, sel, *bundleDir != "")
 			if err != nil {
-				return fmt.Errorf("%s: %w", name, err)
+				return withExit(exitReject, fmt.Errorf("%s: %w", name, err))
 			}
 			failedAudits += reportVerifications(out, name, vs, *bundleDir)
 		}
 	}
 	if failedAudits > 0 {
-		return fmt.Errorf("%d audit(s) failed", failedAudits)
+		return withExit(exitReject, fmt.Errorf("%d audit(s) failed", failedAudits))
 	}
 	return nil
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,6 +16,12 @@ import (
 	"adhocconsensus/internal/sink"
 )
 
+// runCLI invokes the CLI entry point with a background context, the way
+// every test that isn't exercising cancellation wants to.
+func runCLI(args []string, out io.Writer) error {
+	return run(context.Background(), args, out)
+}
+
 // runShards executes an experiment sharded k ways into JSONL files and
 // returns the merged output.
 func runShards(t *testing.T, exp string, k, workers int) string {
@@ -25,13 +33,13 @@ func runShards(t *testing.T, exp string, k, workers int) string {
 		args := []string{"run", "-exp", exp,
 			"-shard", fmt.Sprintf("%d/%d", i, k),
 			"-workers", fmt.Sprint(workers), "-o", path}
-		if err := run(args, os.Stdout); err != nil {
+		if err := runCLI(args, os.Stdout); err != nil {
 			t.Fatalf("shard %d/%d: %v", i, k, err)
 		}
 		files = append(files, path)
 	}
 	var out strings.Builder
-	if err := run(append([]string{"merge"}, files...), &out); err != nil {
+	if err := runCLI(append([]string{"merge"}, files...), &out); err != nil {
 		t.Fatalf("merge %d shards: %v", k, err)
 	}
 	return out.String()
@@ -118,13 +126,13 @@ func TestMergeTrialsByteIdentical(t *testing.T) {
 		path := filepath.Join(dir, fmt.Sprintf("t%d.jsonl", i))
 		args := append([]string{"run", "-trials", fmt.Sprint(trials),
 			"-shard", fmt.Sprintf("%d/%d", i, k), "-o", path}, cfgFlags...)
-		if err := run(args, os.Stdout); err != nil {
+		if err := runCLI(args, os.Stdout); err != nil {
 			t.Fatalf("shard %d: %v", i, err)
 		}
 		files = append(files, path)
 	}
 	var got strings.Builder
-	if err := run(append([]string{"merge"}, files...), &got); err != nil {
+	if err := runCLI(append([]string{"merge"}, files...), &got); err != nil {
 		t.Fatal(err)
 	}
 	if got.String() != want.String() {
@@ -184,7 +192,7 @@ func TestReplayRendersWithoutRerun(t *testing.T) {
 	files := make([]string, 0, 2)
 	for i := 0; i < 2; i++ {
 		path := filepath.Join(dir, fmt.Sprintf("s%d.jsonl", i))
-		if err := run([]string{"run", "-exp", "T8,T9", "-shard", fmt.Sprintf("%d/2", i), "-o", path}, os.Stdout); err != nil {
+		if err := runCLI([]string{"run", "-exp", "T8,T9", "-shard", fmt.Sprintf("%d/2", i), "-o", path}, os.Stdout); err != nil {
 			t.Fatal(err)
 		}
 		files = append(files, path)
@@ -199,7 +207,7 @@ func TestReplayRendersWithoutRerun(t *testing.T) {
 	}
 	want := fmt.Sprintln(t8) + fmt.Sprintln(t9)
 	var replayed strings.Builder
-	if err := run(append([]string{"replay"}, files...), &replayed); err != nil {
+	if err := runCLI(append([]string{"replay"}, files...), &replayed); err != nil {
 		t.Fatal(err)
 	}
 	if replayed.String() != want {
@@ -208,7 +216,7 @@ func TestReplayRendersWithoutRerun(t *testing.T) {
 
 	// -quiet reduces each experiment to one PASS/FAIL line.
 	var quiet strings.Builder
-	if err := run(append([]string{"replay", "-quiet"}, files...), &quiet); err != nil {
+	if err := runCLI(append([]string{"replay", "-quiet"}, files...), &quiet); err != nil {
 		t.Fatal(err)
 	}
 	if quiet.String() != "T8: PASS\nT9: PASS\n" {
@@ -223,12 +231,12 @@ func TestReplayRendersWithoutRerun(t *testing.T) {
 func TestVerifyAuditsFlaggedSeeds(t *testing.T) {
 	dir := t.TempDir()
 	shard := filepath.Join(dir, "t8.jsonl")
-	if err := run([]string{"run", "-exp", "T8", "-shard", "0/1", "-o", shard}, os.Stdout); err != nil {
+	if err := runCLI([]string{"run", "-exp", "T8", "-shard", "0/1", "-o", shard}, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	bundles := filepath.Join(dir, "bundles")
 	var out strings.Builder
-	if err := run([]string{"verify", "-flag", "violations,slowest=1", "-bundle", bundles, shard}, &out); err != nil {
+	if err := runCLI([]string{"verify", "-flag", "violations,slowest=1", "-bundle", bundles, shard}, &out); err != nil {
 		t.Fatalf("honest verify failed: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "digest ok, trace legal") {
@@ -253,7 +261,7 @@ func TestVerifyAuditsFlaggedSeeds(t *testing.T) {
 	corrupted := filepath.Join(dir, "bad.jsonl")
 	corruptRecord(t, shard, corrupted)
 	var bad strings.Builder
-	if err := run([]string{"verify", "-flag", "recheck", corrupted}, &bad); err == nil {
+	if err := runCLI([]string{"verify", "-flag", "recheck", corrupted}, &bad); err == nil {
 		t.Fatalf("corrupted shard passed verification:\n%s", bad.String())
 	}
 	if !strings.Contains(bad.String(), "AUDIT FAILED") || !strings.Contains(bad.String(), "digest-mismatch") {
@@ -298,11 +306,11 @@ func TestVerifyTrialsThroughPublicAPI(t *testing.T) {
 	shard := filepath.Join(dir, "trials.jsonl")
 	cfgFlags := []string{"-alg", "bitbybit", "-values", "3,7,7,1", "-domain", "16",
 		"-loss", "prob", "-p", "0.4", "-cst", "9", "-seed", "11"}
-	if err := run(append([]string{"run", "-trials", "20", "-shard", "0/1", "-o", shard}, cfgFlags...), os.Stdout); err != nil {
+	if err := runCLI(append([]string{"run", "-trials", "20", "-shard", "0/1", "-o", shard}, cfgFlags...), os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run(append(append([]string{"verify", "-flag", "slowest=2"}, cfgFlags...), shard), &out); err != nil {
+	if err := runCLI(append(append([]string{"verify", "-flag", "slowest=2"}, cfgFlags...), shard), &out); err != nil {
 		t.Fatalf("honest trials verify failed: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "2 trial(s) flagged of 20") || !strings.Contains(out.String(), "digest ok, trace legal") {
@@ -312,7 +320,7 @@ func TestVerifyTrialsThroughPublicAPI(t *testing.T) {
 	var mism strings.Builder
 	wrong := append([]string{"verify", "-flag", "slowest=1", "-alg", "bitbybit", "-values", "3,7,7,1",
 		"-domain", "16", "-loss", "prob", "-p", "0.4", "-cst", "9", "-seed", "12"}, shard)
-	if err := run(wrong, &mism); err == nil {
+	if err := runCLI(wrong, &mism); err == nil {
 		t.Fatal("mismatched configuration accepted for trials verification")
 	}
 }
@@ -322,17 +330,17 @@ func TestVerifyTrialsThroughPublicAPI(t *testing.T) {
 func TestMergeShardVerdicts(t *testing.T) {
 	dir := t.TempDir()
 	good := filepath.Join(dir, "good.jsonl")
-	if err := run([]string{"run", "-exp", "T8", "-shard", "0/2", "-o", good}, os.Stdout); err != nil {
+	if err := runCLI([]string{"run", "-exp", "T8", "-shard", "0/2", "-o", good}, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	bad := filepath.Join(dir, "bad.jsonl")
-	if err := run([]string{"run", "-exp", "T8", "-shard", "1/2", "-o", bad}, os.Stdout); err != nil {
+	if err := runCLI([]string{"run", "-exp", "T8", "-shard", "1/2", "-o", bad}, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	corrupted := filepath.Join(dir, "corrupted.jsonl")
 	corruptSeed(t, bad, corrupted)
 	var out strings.Builder
-	if err := run([]string{"merge", good, corrupted}, &out); err == nil {
+	if err := runCLI([]string{"merge", good, corrupted}, &out); err == nil {
 		t.Fatal("merge accepted a corrupted shard")
 	}
 	if !strings.Contains(out.String(), "shard "+good+": ok") {
@@ -343,7 +351,7 @@ func TestMergeShardVerdicts(t *testing.T) {
 	}
 
 	var quiet strings.Builder
-	if err := run([]string{"merge", "-quiet", good, bad}, &quiet); err != nil {
+	if err := runCLI([]string{"merge", "-quiet", good, bad}, &quiet); err != nil {
 		t.Fatalf("quiet merge of honest shards failed: %v\n%s", err, quiet.String())
 	}
 	if quiet.String() != "T8: PASS\n" {
@@ -389,37 +397,37 @@ func TestMergeRejectsBadShardSets(t *testing.T) {
 	s0 := filepath.Join(dir, "s0.jsonl")
 	s1 := filepath.Join(dir, "s1.jsonl")
 	for i, path := range []string{s0, s1} {
-		if err := run([]string{"run", "-exp", "T8", "-shard", fmt.Sprintf("%d/2", i), "-o", path}, os.Stdout); err != nil {
+		if err := runCLI([]string{"run", "-exp", "T8", "-shard", fmt.Sprintf("%d/2", i), "-o", path}, os.Stdout); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := run([]string{"merge", s0}, os.Stdout); err == nil {
+	if err := runCLI([]string{"merge", s0}, os.Stdout); err == nil {
 		t.Fatal("merge accepted an incomplete shard set")
 	}
-	if err := run([]string{"merge", s0, s1, s1}, os.Stdout); err == nil {
+	if err := runCLI([]string{"merge", s0, s1, s1}, os.Stdout); err == nil {
 		t.Fatal("merge accepted overlapping shards")
 	}
 
 	// A shard of a different configuration must be rejected by fingerprint.
 	tr0 := filepath.Join(dir, "tr0.jsonl")
 	tr1 := filepath.Join(dir, "tr1.jsonl")
-	if err := run([]string{"run", "-trials", "10", "-shard", "0/2", "-seed", "1", "-o", tr0}, os.Stdout); err != nil {
+	if err := runCLI([]string{"run", "-trials", "10", "-shard", "0/2", "-seed", "1", "-o", tr0}, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"run", "-trials", "10", "-shard", "1/2", "-p", "0.4", "-loss", "prob", "-seed", "1", "-o", tr1}, os.Stdout); err != nil {
+	if err := runCLI([]string{"run", "-trials", "10", "-shard", "1/2", "-p", "0.4", "-loss", "prob", "-seed", "1", "-o", tr1}, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"merge", tr0, tr1}, os.Stdout); err == nil {
+	if err := runCLI([]string{"merge", tr0, tr1}, os.Stdout); err == nil {
 		t.Fatal("merge accepted shards of two different configurations")
 	}
 
 	// Same parameters but a different base -seed is also a different sweep:
 	// the fingerprint covers the sweep seed, so the mix must be rejected.
 	sd1 := filepath.Join(dir, "sd1.jsonl")
-	if err := run([]string{"run", "-trials", "10", "-shard", "1/2", "-seed", "2", "-o", sd1}, os.Stdout); err != nil {
+	if err := runCLI([]string{"run", "-trials", "10", "-shard", "1/2", "-seed", "2", "-o", sd1}, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"merge", tr0, sd1}, os.Stdout); err == nil {
+	if err := runCLI([]string{"merge", tr0, sd1}, os.Stdout); err == nil {
 		t.Fatal("merge accepted shards run with different base seeds")
 	}
 }
@@ -444,7 +452,7 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"verify bad selector", []string{"verify", "-flag", "frobnicate", "x.jsonl"}},
 	} {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := run(tt.args, os.Stdout); err == nil {
+			if err := runCLI(tt.args, os.Stdout); err == nil {
 				t.Fatal("bad input accepted")
 			}
 		})

@@ -82,9 +82,12 @@
 // BENCH_baseline.json records the full benchmark suite; regenerate it with
 // go test -run '^$' -bench . -benchmem. BENCH_pr2.json snapshots the suite
 // after the declarative-scenario refactor, BENCH_pr3.json after the
-// streaming-sink subsystem and the message-recycling satellite, and
+// streaming-sink subsystem and the message-recycling satellite,
 // BENCH_pr4.json after the columnar trace arena and parallel delivery core
-// (benchmark matrix now n = 8/64/256/1024 × trace mode × worker count).
+// (benchmark matrix now n = 8/64/256/1024 × trace mode × worker count),
+// BENCH_pr5.json after the replay subsystem, and BENCH_pr6.json after the
+// crash-safety layer (same-box A/B: healthy-path cost within noise, alloc
+// counts unchanged).
 //
 // # Scenario sweeps
 //
@@ -153,6 +156,47 @@
 //     trace arena back to a shape-keyed pool, so trace-heavy loops (the
 //     replay verifier, validation pipelines) allocate nothing per run in
 //     steady state.
+//
+// # Robustness and recovery
+//
+// Million-trial sweeps run on real machines: processes get SIGKILLed,
+// disks fill, automata under adversarial schedules hit bugs. The sweep
+// pipeline is crash-safe end to end, without giving up byte-identity:
+//
+//   - panic isolation: a trial that panics — in the automaton, the
+//     detector, or a work-item executor — does not kill the worker pool.
+//     The runner recovers it into the trial's result (engine.PanicError,
+//     deterministic message, stack preserved for forensics), streams a
+//     quarantine record (err set, digest zero) in the trial's ordered
+//     slot, and finishes the sweep; the first per-trial error surfaces
+//     after the sweep as a typed error. Streams stay byte-identical at
+//     any worker count even when trials panic;
+//   - deadlines and cancellation: Config.TrialTimeout quarantines trials
+//     that overrun a wall-clock budget with a deterministic deadline
+//     error; RunTrialsContext/StreamTrialsContext thread a
+//     context.Context through the worker pool, so cancellation drains
+//     in-flight trials and delivers a contiguous, flushed prefix.
+//     cmd/sweeprun translates SIGINT/SIGTERM into that cancellation and
+//     exits with a distinct documented code after printing the resume
+//     command (a second signal kills immediately);
+//   - resumable shards: sink.ReadRecordsPartial salvages the valid
+//     record prefix of a torn shard file (a crash mid-write leaves at
+//     most one broken final line). "sweeprun run -resume" verifies the
+//     salvaged prefix against the invocation's derivation — experiment
+//     membership, global indices, seed schedule, fingerprints — then
+//     truncates the tail and appends only the trials not yet durable.
+//     Because delivery is strictly ordered and seeds depend only on
+//     global indices (Config.StreamTrialsFrom), the finished file is
+//     byte-identical to an uninterrupted run's; a mismatched resume is
+//     rejected with the file untouched. Transient sink write errors
+//     retry under bounded exponential backoff (sink.Retry) before
+//     aborting — and an abort still leaves a valid resumable prefix;
+//   - fault injection: internal/chaos wraps any sink or executor with
+//     seeded, deterministic faults — panic at trial i, error every k-th
+//     write, torn write at a byte offset, stall past a deadline — so the
+//     recovery paths above are themselves tested under the race
+//     detector, and CI kills a live shard mid-sweep, resumes it, and
+//     diffs the merge against an uninterrupted run.
 //
 // # Quick start
 //

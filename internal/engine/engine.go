@@ -42,9 +42,12 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"adhocconsensus/internal/cm"
 	"adhocconsensus/internal/detector"
@@ -108,6 +111,46 @@ type Config struct {
 	// engages for (0 selects DefaultDeliveryMinProcs). Below it the round
 	// barrier costs more than the sharded loop saves.
 	DeliveryMinProcs int
+	// Stop, when non-nil, is polled once per round: the run aborts with an
+	// error wrapping ErrStopped as soon as it reads true. It is the
+	// cooperative cancellation seam for per-trial deadlines and watchdogs —
+	// the flag is set from another goroutine (a timer, a signal handler) and
+	// the engine notices at the next round boundary. The check is a nil test
+	// plus one atomic load per ROUND, never per delivery, so it stays off the
+	// hot path.
+	Stop *atomic.Bool
+}
+
+// ErrStopped is wrapped by the error Run returns when Config.Stop was raised
+// mid-execution. Callers distinguish a stopped run (no result, partial
+// execution discarded) from a configuration error with errors.Is.
+var ErrStopped = errors.New("engine: run stopped")
+
+// PanicError is a panic recovered from automaton (or component) code and
+// converted into a per-trial error: the quarantine currency of the sweep
+// layer. Error() is deliberately deterministic — the panic value only, no
+// stack, no goroutine identity — so result streams containing quarantined
+// trials stay byte-identical at any worker count; the captured stack rides
+// along in Stack for logs and forensics.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack captured at the recovery point (debug.Stack).
+	Stack []byte
+}
+
+// Error renders the deterministic quarantine message.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// NewPanicError wraps a recovered panic value, capturing the current stack.
+// A value that already is a *PanicError (a panic re-raised across a worker
+// boundary, e.g. by ShardPool) passes through unchanged so the original
+// stack survives.
+func NewPanicError(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: v, Stack: debug.Stack()}
 }
 
 // DefaultDeliveryMinProcs is the default auto-off threshold for parallel
@@ -342,6 +385,9 @@ func Run(cfg Config) (*Result, error) {
 
 	rounds := 0
 	for r = 1; r <= maxRounds; r++ {
+		if cfg.Stop != nil && cfg.Stop.Load() {
+			return nil, fmt.Errorf("engine: stopped before round %d: %w", r, ErrStopped)
+		}
 		rounds = r
 		if denseCM != nil {
 			denseCM.AdviseInto(r, st.procs, aliveForCM, st.cm)

@@ -8,12 +8,18 @@ package engine
 // combined with per-index-independent work functions this makes the
 // parallel rounds byte-identical to sequential ones at any worker count.
 //
+// A panic inside fn (an automaton panicking mid-delivery) does not kill the
+// worker goroutine or deadlock the barrier: the worker recovers it, the
+// barrier still completes, and Run re-raises the panic as a *PanicError on
+// the dispatching goroutine — where the sweep layer's per-trial recovery
+// quarantines it like any same-goroutine panic.
+//
 // The runtime package shares this implementation so the two round loops
 // cannot drift apart.
 type ShardPool struct {
 	fn   func(lo, hi int)
 	req  []chan shard
-	done chan struct{}
+	done chan *PanicError
 }
 
 type shard struct{ lo, hi int }
@@ -28,24 +34,38 @@ func NewShardPool(workers int, fn func(lo, hi int)) *ShardPool {
 	p := &ShardPool{
 		fn:   fn,
 		req:  make([]chan shard, workers),
-		done: make(chan struct{}, workers),
+		done: make(chan *PanicError, workers),
 	}
 	for w := range p.req {
 		c := make(chan shard)
 		p.req[w] = c
 		go func() {
 			for s := range c {
-				p.fn(s.lo, s.hi)
-				p.done <- struct{}{}
+				p.done <- p.call(s)
 			}
 		}()
 	}
 	return p
 }
 
+// call runs one shard, converting a panic into its barrier message. A nil
+// return is the common case and sends no allocation over the channel.
+func (p *ShardPool) call(s shard) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = NewPanicError(v)
+		}
+	}()
+	p.fn(s.lo, s.hi)
+	return nil
+}
+
 // Run splits [0, n) into up to len(workers) contiguous shards (remainder
 // spread over the first shards, so the split is a pure function of n and
-// the worker count), dispatches them, and blocks until all complete.
+// the worker count), dispatches them, and blocks until all complete. If any
+// shard panicked, Run re-panics with the first worker's *PanicError after
+// the barrier — every other shard has finished, so no worker is still
+// touching shared round state when the panic unwinds.
 func (p *ShardPool) Run(n int) {
 	if n <= 0 {
 		return
@@ -65,8 +85,14 @@ func (p *ShardPool) Run(n int) {
 		dispatched++
 		lo = hi
 	}
+	var panicked *PanicError
 	for i := 0; i < dispatched; i++ {
-		<-p.done
+		if pe := <-p.done; pe != nil && panicked == nil {
+			panicked = pe
+		}
+	}
+	if panicked != nil {
+		panic(panicked)
 	}
 }
 

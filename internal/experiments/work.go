@@ -47,12 +47,15 @@ func (e WorkExperiment) Build() ([]sink.WorkItem, WorkRunFunc, WorkRenderFunc, e
 }
 
 // Run executes every item in-process on the shared runner and renders the
-// table: the single-machine path the legacy TNXxx() functions use.
+// table: the single-machine path the legacy TNXxx() functions use. Items
+// run through GuardRun, so a panicking executor surfaces as that item's
+// error rather than killing the pool.
 func (e WorkExperiment) Run() (*Table, error) {
 	items, run, render, err := e.Build()
 	if err != nil {
 		return nil, err
 	}
+	run = GuardRun(run)
 	outs := make([]string, len(items))
 	errs := make([]error, len(items))
 	runner().Map(len(items), func(i int) {

@@ -52,6 +52,11 @@ type response struct {
 	decided  bool
 	decision model.Value
 	halted   bool
+	// panicked carries a panic recovered inside the automaton call: the
+	// goroutine survives, the coordinator drains the phase normally (no
+	// stuck senders at channel-close time), and Run converts the first
+	// panic into its returned error.
+	panicked *engine.PanicError
 }
 
 // worker owns one process automaton for the duration of a run.
@@ -67,18 +72,29 @@ type worker struct {
 // over the channels.
 func (w *worker) serve() {
 	for req := range w.req {
-		var out response
-		if req.recv == nil {
-			out.sent = w.auto.Message(req.round, req.cm)
-		} else {
-			w.auto.Deliver(req.round, req.recv, req.cd, req.cm)
-		}
-		if d, ok := w.auto.(model.Decider); ok {
-			out.decision, out.decided = d.Decided()
-			out.halted = d.Halted()
-		}
-		w.resp <- out
+		w.resp <- w.step(req)
 	}
+}
+
+// step executes one half-round, recovering an automaton panic into the
+// response instead of killing the process goroutine (which would deadlock
+// the coordinator's fixed collection order and the deferred channel close).
+func (w *worker) step(req request) (out response) {
+	defer func() {
+		if v := recover(); v != nil {
+			out.panicked = engine.NewPanicError(v)
+		}
+	}()
+	if req.recv == nil {
+		out.sent = w.auto.Message(req.round, req.cm)
+	} else {
+		w.auto.Deliver(req.round, req.recv, req.cd, req.cm)
+	}
+	if d, ok := w.auto.(model.Decider); ok {
+		out.decision, out.decided = d.Decided()
+		out.halted = d.Halted()
+	}
+	return out
 }
 
 // coordState is the coordinator's dense per-run state, mirroring the
@@ -274,6 +290,9 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 
 	rounds := 0
 	for r = 1; r <= maxRounds; r++ {
+		if cfg.Stop != nil && cfg.Stop.Load() {
+			return nil, fmt.Errorf("runtime: stopped before round %d: %w", r, engine.ErrStopped)
+		}
 		rounds = r
 		if denseCM != nil {
 			denseCM.AdviseInto(r, st.procs, aliveForCM, st.cm)
@@ -298,12 +317,26 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 		}
 		st.senders = st.senders[:0]
 		st.senderMsgs = st.senderMsgs[:0]
+		var panicked *engine.PanicError
 		for _, i := range st.asked {
-			if out := <-st.workers[i].resp; out.sent != nil {
+			out := <-st.workers[i].resp
+			if out.panicked != nil {
+				if panicked == nil {
+					panicked = out.panicked
+				}
+				continue
+			}
+			if out.sent != nil {
 				st.sendOrd[i] = len(st.senders)
 				st.senders = append(st.senders, st.procs[i])
 				st.senderMsgs = append(st.senderMsgs, *out.sent)
 			}
+		}
+		// Surface the panic only after the whole phase drained: every asked
+		// worker has replied, so the deferred channel close cannot strand a
+		// goroutine mid-send.
+		if panicked != nil {
+			return nil, panicked
 		}
 
 		plan = adversary.Plan(r, st.senders, st.procs)
@@ -335,6 +368,12 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 		}
 		for _, i := range st.asked {
 			out := <-st.workers[i].resp
+			if out.panicked != nil {
+				if panicked == nil {
+					panicked = out.panicked
+				}
+				continue
+			}
 			if out.decided && !st.decided[i] {
 				st.decided[i] = true
 				exec.Decisions[st.procs[i]] = model.Decision{Value: out.decision, Round: r}
@@ -342,6 +381,9 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 			if out.halted {
 				st.halted[i] = true
 			}
+		}
+		if panicked != nil {
+			return nil, panicked
 		}
 
 		if observer != nil {

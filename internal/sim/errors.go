@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// TrialError is the first per-trial failure a sweep surfaced: trial Index
+// (the global sweep index for sharded sweeps) of scenario Name failed with
+// Err. Per-trial failures never stop a sweep — every other trial still runs
+// and streams — so a TrialError from SweepTo means "the tables are complete
+// but at least this row is a quarantine record", which callers (sweeprun's
+// exit-code mapping, most prominently) distinguish from infrastructure
+// failures via errors.As.
+type TrialError struct {
+	Index int
+	Name  string
+	Err   error
+}
+
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("sim: trial %d (%s): %v", e.Index, e.Name, e.Err)
+}
+
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// SinkError is a result-sink Consume failure. Unlike per-trial errors it
+// aborts the sweep: the stream contract is an ordered prefix, and once the
+// sink refuses a record everything after it would be lost anyway. The
+// delivered prefix is still valid — a salvage read plus resume picks up
+// exactly where the sink stopped.
+type SinkError struct {
+	Err error
+}
+
+func (e *SinkError) Error() string { return fmt.Sprintf("sim: result sink: %v", e.Err) }
+
+func (e *SinkError) Unwrap() error { return e.Err }
+
+// CanceledError reports a sweep stopped by its context before completion.
+// Done counts the results delivered to the sink — they form a contiguous
+// prefix of the stream, so the flushed file is a valid resumable shard.
+// Unwrap yields the context's error, so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) classify the cause.
+type CanceledError struct {
+	Done  int
+	Total int
+	Err   error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: sweep canceled after %d/%d trials: %v", e.Done, e.Total, e.Err)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Err }
+
+// DeadlineError is the per-trial Result.Err recorded when Runner's
+// TrialTimeout watchdog stopped a runaway trial. The message is a pure
+// function of the configured timeout — no round counts or wall-clock
+// residue — so quarantine records for deadlined trials serialize
+// identically however late the watchdog fired.
+type DeadlineError struct {
+	Timeout time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sim: trial exceeded its %v deadline", e.Timeout)
+}

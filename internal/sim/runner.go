@@ -1,10 +1,12 @@
 package sim
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adhocconsensus/internal/engine"
 	"adhocconsensus/internal/model"
@@ -97,6 +99,16 @@ type ResultSink interface {
 type Runner struct {
 	// Workers is the pool size; <= 0 selects GOMAXPROCS.
 	Workers int
+
+	// TrialTimeout, when positive, bounds each trial's wall-clock time. A
+	// watchdog arms the scenario's Stop flag when the deadline passes; the
+	// round loop notices at its next round boundary and the trial is
+	// quarantined with a DeadlineError in Result.Err, exactly like any
+	// other per-trial failure. The check costs one atomic load per round —
+	// nothing on the per-delivery hot path — and only guards trials that
+	// are engine runs (Map callers wrap their own work; see
+	// experiments.RunWithDeadline for arbitrary functions).
+	TrialTimeout time.Duration
 }
 
 // Map runs fn(0..n-1) across the pool and returns when all calls complete.
@@ -105,8 +117,20 @@ type Runner struct {
 // independent of Workers. It is the generic entry point for trials that are
 // not engine runs (lower-bound pipelines, multihop floods, substrates).
 func (r Runner) Map(n int, fn func(i int)) {
+	r.MapCtx(context.Background(), n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, workers
+// stop claiming new indices, calls already in flight run to completion (at
+// most one per worker), and MapCtx returns ctx's error. A nil return means
+// every one of the n calls completed. fn itself is never interrupted — the
+// parallel-for contract still holds for every index that ran.
+func (r Runner) MapCtx(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	w := r.Workers
 	if w <= 0 {
@@ -115,28 +139,38 @@ func (r Runner) Map(n int, fn func(i int)) {
 	if w > n {
 		w = n
 	}
+	var completed atomic.Int64
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
+			if ctx.Err() != nil {
+				break
 			}
-		}()
+			fn(i)
+			completed.Add(1)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fn(i)
+					completed.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if int(completed.Load()) < n {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Sweep executes every scenario and returns the digested results in
@@ -161,13 +195,24 @@ func (s sliceSink) Consume(r Result) error {
 // them: the sweep's memory footprint is the reorder window (bounded by the
 // worker count's out-of-orderness), not the grid size. The stream delivered
 // to the sink is byte-identical for any worker count. Results whose trial
-// errored are delivered too (with Err set) and do not stop the sweep; a
-// sink Consume error does — remaining trials are skipped and the sink error
-// is returned. Otherwise SweepTo returns the first per-trial error by
-// index, after all trials complete.
+// errored — including trials that panicked or overran TrialTimeout; both
+// are recovered into Result.Err — are delivered too and do not stop the
+// sweep; a sink Consume error does — remaining trials are skipped and a
+// *SinkError is returned. Otherwise SweepTo returns the first per-trial
+// error by index (a *TrialError), after all trials complete.
 func (r Runner) SweepTo(scenarios []Scenario, sink ResultSink) error {
-	return r.sweepTo(len(scenarios), func(i int) Result {
-		return RunTrial(i, scenarios[i])
+	return r.SweepToCtx(context.Background(), scenarios, sink)
+}
+
+// SweepToCtx is SweepTo with cooperative cancellation. When ctx is done the
+// sweep stops claiming trials, lets in-flight trials finish, delivers the
+// contiguous prefix of completed results to the sink, and returns a
+// *CanceledError wrapping ctx's error. The delivered prefix is exactly what
+// an uninterrupted sweep would have produced for those indices, so a
+// flushed JSONL shard remains valid for resume.
+func (r Runner) SweepToCtx(ctx context.Context, scenarios []Scenario, sink ResultSink) error {
+	return r.sweepTo(ctx, len(scenarios), func(i int) Result {
+		return r.guardedTrial(i, scenarios[i])
 	}, sink)
 }
 
@@ -177,10 +222,51 @@ func (r Runner) SweepTo(scenarios []Scenario, sink ResultSink) error {
 // ShardScenarios, so concatenating the k shard streams sorted by index
 // reproduces the unsharded stream byte for byte.
 func (r Runner) SweepTrialsTo(trials []Trial, sink ResultSink) error {
-	return r.sweepTo(len(trials), func(i int) Result {
-		res := RunTrial(trials[i].Index, trials[i].Scenario)
-		return res
+	return r.SweepTrialsToCtx(context.Background(), trials, sink)
+}
+
+// SweepTrialsToCtx is SweepTrialsTo with the cancellation semantics of
+// SweepToCtx.
+func (r Runner) SweepTrialsToCtx(ctx context.Context, trials []Trial, sink ResultSink) error {
+	return r.sweepTo(ctx, len(trials), func(i int) Result {
+		return r.guardedTrial(trials[i].Index, trials[i].Scenario)
 	}, sink)
+}
+
+// guardedTrial runs one scenario with the sweep's crash isolation: a panic
+// anywhere inside the trial — an automaton, detector, adversary, or the
+// engine itself, on the trial goroutine or re-raised from a delivery shard
+// worker — is recovered into Result.Err as an *engine.PanicError. The
+// error's message excludes the captured stack (which lives on the struct
+// for forensics) so quarantine records serialize identically at any worker
+// count. With TrialTimeout set, a watchdog timer arms the scenario's Stop
+// flag at the deadline and the resulting engine abort is rewritten to a
+// deterministic *DeadlineError.
+func (r Runner) guardedTrial(index int, s Scenario) (res Result) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = Result{Index: index, Name: s.Name, Seed: s.Seed, Err: engine.NewPanicError(v)}
+		}
+	}()
+	if r.TrialTimeout <= 0 {
+		return RunTrial(index, s)
+	}
+	stop := s.Stop
+	if stop == nil {
+		stop = new(atomic.Bool)
+		s.Stop = stop
+	}
+	var expired atomic.Bool
+	timer := time.AfterFunc(r.TrialTimeout, func() {
+		expired.Store(true)
+		stop.Store(true)
+	})
+	defer timer.Stop()
+	res = RunTrial(index, s)
+	if res.Err != nil && expired.Load() && errors.Is(res.Err, engine.ErrStopped) {
+		res.Err = &DeadlineError{Timeout: r.TrialTimeout}
+	}
+	return res
 }
 
 // sweepTo runs fn(0..n-1) on the pool and hands each Result to the sink in
@@ -188,10 +274,12 @@ func (r Runner) SweepTrialsTo(trials []Trial, sink ResultSink) error {
 // completion to the sink's strictly sequential contract; the sink is never
 // called concurrently. A Consume error aborts the sweep: trials already in
 // flight finish (at most one per worker), every other remaining trial is
-// skipped, and the sink error is returned. Per-trial errors, by contrast,
-// never stop the sweep — each trial is independent, and the caller gets the
-// first one (by index) after all trials ran.
-func (r Runner) sweepTo(n int, fn func(i int) Result, sink ResultSink) error {
+// skipped, and a *SinkError is returned. Cancellation through ctx likewise
+// drains in-flight trials and delivers the contiguous completed prefix,
+// then returns a *CanceledError. Per-trial errors, by contrast, never stop
+// the sweep — each trial is independent, and the caller gets the first one
+// (by slot order, as a *TrialError) after all trials ran.
+func (r Runner) sweepTo(ctx context.Context, n int, fn func(i int) Result, sink ResultSink) error {
 	buf := make([]Result, n)
 	done := make([]bool, n)
 	var (
@@ -201,7 +289,7 @@ func (r Runner) sweepTo(n int, fn func(i int) Result, sink ResultSink) error {
 		firstErr error // first per-trial Err, by slot order
 		sinkErr  error // first Consume error; aborts the sweep
 	)
-	r.Map(n, func(i int) {
+	ctxErr := r.MapCtx(ctx, n, func(i int) {
 		if aborted.Load() {
 			return
 		}
@@ -214,11 +302,11 @@ func (r Runner) sweepTo(n int, fn func(i int) Result, sink ResultSink) error {
 			out := buf[next]
 			buf[next] = Result{} // release the trial's memory once delivered
 			if out.Err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("sim: trial %d (%s): %w", out.Index, out.Name, out.Err)
+				firstErr = &TrialError{Index: out.Index, Name: out.Name, Err: out.Err}
 			}
 			if sinkErr == nil {
 				if err := sink.Consume(out); err != nil {
-					sinkErr = fmt.Errorf("sim: result sink: %w", err)
+					sinkErr = &SinkError{Err: err}
 					aborted.Store(true)
 				}
 			}
@@ -227,6 +315,9 @@ func (r Runner) sweepTo(n int, fn func(i int) Result, sink ResultSink) error {
 	})
 	if sinkErr != nil {
 		return sinkErr
+	}
+	if ctxErr != nil {
+		return &CanceledError{Done: next, Total: n, Err: ctxErr}
 	}
 	return firstErr
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"adhocconsensus/internal/backoff"
 	"adhocconsensus/internal/cm"
@@ -128,6 +129,12 @@ type Scenario struct {
 	// deterministic in-loop engine.
 	UseGoroutines bool
 
+	// Stop, when non-nil, is polled by the round loop once per round: the
+	// run aborts with an error wrapping engine.ErrStopped as soon as it
+	// reads true. Runner.TrialTimeout arms it as a runaway-trial watchdog;
+	// callers may also set it directly for external cancellation.
+	Stop *atomic.Bool
+
 	// Seed drives every randomized component of the trial.
 	Seed int64
 	// PinSeed tells Sweep expansion to keep Seed instead of deriving a
@@ -250,6 +257,7 @@ func (s *Scenario) Materialize() (*engine.Config, error) {
 		RunFullHorizon:  s.RunFullHorizon,
 		Trace:           s.Trace,
 		DeliveryWorkers: s.DeliveryWorkers,
+		Stop:            s.Stop,
 	}, nil
 }
 

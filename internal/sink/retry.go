@@ -1,0 +1,129 @@
+package sink
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"adhocconsensus/internal/sim"
+)
+
+// RetryPolicy bounds a retry loop with the same doubling-window-to-a-cap
+// shape internal/backoff gives the contention managers: the first retry
+// waits Base, each further retry doubles the wait, and Cap clamps the
+// doubling. Zero fields select the defaults, so the zero policy is usable.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 5).
+	MaxAttempts int
+	// Base is the delay before the first retry (default 10ms).
+	Base time.Duration
+	// Cap clamps the doubled delays (default 1s).
+	Cap time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 5
+	}
+	return p.MaxAttempts
+}
+
+// delay is the wait before retry number `retry` (0-based): min(Base<<retry,
+// Cap), computed without shift overflow.
+func (p RetryPolicy) delay(retry int) time.Duration {
+	d := p.Base
+	if d <= 0 {
+		d = 10 * time.Millisecond
+	}
+	cap := p.Cap
+	if cap <= 0 {
+		cap = time.Second
+	}
+	for i := 0; i < retry && d < cap; i++ {
+		d <<= 1
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// retryableError marks an error as transient for Retry's default
+// classification.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+
+func (e *retryableError) Unwrap() error { return e.err }
+
+// MarkRetryable wraps err so IsRetryable reports it transient. Sinks and
+// fault injectors use it to tell Retry which failures are worth the wait
+// (a momentarily full pipe) versus fatal (a closed file).
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// IsRetryable reports whether err (or anything it wraps) passed through
+// MarkRetryable.
+func IsRetryable(err error) bool {
+	var re *retryableError
+	return errors.As(err, &re)
+}
+
+// Retry wraps a sink and retries Consume calls that fail transiently under
+// bounded exponential backoff. Classification defaults to IsRetryable; a
+// non-retryable error returns immediately, and a write that keeps failing
+// past the policy's attempt budget returns the last error wrapped with the
+// give-up context — both abort the sweep through the normal SinkError path,
+// leaving a valid resumable prefix on disk.
+//
+// Retrying a Consume is safe precisely because the stream contract is
+// strictly ordered, non-concurrent delivery: the record either reached the
+// underlying writer or it did not, and the caller never advances past a
+// failed record, so a retry can at worst duplicate bytes into a torn tail —
+// which the salvage reader already cuts at the first defect.
+type Retry struct {
+	// Base is the wrapped sink.
+	Base Sink
+	// Policy bounds the retry loop; the zero value selects the defaults.
+	Policy RetryPolicy
+	// Retryable overrides the transient-error classification (default
+	// IsRetryable).
+	Retryable func(error) bool
+	// Sleep replaces time.Sleep between attempts; tests and the chaos
+	// harness substitute an instant clock.
+	Sleep func(time.Duration)
+}
+
+// Consume implements Sink.
+func (r *Retry) Consume(res sim.Result) error {
+	retryable := r.Retryable
+	if retryable == nil {
+		retryable = IsRetryable
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	attempts := r.Policy.attempts()
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			sleep(r.Policy.delay(a - 1))
+		}
+		if err = r.Base.Consume(res); err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("sink: giving up after %d attempts: %w", attempts, err)
+}
+
+// Flush implements Flusher by flushing the wrapped sink.
+func (r *Retry) Flush() error { return Flush(r.Base) }

@@ -1,0 +1,102 @@
+package sink
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"adhocconsensus/internal/sim"
+)
+
+// flakySink fails its first `failures` Consume calls, optionally marking the
+// errors retryable, then succeeds.
+type flakySink struct {
+	failures  int
+	retryable bool
+	calls     int
+	got       []sim.Result
+}
+
+func (s *flakySink) Consume(r sim.Result) error {
+	s.calls++
+	if s.calls <= s.failures {
+		err := errors.New("pipe momentarily full")
+		if s.retryable {
+			return MarkRetryable(err)
+		}
+		return err
+	}
+	s.got = append(s.got, r)
+	return nil
+}
+
+// TestRetryRecovers: transient failures are retried under the policy and the
+// record lands exactly once.
+func TestRetryRecovers(t *testing.T) {
+	base := &flakySink{failures: 3, retryable: true}
+	var slept []time.Duration
+	r := &Retry{
+		Base:   base,
+		Policy: RetryPolicy{MaxAttempts: 5, Base: 10 * time.Millisecond, Cap: 25 * time.Millisecond},
+		Sleep:  func(d time.Duration) { slept = append(slept, d) },
+	}
+	if err := r.Consume(sim.Result{Index: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if base.calls != 4 || len(base.got) != 1 || base.got[0].Index != 7 {
+		t.Fatalf("delivery after retries: %d calls, got %+v", base.calls, base.got)
+	}
+	// Doubling from Base, clamped at Cap.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}
+
+// TestRetryFatalErrorsPassThrough: a non-retryable error returns on the
+// first attempt, without sleeping.
+func TestRetryFatalErrorsPassThrough(t *testing.T) {
+	base := &flakySink{failures: 1, retryable: false}
+	r := &Retry{Base: base, Sleep: func(time.Duration) { t.Fatal("slept on a fatal error") }}
+	if err := r.Consume(sim.Result{}); err == nil || base.calls != 1 {
+		t.Fatalf("fatal error retried: err %v after %d calls", err, base.calls)
+	}
+}
+
+// TestRetryGivesUp: the attempt budget is honored and the give-up error
+// still unwraps to the underlying failure.
+func TestRetryGivesUp(t *testing.T) {
+	base := &flakySink{failures: 100, retryable: true}
+	r := &Retry{
+		Base:   base,
+		Policy: RetryPolicy{MaxAttempts: 3, Base: time.Nanosecond},
+		Sleep:  func(time.Duration) {},
+	}
+	err := r.Consume(sim.Result{})
+	if err == nil || base.calls != 3 {
+		t.Fatalf("gave up after %d calls with %v, want 3 calls and an error", base.calls, err)
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("give-up error lost the retryable mark: %v", err)
+	}
+}
+
+// TestMarkRetryable pins the classification helpers.
+func TestMarkRetryable(t *testing.T) {
+	if MarkRetryable(nil) != nil {
+		t.Fatal("MarkRetryable(nil) != nil")
+	}
+	base := errors.New("disk hiccup")
+	marked := MarkRetryable(base)
+	if !IsRetryable(marked) || IsRetryable(base) || IsRetryable(nil) {
+		t.Fatal("retryable classification broken")
+	}
+	if !errors.Is(marked, base) || marked.Error() != base.Error() {
+		t.Fatalf("mark changed the error: %v", marked)
+	}
+}

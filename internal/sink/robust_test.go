@@ -1,0 +1,134 @@
+package sink
+
+import (
+	"bytes"
+	"errors"
+	stdruntime "runtime"
+	"strings"
+	"testing"
+
+	"adhocconsensus/internal/core"
+	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/sim"
+)
+
+// bombProc panics in its Deliver at a fixed round — a stand-in for any
+// buggy automaton. Process 1 of the bombed trial carries it; the rest are
+// honest Alg1 automata.
+type bombProc struct {
+	inner model.Automaton
+	round int
+}
+
+func (b *bombProc) Message(r int, cm model.CMAdvice) *model.Message {
+	return b.inner.Message(r, cm)
+}
+
+func (b *bombProc) Deliver(r int, recv *model.RecvSet, cd model.CDAdvice, cm model.CMAdvice) {
+	if r >= b.round {
+		panic("bomb: kaboom")
+	}
+	b.inner.Deliver(r, recv, cd, cm)
+}
+
+// bombGrid is testGrid-shaped, except trial `bombed` hosts an automaton that
+// panics mid-round.
+func bombGrid(bombed int) []sim.Scenario {
+	var scs []sim.Scenario
+	for i := 0; i < 8; i++ {
+		s := sim.Scenario{
+			Name:      "robust/trial",
+			Algorithm: sim.AlgPropose,
+			Values:    []model.Value{3, 7, 7, 1},
+			Domain:    16,
+			MaxRounds: 200,
+			Trace:     engine.TraceDecisionsOnly,
+			Seed:      sim.TrialSeed(9, 0, i),
+		}
+		if i == bombed {
+			s.BuildProc = func(i int, s *sim.Scenario) model.Automaton {
+				inner := core.NewAlg1(s.Values[i])
+				if i == 0 {
+					return &bombProc{inner: inner, round: 2}
+				}
+				return inner
+			}
+		}
+		scs = append(scs, s)
+	}
+	return scs
+}
+
+// TestQuarantineStreamByteIdentical is the crash-isolation contract end to
+// end: a panicking automaton is quarantined into its own record (the sweep
+// finishes), and the JSONL stream is byte-identical at any worker count —
+// quarantine records included.
+func TestQuarantineStreamByteIdentical(t *testing.T) {
+	const bombed = 3
+	grid := bombGrid(bombed)
+	var golden []byte
+	for _, workers := range []int{1, 4, stdruntime.GOMAXPROCS(0)} {
+		var buf bytes.Buffer
+		j := NewJSONL(&buf)
+		j.Exp = "robust"
+		j.Params = func(i int) Params { return ParamsOf(grid[i]) }
+		err := sim.Runner{Workers: workers}.SweepTo(grid, j)
+		var te *sim.TrialError
+		if !errors.As(err, &te) || te.Index != bombed {
+			t.Fatalf("workers=%d: sweep error %v, want TrialError for trial %d", workers, err, bombed)
+		}
+		var pe *engine.PanicError
+		if !errors.As(err, &pe) || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: quarantine lost the panic stack: %v", workers, err)
+		}
+		if err := j.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = append([]byte(nil), buf.Bytes()...)
+		} else if !bytes.Equal(golden, buf.Bytes()) {
+			t.Fatalf("workers=%d: stream diverged from workers=1 stream", workers)
+		}
+	}
+
+	recs, err := ReadRecords(bytes.NewReader(golden))
+	if err != nil || len(recs) != 8 {
+		t.Fatalf("quarantine stream unreadable: %v, %d records", err, len(recs))
+	}
+	for i, rec := range recs {
+		if i == bombed {
+			if !strings.Contains(rec.Err, "panic: bomb: kaboom") {
+				t.Fatalf("quarantine record err = %q", rec.Err)
+			}
+			if strings.Contains(rec.Err, "goroutine") {
+				t.Fatalf("quarantine record leaked a stack trace into the stream: %q", rec.Err)
+			}
+			continue
+		}
+		if rec.Err != "" || !rec.AgreementOK {
+			t.Fatalf("healthy trial %d contaminated: %+v", i, rec)
+		}
+	}
+}
+
+// TestQuarantineParallelDelivery drives the panic through the engine's
+// sharded delivery path: the shard worker recovers, the barrier completes,
+// and the re-raised panic is quarantined exactly like a same-goroutine one.
+func TestQuarantineParallelDelivery(t *testing.T) {
+	grid := bombGrid(0)[:1]
+	vals := make([]model.Value, engine.DefaultDeliveryMinProcs)
+	for i := range vals {
+		vals[i] = model.Value(i % 16)
+	}
+	grid[0].Values = vals
+	grid[0].DeliveryWorkers = 4
+	res, err := sim.Runner{Workers: 1}.Sweep(grid)
+	var pe *engine.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("parallel-delivery panic not quarantined: %v", err)
+	}
+	if res[0].Err == nil || res[0].Rounds != 0 {
+		t.Fatalf("quarantined result malformed: %+v", res[0])
+	}
+}
