@@ -117,6 +117,29 @@ const (
 	LossDrop
 )
 
+// Seed-schedule versions: how a trial's seed expands into the per-round
+// random draws of the loss adversaries (and only those — detector noise and
+// backoff are unaffected). See the package documentation's "Seed schedules"
+// section.
+const (
+	// SeedScheduleV1 is the historical sequential schedule: one generator
+	// per adversary, advanced draw by draw in receiver-major order. The
+	// default; byte-identical to every recording made before schedules were
+	// versioned.
+	SeedScheduleV1 = 1
+	// SeedScheduleV2 is the counter-based schedule: each (trial seed, round,
+	// receiver) keys an independent splitmix64 stream, so loss rows can be
+	// drawn in any order — including in parallel across delivery workers —
+	// with byte-identical results. Draws differ from v1, so v1 and v2
+	// recordings of the same seed are distinct experiments.
+	SeedScheduleV2 = 2
+)
+
+// DeliveryWorkersAuto, assigned to Config.DeliveryWorkers, sizes the
+// delivery worker pool from a one-time startup calibration of this host
+// (shard-barrier cost vs per-row fill cost) instead of a fixed constant.
+const DeliveryWorkersAuto = engine.DeliveryWorkersAuto
+
 // Crash schedules a permanent crash failure.
 type Crash struct {
 	Process   ProcessID
@@ -168,6 +191,12 @@ type Config struct {
 
 	// Seed drives every random component (loss, noise, backoff).
 	Seed int64
+	// SeedSchedule selects how Seed expands into the loss adversary's
+	// per-round draws: SeedScheduleV1 (the default; 0 means v1) or
+	// SeedScheduleV2's order-free counter streams. The version is part of a
+	// recording's identity — fingerprints differ between schedules and
+	// mixed-schedule shard sets are rejected at merge.
+	SeedSchedule int
 	// MaxRounds bounds the run (default 100000).
 	MaxRounds int
 	// TrialTimeout, when positive, bounds each trial of RunTrials and
@@ -187,10 +216,13 @@ type Config struct {
 	// DeliveryWorkers shards each round's delivery inner loop across up to
 	// this many goroutines — intra-run parallelism for large networks,
 	// complementing the cross-trial parallelism of RunTrials. 0 or 1 runs
-	// sequentially. Results are byte-identical at any worker count: the
-	// engine auto-falls back to the sequential loop for small systems
-	// (under 64 processes) and for order-dependent components (a detector
-	// with FalsePositiveRate noise draws its false positives sequentially).
+	// sequentially; DeliveryWorkersAuto sizes the pool from a startup
+	// calibration of this host. Results are byte-identical at any worker
+	// count: the engine auto-falls back to the sequential loop for small
+	// systems (below a calibrated threshold) and for order-dependent
+	// components (a detector with FalsePositiveRate noise draws its false
+	// positives sequentially). Under SeedScheduleV2 the adversary's plan
+	// itself is also filled by the same pool.
 	DeliveryWorkers int
 	// TraceDecisionsOnly skips recording per-round views: the Report's
 	// Execution carries decisions but no Rounds, and the run is several
@@ -324,6 +356,7 @@ func (c Config) toScenario() (sim.Scenario, error) {
 		DeliveryWorkers:   c.DeliveryWorkers,
 		UseGoroutines:     c.UseGoroutines,
 		Seed:              c.Seed,
+		SeedSchedule:      c.SeedSchedule,
 	}, nil
 }
 

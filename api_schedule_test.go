@@ -1,0 +1,112 @@
+package adhocconsensus
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// scheduleTestConfig is a lossy sweep configuration small enough for quick
+// trials but contended enough that loss draws shape every outcome.
+func scheduleTestConfig() Config {
+	return Config{
+		Algorithm: AlgorithmBitByBit,
+		Values:    []Value{3, 7, 7, 1},
+		Domain:    16,
+		Loss:      LossProbabilistic,
+		LossP:     0.4,
+		ECFRound:  6,
+		Stable:    6,
+		Seed:      5,
+	}
+}
+
+// TestSeedScheduleV2TrialsWorkerInvariant extends the public
+// worker-invariance guarantee to the v2 schedule, and checks v2 is a
+// genuinely different experiment from v1 at the same seed.
+func TestSeedScheduleV2TrialsWorkerInvariant(t *testing.T) {
+	v1 := scheduleTestConfig()
+	v2 := scheduleTestConfig()
+	v2.SeedSchedule = SeedScheduleV2
+
+	var v1Trials, v2Trials []TrialResult
+	v1.ResultSink = trialRecorder{&v1Trials}
+	v2.ResultSink = trialRecorder{&v2Trials}
+	v1Stats, err := v1.RunTrials(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := v2.RunTrials(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2.ResultSink = nil
+	four, err := v2.RunTrials(40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, four) {
+		t.Fatalf("v2 RunTrials differs across worker counts:\n1: %+v\n4: %+v", one, four)
+	}
+	if one.Trials != 40 || one.Decided != 40 {
+		t.Fatalf("v2 trials=%d decided=%d, want 40/40", one.Trials, one.Decided)
+	}
+	// Same base seed, different schedule: fingerprints and at least one
+	// trial's round count must diverge.
+	if v1Trials[0].Fingerprint == v2Trials[0].Fingerprint {
+		t.Fatal("v1 and v2 sweeps share a fingerprint")
+	}
+	same := true
+	for i := range v1Trials {
+		if v1Trials[i].Rounds != v2Trials[i].Rounds {
+			same = false
+			break
+		}
+	}
+	if same && reflect.DeepEqual(v1Stats, one) {
+		t.Fatal("v1 and v2 schedules produced identical sweeps at the same seed")
+	}
+}
+
+// TestRunRejectsUnknownSchedule covers configuration validation with the
+// public error prefix.
+func TestRunRejectsUnknownSchedule(t *testing.T) {
+	cfg := scheduleTestConfig()
+	cfg.SeedSchedule = 9
+	_, err := cfg.Run()
+	if err == nil || !strings.Contains(err.Error(), "unknown seed schedule v9") {
+		t.Fatalf("unknown schedule error = %v", err)
+	}
+	if !strings.HasPrefix(err.Error(), "adhocconsensus: ") {
+		t.Fatalf("error lost the public prefix: %v", err)
+	}
+}
+
+// TestReplayRejectsCrossSchedule: a trial recorded under v2 must not replay
+// under a v1 configuration — the fingerprint check catches the skew before
+// anything runs, and the honest same-schedule replay still audits clean.
+func TestReplayRejectsCrossSchedule(t *testing.T) {
+	cfg := scheduleTestConfig()
+	cfg.SeedSchedule = SeedScheduleV2
+	var recorded []TrialResult
+	cfg.ResultSink = trialRecorder{&recorded}
+	if _, err := cfg.RunTrials(8, 0); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ResultSink = nil
+
+	rep, err := cfg.Replay(recorded[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("honest v2 trial failed its audit: mismatch=%q traceErr=%q", rep.Mismatch, rep.TraceError)
+	}
+	rep.Report.Execution.Release()
+
+	v1 := scheduleTestConfig()
+	if _, err := v1.Replay(recorded[2]); err == nil ||
+		!strings.Contains(err.Error(), "recorded under a different configuration") {
+		t.Fatalf("cross-schedule replay error = %v", err)
+	}
+}

@@ -333,6 +333,60 @@ func benchRounds(b *testing.B, goroutines bool, n int, trace engine.TraceMode, w
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalRounds), "ns/round")
 }
 
+// BenchmarkEngineScalingCurves is the multicore scaling matrix the CI
+// benchmark job publishes (BENCH_pr7.json): full-trace round throughput
+// over network size × seed schedule × delivery workers. DeliveryMinProcs
+// is pinned to 1 so every (n, w) point actually exercises the sharded
+// core — auto-off would silently fold small-n points back into w=1 — and
+// the v1 rows price what the sequential schedule leaves on the table: v1
+// plans are drawn outside the pool (order-dependent Rng), v2 plans shard
+// with delivery. On a single-core host all w>1 points measure pure barrier
+// overhead; the scaling shows from GOMAXPROCS >= 4.
+func BenchmarkEngineScalingCurves(b *testing.B) {
+	const roundsPerRun = 256
+	d := valueset.MustDomain(1 << 16)
+	for _, n := range []int{64, 256, 1024} {
+		for _, sched := range []int{1, 2} {
+			for _, w := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("n=%d/sched=v%d/w=%d", n, sched, w), func(b *testing.B) {
+					b.ReportAllocs()
+					totalRounds := 0
+					for i := 0; i < b.N; i++ {
+						procs := make(map[model.ProcessID]model.Automaton, n)
+						initial := make(map[model.ProcessID]model.Value, n)
+						for p := 1; p <= n; p++ {
+							procs[model.ProcessID(p)] = core.NewAlg2(d, model.Value(p*31))
+							initial[model.ProcessID(p)] = model.Value(p * 31)
+						}
+						var adv loss.Adversary
+						if sched == 2 {
+							adv = loss.NewProbabilisticV2(0.3, int64(i))
+						} else {
+							adv = loss.NewProbabilistic(0.3, int64(i))
+						}
+						res, err := engine.Run(engine.Config{
+							Procs:            procs,
+							Initial:          initial,
+							Detector:         detector.New(detector.ZeroOAC, detector.WithRace(roundsPerRun+1)),
+							Loss:             adv,
+							MaxRounds:        roundsPerRun,
+							RunFullHorizon:   true,
+							Trace:            engine.TraceFull,
+							DeliveryWorkers:  w,
+							DeliveryMinProcs: 1,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						totalRounds += res.Rounds
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalRounds), "ns/round")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAlg2Decide measures end-to-end time-to-consensus by |V|.
 func BenchmarkAlg2Decide(b *testing.B) {
 	for _, size := range []uint64{16, 1 << 16, 1 << 32} {

@@ -1,0 +1,254 @@
+// Command benchjson converts `go test -bench` text output into the
+// repository's BENCH_*.json snapshot format, so the CI benchmark job can
+// publish machine-readable scaling curves without hand-editing:
+//
+//	go test -run '^$' -bench BenchmarkEngineScalingCurves -benchmem . \
+//	    | benchjson -key scaling_curves -note "ubuntu-latest, 4 vCPU" \
+//	    > BENCH_pr7.json
+//
+// Every benchmark result line becomes one entry (name, iterations, ns/op,
+// custom metrics like ns/round, B/op, allocs/op), and results whose names
+// carry the scaling-matrix axes (".../sched=vK/w=N") are additionally
+// folded into a v2-over-v1 speedup table per (subbenchmark, workers) point
+// — the number the seed-schedule acceptance criterion reads.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerRound  float64 `json:"ns_per_round,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// speedup is one (benchmark point, workers) row of the v1/v2 comparison.
+type speedup struct {
+	Point        string  `json:"point"`
+	Workers      int     `json:"workers"`
+	V1NsPerRound float64 `json:"v1_ns_per_round"`
+	V2NsPerRound float64 `json:"v2_ns_per_round"`
+	// V2OverV1 is v1 time over v2 time: >1 means v2 is faster.
+	V2OverV1 float64 `json:"v2_over_v1"`
+}
+
+// snapshot is the emitted document; the field order matches the existing
+// BENCH_*.json files.
+type snapshot struct {
+	Generated  string    `json:"generated"`
+	CPU        string    `json:"cpu"`
+	Go         string    `json:"go"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Note       string    `json:"note,omitempty"`
+	Results    []result  `json:"-"`
+	Speedups   []speedup `json:"-"`
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	key := fs.String("key", "results", "JSON key for the parsed result array")
+	note := fs.String("note", "", "free-form provenance note")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snap, err := parse(in)
+	if err != nil {
+		return err
+	}
+	snap.Generated = time.Now().UTC().Format("2006-01-02")
+	snap.Go = runtime.Version()
+	snap.Note = *note
+	return write(out, snap, *key)
+}
+
+// benchLine matches one result line:
+//
+//	BenchmarkX/a=1/w=2-8   100   12345 ns/op   99.5 ns/round   64 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// schedAxes extracts the scaling-matrix axes from a benchmark name:
+// everything but /sched=vK/ names the point, w=N the worker count.
+var schedAxes = regexp.MustCompile(`^(.*)/sched=v(\d+)(.*/w=(\d+).*)$`)
+
+// parse reads `go test -bench` text: the cpu/gomaxprocs header and every
+// result line. Non-benchmark lines (PASS, ok, warmup noise) are skipped.
+func parse(in io.Reader) (*snapshot, error) {
+	snap := &snapshot{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			snap.CPU = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		// The -\d+ suffix the matcher strips is GOMAXPROCS; recover it from
+		// the raw name so the snapshot records the bench host's value.
+		if i := strings.LastIndex(strings.Fields(line)[0], "-"); i > 0 {
+			if p, err := strconv.Atoi(strings.Fields(line)[0][i+1:]); err == nil {
+				snap.GoMaxProcs = p
+			}
+		}
+		r := result{Name: m[1]}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("iterations in %q: %w", line, err)
+		}
+		r.Iterations = n
+		if err := parseMetrics(m[3], &r); err != nil {
+			return nil, fmt.Errorf("metrics in %q: %w", line, err)
+		}
+		snap.Results = append(snap.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines in input")
+	}
+	snap.Speedups = speedups(snap.Results)
+	return snap, nil
+}
+
+// parseMetrics decodes the "value unit" pairs after the iteration count.
+func parseMetrics(s string, r *result) error {
+	fields := strings.Fields(s)
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return err
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "ns/round":
+			r.NsPerRound = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return nil
+}
+
+// speedups folds results named ".../sched=vK/.../w=N" into per-point v2
+// over v1 ratios. Points present under only one schedule are skipped.
+func speedups(results []result) []speedup {
+	type axes struct {
+		point   string
+		workers int
+	}
+	byPoint := make(map[axes]map[int]float64) // sched -> ns/round
+	for _, r := range results {
+		m := schedAxes.FindStringSubmatch(r.Name)
+		if m == nil || r.NsPerRound == 0 {
+			continue
+		}
+		sched, _ := strconv.Atoi(m[2])
+		w, _ := strconv.Atoi(m[4])
+		a := axes{point: m[1] + m[3], workers: w}
+		if byPoint[a] == nil {
+			byPoint[a] = make(map[int]float64)
+		}
+		byPoint[a][sched] = r.NsPerRound
+	}
+	var out []speedup
+	for a, by := range byPoint {
+		v1, ok1 := by[1]
+		v2, ok2 := by[2]
+		if !ok1 || !ok2 {
+			continue
+		}
+		out = append(out, speedup{
+			Point:        a.point,
+			Workers:      a.workers,
+			V1NsPerRound: v1,
+			V2NsPerRound: v2,
+			V2OverV1:     v1 / v2,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Point != out[j].Point {
+			return out[i].Point < out[j].Point
+		}
+		return out[i].Workers < out[j].Workers
+	})
+	return out
+}
+
+// write emits the snapshot with the result array under the chosen key,
+// keeping the stable header field order of the committed BENCH files
+// (generated, cpu, go, gomaxprocs, note, results, speedups) — a map would
+// sort keys alphabetically.
+func write(w io.Writer, snap *snapshot, key string) error {
+	fields := []struct {
+		k string
+		v any
+	}{
+		{"generated", snap.Generated},
+		{"cpu", snap.CPU},
+		{"go", snap.Go},
+		{"gomaxprocs", snap.GoMaxProcs},
+	}
+	if snap.Note != "" {
+		fields = append(fields, struct {
+			k string
+			v any
+		}{"note", snap.Note})
+	}
+	fields = append(fields, struct {
+		k string
+		v any
+	}{key, snap.Results})
+	if len(snap.Speedups) > 0 {
+		fields = append(fields, struct {
+			k string
+			v any
+		}{"speedup_v2_over_v1", snap.Speedups})
+	}
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	for i, f := range fields {
+		b, err := json.MarshalIndent(f.v, "  ", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&buf, "  %q: %s", f.k, b)
+		if i < len(fields)-1 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: adhocconsensus
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineScalingCurves/n=64/sched=v1/w=1-4         	       2	  25143690 ns/op	     98214 ns/round	 6673980 B/op	     151 allocs/op
+BenchmarkEngineScalingCurves/n=64/sched=v1/w=4-4         	       2	  29304673 ns/op	    114466 ns/round	 6869876 B/op	     614 allocs/op
+BenchmarkEngineScalingCurves/n=64/sched=v2/w=1-4         	       2	  23845685 ns/op	     93143 ns/round	 6665324 B/op	     147 allocs/op
+BenchmarkEngineScalingCurves/n=64/sched=v2/w=4-4         	       2	  28224484 ns/op	     57233 ns/round	 6863508 B/op	     610 allocs/op
+BenchmarkEngineRoundThroughput/n=8/decisions/w=1-4       	    7279	    374210 ns/op	      1462 ns/round	    8809 B/op	      49 allocs/op
+PASS
+ok  	adhocconsensus	0.684s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(snap.Results))
+	}
+	if snap.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", snap.CPU)
+	}
+	if snap.GoMaxProcs != 4 {
+		t.Fatalf("gomaxprocs = %d, want 4 (from the -4 name suffix)", snap.GoMaxProcs)
+	}
+	r := snap.Results[0]
+	if r.Name != "BenchmarkEngineScalingCurves/n=64/sched=v1/w=1" ||
+		r.Iterations != 2 || r.NsPerOp != 25143690 || r.NsPerRound != 98214 ||
+		r.BytesPerOp != 6673980 || r.AllocsPerOp != 151 {
+		t.Fatalf("first result parsed as %+v", r)
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Speedups) != 2 {
+		t.Fatalf("speedup rows: %d, want 2 (w=1 and w=4)", len(snap.Speedups))
+	}
+	w4 := snap.Speedups[1]
+	if w4.Workers != 4 || w4.Point != "BenchmarkEngineScalingCurves/n=64/w=4" {
+		t.Fatalf("second row = %+v", w4)
+	}
+	if want := 114466.0 / 57233.0; math.Abs(w4.V2OverV1-want) > 1e-9 {
+		t.Fatalf("v2_over_v1 = %v, want %v", w4.V2OverV1, want)
+	}
+	// The non-matrix result must not produce a row.
+	for _, s := range snap.Speedups {
+		if strings.Contains(s.Point, "RoundThroughput") {
+			t.Fatalf("non-matrix benchmark leaked into the speedup table: %+v", s)
+		}
+	}
+}
+
+func TestEndToEndJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-key", "scaling_curves", "-note", "test host"},
+		strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	for _, key := range []string{"generated", "cpu", "go", "gomaxprocs", "note", "scaling_curves", "speedup_v2_over_v1"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("output missing %q:\n%s", key, out.String())
+		}
+	}
+	if doc["note"] != "test host" {
+		t.Fatalf("note = %v", doc["note"])
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 0.1s\n")); err == nil {
+		t.Fatal("empty bench input accepted")
+	}
+}

@@ -390,7 +390,7 @@ func resumeOutput(path string, segs []segment, skips []int, out io.Writer) (*os.
 			if err := segs[si].verify(m, recs[pos]); err != nil {
 				f.Close()
 				return nil, withExit(exitReject,
-					fmt.Errorf("resume %s: record %d: %v", path, pos+1, err))
+					fmt.Errorf("resume %s: record %d: %w", path, pos+1, err))
 			}
 			m++
 			pos++
@@ -447,6 +447,9 @@ func gridSegment(e experiments.GridExperiment, shard, shards, workers int, timeo
 				return fmt.Errorf("trial %d, expected global index %d", rec.Index, want.Index)
 			case rec.Seed != want.Scenario.Seed:
 				return fmt.Errorf("trial %d seed %d does not match this build's grid (%d)", rec.Index, rec.Seed, want.Scenario.Seed)
+			}
+			if got, exp := rec.Params.SeedScheduleVersion(), params[want.Index].SeedScheduleVersion(); got != exp {
+				return &sink.ScheduleMismatchError{Index: rec.Index, Got: got, Want: exp}
 			}
 			if fp := params[want.Index].Fingerprint(); rec.Fingerprint != fp {
 				return fmt.Errorf("trial %d fingerprint %s does not match this build's grid (%s)", rec.Index, rec.Fingerprint, fp)
@@ -599,6 +602,12 @@ func trialsSegment(cf *cli.ConfigFlags, trials, shard, shards, workers int, time
 			case rec.Seed != sim.TrialSeed(cfg.Seed, 0, want):
 				return fmt.Errorf("trial %d seed %d does not match this configuration's seed schedule (%d)",
 					want, rec.Seed, sim.TrialSeed(cfg.Seed, 0, want))
+			case rec.Params.SeedScheduleVersion() != params.SeedScheduleVersion():
+				return &sink.ScheduleMismatchError{
+					Index: want,
+					Got:   rec.Params.SeedScheduleVersion(),
+					Want:  params.SeedScheduleVersion(),
+				}
 			case rec.Params != params:
 				return fmt.Errorf("trial %d was recorded under different configuration parameters", want)
 			}
@@ -904,6 +913,11 @@ func mergeRender(paths []string, out io.Writer, quiet bool) error {
 func trialResultsOf(recs []sink.Record) ([]adhocconsensus.TrialResult, error) {
 	results, err := sink.Merge(recs)
 	if err != nil {
+		return nil, err
+	}
+	// One sweep runs under one seed schedule; shards recorded under v1 and
+	// v2 are different experiments and must not fold together.
+	if _, err := sink.UniformSeedSchedule(recs); err != nil {
 		return nil, err
 	}
 	// All trials of one configuration share its fingerprint; reject mixed

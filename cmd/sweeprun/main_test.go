@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -429,6 +430,49 @@ func TestMergeRejectsBadShardSets(t *testing.T) {
 	}
 	if err := runCLI([]string{"merge", tr0, sd1}, os.Stdout); err == nil {
 		t.Fatal("merge accepted shards run with different base seeds")
+	}
+}
+
+// TestMergeRejectsMixedSchedules: shards of one configuration recorded
+// under different seed schedules are different experiments; merge must
+// reject the mix with the typed, positioned error (and exit code 4), and a
+// uniform v2 shard set must merge cleanly.
+func TestMergeRejectsMixedSchedules(t *testing.T) {
+	dir := t.TempDir()
+	shard := func(name string, i, k int, extra ...string) string {
+		path := filepath.Join(dir, name)
+		args := append([]string{"run", "-trials", "10", "-shard", fmt.Sprintf("%d/%d", i, k),
+			"-loss", "prob", "-p", "0.4", "-seed", "1", "-o", path}, extra...)
+		if err := runCLI(args, os.Stdout); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return path
+	}
+	v1a := shard("v1a.jsonl", 0, 2)
+	v2b := shard("v2b.jsonl", 1, 2, "-schedule", "2")
+	err := runCLI([]string{"merge", v1a, v2b}, os.Stdout)
+	if err == nil {
+		t.Fatal("merge accepted shards recorded under different seed schedules")
+	}
+	if code := exitCodeOf(err); code != exitReject {
+		t.Fatalf("exit code %d, want %d (reject): %v", code, exitReject, err)
+	}
+	var mismatch *sink.ScheduleMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("mixed-schedule rejection %v is not a *sink.ScheduleMismatchError", err)
+	}
+	if mismatch.Got == mismatch.Want {
+		t.Fatalf("degenerate mismatch %+v", mismatch)
+	}
+
+	// A complete, uniform v2 shard set is a legitimate sweep and merges.
+	v2a := shard("v2a.jsonl", 0, 2, "-schedule", "2")
+	var out strings.Builder
+	if err := runCLI([]string{"merge", v2a, v2b}, &out); err != nil {
+		t.Fatalf("uniform v2 merge failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "trials") {
+		t.Fatalf("v2 merge printed no trials summary:\n%s", out.String())
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -169,6 +170,8 @@ func TestResumeRejectsMismatches(t *testing.T) {
 		want string
 	}{
 		{"seed", replace(trialsFlags, "-seed", "12"), "seed schedule"},
+		{"schedule", append(append([]string(nil), trialsFlags...), "-schedule", "2"),
+			"recorded under seed schedule v1, expected v2"},
 		{"config", replace(trialsFlags, "-p", "0.5"), "different configuration parameters"},
 		{"surplus", replace(trialsFlags, "-trials", "20"), "beyond what this invocation produces"},
 		{"experiment", []string{"-exp", "T9", "-shard", "0/1"}, "record belongs to"},
@@ -188,6 +191,17 @@ func TestResumeRejectsMismatches(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("rejection %v does not name the mismatch (%q)", err, tc.want)
+			}
+			if tc.name == "schedule" {
+				// Schedule skew surfaces as the typed, positioned error so
+				// tooling can classify it without string matching.
+				var mismatch *sink.ScheduleMismatchError
+				if !errors.As(err, &mismatch) {
+					t.Fatalf("schedule rejection %v is not a *sink.ScheduleMismatchError", err)
+				}
+				if mismatch.Got != 1 || mismatch.Want != 2 {
+					t.Fatalf("schedule mismatch %+v, want got=1 want=2", mismatch)
+				}
 			}
 		})
 	}

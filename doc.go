@@ -62,13 +62,20 @@
 //     from 4065). Views materialize lazily through the model accessors;
 //     Execution.MaterializeRounds is the escape hatch back to the legacy
 //     []Round shape;
-//   - parallel delivery: Config.DeliveryWorkers (engine.Config
+//   - parallel round core: Config.DeliveryWorkers (engine.Config
 //     .DeliveryWorkers) shards each round's O(n·senders) delivery loop
 //     across a worker pool for large systems — intra-run parallelism
 //     complementing the sweep runner's cross-trial parallelism — with
-//     decisions and traces byte-identical at any worker count; it
-//     auto-disables below 64 processes and for order-dependent detector
-//     behaviors or bespoke adversaries.
+//     decisions and traces byte-identical at any worker count; under
+//     SeedScheduleV2 the same pool also fills the adversary's loss plan
+//     and generates the round's messages, making the whole round body
+//     parallel. DeliveryWorkersAuto sizes the pool from a one-time
+//     startup calibration (engine.Calibrate measures this host's
+//     shard-barrier cost against its per-row fill cost and derives both
+//     the worker count and the auto-off system-size threshold); the
+//     sharded path still auto-disables for order-dependent components
+//     (v1 adversaries draw their plans sequentially outside the pool, a
+//     detector with FalsePositiveRate noise keeps sequential delivery).
 //
 // Headline numbers from BenchmarkEngineRoundThroughput (Algorithm 2, 8
 // processes, 30% probabilistic loss, 256 rounds/run, one 2.7GHz core),
@@ -85,9 +92,12 @@
 // streaming-sink subsystem and the message-recycling satellite,
 // BENCH_pr4.json after the columnar trace arena and parallel delivery core
 // (benchmark matrix now n = 8/64/256/1024 × trace mode × worker count),
-// BENCH_pr5.json after the replay subsystem, and BENCH_pr6.json after the
+// BENCH_pr5.json after the replay subsystem, BENCH_pr6.json after the
 // crash-safety layer (same-box A/B: healthy-path cost within noise, alloc
-// counts unchanged).
+// counts unchanged), and BENCH_pr7.json after the seed-schedule-v2
+// parallel round core (BenchmarkEngineScalingCurves: w × n × schedule,
+// with the v2-over-v1 speedup table CI regenerates on a multicore
+// runner).
 //
 // # Scenario sweeps
 //
@@ -104,6 +114,33 @@
 // Config.RunTrials exposes the parallel path publicly (cmd/consensus-sim
 // -trials/-parallel); every experiment table in internal/experiments is a
 // scenario grid on the same runner (cmd/benchtab -workers).
+//
+// # Seed schedules
+//
+// A seed schedule is the rule by which a trial's seed expands into the
+// loss adversary's per-round random draws (detector noise and backoff are
+// unaffected). Config.SeedSchedule selects it:
+//
+//   - SeedScheduleV1 (the default; 0 means v1) is the historical
+//     sequential schedule: one generator per adversary, advanced draw by
+//     draw in receiver-major order. Order-dependent by construction, so
+//     the plan must be drawn single-threaded — but byte-identical to
+//     every recording made before schedules were versioned.
+//   - SeedScheduleV2 is the counter-based schedule (internal/seedstream):
+//     splitmix64's finalizer keys an independent stream per (trial seed,
+//     round, receiver), and the i-th draw of a stream is a pure function
+//     At(key, i) of its index. A receiver's loss row can therefore be
+//     filled at any time, in any order, by any worker — which is what
+//     lets the delivery pool fill the plan in shards — and the result is
+//     byte-identical at every worker count, goroutine runtime included.
+//
+// The schedule version is part of a recording's identity: sim.Scenario
+// and sink.Params carry it, fingerprints differ between versions (v1
+// fingerprints are unchanged, pinned by golden test), and "sweeprun
+// merge"/-resume reject mixed-schedule inputs with a typed, positioned
+// error (sink.ScheduleMismatchError) — v1 and v2 draws differ, so their
+// trials are different experiments even at the same seed. v1 remains
+// fully selectable for byte-identical replay of historical recordings.
 //
 // # Streaming sinks and sharded sweeps
 //

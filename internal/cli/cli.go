@@ -78,6 +78,7 @@ type ConfigFlags struct {
 	FPRate    *float64
 	Backoff   *bool
 	Seed      *int64
+	Schedule  *int
 	MaxRounds *int
 }
 
@@ -95,6 +96,7 @@ func RegisterConfig(fs *flag.FlagSet) *ConfigFlags {
 		FPRate:    fs.Float64("fp", 0, "detector false positive rate before stabilization"),
 		Backoff:   fs.Bool("backoff", false, "use the backoff contention manager instead of a pinned wake-up service"),
 		Seed:      fs.Int64("seed", 1, "seed for all randomized components"),
+		Schedule:  fs.Int("schedule", 1, "seed schedule: 1 (sequential, historical) | 2 (counter-based, order-free)"),
 		MaxRounds: fs.Int("rounds", 100000, "maximum rounds to execute"),
 	}
 }
@@ -126,6 +128,7 @@ func (f *ConfigFlags) Config() (adhocconsensus.Config, error) {
 		DetectorRace:      *f.CST,
 		FalsePositiveRate: *f.FPRate,
 		Seed:              *f.Seed,
+		SeedSchedule:      *f.Schedule,
 		MaxRounds:         *f.MaxRounds,
 	}
 	if *f.Backoff {
@@ -164,7 +167,7 @@ func RecordParams(c adhocconsensus.Config) sink.Params {
 	if c.DetectorClass != (adhocconsensus.DetectorClass{}) {
 		det = c.DetectorClass.Name
 	}
-	return sink.Params{
+	p := sink.Params{
 		Algorithm: algs[c.Algorithm],
 		N:         len(c.Values),
 		Domain:    c.Domain,
@@ -181,6 +184,10 @@ func RecordParams(c adhocconsensus.Config) sink.Params {
 		Trace:     "decisions", // multi-trial runs never record views
 		SweepSeed: c.Seed,
 	}
+	if c.SeedSchedule > 1 {
+		p.SeedSchedule = c.SeedSchedule
+	}
+	return p
 }
 
 // PrintTrialStats writes the multi-trial summary block in the format

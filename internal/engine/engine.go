@@ -99,17 +99,20 @@ type Config struct {
 	RunFullHorizon bool
 	// Trace selects full view recording (default) or decisions-only.
 	Trace TraceMode
-	// DeliveryWorkers shards each round's delivery loop across up to this
-	// many goroutines. 0 or 1 runs sequentially. The parallel path requires
-	// automata free of shared mutable state (sim.Scenario guarantees this)
-	// and engages only when the detector and adversary are order-independent
+	// DeliveryWorkers shards each round's delivery loop — plus message
+	// generation and, for ShardedPlanner adversaries, the loss-plan fill —
+	// across up to this many goroutines. 0 or 1 runs sequentially;
+	// DeliveryWorkersAuto picks the count from the host calibration
+	// (Calibrate). The parallel path requires automata free of shared
+	// mutable state (sim.Scenario guarantees this) and engages only when
+	// the detector and adversary are order-independent
 	// (detector.ConcurrentBehavior / loss.ConcurrentPlanner) and the system
 	// has at least DeliveryMinProcs processes; decisions and traces are
 	// byte-identical to the sequential path at any worker count.
 	DeliveryWorkers int
 	// DeliveryMinProcs is the smallest system the parallel delivery path
-	// engages for (0 selects DefaultDeliveryMinProcs). Below it the round
-	// barrier costs more than the sharded loop saves.
+	// engages for (0 selects the calibrated threshold, Calibrate().MinProcs).
+	// Below it the round barrier costs more than the sharded loop saves.
 	DeliveryMinProcs int
 	// Stop, when non-nil, is polled once per round: the run aborts with an
 	// error wrapping ErrStopped as soon as it reads true. It is the
@@ -153,9 +156,10 @@ func NewPanicError(v any) *PanicError {
 	return &PanicError{Value: v, Stack: debug.Stack()}
 }
 
-// DefaultDeliveryMinProcs is the default auto-off threshold for parallel
-// delivery: systems smaller than this run the sequential loop even when
-// DeliveryWorkers is set.
+// DefaultDeliveryMinProcs is the auto-off threshold for parallel delivery
+// on hosts where calibration is meaningless (GOMAXPROCS=1) or has not run:
+// systems smaller than this run the sequential loop even when
+// DeliveryWorkers is set. Multi-core hosts refine it via Calibrate.
 const DefaultDeliveryMinProcs = 64
 
 // Result reports the outcome of an execution.
@@ -188,6 +192,7 @@ type runState struct {
 	sendOrd    []int               // procs[i]'s position in senders, -1 if silent
 	senders    []model.ProcessID   // this round's broadcasters, sorted
 	senderMsgs []model.Message     // senders' messages, parallel to senders
+	msgs       []*model.Message    // per-index Message results (parallel path only)
 	recvs      []*model.RecvSet    // pooled receive sets, reset every round
 	recvBuf    [][]model.RecvEntry // per-process arena snapshots (TraceFull)
 }
@@ -237,12 +242,15 @@ var recvPool = sync.Pool{New: func() any { return multiset.New[model.Message]() 
 // package applies the identical rule.
 func ResolveDeliveryWorkers(cfg *Config, n int, det *detector.Detector, adversary loss.Adversary) int {
 	w := cfg.DeliveryWorkers
+	if w == DeliveryWorkersAuto {
+		w = Calibrate().Workers
+	}
 	if w <= 1 {
 		return 1
 	}
 	minProcs := cfg.DeliveryMinProcs
 	if minProcs <= 0 {
-		minProcs = DefaultDeliveryMinProcs
+		minProcs = Calibrate().MinProcs
 	}
 	if n < minProcs {
 		return 1
@@ -314,9 +322,10 @@ func Run(cfg Config) (*Result, error) {
 	// implementation would observe the same thing. The closure reads the
 	// loop's round variable, so it is allocated once per run.
 	var (
-		r    int
-		row  int               // open arena row (TraceFull)
-		plan loss.DeliveryFunc // this round's delivery plan
+		r        int
+		row      int               // open arena row (TraceFull)
+		plan     loss.DeliveryFunc // this round's delivery plan
+		planFill func(lo, hi int)  // this round's shard-parallel plan filler
 	)
 	aliveForCM := func(id model.ProcessID) bool {
 		i := st.index[id]
@@ -377,9 +386,49 @@ func Run(cfg Config) (*Result, error) {
 			st.autos[i].Deliver(r, recv, advice, st.cm[i])
 		}
 	}
+	// genMessages performs the per-process half of message generation for
+	// indices [lo, hi): each automaton's Message call writes its own msgs
+	// slot, so disjoint ranges are independent and the shard pool runs them
+	// concurrently. The ordered sender gather stays sequential on the
+	// coordinator, so the senders table is byte-identical to the
+	// sequential path's.
+	genMessages := func(lo, hi int) {
+		r := r
+		for i := lo; i < hi; i++ {
+			st.msgs[i] = nil
+			if st.sched.CrashedForSend(i, r) || st.halted[i] {
+				continue
+			}
+			st.msgs[i] = st.autos[i].Message(r, st.cm[i])
+		}
+	}
+
+	// The pool runs one phase at a time — message generation, plan fill,
+	// delivery — dispatched through a coordinator-owned phase variable.
+	// Run's channel handshake orders the coordinator's phase write before
+	// any worker's read, so a single pool (and one barrier discipline)
+	// serves all three phases.
+	const (
+		phaseDeliver = iota
+		phaseMessage
+		phasePlan
+	)
+	phase := phaseDeliver
 	var pool *ShardPool
+	var shardedAdv loss.ShardedPlanner
 	if parallel {
-		pool = NewShardPool(workers, deliver)
+		st.msgs = make([]*model.Message, len(st.procs))
+		shardedAdv, _ = adversary.(loss.ShardedPlanner)
+		pool = NewShardPool(workers, func(lo, hi int) {
+			switch phase {
+			case phaseMessage:
+				genMessages(lo, hi)
+			case phasePlan:
+				planFill(lo, hi)
+			default:
+				deliver(lo, hi)
+			}
+		})
 		defer pool.Close()
 	}
 
@@ -399,22 +448,53 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		// Message generation (the msg function of Definition 1). Iterating
-		// the sorted table keeps senders sorted with no extra pass.
+		// the sorted table keeps senders sorted with no extra pass. On the
+		// parallel path the Message calls shard across the pool and only the
+		// ordered gather stays sequential; the automata are per-process
+		// state machines (the same independence delivery already relies on),
+		// so the gathered sender table is identical either way.
 		st.senders = st.senders[:0]
 		st.senderMsgs = st.senderMsgs[:0]
-		for i, id := range st.procs {
-			st.sendOrd[i] = -1
-			if st.sched.CrashedForSend(i, r) || st.halted[i] {
-				continue
+		if pool != nil {
+			phase = phaseMessage
+			pool.Run(len(st.procs))
+			for i, id := range st.procs {
+				st.sendOrd[i] = -1
+				if m := st.msgs[i]; m != nil {
+					st.sendOrd[i] = len(st.senders)
+					st.senders = append(st.senders, id)
+					st.senderMsgs = append(st.senderMsgs, *m)
+				}
 			}
-			if m := st.autos[i].Message(r, st.cm[i]); m != nil {
-				st.sendOrd[i] = len(st.senders)
-				st.senders = append(st.senders, id)
-				st.senderMsgs = append(st.senderMsgs, *m)
+		} else {
+			for i, id := range st.procs {
+				st.sendOrd[i] = -1
+				if st.sched.CrashedForSend(i, r) || st.halted[i] {
+					continue
+				}
+				if m := st.autos[i].Message(r, st.cm[i]); m != nil {
+					st.sendOrd[i] = len(st.senders)
+					st.senders = append(st.senders, id)
+					st.senderMsgs = append(st.senderMsgs, *m)
+				}
 			}
 		}
 
-		plan = adversary.Plan(r, st.senders, st.procs)
+		// Adversary planning: ShardedPlanner adversaries running a
+		// counter-based schedule hand back a row filler that shards across
+		// the same pool (nil fill — constant plans, v1 schedules — means the
+		// plan is already complete); everything else plans inline.
+		if shardedAdv != nil {
+			var fill func(lo, hi int)
+			fill, plan = shardedAdv.PlanShards(r, st.senders, st.procs)
+			if fill != nil {
+				planFill = fill
+				phase = phasePlan
+				pool.Run(len(st.procs))
+			}
+		} else {
+			plan = adversary.Plan(r, st.senders, st.procs)
+		}
 
 		// Delivery, collision advice, arena recording, and state
 		// transitions: sequential, or sharded over the pool for large
@@ -424,6 +504,7 @@ func Run(cfg Config) (*Result, error) {
 			row = arena.BeginRound(r, len(st.senders))
 		}
 		if pool != nil {
+			phase = phaseDeliver
 			pool.Run(len(st.procs))
 		} else {
 			deliver(0, len(st.procs))

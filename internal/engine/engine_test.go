@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -811,10 +812,94 @@ func TestParallelDeliveryMatchesSequential(t *testing.T) {
 	}
 }
 
+// pinCalibration overrides the host calibration for the test's duration so
+// threshold assertions do not depend on the machine running them.
+func pinCalibration(t *testing.T, c Calibration) {
+	t.Helper()
+	calibrationOverride.Store(&c)
+	t.Cleanup(func() { calibrationOverride.Store(nil) })
+}
+
+// TestScheduleV2ParallelMatchesSequential is the v2 half of the
+// equivalence suite: under the counter-based seed schedule the loss plan
+// and message generation shard across the pool alongside delivery, and the
+// result must still be byte-identical to the v2 sequential path at every
+// worker count — decisions AND full traces, with crashes in the schedule.
+func TestScheduleV2ParallelMatchesSequential(t *testing.T) {
+	cfgAt := func(trace TraceMode, workers int) Config {
+		cfg := parallelConfig(9, trace, workers)
+		cfg.Loss = loss.ECF{Base: loss.NewProbabilisticV2(0.35, 41), From: 9}
+		return cfg
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, trace := range []TraceMode{TraceFull, TraceDecisionsOnly} {
+		name := map[TraceMode]string{TraceFull: "full", TraceDecisionsOnly: "decisions"}[trace]
+		t.Run(name, func(t *testing.T) {
+			seq, err := Run(cfgAt(trace, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range workerCounts {
+				par, err := Run(cfgAt(trace, workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.Rounds != seq.Rounds || par.AllDecided != seq.AllDecided {
+					t.Fatalf("workers=%d: rounds/AllDecided = %d/%v, sequential %d/%v",
+						workers, par.Rounds, par.AllDecided, seq.Rounds, seq.AllDecided)
+				}
+				for id, d := range seq.Decisions {
+					if par.Decisions[id] != d {
+						t.Fatalf("workers=%d: process %d decided %v, sequential %v", workers, id, par.Decisions[id], d)
+					}
+				}
+				if trace == TraceFull {
+					var sb, pb strings.Builder
+					if err := seq.Execution.WriteJSON(&sb); err != nil {
+						t.Fatal(err)
+					}
+					if err := par.Execution.WriteJSON(&pb); err != nil {
+						t.Fatal(err)
+					}
+					if sb.String() != pb.String() {
+						t.Fatalf("workers=%d: v2 parallel trace export differs from v2 sequential", workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScheduleV2DiffersFromV1 guards against the schedules silently
+// aliasing: with the same seed and configuration, v1 and v2 draw different
+// loss patterns, so the recorded full traces (which capture every receive
+// set) must differ.
+func TestScheduleV2DiffersFromV1(t *testing.T) {
+	render := func(adv loss.Adversary) string {
+		cfg := parallelConfig(9, TraceFull, 1)
+		cfg.Loss = loss.ECF{Base: adv, From: 9}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := res.Execution.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render(loss.NewProbabilistic(0.35, 41)) == render(loss.NewProbabilisticV2(0.35, 41)) {
+		t.Fatal("v1 and v2 schedules produced byte-identical full traces under the same seed")
+	}
+}
+
 // TestResolveDeliveryWorkers pins the auto-off rules: order-dependent
 // detectors and adversaries, small systems, and workers<=1 all fall back to
-// the sequential path; eligible configurations are capped at n.
+// the sequential path; eligible configurations are capped at n. The host
+// calibration is pinned to the historical defaults so the thresholds under
+// test are exact.
 func TestResolveDeliveryWorkers(t *testing.T) {
+	pinCalibration(t, Calibration{Workers: 4, MinProcs: DefaultDeliveryMinProcs})
 	honest := detector.New(detector.ZeroOAC)
 	noisy := detector.New(detector.ZeroOAC, detector.WithBehavior(detector.Noisy{P: 0.5}))
 	safeLoss := loss.NewProbabilistic(0.3, 1)
@@ -836,9 +921,37 @@ func TestResolveDeliveryWorkers(t *testing.T) {
 		{"bespoke loss falls back", Config{DeliveryWorkers: 4}, 256, honest, bespoke, 1},
 		{"ecf over safe base", Config{DeliveryWorkers: 4}, 256, honest, loss.ECF{Base: safeLoss, From: 3}, 4},
 		{"ecf over bespoke base", Config{DeliveryWorkers: 4}, 256, honest, loss.ECF{Base: bespoke, From: 3}, 1},
+		{"auto resolves calibrated workers", Config{DeliveryWorkers: DeliveryWorkersAuto}, 256, honest, safeLoss, 4},
+		{"auto below calibrated threshold", Config{DeliveryWorkers: DeliveryWorkersAuto}, 63, honest, safeLoss, 1},
 	} {
 		if got := ResolveDeliveryWorkers(&tc.cfg, tc.n, tc.det, tc.adv); got != tc.want {
 			t.Errorf("%s: workers = %d, want %d", tc.name, got, tc.want)
 		}
+	}
+}
+
+// TestCalibrateProfile sanity-checks the measured host profile: a
+// single-thread host calibrates to the sequential path with the historical
+// threshold; a multi-core host reports a bounded worker count and a
+// threshold inside the clamp range with positive measurements behind it.
+func TestCalibrateProfile(t *testing.T) {
+	c := Calibrate()
+	if c.Workers < 1 || c.Workers > 8 {
+		t.Fatalf("calibrated Workers = %d, want 1..8", c.Workers)
+	}
+	if c.Workers == 1 {
+		if c.MinProcs != DefaultDeliveryMinProcs {
+			t.Fatalf("sequential host calibrated MinProcs = %d, want %d", c.MinProcs, DefaultDeliveryMinProcs)
+		}
+		return
+	}
+	if c.MinProcs < 16 || c.MinProcs > 4096 {
+		t.Fatalf("calibrated MinProcs = %d, want within [16, 4096]", c.MinProcs)
+	}
+	if c.BarrierNs <= 0 || c.StepNs <= 0 {
+		t.Fatalf("calibration measurements BarrierNs=%v StepNs=%v, want both positive", c.BarrierNs, c.StepNs)
+	}
+	if again := Calibrate(); again != c {
+		t.Fatalf("Calibrate not cached: %+v then %+v", c, again)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"slices"
 
 	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/seedstream"
 )
 
 // DeliveryFunc reports whether receiver hears sender's broadcast in the
@@ -53,6 +54,30 @@ func ConcurrentSafe(a Adversary) bool {
 		_, ok := a.(ConcurrentPlanner)
 		return ok
 	}
+}
+
+// ShardedPlanner is implemented by adversaries whose per-round plan can be
+// filled shard-parallel. PlanShards prepares the round and returns a fill
+// function plus the DeliveryFunc reading the finished plan:
+//
+//   - fill(lo, hi) draws the loss rows of receivers procs[lo:hi]. Distinct
+//     shards touch disjoint state, so the engines run fill concurrently
+//     over a partition of [0, len(procs)) — alongside the delivery shards'
+//     other per-receiver work — and consult fn only after every shard
+//     completes.
+//   - A nil fill means the plan is already complete: constant plans, ECF
+//     short-circuit rounds, and v1 (sequential-schedule) adversaries, whose
+//     draws are order-dependent and therefore performed inside PlanShards
+//     itself.
+//
+// PlanShards must be equivalent to Plan: calling fill(0, len(procs)) inline
+// yields the same plan Plan would have produced. The engines consult it
+// only for adversaries that already pass the ConcurrentSafe gate; it is
+// deliberately not bundled with the ConcurrentPlanner marker so that
+// wrappers like ECF can forward sharding without asserting safety.
+type ShardedPlanner interface {
+	Adversary
+	PlanShards(r int, senders, procs []model.ProcessID) (fill func(lo, hi int), fn DeliveryFunc)
 }
 
 // deliverAll is the everything-arrives plan.
@@ -118,42 +143,194 @@ func (e ECF) Plan(r int, senders, procs []model.ProcessID) DeliveryFunc {
 	return base.Plan(r, senders, procs)
 }
 
+// PlanShards implements ShardedPlanner by forwarding to the base adversary.
+// Collision-free rounds short-circuit to the constant plan without
+// consulting the base, so — exactly as under Plan — they consume no draws.
+func (e ECF) PlanShards(r int, senders, procs []model.ProcessID) (func(lo, hi int), DeliveryFunc) {
+	if r >= e.From && len(senders) == 1 {
+		return nil, deliverAll
+	}
+	base := e.Base
+	if base == nil {
+		base = None{}
+	}
+	if sp, ok := base.(ShardedPlanner); ok {
+		return sp.PlanShards(r, senders, procs)
+	}
+	return nil, base.Plan(r, senders, procs)
+}
+
+// denseIndex maps process IDs to plan-row offsets in O(1) when the process
+// set is a contiguous ID range (the common case: sim materializes processes
+// 1..n). It replaces the per-delivery binary-search pair on the hottest
+// path; non-contiguous sets and foreign IDs fall back to binary search with
+// the exact same semantics.
+type denseIndex struct {
+	on   bool
+	base model.ProcessID // procs[0] when on
+	span int             // len(procs) when on
+	sidx []int32         // sender index by ID offset, -1 = not a sender
+}
+
+// build prepares the index for this round's (senders, procs); it degrades
+// to the binary-search fallback (on=false) when procs are non-contiguous or
+// a sender falls outside their range.
+func (d *denseIndex) build(senders, procs []model.ProcessID) {
+	d.on = false
+	n := len(procs)
+	if n == 0 || int(procs[n-1])-int(procs[0]) != n-1 {
+		return
+	}
+	if cap(d.sidx) < n {
+		d.sidx = make([]int32, n)
+	}
+	d.sidx = d.sidx[:n]
+	for i := range d.sidx {
+		d.sidx[i] = -1
+	}
+	for j, snd := range senders {
+		off := int(snd) - int(procs[0])
+		if off < 0 || off >= n {
+			return
+		}
+		d.sidx[off] = int32(j)
+	}
+	d.base = procs[0]
+	d.span = n
+	d.on = true
+}
+
+// receiver returns rcv's row index in procs.
+func (d *denseIndex) receiver(rcv model.ProcessID, procs []model.ProcessID) (int, bool) {
+	if d.on {
+		off := int(rcv) - int(d.base)
+		if off < 0 || off >= d.span {
+			return 0, false
+		}
+		return off, true
+	}
+	return slices.BinarySearch(procs, rcv)
+}
+
+// sender returns snd's column index in senders.
+func (d *denseIndex) sender(snd model.ProcessID, senders []model.ProcessID) (int, bool) {
+	if d.on {
+		off := int(snd) - int(d.base)
+		if off < 0 || off >= d.span || d.sidx[off] < 0 {
+			return 0, false
+		}
+		return int(d.sidx[off]), true
+	}
+	return slices.BinarySearch(senders, snd)
+}
+
 // Probabilistic loses each (receiver, sender) delivery independently with
 // probability P, matching the empirical 20–50% loss rates cited in
-// Section 1.1. Draws are made in deterministic order, so runs with equal
-// seeds are identical.
+// Section 1.1.
+//
+// Under the default v1 seed schedule, draws come from Rng in deterministic
+// iteration order (receivers outer, senders inner, self-pairs skipped) —
+// identical to every earlier version, so equal seeds keep producing
+// identical executions. Under seedstream.V2 the adversary instead reads the
+// counter stream keyed by (Seed, round, receiver): each receiver's row is
+// an independent, order-free sequence, so shards fill disjoint receiver
+// ranges concurrently via PlanShards.
 //
 // The adversary reuses an internal loss matrix and its DeliveryFunc between
 // rounds — steady-state Plan calls allocate nothing — so the func returned
 // by Plan is valid only until the next Plan call.
 type Probabilistic struct {
 	P   float64
-	Rng *rand.Rand
+	Rng *rand.Rand // v1 draw source; unused under V2
 
+	// Schedule selects the seed schedule (seedstream.V1 when zero); Seed
+	// keys the V2 counter streams and is unused under v1.
+	Schedule int
+	Seed     int64
+
+	round   int
 	lost    []bool // len(procs)×len(senders) scratch, row-major by receiver
 	procs   []model.ProcessID
 	senders []model.ProcessID
-	fn      DeliveryFunc // cached closure over the scratch state
+	dense   denseIndex
+	fn      DeliveryFunc     // cached closure over the scratch state
+	fill    func(lo, hi int) // cached V2 row filler
 }
 
 // NewProbabilistic returns a probabilistic adversary with its own seeded
-// generator.
+// generator (seed schedule v1).
 func NewProbabilistic(p float64, seed int64) *Probabilistic {
 	return &Probabilistic{P: p, Rng: rand.New(rand.NewSource(seed))}
 }
 
-// Plan implements Adversary. Draw order (receivers outer, senders inner,
-// self-pairs skipped) is identical to every earlier version, so equal seeds
-// keep producing identical executions.
-func (a *Probabilistic) Plan(_ int, senders, procs []model.ProcessID) DeliveryFunc {
-	k := len(senders)
-	need := len(procs) * k
+// NewProbabilisticV2 returns a probabilistic adversary drawing from the
+// seed-schedule-v2 counter streams keyed by seed.
+func NewProbabilisticV2(p float64, seed int64) *Probabilistic {
+	return &Probabilistic{P: p, Seed: seed, Schedule: seedstream.V2}
+}
+
+// begin sizes the round's scratch and caches the plan closures.
+func (a *Probabilistic) begin(r int, senders, procs []model.ProcessID) {
+	need := len(procs) * len(senders)
 	if cap(a.lost) < need {
 		a.lost = make([]bool, need)
 	}
-	lost := a.lost[:need]
+	a.lost = a.lost[:need]
+	a.round = r
+	a.procs = procs
+	a.senders = senders
+	a.dense.build(senders, procs)
+	if a.fn == nil {
+		a.fn = func(rcv, snd model.ProcessID) bool {
+			i, ok1 := a.dense.receiver(rcv, a.procs)
+			j, ok2 := a.dense.sender(snd, a.senders)
+			if !ok1 || !ok2 {
+				return true
+			}
+			return !a.lost[i*len(a.senders)+j]
+		}
+	}
+	if a.fill == nil {
+		a.fill = func(lo, hi int) {
+			k := len(a.senders)
+			for i := lo; i < hi; i++ {
+				rcv := a.procs[i]
+				row := a.lost[i*k : (i+1)*k]
+				key := seedstream.Key(a.Seed, a.round, uint64(rcv))
+				for j, snd := range a.senders {
+					if rcv == snd {
+						row[j] = false
+						continue
+					}
+					// Draw j of the receiver's stream, self-pairs included in
+					// the indexing: the row is a pure function of (key, j).
+					row[j] = seedstream.Float64At(key, j) < a.P
+				}
+			}
+		}
+	}
+}
+
+// Plan implements Adversary.
+func (a *Probabilistic) Plan(r int, senders, procs []model.ProcessID) DeliveryFunc {
+	fill, fn := a.PlanShards(r, senders, procs)
+	if fill != nil {
+		fill(0, len(procs))
+	}
+	return fn
+}
+
+// PlanShards implements ShardedPlanner. Under V2 it returns the
+// counter-stream row filler; under v1 the order-dependent Rng draws happen
+// here, sequentially, and the returned fill is nil.
+func (a *Probabilistic) PlanShards(r int, senders, procs []model.ProcessID) (func(lo, hi int), DeliveryFunc) {
+	a.begin(r, senders, procs)
+	if seedstream.Normalize(a.Schedule) == seedstream.V2 {
+		return a.fill, a.fn
+	}
+	k := len(senders)
 	for i, rcv := range procs {
-		row := lost[i*k : (i+1)*k]
+		row := a.lost[i*k : (i+1)*k]
 		for j, snd := range senders {
 			if rcv == snd {
 				row[j] = false
@@ -162,20 +339,7 @@ func (a *Probabilistic) Plan(_ int, senders, procs []model.ProcessID) DeliveryFu
 			row[j] = a.Rng.Float64() < a.P
 		}
 	}
-	a.lost = lost
-	a.procs = procs
-	a.senders = senders
-	if a.fn == nil {
-		a.fn = func(rcv, snd model.ProcessID) bool {
-			i, ok1 := slices.BinarySearch(a.procs, rcv)
-			j, ok2 := slices.BinarySearch(a.senders, snd)
-			if !ok1 || !ok2 {
-				return true
-			}
-			return !a.lost[i*len(a.senders)+j]
-		}
-	}
-	return a.fn
+	return nil, a.fn
 }
 
 // ConcurrentPlan marks the delivery func — a pure read of the loss matrix
@@ -192,40 +356,118 @@ func (*Probabilistic) ConcurrentPlan() {}
 // Like Probabilistic, the adversary keeps a dense per-receiver scratch (the
 // index of the captured sender) and a cached DeliveryFunc between rounds,
 // so steady-state Plan calls allocate nothing; the func returned by Plan is
-// valid only until the next Plan call.
+// valid only until the next Plan call. Under the v1 schedule, draws come
+// from Rng in deterministic order (one Float64 per receiver, plus an Intn
+// sender pick for capturing receivers in a collision, lone senders skipping
+// their own draw) — identical to every earlier version. Under seedstream.V2
+// each receiver draws from its own (Seed, round, receiver) counter stream,
+// so PlanShards fills receiver ranges concurrently.
 type Capture struct {
-	PNone     float64 // probability a receiver captures nothing in a collision
-	PLoneLoss float64 // probability a lone broadcast is lost at a receiver
-	Rng       *rand.Rand
+	PNone     float64    // probability a receiver captures nothing in a collision
+	PLoneLoss float64    // probability a lone broadcast is lost at a receiver
+	Rng       *rand.Rand // v1 draw source; unused under V2
 
+	// Schedule selects the seed schedule (seedstream.V1 when zero); Seed
+	// keys the V2 counter streams and is unused under v1.
+	Schedule int
+	Seed     int64
+
+	round   int
 	lone    bool    // this round has a single sender
 	capt    []int32 // per-receiver captured sender index, -1 = nothing
 	procs   []model.ProcessID
 	senders []model.ProcessID
-	fn      DeliveryFunc // cached closure over the scratch state
+	dense   denseIndex
+	fn      DeliveryFunc     // cached closure over the scratch state
+	fill    func(lo, hi int) // cached V2 row filler
 }
 
 // NewCapture returns a capture-effect adversary with its own seeded
-// generator.
+// generator (seed schedule v1).
 func NewCapture(pNone, pLoneLoss float64, seed int64) *Capture {
 	return &Capture{PNone: pNone, PLoneLoss: pLoneLoss, Rng: rand.New(rand.NewSource(seed))}
 }
 
-// Plan implements Adversary. Draw order (one Float64 per receiver, plus an
-// Intn sender pick for capturing receivers in a collision, lone senders
-// skipping their own draw) is identical to every earlier version, so equal
-// seeds keep producing identical executions.
-func (a *Capture) Plan(_ int, senders, procs []model.ProcessID) DeliveryFunc {
-	if len(senders) == 0 {
-		return deliverNone
-	}
+// NewCaptureV2 returns a capture-effect adversary drawing from the
+// seed-schedule-v2 counter streams keyed by seed.
+func NewCaptureV2(pNone, pLoneLoss float64, seed int64) *Capture {
+	return &Capture{PNone: pNone, PLoneLoss: pLoneLoss, Seed: seed, Schedule: seedstream.V2}
+}
+
+// begin sizes the round's scratch and caches the plan closures.
+func (a *Capture) begin(r int, senders, procs []model.ProcessID) {
 	if cap(a.capt) < len(procs) {
 		a.capt = make([]int32, len(procs))
 	}
 	a.capt = a.capt[:len(procs)]
+	a.round = r
 	a.procs = procs
 	a.senders = senders
 	a.lone = len(senders) == 1
+	a.dense.build(senders, procs)
+	if a.fn == nil {
+		a.fn = func(rcv, snd model.ProcessID) bool {
+			i, ok := a.dense.receiver(rcv, a.procs)
+			if a.lone {
+				// A lone broadcast either arrives or not, regardless of the
+				// queried sender (mirroring the engine, which only asks about
+				// actual senders); unknown receivers are not lost.
+				return !ok || a.capt[i] >= 0
+			}
+			j, ok2 := a.dense.sender(snd, a.senders)
+			if !ok || !ok2 {
+				return false
+			}
+			return a.capt[i] == int32(j)
+		}
+	}
+	if a.fill == nil {
+		a.fill = func(lo, hi int) {
+			if a.lone {
+				for i := lo; i < hi; i++ {
+					rcv := a.procs[i]
+					a.capt[i] = 0 // the lone sender
+					if rcv != a.senders[0] &&
+						seedstream.Float64At(seedstream.Key(a.Seed, a.round, uint64(rcv)), 0) < a.PLoneLoss {
+						a.capt[i] = -1
+					}
+				}
+				return
+			}
+			for i := lo; i < hi; i++ {
+				key := seedstream.Key(a.Seed, a.round, uint64(a.procs[i]))
+				if seedstream.Float64At(key, 0) < a.PNone {
+					a.capt[i] = -1 // captures nothing
+					continue
+				}
+				// Uniform sender pick from draw 1; the 64-bit modulo bias is
+				// below 2^-50 for any realistic sender count.
+				a.capt[i] = int32(seedstream.At(key, 1) % uint64(len(a.senders)))
+			}
+		}
+	}
+}
+
+// Plan implements Adversary.
+func (a *Capture) Plan(r int, senders, procs []model.ProcessID) DeliveryFunc {
+	fill, fn := a.PlanShards(r, senders, procs)
+	if fill != nil {
+		fill(0, len(procs))
+	}
+	return fn
+}
+
+// PlanShards implements ShardedPlanner. Under V2 it returns the
+// counter-stream filler; under v1 the order-dependent Rng draws happen
+// here, sequentially, and the returned fill is nil.
+func (a *Capture) PlanShards(r int, senders, procs []model.ProcessID) (func(lo, hi int), DeliveryFunc) {
+	if len(senders) == 0 {
+		return nil, deliverNone
+	}
+	a.begin(r, senders, procs)
+	if seedstream.Normalize(a.Schedule) == seedstream.V2 {
+		return a.fill, a.fn
+	}
 	if a.lone {
 		for i, rcv := range procs {
 			a.capt[i] = 0 // the lone sender
@@ -242,23 +484,7 @@ func (a *Capture) Plan(_ int, senders, procs []model.ProcessID) DeliveryFunc {
 			a.capt[i] = int32(a.Rng.Intn(len(senders)))
 		}
 	}
-	if a.fn == nil {
-		a.fn = func(rcv, snd model.ProcessID) bool {
-			i, ok := slices.BinarySearch(a.procs, rcv)
-			if a.lone {
-				// A lone broadcast either arrives or not, regardless of the
-				// queried sender (mirroring the engine, which only asks about
-				// actual senders); unknown receivers are not lost.
-				return !ok || a.capt[i] >= 0
-			}
-			j, ok2 := slices.BinarySearch(a.senders, snd)
-			if !ok || !ok2 {
-				return false
-			}
-			return a.capt[i] == int32(j)
-		}
-	}
-	return a.fn
+	return nil, a.fn
 }
 
 // ConcurrentPlan marks the delivery func — a pure read of the capture table

@@ -227,9 +227,11 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 	}()
 
 	var (
-		r    int
-		row  int               // open arena row (TraceFull)
-		plan loss.DeliveryFunc // this round's delivery plan
+		r         int
+		row       int               // open arena row (TraceFull)
+		plan      loss.DeliveryFunc // this round's delivery plan
+		planFill  func(lo, hi int)  // this round's shard-parallel plan filler
+		planPhase bool              // pool dispatch: plan fill vs buildRecv
 	)
 	aliveForCM := func(id model.ProcessID) bool {
 		i := st.index[id]
@@ -282,9 +284,20 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 			}
 		}
 	}
+	// As in the engine, the one pool serves two phases — the adversary's
+	// shard-parallel plan fill and the receive-set build — dispatched by a
+	// coordinator-owned flag ordered by Run's channel handshake.
 	var pool *engine.ShardPool
+	var shardedAdv loss.ShardedPlanner
 	if parallel {
-		pool = engine.NewShardPool(parallelWorkers, buildRecv)
+		shardedAdv, _ = adversary.(loss.ShardedPlanner)
+		pool = engine.NewShardPool(parallelWorkers, func(lo, hi int) {
+			if planPhase {
+				planFill(lo, hi)
+				return
+			}
+			buildRecv(lo, hi)
+		})
 		defer pool.Close()
 	}
 
@@ -339,7 +352,22 @@ func Run(cfg engine.Config) (*engine.Result, error) {
 			return nil, panicked
 		}
 
-		plan = adversary.Plan(r, st.senders, st.procs)
+		// Adversary planning: counter-schedule ShardedPlanner adversaries
+		// hand back a row filler that shards across the pool (nil fill —
+		// constant plans, v1 schedules — means the plan is complete);
+		// everything else plans inline.
+		if shardedAdv != nil {
+			var fill func(lo, hi int)
+			fill, plan = shardedAdv.PlanShards(r, st.senders, st.procs)
+			if fill != nil {
+				planFill = fill
+				planPhase = true
+				pool.Run(len(st.procs))
+				planPhase = false
+			}
+		} else {
+			plan = adversary.Plan(r, st.senders, st.procs)
+		}
 
 		// Deliver phase: receive sets and advice are prepared sequentially
 		// or over the shard pool, merged into the arena in process order,

@@ -366,3 +366,62 @@ func TestParallelDeliveryEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleV2CrossEngineEquivalence repeats the cross-engine parallel
+// equivalence contract under seed schedule v2, where the loss plan itself
+// is filled shard-parallel: engine and goroutine runtime, both trace modes,
+// worker counts {1, 3, 6}, with crash schedules — all identical to the v2
+// sequential engine baseline, on real Alg2 automata whose decisions depend
+// on the loss pattern.
+func TestScheduleV2CrossEngineEquivalence(t *testing.T) {
+	const seed = 23
+	cfgAt := func(trace engine.TraceMode, workers int) engine.Config {
+		cfg := parallelCrashConfig(seed, trace, workers)
+		cfg.Loss = loss.ECF{Base: loss.NewProbabilisticV2(0.3, seed), From: 7}
+		return cfg
+	}
+	baseline, err := engine.Run(cfgAt(engine.TraceFull, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 6} {
+		for _, impl := range []struct {
+			name string
+			run  func(engine.Config) (*engine.Result, error)
+		}{
+			{"engine", engine.Run},
+			{"runtime", Run},
+		} {
+			for _, tm := range []struct {
+				name  string
+				trace engine.TraceMode
+			}{
+				{"full", engine.TraceFull},
+				{"decisions", engine.TraceDecisionsOnly},
+			} {
+				name := impl.name + "/" + tm.name
+				res, err := impl.run(cfgAt(tm.trace, workers))
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", name, workers, err)
+				}
+				if res.Rounds != baseline.Rounds || res.AllDecided != baseline.AllDecided {
+					t.Fatalf("%s workers=%d: rounds/AllDecided = %d/%v, baseline %d/%v",
+						name, workers, res.Rounds, res.AllDecided, baseline.Rounds, baseline.AllDecided)
+				}
+				for id, d := range baseline.Decisions {
+					if res.Decisions[id] != d {
+						t.Fatalf("%s workers=%d: process %d decided %v, baseline %v", name, workers, id, res.Decisions[id], d)
+					}
+				}
+				if tm.trace == engine.TraceFull {
+					for _, id := range baseline.Execution.Procs {
+						if !baseline.Execution.IndistinguishableTo(res.Execution, id, baseline.Rounds) {
+							t.Fatalf("%s workers=%d: process %d distinguishes the v2 trace from the sequential baseline",
+								name, workers, id)
+						}
+					}
+				}
+			}
+		}
+	}
+}

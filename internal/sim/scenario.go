@@ -13,6 +13,7 @@ import (
 	"adhocconsensus/internal/loss"
 	"adhocconsensus/internal/model"
 	"adhocconsensus/internal/runtime"
+	"adhocconsensus/internal/seedstream"
 	"adhocconsensus/internal/valueset"
 )
 
@@ -137,6 +138,15 @@ type Scenario struct {
 
 	// Seed drives every randomized component of the trial.
 	Seed int64
+	// SeedSchedule selects how the loss adversary maps Seed onto draws:
+	// seedstream.V1 (or 0) is the historical sequential schedule, byte-
+	// compatible with every existing recording; seedstream.V2 keys an
+	// independent counter stream per (round, receiver), which lets the
+	// engines fill loss rows shard-parallel. The two schedules draw
+	// different (equally distributed) loss patterns, so results are
+	// comparable only within one schedule — sink fingerprints carry the
+	// version for exactly that reason.
+	SeedSchedule int
 	// PinSeed tells Sweep expansion to keep Seed instead of deriving a
 	// per-trial seed via TrialSeed.
 	PinSeed bool
@@ -318,6 +328,10 @@ func (s *Scenario) buildCM() (cm.Service, error) {
 
 // buildLoss resolves the base adversary and the ECF wrapper.
 func (s *Scenario) buildLoss() (loss.Adversary, error) {
+	if !seedstream.Valid(s.SeedSchedule) {
+		return nil, fmt.Errorf("sim: unknown seed schedule v%d", s.SeedSchedule)
+	}
+	v2 := seedstream.Normalize(s.SeedSchedule) == seedstream.V2
 	var base loss.Adversary
 	if s.BuildLoss != nil {
 		base = s.BuildLoss(s)
@@ -326,9 +340,17 @@ func (s *Scenario) buildLoss() (loss.Adversary, error) {
 		case LossNone:
 			base = loss.None{}
 		case LossProbabilistic:
-			base = loss.NewProbabilistic(s.LossP, s.Seed+4)
+			if v2 {
+				base = loss.NewProbabilisticV2(s.LossP, s.Seed+4)
+			} else {
+				base = loss.NewProbabilistic(s.LossP, s.Seed+4)
+			}
 		case LossCapture:
-			base = loss.NewCapture(s.LossP, s.LossP/4, s.Seed+4)
+			if v2 {
+				base = loss.NewCaptureV2(s.LossP, s.LossP/4, s.Seed+4)
+			} else {
+				base = loss.NewCapture(s.LossP, s.LossP/4, s.Seed+4)
+			}
 		case LossDrop:
 			base = loss.Drop{}
 		default:

@@ -12,6 +12,7 @@ import (
 	"adhocconsensus/internal/engine"
 	"adhocconsensus/internal/loss"
 	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/seedstream"
 )
 
 // determinismGrid builds a mixed grid exercising both algorithms that use
@@ -368,6 +369,14 @@ func TestMaterializeValidation(t *testing.T) {
 	if _, err := Run(s); err == nil {
 		t.Fatal("duplicate IDs accepted")
 	}
+	if _, err := Run(Scenario{
+		Algorithm:    AlgBitByBit,
+		Values:       []model.Value{1, 2},
+		Domain:       4,
+		SeedSchedule: 7,
+	}); err == nil || !strings.Contains(err.Error(), "unknown seed schedule v7") {
+		t.Fatalf("unknown seed schedule error = %v, want named version", err)
+	}
 	// Auto rule: the tree walk gets no ECF wrapper and still terminates
 	// under total loss (it would NOT if ECF were forced on, because the
 	// engine would mask the collisions the walk depends on interpreting).
@@ -430,6 +439,60 @@ func TestDeliveryWorkersDeterminism(t *testing.T) {
 		for id, d := range base.Decisions {
 			if res.Decisions[id] != d {
 				t.Fatalf("workers=%d: process %d decided %v, baseline %v", workers, id, res.Decisions[id], d)
+			}
+		}
+	}
+}
+
+// TestSeedScheduleV2Determinism runs a v2-schedule scenario across worker
+// counts and both round-loop implementations: the counter-based schedule
+// must be exactly as deterministic as v1 — same decisions, same rounds —
+// at any worker count, including the goroutine runtime.
+func TestSeedScheduleV2Determinism(t *testing.T) {
+	scenario := func(workers int, goroutines bool) Scenario {
+		values := make([]model.Value, 64)
+		for i := range values {
+			values[i] = model.Value(i * 13 % 256)
+		}
+		return Scenario{
+			Algorithm:       AlgBitByBit,
+			Values:          values,
+			Domain:          256,
+			Stable:          8,
+			Loss:            LossProbabilistic,
+			LossP:           0.3,
+			ECFRound:        8,
+			Crashes:         model.Schedule{5: {Round: 6, Time: model.CrashAfterSend}},
+			MaxRounds:       2000,
+			Trace:           engine.TraceDecisionsOnly,
+			Seed:            77,
+			SeedSchedule:    seedstream.V2,
+			DeliveryWorkers: workers,
+			UseGoroutines:   goroutines,
+		}
+	}
+	base, err := Run(scenario(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.AllDecided {
+		t.Fatal("v2 baseline scenario undecided")
+	}
+	for _, goroutines := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 4, stdruntime.GOMAXPROCS(0)} {
+			res, err := Run(scenario(workers, goroutines))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rounds != base.Rounds || len(res.Decisions) != len(base.Decisions) {
+				t.Fatalf("goroutines=%v workers=%d: rounds %d (want %d), decisions %d (want %d)",
+					goroutines, workers, res.Rounds, base.Rounds, len(res.Decisions), len(base.Decisions))
+			}
+			for id, d := range base.Decisions {
+				if res.Decisions[id] != d {
+					t.Fatalf("goroutines=%v workers=%d: process %d decided %v, baseline %v",
+						goroutines, workers, id, res.Decisions[id], d)
+				}
 			}
 		}
 	}

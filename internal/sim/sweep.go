@@ -1,28 +1,24 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
 
-// splitmix64 is the SplitMix64 output function: a bijective avalanche mix
-// used to derive well-separated per-trial seeds from structured inputs.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
-}
+	"adhocconsensus/internal/seedstream"
+)
 
 // TrialSeed derives the seed of one trial from the sweep seed, the
-// scenario's grid index, and the trial index, by chained splitmix64 mixing.
-// It replaces the shared *rand.Rand of the pre-sim experiment loops: no two
-// trials share a generator, so their draw order cannot couple and the sweep
-// parallelizes without changing a single execution.
+// scenario's grid index, and the trial index, by chained splitmix64 mixing
+// (seedstream.Mix64). It replaces the shared *rand.Rand of the pre-sim
+// experiment loops: no two trials share a generator, so their draw order
+// cannot couple and the sweep parallelizes without changing a single
+// execution.
 func TrialSeed(sweepSeed int64, scenario, trial int) int64 {
 	// Sequential add-then-mix chaining: XOR-combining two hashed operands
 	// would be commutative in (scenario, trial) and collide across
 	// positions.
-	h := splitmix64(uint64(sweepSeed))
-	h = splitmix64(h + uint64(scenario))
-	h = splitmix64(h + uint64(trial))
+	h := seedstream.Mix64(uint64(sweepSeed))
+	h = seedstream.Mix64(h + uint64(scenario))
+	h = seedstream.Mix64(h + uint64(trial))
 	return int64(h)
 }
 

@@ -249,6 +249,10 @@ func appendParams(b []byte, p Params) []byte {
 		b = append(comma(b), `"bespoke":`...)
 		b = appendString(b, p.Bespoke)
 	}
+	if p.SeedSchedule != 0 {
+		b = append(comma(b), `"sched":`...)
+		b = strconv.AppendInt(b, int64(p.SeedSchedule), 10)
+	}
 	return append(b, '}')
 }
 

@@ -100,6 +100,54 @@ func Merge(recs []Record) ([]sim.Result, error) {
 	return out, nil
 }
 
+// ScheduleMismatchError reports a record whose seed-schedule version
+// differs from the one the merging (or resuming) side expects. It is the
+// typed rejection for mixed-schedule inputs: v1 and v2 recordings draw
+// different loss patterns from the same seeds, so folding them into one
+// sweep would silently compare incomparable trials.
+type ScheduleMismatchError struct {
+	// Index is the global trial index of the offending record.
+	Index int
+	// Got is the record's schedule version; Want is the expected one.
+	Got, Want int
+}
+
+// Error renders the positioned, versioned message.
+func (e *ScheduleMismatchError) Error() string {
+	return fmt.Sprintf("sink: trial %d was recorded under seed schedule v%d, expected v%d — v1 and v2 recordings cannot mix",
+		e.Index, e.Got, e.Want)
+}
+
+// UniformSeedSchedule verifies all records ran under one seed-schedule
+// version and returns it, anchored at the first record. A mixed set yields
+// a *ScheduleMismatchError naming the first offending trial.
+func UniformSeedSchedule(recs []Record) (int, error) {
+	if len(recs) == 0 {
+		return 1, nil
+	}
+	want := recs[0].Params.SeedScheduleVersion()
+	for _, rec := range recs[1:] {
+		if got := rec.Params.SeedScheduleVersion(); got != want {
+			return 0, &ScheduleMismatchError{Index: rec.Index, Got: got, Want: want}
+		}
+	}
+	return want, nil
+}
+
+// VerifySeedSchedules checks every record against an expected schedule
+// version, returning a *ScheduleMismatchError for the first record that
+// differs. This is the resume-side guard: the invocation's configuration
+// fixes the version, and a salvaged prefix recorded under another one must
+// not be extended.
+func VerifySeedSchedules(recs []Record, want int) error {
+	for _, rec := range recs {
+		if got := rec.Params.SeedScheduleVersion(); got != want {
+			return &ScheduleMismatchError{Index: rec.Index, Got: got, Want: want}
+		}
+	}
+	return nil
+}
+
 // VerifyFingerprints checks every record's fingerprint against the
 // parameters the merging side derives for the same trial index — the guard
 // that shard files were produced against the same grid and defaults as the

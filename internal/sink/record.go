@@ -10,6 +10,7 @@ import (
 	"adhocconsensus/internal/detector"
 	"adhocconsensus/internal/engine"
 	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/seedstream"
 	"adhocconsensus/internal/sim"
 )
 
@@ -60,6 +61,22 @@ type Params struct {
 	// the same flags and different factories fingerprint identically, so
 	// bespoke sweeps must carry the distinction in the scenario Name.
 	Bespoke string `json:"bespoke,omitempty"`
+	// SeedSchedule is the seed-schedule version the trial's loss adversary
+	// drew from (seedstream.V2 and later; 0 means v1, the historical
+	// sequential schedule). Two schedules draw different loss patterns from
+	// the same seed, so the version joins the fingerprint — but only when
+	// >1, keeping every v1 fingerprint byte-identical to recordings made
+	// before schedules were versioned.
+	SeedSchedule int `json:"sched,omitempty"`
+}
+
+// SeedScheduleVersion returns the schedule version the record's trial ran
+// under, normalizing the pre-versioning zero value to 1.
+func (p Params) SeedScheduleVersion() int {
+	if p.SeedSchedule > 1 {
+		return p.SeedSchedule
+	}
+	return 1
 }
 
 // algName mirrors the sim.Algorithm enumeration.
@@ -163,7 +180,7 @@ func ParamsOf(s sim.Scenario) Params {
 	if s.Detector != (detector.Class{}) {
 		det = s.Detector.Name
 	}
-	return Params{
+	p := Params{
 		Algorithm: algName(s.Algorithm),
 		N:         len(s.Values),
 		Domain:    s.Domain,
@@ -182,6 +199,12 @@ func ParamsOf(s sim.Scenario) Params {
 		Crashes:   crashDigest(s.Crashes),
 		Bespoke:   strings.Join(bespoke, ","),
 	}
+	// Record the schedule version only past v1, so v1 Params (and their
+	// JSON and fingerprints) stay identical to pre-versioning recordings.
+	if v := seedstream.Normalize(s.SeedSchedule); v > seedstream.V1 {
+		p.SeedSchedule = v
+	}
+	return p
 }
 
 // Fingerprint hashes the canonical rendering of the parameters into a
@@ -195,6 +218,11 @@ func (p Params) Fingerprint() string {
 		p.Algorithm, p.N, p.Domain, p.IDSpace, p.Detector, p.Race, p.FPRate,
 		p.CM, p.Stable, p.Loss, p.LossP, p.ECFRound, p.MaxRounds, p.Trace,
 		p.Gor, p.Crashes, p.Bespoke, p.SweepSeed)
+	// The seed schedule joins the hash only past v1 so that every v1
+	// fingerprint stays byte-identical to pre-versioning recordings.
+	if p.SeedSchedule > 1 {
+		fmt.Fprintf(h, "|sched%d", p.SeedSchedule)
+	}
 	return strconv.FormatUint(h.Sum64(), 16)
 }
 
