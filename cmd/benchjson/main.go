@@ -47,13 +47,18 @@ type result struct {
 }
 
 // speedup is one (benchmark point, workers) row of the v1/v2 comparison.
+// Allocation counts ride along with the timing so an allocation regression
+// is visible in the same table that certifies the speedup (a schedule that
+// wins ns/round by allocating per round is not a win).
 type speedup struct {
 	Point        string  `json:"point"`
 	Workers      int     `json:"workers"`
 	V1NsPerRound float64 `json:"v1_ns_per_round"`
 	V2NsPerRound float64 `json:"v2_ns_per_round"`
 	// V2OverV1 is v1 time over v2 time: >1 means v2 is faster.
-	V2OverV1 float64 `json:"v2_over_v1"`
+	V2OverV1      float64 `json:"v2_over_v1"`
+	V1AllocsPerOp int64   `json:"v1_allocs_per_op"`
+	V2AllocsPerOp int64   `json:"v2_allocs_per_op"`
 }
 
 // snapshot is the emitted document; the field order matches the existing
@@ -167,7 +172,7 @@ func speedups(results []result) []speedup {
 		point   string
 		workers int
 	}
-	byPoint := make(map[axes]map[int]float64) // sched -> ns/round
+	byPoint := make(map[axes]map[int]result) // sched -> result line
 	for _, r := range results {
 		m := schedAxes.FindStringSubmatch(r.Name)
 		if m == nil || r.NsPerRound == 0 {
@@ -177,9 +182,9 @@ func speedups(results []result) []speedup {
 		w, _ := strconv.Atoi(m[4])
 		a := axes{point: m[1] + m[3], workers: w}
 		if byPoint[a] == nil {
-			byPoint[a] = make(map[int]float64)
+			byPoint[a] = make(map[int]result)
 		}
-		byPoint[a][sched] = r.NsPerRound
+		byPoint[a][sched] = r
 	}
 	var out []speedup
 	for a, by := range byPoint {
@@ -189,11 +194,13 @@ func speedups(results []result) []speedup {
 			continue
 		}
 		out = append(out, speedup{
-			Point:        a.point,
-			Workers:      a.workers,
-			V1NsPerRound: v1,
-			V2NsPerRound: v2,
-			V2OverV1:     v1 / v2,
+			Point:         a.point,
+			Workers:       a.workers,
+			V1NsPerRound:  v1.NsPerRound,
+			V2NsPerRound:  v2.NsPerRound,
+			V2OverV1:      v1.NsPerRound / v2.NsPerRound,
+			V1AllocsPerOp: v1.AllocsPerOp,
+			V2AllocsPerOp: v2.AllocsPerOp,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -58,6 +58,9 @@ func TestSpeedupTable(t *testing.T) {
 	if want := 114466.0 / 57233.0; math.Abs(w4.V2OverV1-want) > 1e-9 {
 		t.Fatalf("v2_over_v1 = %v, want %v", w4.V2OverV1, want)
 	}
+	if w4.V1AllocsPerOp != 614 || w4.V2AllocsPerOp != 610 {
+		t.Fatalf("allocs/op columns = %d/%d, want 614/610", w4.V1AllocsPerOp, w4.V2AllocsPerOp)
+	}
 	// The non-matrix result must not produce a row.
 	for _, s := range snap.Speedups {
 		if strings.Contains(s.Point, "RoundThroughput") {

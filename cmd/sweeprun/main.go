@@ -44,6 +44,22 @@
 // model's legality constraints, and (with -bundle) writes per-trial trace
 // bundles. Any failed audit exits non-zero.
 //
+// A run is observable while it executes and after it finishes. "run
+// -progress" renders a live stderr line (trials/s, ETA, quarantine counts
+// per segment); "-quiet" suppresses it and all informational output, and
+// always wins when both are set. "run -telemetry-addr :9190" serves the
+// metric registry as deterministic JSON at /metrics plus the standard Go
+// profiler at /debug/pprof/ for the run's duration — a host-less address
+// binds loopback only, because the profiler exposes memory contents. Every
+// "-o" run also writes <out>.report.json (override with -report PATH,
+// disable with -report none): the machine-readable run report — timing
+// breakdown per segment, latency and decision-round histograms, seed
+// schedule and calibration provenance, quarantine summary by cause.
+// "sweeprun report FILE..." schema-validates such reports and prints
+// one-line summaries; "sweeprun help exitcodes" prints the exit-code table
+// below. Telemetry is strictly read-only with respect to the record stream:
+// shard files are byte-identical with and without it.
+//
 // Exit codes are uniform across subcommands:
 //
 //	0  success
@@ -92,6 +108,7 @@ import (
 	"adhocconsensus/internal/replay"
 	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/sink"
+	"adhocconsensus/internal/telemetry"
 )
 
 // Exit codes, documented in the command comment. Typed errors from the
@@ -175,7 +192,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sweeprun run|merge|replay|verify [flags]")
+		return fmt.Errorf("usage: sweeprun run|merge|replay|verify|report|help [flags]")
 	}
 	switch args[0] {
 	case "run":
@@ -186,9 +203,70 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return replayCmd(args[1:], out)
 	case "verify":
 		return verifyCmd(args[1:], out)
+	case "report":
+		return reportCmd(args[1:], out)
+	case "help":
+		return helpCmd(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want run, merge, replay, or verify)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want run, merge, replay, verify, report, or help)", args[0])
 	}
+}
+
+// exitCodesHelp is the uniform exit-code table, printable on demand so
+// operators scripting around sweeprun do not have to read source comments.
+const exitCodesHelp = `sweeprun exit codes (uniform across subcommands):
+  0  success
+  1  usage or configuration error
+  2  the sweep completed but quarantined per-trial errors (panic, deadline)
+  3  sink/IO failure - the stream aborted, leaving a valid resumable prefix
+  4  merge/verify/resume/report rejected its input files
+  5  clean interrupt - in-flight trials drained, tail flushed, resumable
+`
+
+// helpCmd is the "help" subcommand: topic help beyond -h flag listings.
+func helpCmd(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		fmt.Fprint(out, "usage: sweeprun run|merge|replay|verify|report|help [flags]\n\n"+
+			"help topics:\n  sweeprun help exitcodes   the uniform exit-code table\n\n"+
+			"per-subcommand flags: sweeprun <subcommand> -h\n")
+		return nil
+	}
+	switch args[0] {
+	case "exitcodes":
+		fmt.Fprint(out, exitCodesHelp)
+		return nil
+	default:
+		return fmt.Errorf("unknown help topic %q (want exitcodes)", args[0])
+	}
+}
+
+// reportCmd is the "report" subcommand: parse and schema-validate run
+// reports (<out>.report.json) and print a one-line summary per file. An
+// invalid report exits 4, an unreadable one 3 — so CI can gate on report
+// integrity the way merge gates on shard integrity.
+func reportCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweeprun report", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("report needs at least one run-report file (<out>.report.json)")
+	}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return withExit(exitSink, err)
+		}
+		r, err := telemetry.ParseReport(data)
+		if err != nil {
+			return withExit(exitReject, fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Fprintf(out, "%s: %s status=%s trials %d planned / %d salvaged / %d executed / %d quarantined, %d segment(s), wall %s\n",
+			path, r.Command, r.Status,
+			r.Trials.Planned, r.Trials.Salvaged, r.Trials.Executed, r.Trials.Quarantined.Total,
+			len(r.Segments), time.Duration(r.WallNs).Round(time.Millisecond))
+	}
+	return nil
 }
 
 // parseShard decodes "-shard i/k", strictly: trailing garbage (a typo like
@@ -221,6 +299,9 @@ type segment struct {
 	name string
 	// length is the number of records the segment contributes to this shard.
 	length int
+	// schedule is the segment's seed-schedule version, recorded in the run
+	// report (0 for work-item pipelines, which carry explicit seeds).
+	schedule int
 	// verify checks that rec is exactly the segment's pos-th planned record
 	// (identity only — outcomes are whatever the recorded run produced).
 	verify func(pos int, rec sink.Record) error
@@ -243,6 +324,10 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 		output   = fs.String("o", "", "output JSONL file (default stdout)")
 		resume   = fs.Bool("resume", false, "salvage the -o file's valid record prefix, verify it against this invocation, and append only the remaining trials")
 		timeout  = fs.Duration("trialtimeout", 0, "per-trial wall-clock budget; an overrunning trial is quarantined with a deadline error (0 = unbounded)")
+		progress = fs.Bool("progress", false, "render a live progress line on stderr (trials/s, ETA, quarantine counts); -quiet overrides it off")
+		quiet    = fs.Bool("quiet", false, "suppress informational output, including -progress (quiet always wins when both are set)")
+		telAddr  = fs.String("telemetry-addr", "", "serve /metrics (JSON) and /debug/pprof/ on this address for the run's duration; a host-less address like :9190 binds loopback only")
+		repPath  = fs.String("report", "", "write the machine-readable run report here; 'none' disables it (default: <out>.report.json when -o is set)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -310,12 +395,43 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
+	// Resolve the run report's destination: explicit -report wins, 'none'
+	// disables, and a -o run reports next to its shard file by default.
+	reportPath := *repPath
+	if reportPath == "" && *output != "" {
+		reportPath = *output + ".report.json"
+	}
+	if reportPath == "none" {
+		reportPath = ""
+	}
+	// Telemetry stays compiled-out (nil metric sets) unless something reads
+	// it: the progress line, the run report, or the HTTP endpoint. Enabling
+	// it never changes the record stream — the counters are observers.
+	wantProgress := *progress && !*quiet
+	if wantProgress || reportPath != "" || *telAddr != "" {
+		telemetry.Enable()
+	}
+	if *telAddr != "" {
+		srv, err := telemetry.Serve(*telAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "telemetry: /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+		}
+	}
+	info := out
+	if *quiet {
+		info = io.Discard
+	}
+
 	w := out
 	skips := make([]int, len(segs))
 	if *output != "" {
 		var f *os.File
 		if *resume {
-			f, err = resumeOutput(*output, segs, skips, out)
+			f, err = resumeOutput(*output, segs, skips, info)
 		} else {
 			f, err = os.Create(*output)
 			err = withExit(exitSink, err)
@@ -327,13 +443,48 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 		w = f
 	}
 
+	total, salvaged := 0, 0
+	for i, s := range segs {
+		total += s.length
+		salvaged += skips[i]
+	}
+	track := newProgressTracker(total, salvaged)
+	var prog *telemetry.Progress
+	if wantProgress {
+		if len(segs) > 0 {
+			track.enter(segs[0].name) // the immediate first render names it
+		}
+		prog = &telemetry.Progress{Out: os.Stderr, Snapshot: track.snapshot}
+		prog.Start()
+		defer prog.Stop()
+	}
+
 	// Per-trial errors (quarantined panics, deadline overruns) do not stop
 	// the run: later segments still execute and the first error is reported
 	// at the end with exit code 2. Everything else — sink failures,
-	// interrupts — aborts, leaving the flushed valid prefix on disk.
-	var firstTrialErr error
+	// interrupts — aborts, leaving the flushed valid prefix on disk. Either
+	// way the run report records what actually happened.
+	start := time.Now()
+	sm := telemetry.SinkIO()
+	tm := telemetry.Sim()
+	panicBase, deadlineBase := tm.QuarantinePanic.Load(), tm.QuarantineDeadline.Load()
+	segReports := make([]telemetry.ReportSegment, 0, len(segs))
+	var firstTrialErr, abortErr error
 	for i, s := range segs {
+		track.enter(s.name)
+		segStart := time.Now()
+		recBase, byteBase, quarBase := sm.Records.Load(), sm.Bytes.Load(), sm.Quarantined.Load()
 		err := s.stream(ctx, skips[i], w)
+		segReports = append(segReports, telemetry.ReportSegment{
+			Name:        s.name,
+			Schedule:    s.schedule,
+			Planned:     s.length,
+			Salvaged:    skips[i],
+			Executed:    int(sm.Records.Load() - recBase),
+			Quarantined: int(sm.Quarantined.Load() - quarBase),
+			WallNs:      time.Since(segStart).Nanoseconds(),
+			RecordBytes: sm.Bytes.Load() - byteBase,
+		})
 		if err == nil {
 			continue
 		}
@@ -345,13 +496,162 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 			}
 			continue
 		}
-		if isInterrupt(err) && *output != "" {
+		abortErr = err
+		break
+	}
+	if prog != nil {
+		prog.Stop()
+	}
+	if reportPath != "" {
+		causes := telemetry.ReportQuarantine{
+			Panic:    int(tm.QuarantinePanic.Load() - panicBase),
+			Deadline: int(tm.QuarantineDeadline.Load() - deadlineBase),
+		}
+		rep := buildRunReport(runStatus(abortErr, firstTrialErr), time.Since(start), segReports, causes)
+		if werr := rep.WriteFile(reportPath); werr != nil {
+			if abortErr == nil && firstTrialErr == nil {
+				return withExit(exitSink, fmt.Errorf("run report %s: %w", reportPath, werr))
+			}
+			fmt.Fprintf(info, "run report %s not written: %v\n", reportPath, werr)
+		} else {
+			fmt.Fprintf(info, "report: %s\n", reportPath)
+		}
+	}
+	if abortErr != nil {
+		if isInterrupt(abortErr) && *output != "" {
 			fmt.Fprintf(out, "interrupted: %s holds a valid prefix — resume with: sweeprun run %s\n",
 				*output, resumeCommand(args, *resume))
 		}
-		return err
+		return abortErr
 	}
 	return firstTrialErr
+}
+
+// runStatus classifies a finished run for its report.
+func runStatus(abortErr, trialErr error) string {
+	switch {
+	case abortErr != nil && isInterrupt(abortErr):
+		return telemetry.StatusInterrupted
+	case abortErr != nil:
+		return telemetry.StatusAborted
+	case trialErr != nil:
+		return telemetry.StatusTrialErrors
+	default:
+		return telemetry.StatusOK
+	}
+}
+
+// buildRunReport assembles the run report from the segment accounting and
+// the live registry. The by-cause quarantine split comes from the sweep
+// runner's counters; causes it cannot see (work-item pipelines classify
+// their own errors, records that never reached the sink) land in Other, so
+// the causes always sum to the sink-observed total the validator checks.
+func buildRunReport(status string, wall time.Duration, segs []telemetry.ReportSegment, causes telemetry.ReportQuarantine) *telemetry.Report {
+	rep := &telemetry.Report{
+		Schema:    telemetry.ReportSchema,
+		Command:   "sweeprun run",
+		Status:    status,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		WallNs:    wall.Nanoseconds(),
+		Segments:  segs,
+	}
+	for _, s := range segs {
+		rep.Trials.Planned += s.Planned
+		rep.Trials.Salvaged += s.Salvaged
+		rep.Trials.Executed += s.Executed
+		rep.Trials.Quarantined.Total += s.Quarantined
+	}
+	total := rep.Trials.Quarantined.Total
+	if causes.Panic > total {
+		causes.Panic = total
+	}
+	if causes.Deadline > total-causes.Panic {
+		causes.Deadline = total - causes.Panic
+	}
+	causes.Other = total - causes.Panic - causes.Deadline
+	causes.Total = total
+	rep.Trials.Quarantined = causes
+	if c := engineCalibrationSnapshot(); c != nil {
+		rep.Calibration = c
+	}
+	if reg := telemetry.Default(); reg != nil {
+		rep.Histograms = make(map[string]telemetry.HistogramSnapshot)
+		rep.Metrics = make(map[string]any)
+		for name, v := range reg.Snapshot() {
+			if h, ok := v.(telemetry.HistogramSnapshot); ok {
+				if h.Count > 0 {
+					rep.Histograms[name] = h
+				}
+				continue
+			}
+			rep.Metrics[name] = v
+		}
+	}
+	return rep
+}
+
+// engineCalibrationSnapshot reads the calibration gauges back; nil when the
+// engine never calibrated (a run that stayed sequential end to end).
+func engineCalibrationSnapshot() *telemetry.ReportCalibration {
+	em := telemetry.Engine()
+	w := em.CalWorkers.Load()
+	if w == 0 {
+		return nil
+	}
+	return &telemetry.ReportCalibration{
+		Workers:   int(w),
+		MinProcs:  int(em.CalMinProcs.Load()),
+		BarrierNs: float64(em.CalBarrierNs.Load()),
+		StepNs:    float64(em.CalStepNs.Load()),
+	}
+}
+
+// progressTracker feeds the live progress line from the sink counters plus
+// the resume accounting: durable = salvaged + records written since the run
+// began. It only reads telemetry — the renderer cannot perturb the stream.
+type progressTracker struct {
+	total    int
+	salvaged int
+	recBase  uint64
+	quarBase uint64
+
+	mu          sync.Mutex
+	segment     string
+	segQuarBase uint64
+}
+
+func newProgressTracker(total, salvaged int) *progressTracker {
+	sm := telemetry.SinkIO()
+	return &progressTracker{
+		total:    total,
+		salvaged: salvaged,
+		recBase:  sm.Records.Load(),
+		quarBase: sm.Quarantined.Load(),
+	}
+}
+
+// enter marks the segment now executing, re-basing its quarantine count.
+func (t *progressTracker) enter(name string) {
+	q := telemetry.SinkIO().Quarantined.Load() - t.quarBase
+	t.mu.Lock()
+	t.segment, t.segQuarBase = name, q
+	t.mu.Unlock()
+}
+
+func (t *progressTracker) snapshot() telemetry.ProgressSnapshot {
+	sm := telemetry.SinkIO()
+	rec := sm.Records.Load() - t.recBase
+	quar := sm.Quarantined.Load() - t.quarBase
+	t.mu.Lock()
+	seg, segBase := t.segment, t.segQuarBase
+	t.mu.Unlock()
+	return telemetry.ProgressSnapshot{
+		Segment:            seg,
+		SegmentQuarantined: int(quar - segBase),
+		Done:               t.salvaged + int(rec),
+		Total:              t.total,
+		Quarantined:        int(quar),
+	}
 }
 
 // resumeCommand renders the argument list that resumes this invocation.
@@ -374,9 +674,15 @@ func resumeOutput(path string, segs []segment, skips []int, out io.Writer) (*os.
 		return nil, withExit(exitSink, err)
 	}
 	recs, valid, torn := sink.ReadRecordsPartial(f)
+	sm := telemetry.SinkIO()
+	sm.SalvagedRecords.Add(uint64(len(recs)))
 	if torn != nil {
 		fmt.Fprintf(out, "resume %s: discarding torn tail at byte %d (line %d): %v\n",
 			path, torn.Offset, torn.Line, torn.Err)
+		sm.TornTails.Inc()
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
+		sm.DiscardedBytes.Add(uint64(fi.Size() - valid))
 	}
 	// The salvaged records must be exactly the plan's prefix: delivery is
 	// strictly ordered, so a valid byte prefix that does not align with the
@@ -435,9 +741,14 @@ func gridSegment(e experiments.GridExperiment, shard, shards, workers int, timeo
 	for i, s := range scenarios {
 		params[i] = sink.ParamsOf(s)
 	}
+	schedule := 0
+	if len(params) > 0 {
+		schedule = params[0].SeedScheduleVersion()
+	}
 	return segment{
-		name:   e.Name,
-		length: len(shardTrials),
+		name:     e.Name,
+		length:   len(shardTrials),
+		schedule: schedule,
 		verify: func(pos int, rec sink.Record) error {
 			want := shardTrials[pos]
 			switch {
@@ -590,8 +901,9 @@ func trialsSegment(cf *cli.ConfigFlags, trials, shard, shards, workers int, time
 	// untouched (the seed schedule and recorded params are checked up front).
 	var salvagedFP string
 	return segment{
-		name:   "trials",
-		length: length,
+		name:     "trials",
+		length:   length,
+		schedule: params.SeedScheduleVersion(),
 		verify: func(pos int, rec sink.Record) error {
 			want := shard + pos*shards
 			switch {

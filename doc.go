@@ -235,6 +235,44 @@
 //     detector, and CI kills a live shard mid-sweep, resumes it, and
 //     diffs the merge against an uninterrupted run.
 //
+// # Observability
+//
+// The pipeline is instrumented end to end by internal/telemetry, an
+// allocation-free metrics core (atomic counters, gauges, high-water marks,
+// and log2 histograms behind a named snapshot registry). Telemetry is off
+// by default and costs one atomic load per instrumented site when disabled;
+// telemetry.Enable turns it on process-wide, and every observation is an
+// atomic op — the engine's zero-steady-state-allocation contract and the
+// sink's byte-identical streams hold with counters live (both are asserted
+// under test). Well-known metrics cover the engine (engine.runs,
+// engine.rounds{,.parallel,.sequential}, engine.pool.dispatches/shards,
+// engine.calibration.*), the sweep runner (sim.trials, sim.trial.wall_ns
+// and sim.trial.rounds_to_decide histograms, sim.quarantine.
+// panic/deadline/other, sim.reorder.highwater), and the record stream
+// (sink.records, sink.bytes, sink.flush_ns, sink.retry.attempts,
+// sink.resume.salvaged_records/torn_tails/discarded_bytes).
+//
+// cmd/sweeprun exposes three consumers of the same registry:
+//
+//   - live progress: "run -progress" renders a deterministic ticker to
+//     stderr (segment, trials done/planned, trials/s, ETA, quarantine
+//     count); -quiet silences informational output;
+//   - run reports: every "run -o FILE" writes FILE.report.json — status,
+//     per-segment trial accounting (planned/salvaged/executed/quarantined
+//     by cause), wall-time breakdown, histograms, calibration, and the
+//     seed-schedule version. "-report none" disables, "-report PATH"
+//     redirects; "sweeprun report FILE" summarizes and validates one
+//     (telemetry.ParseReport is the schema contract);
+//   - a metrics endpoint: "-telemetry-addr HOST:PORT" serves /metrics
+//     (the registry as deterministic JSON) and net/http/pprof under
+//     /debug/pprof/ for profiling live sweeps. Host-less addresses bind
+//     loopback — the endpoint exposes process internals, so exposure
+//     beyond localhost is an explicit opt-in.
+//
+// Telemetry is strictly read-only with respect to results: enabling it,
+// or running with the endpoint live, leaves shard bytes identical at any
+// worker count.
+//
 // # Quick start
 //
 //	report, err := adhocconsensus.Config{

@@ -1,0 +1,31 @@
+package backoff
+
+import "time"
+
+// Window is the doubling-window-to-a-cap delay shape that underlies binary
+// exponential backoff, lifted out as a plain value type so callers outside
+// the contention-manager protocol (the sink's transient-write retry loop)
+// share one implementation instead of re-deriving the arithmetic.
+//
+// Both bounds must be positive; Window carries no defaults — callers resolve
+// their own before constructing one.
+type Window struct {
+	// Base is the delay before the first retry (retry 0).
+	Base time.Duration
+	// Cap clamps the doubled delays.
+	Cap time.Duration
+}
+
+// Delay returns the wait before retry number `retry` (0-based):
+// min(Base<<retry, Cap). The doubling loop stops as soon as the cap is
+// reached, so large retry counts cannot overflow the shift.
+func (w Window) Delay(retry int) time.Duration {
+	d := w.Base
+	for i := 0; i < retry && d < w.Cap; i++ {
+		d <<= 1
+	}
+	if d > w.Cap {
+		d = w.Cap
+	}
+	return d
+}

@@ -1,0 +1,34 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowDelayDoublesToCap(t *testing.T) {
+	w := Window{Base: 10 * time.Millisecond, Cap: time.Second}
+	want := []time.Duration{
+		10 * time.Millisecond,  // retry 0
+		20 * time.Millisecond,  // retry 1
+		40 * time.Millisecond,  // retry 2
+		80 * time.Millisecond,  // retry 3
+		160 * time.Millisecond, // retry 4
+		320 * time.Millisecond, // retry 5
+		640 * time.Millisecond, // retry 6
+		time.Second,            // retry 7 clamps: 1280ms > cap
+		time.Second,            // retry 8 stays clamped
+	}
+	for retry, d := range want {
+		if got := w.Delay(retry); got != d {
+			t.Errorf("Delay(%d) = %v, want %v", retry, got, d)
+		}
+	}
+}
+
+func TestWindowDelayNoShiftOverflow(t *testing.T) {
+	w := Window{Base: time.Nanosecond, Cap: time.Hour}
+	// A huge retry count must terminate at the cap, not wrap the shift.
+	if got := w.Delay(1 << 20); got != time.Hour {
+		t.Fatalf("Delay(huge) = %v, want %v", got, time.Hour)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"adhocconsensus/internal/seedstream"
+	"adhocconsensus/internal/telemetry"
 )
 
 // DeliveryWorkersAuto, set as Config.DeliveryWorkers, asks the engine to
@@ -47,10 +48,24 @@ var (
 // with the historical DefaultDeliveryMinProcs threshold.
 func Calibrate() Calibration {
 	if o := calibrationOverride.Load(); o != nil {
+		publishCalibration(*o)
 		return *o
 	}
 	calibrateOnce.Do(func() { calibration = measureCalibration() })
+	publishCalibration(calibration)
 	return calibration
+}
+
+// publishCalibration mirrors the effective calibration into telemetry
+// gauges. Setting a gauge to its current value is idempotent and
+// allocation-free, so republishing on every Calibrate call is cheap and
+// keeps the gauges correct across test overrides.
+func publishCalibration(c Calibration) {
+	em := telemetry.Engine()
+	em.CalWorkers.Set(int64(c.Workers))
+	em.CalMinProcs.Set(int64(c.MinProcs))
+	em.CalBarrierNs.Set(int64(c.BarrierNs))
+	em.CalStepNs.Set(int64(c.StepNs))
 }
 
 func measureCalibration() Calibration {

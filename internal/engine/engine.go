@@ -54,6 +54,7 @@ import (
 	"adhocconsensus/internal/loss"
 	"adhocconsensus/internal/model"
 	"adhocconsensus/internal/multiset"
+	"adhocconsensus/internal/telemetry"
 )
 
 // DefaultMaxRounds bounds executions whose algorithms fail to terminate.
@@ -563,6 +564,21 @@ func Run(cfg Config) (*Result, error) {
 			break
 		}
 	}
+	// Telemetry publishes once per run, not per round: when disabled every
+	// call below is a nil-receiver no-op, and even when enabled the round
+	// loop itself stays untouched.
+	em := telemetry.Engine()
+	em.Runs.Inc()
+	em.Rounds.Add(uint64(rounds))
+	if parallel {
+		em.RoundsParallel.Add(uint64(rounds))
+		dispatches, shards := pool.Stats()
+		em.PoolDispatches.Add(dispatches)
+		em.PoolShards.Add(shards)
+	} else {
+		em.RoundsSequential.Add(uint64(rounds))
+	}
+
 	return &Result{
 		Execution:  exec,
 		Rounds:     rounds,

@@ -20,6 +20,13 @@ type ShardPool struct {
 	fn   func(lo, hi int)
 	req  []chan shard
 	done chan *PanicError
+
+	// runs and shards count barrier cycles and dispatched shard calls.
+	// They are owned by the dispatching goroutine (Run is single-caller by
+	// contract), so plain fields suffice; the engines publish them to
+	// telemetry at run end rather than paying atomics per round.
+	runs   uint64
+	shards uint64
 }
 
 type shard struct{ lo, hi int }
@@ -85,6 +92,8 @@ func (p *ShardPool) Run(n int) {
 		dispatched++
 		lo = hi
 	}
+	p.runs++
+	p.shards += uint64(dispatched)
 	var panicked *PanicError
 	for i := 0; i < dispatched; i++ {
 		if pe := <-p.done; pe != nil && panicked == nil {
@@ -94,6 +103,12 @@ func (p *ShardPool) Run(n int) {
 	if panicked != nil {
 		panic(panicked)
 	}
+}
+
+// Stats reports the barrier cycles run and shard calls dispatched so far.
+// Like Run, it must be called from the dispatching goroutine.
+func (p *ShardPool) Stats() (runs, shards uint64) {
+	return p.runs, p.shards
 }
 
 // Close shuts the worker goroutines down. The pool must be idle.

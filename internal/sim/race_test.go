@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where sync.Pool intentionally drops puts and allocation counts are noise.
+const raceEnabled = true

@@ -10,6 +10,7 @@ import (
 
 	"adhocconsensus/internal/engine"
 	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/telemetry"
 )
 
 // Result is the digested outcome of one trial: everything the experiment
@@ -289,20 +290,41 @@ func (r Runner) sweepTo(ctx context.Context, n int, fn func(i int) Result, sink 
 		firstErr error // first per-trial Err, by slot order
 		sinkErr  error // first Consume error; aborts the sweep
 	)
+	// Telemetry is read once here; every metric call below is a nil-receiver
+	// no-op when disabled. The reorder-window occupancy high-water mark is
+	// tracked in locals under the existing mutex and published once after the
+	// sweep, so the hot path pays no extra atomics.
+	tm := telemetry.Sim()
+	doneCount, maxOcc := 0, 0
 	ctxErr := r.MapCtx(ctx, n, func(i int) {
 		if aborted.Load() {
 			return
 		}
+		var start time.Time
+		if tm.TrialWallNs != nil {
+			start = time.Now()
+		}
 		res := fn(i)
+		tm.Trials.Inc()
+		if tm.TrialWallNs != nil {
+			tm.TrialWallNs.Observe(uint64(time.Since(start)))
+		}
+		if res.Err == nil && res.AllDecided {
+			tm.RoundsToDecide.Observe(uint64(res.LastDecisionRound))
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		buf[i] = res
 		done[i] = true
+		doneCount++
 		for next < n && done[next] {
 			out := buf[next]
 			buf[next] = Result{} // release the trial's memory once delivered
-			if out.Err != nil && firstErr == nil {
-				firstErr = &TrialError{Index: out.Index, Name: out.Name, Err: out.Err}
+			if out.Err != nil {
+				quarantineCounter(tm, out.Err).Inc()
+				if firstErr == nil {
+					firstErr = &TrialError{Index: out.Index, Name: out.Name, Err: out.Err}
+				}
 			}
 			if sinkErr == nil {
 				if err := sink.Consume(out); err != nil {
@@ -312,12 +334,34 @@ func (r Runner) sweepTo(ctx context.Context, n int, fn func(i int) Result, sink 
 			}
 			next++
 		}
+		if occ := doneCount - next; occ > maxOcc {
+			maxOcc = occ
+		}
 	})
+	tm.ReorderHighWater.Observe(int64(maxOcc))
 	if sinkErr != nil {
 		return sinkErr
 	}
 	if ctxErr != nil {
+		tm.Canceled.Add(uint64(n - doneCount))
 		return &CanceledError{Done: next, Total: n, Err: ctxErr}
 	}
 	return firstErr
+}
+
+// quarantineCounter classifies a quarantined trial's error by cause for
+// telemetry: automaton/component panics, trial-deadline overruns, and
+// everything else (configuration or execution errors). The returned counter
+// may be nil (telemetry disabled); Inc on a nil counter is a no-op.
+func quarantineCounter(tm *telemetry.SimMetrics, err error) *telemetry.Counter {
+	var pe *engine.PanicError
+	var de *DeadlineError
+	switch {
+	case errors.As(err, &pe):
+		return tm.QuarantinePanic
+	case errors.As(err, &de):
+		return tm.QuarantineDeadline
+	default:
+		return tm.QuarantineOther
+	}
 }

@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"io"
 	"strconv"
+	"time"
 
 	"adhocconsensus/internal/sim"
+	"adhocconsensus/internal/telemetry"
 )
 
 // JSONL streams records to a writer, one JSON object per line, in sweep
@@ -77,12 +79,31 @@ func (j *JSONL) WriteRecord(rec Record) error {
 		rec.Exp = j.Exp
 	}
 	j.scratch = appendRecord(j.scratch[:0], rec)
-	_, err := j.w.Write(j.scratch)
+	n, err := j.w.Write(j.scratch)
+	// Telemetry observes the stream; it never alters it. All calls are
+	// nil-receiver no-ops when disabled and allocation-free when enabled,
+	// preserving the sink's zero-steady-state-allocation contract.
+	sm := telemetry.SinkIO()
+	sm.Records.Inc()
+	sm.Bytes.Add(uint64(n))
+	if rec.Err != "" {
+		sm.Quarantined.Inc()
+	}
 	return err
 }
 
 // Flush implements Flusher.
-func (j *JSONL) Flush() error { return j.w.Flush() }
+func (j *JSONL) Flush() error {
+	sm := telemetry.SinkIO()
+	if sm.FlushNs == nil {
+		return j.w.Flush()
+	}
+	start := time.Now()
+	err := j.w.Flush()
+	sm.FlushNs.Observe(uint64(time.Since(start)))
+	sm.Flushes.Inc()
+	return err
+}
 
 // fingerprint memoizes Params.Fingerprint: a sweep revisits the same
 // configuration once per trial, and the hash (with its fmt formatting)

@@ -5,13 +5,15 @@ import (
 	"fmt"
 	"time"
 
+	"adhocconsensus/internal/backoff"
 	"adhocconsensus/internal/sim"
+	"adhocconsensus/internal/telemetry"
 )
 
-// RetryPolicy bounds a retry loop with the same doubling-window-to-a-cap
-// shape internal/backoff gives the contention managers: the first retry
-// waits Base, each further retry doubles the wait, and Cap clamps the
-// doubling. Zero fields select the defaults, so the zero policy is usable.
+// RetryPolicy bounds a retry loop with the doubling-window-to-a-cap shape of
+// backoff.Window: the first retry waits Base, each further retry doubles the
+// wait, and Cap clamps the doubling. Zero fields select the defaults, so the
+// zero policy is usable.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries including the first
 	// (default 5).
@@ -30,23 +32,17 @@ func (p RetryPolicy) attempts() int {
 }
 
 // delay is the wait before retry number `retry` (0-based): min(Base<<retry,
-// Cap), computed without shift overflow.
+// Cap). The arithmetic is backoff.Window's; this method only resolves the
+// policy defaults.
 func (p RetryPolicy) delay(retry int) time.Duration {
-	d := p.Base
-	if d <= 0 {
-		d = 10 * time.Millisecond
+	w := backoff.Window{Base: p.Base, Cap: p.Cap}
+	if w.Base <= 0 {
+		w.Base = 10 * time.Millisecond
 	}
-	cap := p.Cap
-	if cap <= 0 {
-		cap = time.Second
+	if w.Cap <= 0 {
+		w.Cap = time.Second
 	}
-	for i := 0; i < retry && d < cap; i++ {
-		d <<= 1
-	}
-	if d > cap {
-		d = cap
-	}
-	return d
+	return w.Delay(retry)
 }
 
 // retryableError marks an error as transient for Retry's default
@@ -113,6 +109,7 @@ func (r *Retry) Consume(res sim.Result) error {
 	var err error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
+			telemetry.SinkIO().RetryAttempts.Inc()
 			sleep(r.Policy.delay(a - 1))
 		}
 		if err = r.Base.Consume(res); err == nil {

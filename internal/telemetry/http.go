@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// Server is the opt-in observability endpoint: /metrics serves the default
+// registry as deterministic expvar-style JSON, /debug/pprof/* serves the
+// standard Go profiler. It is the first user-facing brick of the planned
+// sweepd daemon — a health/metrics surface over a running sweep.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve enables telemetry (if it is not already enabled) and starts the
+// endpoint on addr.
+//
+// Security: an addr without a host part ("":9190", ":0") binds loopback
+// ONLY — the profiler endpoint exposes memory contents, so listening on
+// every interface must be said explicitly (e.g. "0.0.0.0:9190"). There is
+// no authentication; anything beyond localhost needs transport security
+// from the deployment.
+func Serve(addr string) (*Server, error) {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	reg := Enable()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener. In-flight requests are cut off — the endpoint
+// is monitoring, not a durability surface.
+func (s *Server) Close() error { return s.srv.Close() }

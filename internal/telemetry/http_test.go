@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	s, err := Serve(":0") // host-less addr must bind loopback
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !strings.HasPrefix(s.Addr(), "127.0.0.1:") {
+		t.Fatalf("host-less addr bound %s, want loopback", s.Addr())
+	}
+	Engine().Rounds.Add(11)
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if v, ok := snap["engine.rounds"].(float64); !ok || v < 11 {
+		t.Fatalf("engine.rounds = %v, want >= 11", snap["engine.rounds"])
+	}
+
+	resp, err = http.Get("http://" + s.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressLineGolden pins the progress-line format under an injected
+// deterministic clock: the line is a pure function of (snapshot, elapsed),
+// so these are exact-string assertions.
+func TestProgressLineGolden(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	snap := ProgressSnapshot{}
+	p := &Progress{
+		Out:      &strings.Builder{},
+		Snapshot: func() ProgressSnapshot { return snap },
+		Now:      func() time.Time { return base },
+	}
+	p.Begin()
+
+	cases := []struct {
+		at   time.Duration
+		s    ProgressSnapshot
+		want string
+	}{
+		{
+			at:   0,
+			s:    ProgressSnapshot{Segment: "T3", Done: 0, Total: 46080},
+			want: "progress: [T3] 0/46080 (0.0%) | eta ?",
+		},
+		{
+			at:   10 * time.Second,
+			s:    ProgressSnapshot{Segment: "T3", Done: 4608, Total: 46080},
+			want: "progress: [T3] 4608/46080 (10.0%) | 460.8 trials/s | eta 1m30s",
+		},
+		{
+			at: 20 * time.Second,
+			s: ProgressSnapshot{
+				Segment: "T8", Done: 23040, Total: 46080,
+				Quarantined: 3, SegmentQuarantined: 2,
+			},
+			want: "progress: [T8] 23040/46080 (50.0%) | 1152.0 trials/s | eta 20s | quarantined 3 (2 in T8)",
+		},
+		{
+			at:   60 * time.Second,
+			s:    ProgressSnapshot{Segment: "T8", Done: 46080, Total: 46080},
+			want: "progress: [T8] 46080/46080 (100.0%) | 768.0 trials/s | done in 1m0s",
+		},
+	}
+	for _, tc := range cases {
+		snap = tc.s
+		if got := p.Line(base.Add(tc.at)); got != tc.want {
+			t.Errorf("Line(+%s):\n got %q\nwant %q", tc.at, got, tc.want)
+		}
+	}
+}
+
+// TestProgressRenderRewritesInPlace drives Start/Stop with a fake clock
+// for the timestamps (the ticker itself is real but the test only relies
+// on the immediate first render and the final Stop render).
+func TestProgressRenderRewritesInPlace(t *testing.T) {
+	var out strings.Builder
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	now := base
+	done := 10
+	p := &Progress{
+		Out:      &out,
+		Interval: time.Hour, // no real ticks during the test
+		Now:      func() time.Time { return now },
+		Snapshot: func() ProgressSnapshot {
+			return ProgressSnapshot{Segment: "trials", Done: done, Total: 100}
+		},
+	}
+	p.Start()
+	now = base.Add(2 * time.Second)
+	done = 100
+	p.Stop()
+	p.Stop() // idempotent
+	s := out.String()
+	if !strings.HasPrefix(s, "\r") || !strings.HasSuffix(s, "\n") {
+		t.Fatalf("render framing wrong: %q", s)
+	}
+	if !strings.Contains(s, "progress: [trials] 100/100 (100.0%)") {
+		t.Fatalf("final line missing: %q", s)
+	}
+	if strings.Count(s, "\n") != 1 {
+		t.Fatalf("want exactly one newline (the final line): %q", s)
+	}
+}
+
+func TestProgressStopWithoutStartIsNoOp(t *testing.T) {
+	p := &Progress{Out: &strings.Builder{}, Snapshot: func() ProgressSnapshot { return ProgressSnapshot{} }}
+	p.Stop() // must not panic or block
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry is a named snapshot registry: every metric the process exposes,
+// keyed by its stable dotted name. Registration happens once at Enable
+// time; after that the registry is read-only and snapshots need no
+// coordination with the hot paths (the metrics themselves are atomic).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any // *Counter | *Gauge | *Max | *Histogram
+}
+
+// NewRegistry returns an empty registry. Most callers want Enable, which
+// builds the default registry with the pipeline's well-known metrics;
+// independent registries exist for tests.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// register adds a metric under name, panicking on duplicates — metric names
+// are compile-time constants, so a collision is a programming error.
+func (r *Registry) register(name string, m any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.metrics[name] = m
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.register(name, c)
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.register(name, g)
+	return g
+}
+
+// Max registers and returns a new high-water mark.
+func (r *Registry) Max(name string) *Max {
+	m := &Max{}
+	r.register(name, m)
+	return m
+}
+
+// Histogram registers and returns a new log2 histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := &Histogram{}
+	r.register(name, h)
+	return h
+}
+
+// Snapshot returns every metric's current value keyed by name: uint64 for
+// counters, int64 for gauges and high-water marks, HistogramSnapshot for
+// histograms. The map is freshly built — callers may keep or mutate it.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.metrics))
+	for name, m := range r.metrics {
+		switch v := m.(type) {
+		case *Counter:
+			out[name] = v.Load()
+		case *Gauge:
+			out[name] = v.Load()
+		case *Max:
+			out[name] = v.Load()
+		case *Histogram:
+			out[name] = v.Snapshot()
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as one JSON object with keys in sorted
+// order — expvar-style, but deterministic, so /metrics output diffs
+// cleanly and tests can assert on it.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, name := range names {
+		b, err := json.Marshal(snap[name])
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(names)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "  %q: %s%s", name, b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validReport() *Report {
+	return &Report{
+		Schema:  ReportSchema,
+		Command: "sweeprun run",
+		Status:  StatusOK,
+		WallNs:  12345,
+		Trials: ReportTrials{
+			Planned: 10, Salvaged: 4, Executed: 6,
+		},
+		Segments: []ReportSegment{
+			{Name: "T3", Schedule: 1, Planned: 6, Salvaged: 4, Executed: 2, WallNs: 1000, RecordBytes: 321},
+			{Name: "trials", Schedule: 2, Planned: 4, Executed: 4, WallNs: 2000},
+		},
+		Calibration: &ReportCalibration{Workers: 4, MinProcs: 64},
+		Histograms: map[string]HistogramSnapshot{
+			"sim.trial.wall_ns": {Count: 3, Sum: 30, Max: 16, Buckets: []HistogramBucket{{Le: 15, Count: 2}, {Le: 31, Count: 1}}},
+		},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := validReport()
+	path := filepath.Join(t.TempDir(), "x.report.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trials != r.Trials || len(got.Segments) != 2 || got.Segments[0] != r.Segments[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReportValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"schema", func(r *Report) { r.Schema = 99 }, "schema 99"},
+		{"status", func(r *Report) { r.Status = "fine" }, "unknown report status"},
+		{"no-command", func(r *Report) { r.Command = "" }, "no command"},
+		{"segment-overflow", func(r *Report) { r.Segments[0].Executed = 99 }, "salvaged"},
+		{"totals", func(r *Report) { r.Trials.Executed = 5 }, "disagree"},
+		{"quarantine-causes", func(r *Report) {
+			r.Status = StatusTrialErrors
+			r.Segments[1].Quarantined = 1
+			r.Trials.Quarantined = ReportQuarantine{Total: 1, Panic: 0, Deadline: 0, Other: 0}
+			r.Trials.Quarantined.Panic = 2
+		}, "causes sum"},
+		{"ok-with-quarantine", func(r *Report) {
+			r.Segments[1].Quarantined = 1
+			r.Trials.Quarantined = ReportQuarantine{Total: 1, Other: 1}
+		}, "status ok with"},
+		{"ok-incomplete", func(r *Report) {
+			r.Segments[1].Executed = 3
+			r.Trials.Executed = 5
+		}, "durable"},
+		{"histogram", func(r *Report) {
+			h := r.Histograms["sim.trial.wall_ns"]
+			h.Count = 7
+			r.Histograms["sim.trial.wall_ns"] = h
+		}, "buckets sum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := validReport()
+			tc.mutate(r)
+			err := r.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReportInterruptedAllowsPartial(t *testing.T) {
+	r := validReport()
+	r.Status = StatusInterrupted
+	r.Segments[1].Executed = 2
+	r.Trials.Executed = 4
+	if err := r.Validate(); err != nil {
+		t.Fatalf("interrupted partial report rejected: %v", err)
+	}
+}
+
+func TestParseReportRejectsGarbage(t *testing.T) {
+	if _, err := ParseReport([]byte("not json")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+	b, _ := json.Marshal(map[string]any{"schema": 1})
+	if _, err := ParseReport(b); err == nil {
+		t.Fatal("empty report validated")
+	}
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; a nil *Counter is a no-op, which is how disabled telemetry costs
+// nothing — instrumented code calls methods unconditionally and the nil
+// check is the entire disabled path.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current count (0 for nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 — calibration results, pool sizes, the current
+// value of anything that goes up and down. Nil-receiver-safe like Counter.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Load returns the current value (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max tracks a high-water mark: Observe keeps the largest value seen.
+type Max struct{ v atomic.Int64 }
+
+// Observe raises the mark to v if v exceeds it.
+func (m *Max) Observe(v int64) {
+	if m == nil {
+		return
+	}
+	for {
+		cur := m.v.Load()
+		if v <= cur || m.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water mark (0 for nil).
+func (m *Max) Load() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.v.Load()
+}
+
+// histBuckets is the fixed bucket count of a log2 histogram: bucket k
+// counts observations v with bits.Len64(v) == k, i.e. v in [2^(k-1), 2^k),
+// with bucket 0 counting exact zeros. 65 buckets cover all of uint64.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket log2 histogram over uint64 observations
+// (latencies in nanoseconds, round counts). Observe is a constant number of
+// atomic updates — no allocation, no locks — so it can sit on per-trial and
+// per-flush paths. The log2 bucketing trades resolution for a fixed
+// footprint: within a bucket the true value is known to a factor of two,
+// which is what a latency distribution needs and all a lock-free fixed-size
+// structure can promise.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count observations
+// were at most Le (and, for Le > 0, more than Le/2).
+type HistogramBucket struct {
+	// Le is the bucket's inclusive upper bound, 2^k - 1.
+	Le uint64 `json:"le"`
+	// Count is the number of observations in the bucket.
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, the form
+// histograms take in /metrics output and run reports. Only non-empty
+// buckets are materialized.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Max     uint64            `json:"max"`
+	Mean    float64           `json:"mean"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observes make
+// the copy approximate (count and buckets are read at slightly different
+// instants), which is fine for monitoring; quiesced reads are exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for k := 0; k < histBuckets; k++ {
+		n := h.buckets[k].Load()
+		if n == 0 {
+			continue
+		}
+		le := uint64(math.MaxUint64)
+		if k < 64 {
+			le = (uint64(1) << k) - 1
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{Le: le, Count: n})
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var m *Max
+	var h *Histogram
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	m.Observe(9)
+	h.Observe(100)
+	if c.Load() != 0 || g.Load() != 0 || m.Load() != 0 || h.Count() != 0 {
+		t.Fatalf("nil metrics must read zero")
+	}
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("nil histogram snapshot = %+v, want zero", s)
+	}
+}
+
+func TestCounterGaugeMax(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(42)
+	g.Set(-3)
+	if got := g.Load(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+	var m Max
+	m.Observe(10)
+	m.Observe(3)
+	m.Observe(17)
+	if got := m.Load(); got != 17 {
+		t.Fatalf("max = %d, want 17", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// 0 -> bucket le=0; 1 -> le=1; 2,3 -> le=3; 1000 -> le=1023.
+	for _, v := range []uint64{0, 1, 2, 3, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 1006 || s.Max != 1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	want := map[uint64]uint64{0: 1, 1: 1, 3: 2, 1023: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %v", s.Buckets, want)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Fatalf("bucket le=%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+	h.Observe(math.MaxUint64)
+	s = h.Snapshot()
+	if s.Buckets[len(s.Buckets)-1].Le != math.MaxUint64 {
+		t.Fatalf("top bucket le = %d, want MaxUint64", s.Buckets[len(s.Buckets)-1].Le)
+	}
+}
+
+// TestMetricOpsAllocationFree pins the tentpole contract: every hot-path
+// metric operation performs zero allocations, so counters can sit live on
+// the engine round loop and the sink write path without violating the
+// repo's zero-steady-state-alloc audits.
+func TestMetricOpsAllocationFree(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var m Max
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(9)
+		m.Observe(int64(c.Load()))
+		h.Observe(c.Load())
+	}); n != 0 {
+		t.Fatalf("metric ops allocate %.1f/op, want 0", n)
+	}
+	// The disabled path — zero-set accessors plus nil-metric calls — must
+	// also be free.
+	if n := testing.AllocsPerRun(1000, func() {
+		Engine().Rounds.Add(1)
+		Sim().Trials.Inc()
+		SinkIO().Bytes.Add(64)
+	}); n != 0 {
+		t.Fatalf("metric-set access allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestRegistrySnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("b.counter")
+	g := r.Gauge("a.gauge")
+	h := r.Histogram("c.hist")
+	c.Add(2)
+	g.Set(-7)
+	h.Observe(5)
+	snap := r.Snapshot()
+	if snap["b.counter"].(uint64) != 2 || snap["a.gauge"].(int64) != -7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Keys emit in sorted order, deterministically.
+	ia, ib, ic := strings.Index(out, `"a.gauge"`), strings.Index(out, `"b.counter"`), strings.Index(out, `"c.hist"`)
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Fatalf("keys not in sorted order:\n%s", out)
+	}
+	if !strings.Contains(out, `"a.gauge": -7`) || !strings.Contains(out, `"b.counter": 2`) {
+		t.Fatalf("values missing:\n%s", out)
+	}
+	var sb2 strings.Builder
+	if err := r.WriteJSON(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Fatalf("WriteJSON not deterministic")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x")
+}
+
+func TestEnableIdempotentAndPublishesSets(t *testing.T) {
+	r1 := Enable()
+	r2 := Enable()
+	if r1 == nil || r1 != r2 {
+		t.Fatalf("Enable not idempotent: %p vs %p", r1, r2)
+	}
+	if !Enabled() || Default() != r1 {
+		t.Fatalf("Enabled/Default inconsistent")
+	}
+	if Engine().Rounds == nil || Sim().Trials == nil || SinkIO().Records == nil {
+		t.Fatalf("metric sets not populated after Enable")
+	}
+	before := Engine().Rounds.Load()
+	Engine().Rounds.Add(3)
+	snap := r1.Snapshot()
+	if got := snap["engine.rounds"].(uint64); got != before+3 {
+		t.Fatalf("engine.rounds = %d, want %d", got, before+3)
+	}
+}
