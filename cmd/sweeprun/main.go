@@ -88,7 +88,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -98,80 +97,39 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"adhocconsensus"
 	"adhocconsensus/internal/cli"
 	"adhocconsensus/internal/experiments"
+	"adhocconsensus/internal/jobs"
 	"adhocconsensus/internal/replay"
-	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/sink"
 	"adhocconsensus/internal/telemetry"
 )
 
-// Exit codes, documented in the command comment. Typed errors from the
-// sweep layer classify themselves (see exitCodeOf); subcommands pin a code
-// explicitly with withExit where the chain alone is ambiguous.
+// Exit codes, documented in the command comment. The table and the
+// classification live in internal/cli so sweeprun and sweepd cannot drift;
+// these aliases keep this package's call sites short.
 const (
-	exitOK        = 0
-	exitUsage     = 1
-	exitTrial     = 2
-	exitSink      = 3
-	exitReject    = 4
-	exitInterrupt = 5
+	exitOK        = cli.ExitOK
+	exitUsage     = cli.ExitUsage
+	exitTrial     = cli.ExitTrial
+	exitSink      = cli.ExitSink
+	exitReject    = cli.ExitReject
+	exitInterrupt = cli.ExitInterrupt
 )
 
-// exitErr pins an exit code onto an error chain.
-type exitErr struct {
-	code int
-	err  error
-}
-
-func (e *exitErr) Error() string { return e.err.Error() }
-
-func (e *exitErr) Unwrap() error { return e.err }
-
 // withExit wraps err with an explicit exit code (nil stays nil).
-func withExit(code int, err error) error {
-	if err == nil {
-		return nil
-	}
-	return &exitErr{code: code, err: err}
-}
+func withExit(code int, err error) error { return cli.WithExit(code, err) }
 
-// exitCodeOf classifies an error chain into the documented exit codes: an
-// explicit pin wins, then the interrupt, sink, and per-trial markers from
-// the sweep layer; anything else is a usage/configuration error.
-func exitCodeOf(err error) int {
-	if err == nil {
-		return exitOK
-	}
-	var ee *exitErr
-	if errors.As(err, &ee) {
-		return ee.code
-	}
-	if isInterrupt(err) {
-		return exitInterrupt
-	}
-	var se *sim.SinkError
-	if errors.As(err, &se) {
-		return exitSink
-	}
-	var te *sim.TrialError
-	if errors.As(err, &te) {
-		return exitTrial
-	}
-	return exitUsage
-}
+// exitCodeOf classifies an error chain into the documented exit codes.
+func exitCodeOf(err error) int { return cli.ExitCodeOf(err) }
 
 // isInterrupt reports whether the error chain records a cooperative
 // cancellation (the sweep drained and the stream holds a valid prefix).
-func isInterrupt(err error) bool {
-	var ce *sim.CanceledError
-	return errors.As(err, &ce) || errors.Is(err, context.Canceled)
-}
+func isInterrupt(err error) bool { return cli.IsInterrupt(err) }
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -212,17 +170,6 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 }
 
-// exitCodesHelp is the uniform exit-code table, printable on demand so
-// operators scripting around sweeprun do not have to read source comments.
-const exitCodesHelp = `sweeprun exit codes (uniform across subcommands):
-  0  success
-  1  usage or configuration error
-  2  the sweep completed but quarantined per-trial errors (panic, deadline)
-  3  sink/IO failure - the stream aborted, leaving a valid resumable prefix
-  4  merge/verify/resume/report rejected its input files
-  5  clean interrupt - in-flight trials drained, tail flushed, resumable
-`
-
 // helpCmd is the "help" subcommand: topic help beyond -h flag listings.
 func helpCmd(args []string, out io.Writer) error {
 	if len(args) == 0 {
@@ -233,7 +180,7 @@ func helpCmd(args []string, out io.Writer) error {
 	}
 	switch args[0] {
 	case "exitcodes":
-		fmt.Fprint(out, exitCodesHelp)
+		fmt.Fprint(out, cli.ExitCodesHelp)
 		return nil
 	default:
 		return fmt.Errorf("unknown help topic %q (want exitcodes)", args[0])
@@ -288,31 +235,11 @@ func parseShard(s string) (shard, shards int, err error) {
 	return shard, shards, nil
 }
 
-// segment is one experiment's (or the configuration sweep's) contribution
-// to a shard file: the planned record sequence of THIS invocation's shard,
-// with enough derivation to verify a salvaged prefix record-by-record and
-// to stream the remainder after a skip. Segments are laid down in request
-// order, so the file's full record sequence is the segments' concatenation
-// — which is what makes a byte prefix of the file a prefix of the plan.
-type segment struct {
-	// name labels errors ("T3", "trials").
-	name string
-	// length is the number of records the segment contributes to this shard.
-	length int
-	// schedule is the segment's seed-schedule version, recorded in the run
-	// report (0 for work-item pipelines, which carry explicit seeds).
-	schedule int
-	// verify checks that rec is exactly the segment's pos-th planned record
-	// (identity only — outcomes are whatever the recorded run produced).
-	verify func(pos int, rec sink.Record) error
-	// stream executes the segment's trials from skip on, appending records
-	// to w. It must flush its JSONL tail before returning, even when
-	// canceled, so an interrupted file still ends on a record boundary.
-	stream func(ctx context.Context, skip int, w io.Writer) error
-}
-
 // runShard is the "run" subcommand: execute one shard, stream JSONL,
-// optionally resuming a partial shard file in place.
+// optionally resuming a partial shard file in place. The plan/salvage/stream
+// machinery lives in internal/jobs — the same code path the sweepd daemon
+// executes jobs through, which is what keeps a daemon job's output
+// byte-identical to this command's.
 func runShard(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweeprun run", flag.ContinueOnError)
 	cf := cli.RegisterConfig(fs)
@@ -348,9 +275,9 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 
 	// Build the invocation's plan: one segment per experiment, in request
 	// order, or the single configuration-sweep segment.
-	var segs []segment
+	var segs []jobs.Segment
 	if *trials > 0 {
-		seg, err := trialsSegment(cf, *trials, shard, shards, *workers, *timeout)
+		seg, err := jobs.TrialsSegment(cf, *trials, shard, shards, *workers, *timeout)
 		if err != nil {
 			return err
 		}
@@ -358,7 +285,7 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 	} else {
 		add := func(name string) error {
 			if e, ok := experiments.GridExperimentByName(name); ok {
-				seg, err := gridSegment(e, shard, shards, *workers, *timeout)
+				seg, err := jobs.GridSegment(e, shard, shards, *workers, *timeout)
 				if err != nil {
 					return err
 				}
@@ -366,7 +293,7 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 				return nil
 			}
 			if e, ok := experiments.WorkExperimentByName(name); ok {
-				seg, err := workSegment(e, shard, shards, *workers, *timeout)
+				seg, err := jobs.WorkSegment(e, shard, shards, *workers, *timeout)
 				if err != nil {
 					return err
 				}
@@ -431,7 +358,7 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 	if *output != "" {
 		var f *os.File
 		if *resume {
-			f, err = resumeOutput(*output, segs, skips, info)
+			f, err = jobs.Salvage(*output, segs, skips, info)
 		} else {
 			f, err = os.Create(*output)
 			err = withExit(exitSink, err)
@@ -445,14 +372,14 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 
 	total, salvaged := 0, 0
 	for i, s := range segs {
-		total += s.length
+		total += s.Length
 		salvaged += skips[i]
 	}
 	track := newProgressTracker(total, salvaged)
 	var prog *telemetry.Progress
 	if wantProgress {
 		if len(segs) > 0 {
-			track.enter(segs[0].name) // the immediate first render names it
+			track.enter(segs[0].Name) // the immediate first render names it
 		}
 		prog = &telemetry.Progress{Out: os.Stderr, Snapshot: track.snapshot}
 		prog.Start()
@@ -465,51 +392,15 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 	// interrupts — aborts, leaving the flushed valid prefix on disk. Either
 	// way the run report records what actually happened.
 	start := time.Now()
-	sm := telemetry.SinkIO()
-	tm := telemetry.Sim()
-	panicBase, deadlineBase := tm.QuarantinePanic.Load(), tm.QuarantineDeadline.Load()
-	segReports := make([]telemetry.ReportSegment, 0, len(segs))
-	var firstTrialErr, abortErr error
-	for i, s := range segs {
-		track.enter(s.name)
-		segStart := time.Now()
-		recBase, byteBase, quarBase := sm.Records.Load(), sm.Bytes.Load(), sm.Quarantined.Load()
-		err := s.stream(ctx, skips[i], w)
-		segReports = append(segReports, telemetry.ReportSegment{
-			Name:        s.name,
-			Schedule:    s.schedule,
-			Planned:     s.length,
-			Salvaged:    skips[i],
-			Executed:    int(sm.Records.Load() - recBase),
-			Quarantined: int(sm.Quarantined.Load() - quarBase),
-			WallNs:      time.Since(segStart).Nanoseconds(),
-			RecordBytes: sm.Bytes.Load() - byteBase,
-		})
-		if err == nil {
-			continue
-		}
-		err = fmt.Errorf("%s: %w", s.name, err)
-		var te *sim.TrialError
-		if errors.As(err, &te) {
-			if firstTrialErr == nil {
-				firstTrialErr = err
-			}
-			continue
-		}
-		abortErr = err
-		break
-	}
+	oc := jobs.Stream(ctx, segs, skips, w, track.enter)
 	if prog != nil {
 		prog.Stop()
 	}
 	if reportPath != "" {
-		causes := telemetry.ReportQuarantine{
-			Panic:    int(tm.QuarantinePanic.Load() - panicBase),
-			Deadline: int(tm.QuarantineDeadline.Load() - deadlineBase),
-		}
-		rep := buildRunReport(runStatus(abortErr, firstTrialErr), time.Since(start), segReports, causes)
+		rep := jobs.BuildReport("sweeprun run", jobs.StatusOf(oc.AbortErr, oc.TrialErr),
+			time.Since(start), oc.Segments, oc.Causes)
 		if werr := rep.WriteFile(reportPath); werr != nil {
-			if abortErr == nil && firstTrialErr == nil {
+			if oc.Err() == nil {
 				return withExit(exitSink, fmt.Errorf("run report %s: %w", reportPath, werr))
 			}
 			fmt.Fprintf(info, "run report %s not written: %v\n", reportPath, werr)
@@ -517,93 +408,14 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 			fmt.Fprintf(info, "report: %s\n", reportPath)
 		}
 	}
-	if abortErr != nil {
-		if isInterrupt(abortErr) && *output != "" {
+	if oc.AbortErr != nil {
+		if isInterrupt(oc.AbortErr) && *output != "" {
 			fmt.Fprintf(out, "interrupted: %s holds a valid prefix — resume with: sweeprun run %s\n",
 				*output, resumeCommand(args, *resume))
 		}
-		return abortErr
+		return oc.AbortErr
 	}
-	return firstTrialErr
-}
-
-// runStatus classifies a finished run for its report.
-func runStatus(abortErr, trialErr error) string {
-	switch {
-	case abortErr != nil && isInterrupt(abortErr):
-		return telemetry.StatusInterrupted
-	case abortErr != nil:
-		return telemetry.StatusAborted
-	case trialErr != nil:
-		return telemetry.StatusTrialErrors
-	default:
-		return telemetry.StatusOK
-	}
-}
-
-// buildRunReport assembles the run report from the segment accounting and
-// the live registry. The by-cause quarantine split comes from the sweep
-// runner's counters; causes it cannot see (work-item pipelines classify
-// their own errors, records that never reached the sink) land in Other, so
-// the causes always sum to the sink-observed total the validator checks.
-func buildRunReport(status string, wall time.Duration, segs []telemetry.ReportSegment, causes telemetry.ReportQuarantine) *telemetry.Report {
-	rep := &telemetry.Report{
-		Schema:    telemetry.ReportSchema,
-		Command:   "sweeprun run",
-		Status:    status,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		WallNs:    wall.Nanoseconds(),
-		Segments:  segs,
-	}
-	for _, s := range segs {
-		rep.Trials.Planned += s.Planned
-		rep.Trials.Salvaged += s.Salvaged
-		rep.Trials.Executed += s.Executed
-		rep.Trials.Quarantined.Total += s.Quarantined
-	}
-	total := rep.Trials.Quarantined.Total
-	if causes.Panic > total {
-		causes.Panic = total
-	}
-	if causes.Deadline > total-causes.Panic {
-		causes.Deadline = total - causes.Panic
-	}
-	causes.Other = total - causes.Panic - causes.Deadline
-	causes.Total = total
-	rep.Trials.Quarantined = causes
-	if c := engineCalibrationSnapshot(); c != nil {
-		rep.Calibration = c
-	}
-	if reg := telemetry.Default(); reg != nil {
-		rep.Histograms = make(map[string]telemetry.HistogramSnapshot)
-		rep.Metrics = make(map[string]any)
-		for name, v := range reg.Snapshot() {
-			if h, ok := v.(telemetry.HistogramSnapshot); ok {
-				if h.Count > 0 {
-					rep.Histograms[name] = h
-				}
-				continue
-			}
-			rep.Metrics[name] = v
-		}
-	}
-	return rep
-}
-
-// engineCalibrationSnapshot reads the calibration gauges back; nil when the
-// engine never calibrated (a run that stayed sequential end to end).
-func engineCalibrationSnapshot() *telemetry.ReportCalibration {
-	em := telemetry.Engine()
-	w := em.CalWorkers.Load()
-	if w == 0 {
-		return nil
-	}
-	return &telemetry.ReportCalibration{
-		Workers:   int(w),
-		MinProcs:  int(em.CalMinProcs.Load()),
-		BarrierNs: float64(em.CalBarrierNs.Load()),
-		StepNs:    float64(em.CalStepNs.Load()),
-	}
+	return oc.TrialErr
 }
 
 // progressTracker feeds the live progress line from the sink counters plus
@@ -660,330 +472,6 @@ func resumeCommand(args []string, alreadyResume bool) string {
 		return strings.Join(args, " ")
 	}
 	return "-resume " + strings.Join(args, " ")
-}
-
-// resumeOutput reopens a partial shard file, salvages its valid record
-// prefix, verifies the prefix against the invocation's planned record
-// sequence, truncates the torn tail, and fills skips with how many of each
-// segment's trials are already durable. The returned file is positioned at
-// the truncation point, ready for appending. A missing file is an empty
-// prefix: resuming a run that never started is a fresh run.
-func resumeOutput(path string, segs []segment, skips []int, out io.Writer) (*os.File, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, withExit(exitSink, err)
-	}
-	recs, valid, torn := sink.ReadRecordsPartial(f)
-	sm := telemetry.SinkIO()
-	sm.SalvagedRecords.Add(uint64(len(recs)))
-	if torn != nil {
-		fmt.Fprintf(out, "resume %s: discarding torn tail at byte %d (line %d): %v\n",
-			path, torn.Offset, torn.Line, torn.Err)
-		sm.TornTails.Inc()
-	}
-	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
-		sm.DiscardedBytes.Add(uint64(fi.Size() - valid))
-	}
-	// The salvaged records must be exactly the plan's prefix: delivery is
-	// strictly ordered, so a valid byte prefix that does not align with the
-	// plan means the file was produced by a different invocation (other
-	// -exp/-trials set, shard layout, seed, or build) and appending to it
-	// would corrupt the shard.
-	pos := 0
-	for si := range segs {
-		m := 0
-		for m < segs[si].length && pos < len(recs) {
-			if err := segs[si].verify(m, recs[pos]); err != nil {
-				f.Close()
-				return nil, withExit(exitReject,
-					fmt.Errorf("resume %s: record %d: %w", path, pos+1, err))
-			}
-			m++
-			pos++
-		}
-		skips[si] = m
-	}
-	if pos < len(recs) {
-		f.Close()
-		return nil, withExit(exitReject,
-			fmt.Errorf("resume %s: file carries %d record(s) beyond what this invocation produces — different -exp/-trials or -shard?", path, len(recs)-pos))
-	}
-	if err := f.Truncate(valid); err != nil {
-		f.Close()
-		return nil, withExit(exitSink, err)
-	}
-	if _, err := f.Seek(valid, io.SeekStart); err != nil {
-		f.Close()
-		return nil, withExit(exitSink, err)
-	}
-	total := 0
-	for _, s := range segs {
-		total += s.length
-	}
-	fmt.Fprintf(out, "resume %s: %d of %d trial(s) durable, %d to run\n",
-		path, len(recs), total, total-len(recs))
-	return f, nil
-}
-
-// gridSegment plans one scenario-grid experiment's shard.
-func gridSegment(e experiments.GridExperiment, shard, shards, workers int, timeout time.Duration) (segment, error) {
-	scenarios, _, err := e.Build()
-	if err != nil {
-		return segment{}, err
-	}
-	shardTrials, err := sim.ShardScenarios(scenarios, shard, shards)
-	if err != nil {
-		return segment{}, err
-	}
-	// Precompute params once per grid point: the sink's lookup runs per
-	// trial on the streaming path.
-	params := make([]sink.Params, len(scenarios))
-	for i, s := range scenarios {
-		params[i] = sink.ParamsOf(s)
-	}
-	schedule := 0
-	if len(params) > 0 {
-		schedule = params[0].SeedScheduleVersion()
-	}
-	return segment{
-		name:     e.Name,
-		length:   len(shardTrials),
-		schedule: schedule,
-		verify: func(pos int, rec sink.Record) error {
-			want := shardTrials[pos]
-			switch {
-			case rec.Exp != e.Name:
-				return fmt.Errorf("record belongs to %q, expected %s", rec.Exp, e.Name)
-			case rec.Index != want.Index:
-				return fmt.Errorf("trial %d, expected global index %d", rec.Index, want.Index)
-			case rec.Seed != want.Scenario.Seed:
-				return fmt.Errorf("trial %d seed %d does not match this build's grid (%d)", rec.Index, rec.Seed, want.Scenario.Seed)
-			}
-			if got, exp := rec.Params.SeedScheduleVersion(), params[want.Index].SeedScheduleVersion(); got != exp {
-				return &sink.ScheduleMismatchError{Index: rec.Index, Got: got, Want: exp}
-			}
-			if fp := params[want.Index].Fingerprint(); rec.Fingerprint != fp {
-				return fmt.Errorf("trial %d fingerprint %s does not match this build's grid (%s)", rec.Index, rec.Fingerprint, fp)
-			}
-			return nil
-		},
-		stream: func(ctx context.Context, skip int, w io.Writer) error {
-			j := sink.NewJSONL(w)
-			j.Exp = e.Name
-			j.Params = func(i int) sink.Params { return params[i] }
-			// Retry absorbs transiently failing writes (sink.MarkRetryable)
-			// under bounded exponential backoff before aborting the sweep.
-			err := (sim.Runner{Workers: workers, TrialTimeout: timeout}).
-				SweepTrialsToCtx(ctx, shardTrials[skip:], &sink.Retry{Base: j})
-			if ferr := j.Flush(); err == nil && ferr != nil {
-				err = withExit(exitSink, ferr)
-			}
-			return err
-		},
-	}, nil
-}
-
-// workSegment plans one work-item pipeline's shard: the bespoke analog of
-// gridSegment. Items execute on the worker pool through the crash guard
-// (and the deadline watchdog when -trialtimeout is set); records stream in
-// item order, quarantined items included.
-func workSegment(e experiments.WorkExperiment, shard, shards, workers int, timeout time.Duration) (segment, error) {
-	items, runItem, _, err := e.Build()
-	if err != nil {
-		return segment{}, err
-	}
-	shardItems, err := experiments.ShardItems(items, shard, shards)
-	if err != nil {
-		return segment{}, err
-	}
-	run := experiments.GuardRun(runItem)
-	if timeout > 0 {
-		run = experiments.RunWithDeadline(runItem, timeout)
-	}
-	return segment{
-		name:   e.Name,
-		length: len(shardItems),
-		verify: func(pos int, rec sink.Record) error {
-			want := shardItems[pos]
-			switch {
-			case rec.Exp != e.Name:
-				return fmt.Errorf("record belongs to %q, expected %s", rec.Exp, e.Name)
-			case rec.Index != want.Index:
-				return fmt.Errorf("item %d, expected global index %d", rec.Index, want.Index)
-			case rec.Item != want.Kind || rec.ItemParams != want.Params ||
-				rec.Fingerprint != want.Fingerprint() || rec.Seed != want.Seed:
-				return fmt.Errorf("item %d does not match this build's pipeline (recorded %s(%s) fp=%s seed=%d)",
-					rec.Index, rec.Item, rec.ItemParams, rec.Fingerprint, rec.Seed)
-			}
-			return nil
-		},
-		stream: func(ctx context.Context, skip int, w io.Writer) error {
-			return streamWorkItems(ctx, e.Name, shardItems[skip:], run, workers, w)
-		},
-	}, nil
-}
-
-// streamWorkItems executes work items on the pool and streams their records
-// in item order through a reorder window, mirroring the ordered-delivery
-// contract of sim's sweep path: an item that fails (a recovered executor
-// panic, a deadline overrun) streams as a quarantine record in its slot and
-// does not stop the pipeline; the first such error is returned after all
-// items ran (a *sim.TrialError). Cancellation drains in-flight items,
-// flushes the contiguous completed prefix, and returns a *sim.CanceledError.
-func streamWorkItems(ctx context.Context, exp string, items []sink.WorkItem, run experiments.WorkRunFunc, workers int, w io.Writer) error {
-	j := sink.NewJSONL(w)
-	var (
-		aborted  atomic.Bool
-		mu       sync.Mutex
-		next     int
-		outs     = make([]string, len(items))
-		errs     = make([]error, len(items))
-		done     = make([]bool, len(items))
-		firstErr error
-		sinkErr  error
-	)
-	ctxErr := (sim.Runner{Workers: workers}).MapCtx(ctx, len(items), func(i int) {
-		if aborted.Load() {
-			return
-		}
-		out, err := run(items[i])
-		mu.Lock()
-		defer mu.Unlock()
-		outs[i], errs[i], done[i] = out, err, true
-		for next < len(items) && done[next] {
-			item := items[next]
-			rec := sink.RecordOfItem(exp, item, outs[next])
-			if err := errs[next]; err != nil {
-				rec.Out, rec.Err = "", err.Error()
-				if firstErr == nil {
-					firstErr = &sim.TrialError{Index: item.Index, Name: item.Kind, Err: err}
-				}
-			}
-			outs[next], errs[next] = "", nil // release once delivered
-			if sinkErr == nil {
-				if err := j.WriteRecord(rec); err != nil {
-					sinkErr = &sim.SinkError{Err: err}
-					aborted.Store(true)
-				}
-			}
-			next++
-		}
-	})
-	ferr := j.Flush()
-	switch {
-	case sinkErr != nil:
-		return sinkErr
-	case ctxErr != nil:
-		return &sim.CanceledError{Done: next, Total: len(items), Err: ctxErr}
-	case ferr != nil:
-		return withExit(exitSink, ferr)
-	}
-	return firstErr
-}
-
-// trialsSegment plans one configuration-sweep shard through the public
-// streaming API.
-func trialsSegment(cf *cli.ConfigFlags, trials, shard, shards, workers int, timeout time.Duration) (segment, error) {
-	cfg, err := cf.Config()
-	if err != nil {
-		return segment{}, err
-	}
-	cfg.TrialTimeout = timeout
-	params := cli.RecordParams(cfg)
-	length := 0
-	if trials > shard {
-		length = (trials - shard + shards - 1) / shards
-	}
-	// The sweep fingerprint is derived inside the library per trial; resume
-	// captures the salvaged records' fingerprint and the streaming sink
-	// checks the first fresh result against it before anything is appended,
-	// so a resume under different configuration flags aborts with the file
-	// untouched (the seed schedule and recorded params are checked up front).
-	var salvagedFP string
-	return segment{
-		name:     "trials",
-		length:   length,
-		schedule: params.SeedScheduleVersion(),
-		verify: func(pos int, rec sink.Record) error {
-			want := shard + pos*shards
-			switch {
-			case rec.Exp != "trials":
-				return fmt.Errorf("record belongs to %q, expected trials", rec.Exp)
-			case rec.Index != want:
-				return fmt.Errorf("trial %d, expected global index %d", rec.Index, want)
-			case rec.Seed != sim.TrialSeed(cfg.Seed, 0, want):
-				return fmt.Errorf("trial %d seed %d does not match this configuration's seed schedule (%d)",
-					want, rec.Seed, sim.TrialSeed(cfg.Seed, 0, want))
-			case rec.Params.SeedScheduleVersion() != params.SeedScheduleVersion():
-				return &sink.ScheduleMismatchError{
-					Index: want,
-					Got:   rec.Params.SeedScheduleVersion(),
-					Want:  params.SeedScheduleVersion(),
-				}
-			case rec.Params != params:
-				return fmt.Errorf("trial %d was recorded under different configuration parameters", want)
-			}
-			switch {
-			case salvagedFP == "":
-				salvagedFP = rec.Fingerprint
-			case rec.Fingerprint != salvagedFP:
-				return fmt.Errorf("trial %d fingerprint %s differs from the file's %s — mixed configurations", want, rec.Fingerprint, salvagedFP)
-			}
-			return nil
-		},
-		stream: func(ctx context.Context, skip int, w io.Writer) error {
-			j := sink.NewJSONL(w)
-			j.Exp = "trials"
-			s := &jsonlTrials{j: j, params: params, wantFP: salvagedFP}
-			err := cfg.StreamTrialsFrom(ctx, trials, workers, shard, shards, skip, s)
-			if ferr := j.Flush(); err == nil && ferr != nil {
-				err = withExit(exitSink, ferr)
-			}
-			return err
-		},
-	}, nil
-}
-
-// jsonlTrials adapts the public per-trial stream to JSONL records, reusing
-// a values scratch so million-trial shards stay allocation-free per record
-// like the sim-sweep path.
-type jsonlTrials struct {
-	j      *sink.JSONL
-	params sink.Params
-	// wantFP, when set, is the fingerprint of the salvaged prefix being
-	// resumed: every fresh result must match it, or the configurations
-	// differ and appending would corrupt the shard. The mismatch aborts
-	// through the sink-error path before any byte is written.
-	wantFP string
-	vals   []uint64
-}
-
-func (s *jsonlTrials) Consume(r adhocconsensus.TrialResult) error {
-	if s.wantFP != "" && r.Fingerprint != s.wantFP {
-		return withExit(exitReject, fmt.Errorf(
-			"resumed sweep fingerprint %s does not match the file's %s — configuration flags differ from the recorded run",
-			r.Fingerprint, s.wantFP))
-	}
-	rec := sink.Record{
-		Fingerprint:       r.Fingerprint,
-		Index:             r.Trial,
-		Seed:              r.Seed,
-		Rounds:            r.Rounds,
-		AllDecided:        r.Decided,
-		Decisions:         r.Decisions,
-		LastDecisionRound: r.LastDecisionRound,
-		AgreementOK:       r.AgreementOK,
-		ValidityOK:        r.ValidityOK,
-		TerminationOK:     r.TerminationOK,
-		Err:               r.Err,
-		Params:            s.params,
-	}
-	s.vals = s.vals[:0]
-	for _, v := range r.DecidedValues {
-		s.vals = append(s.vals, uint64(v))
-	}
-	rec.DecidedValues = s.vals
-	return s.j.WriteRecord(rec)
 }
 
 // shardFile is one input file's read outcome, kept for per-shard verdicts.

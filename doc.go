@@ -273,6 +273,26 @@
 // or running with the endpoint live, leaves shard bytes identical at any
 // worker count.
 //
+// # Job supervision
+//
+// The batch CLI has a daemon face: cmd/sweepd accepts sweep-shard jobs
+// over a loopback HTTP API (sharing the telemetry listener) and executes
+// them through internal/jobs — the same segment-plan/salvage/stream code
+// path "sweeprun run" uses, extracted so both faces cannot drift. A
+// supervisor fronts a bounded, fingerprint-deduplicating admission queue
+// before a single execution slot: transient sink failures retry under a
+// backoff window (optionally with deterministic per-job jitter), a
+// per-job attempt budget quarantines repeat offenders, panics in the
+// execution path quarantine the job without killing the daemon, and
+// SIGTERM drains — the running job checkpoints to a durable resumable
+// prefix and the queue persists to an atomically-written manifest that
+// the next start re-admits. Because every attempt resumes through the
+// salvage path, a finished job's shard file is byte-identical to an
+// uninterrupted command-line run, even across a SIGKILL and restart (the
+// CI daemon soak proves this with cmp). Job status documents carry the
+// run report verbatim; queue and lifecycle behavior is observable at
+// /metrics (jobs.*).
+//
 // # Quick start
 //
 //	report, err := adhocconsensus.Config{

@@ -1,11 +1,16 @@
 package backoff
 
-import "time"
+import (
+	"time"
+
+	"adhocconsensus/internal/seedstream"
+)
 
 // Window is the doubling-window-to-a-cap delay shape that underlies binary
 // exponential backoff, lifted out as a plain value type so callers outside
-// the contention-manager protocol (the sink's transient-write retry loop)
-// share one implementation instead of re-deriving the arithmetic.
+// the contention-manager protocol (the sink's transient-write retry loop,
+// the job supervisor's per-job retry schedule) share one implementation
+// instead of re-deriving the arithmetic.
 //
 // Both bounds must be positive; Window carries no defaults — callers resolve
 // their own before constructing one.
@@ -14,11 +19,25 @@ type Window struct {
 	Base time.Duration
 	// Cap clamps the doubled delays.
 	Cap time.Duration
+
+	// Jitter, when in (0,1], spreads each delay deterministically over
+	// [(1-Jitter)·d, d]: a fleet of retriers that failed together (one
+	// backend hiccup hitting every job at once) de-synchronizes instead of
+	// re-colliding on the shared doubling schedule. Zero disables jitter —
+	// the default, and the historical behavior.
+	Jitter float64
+	// JitterSeed keys the jitter draws. The draw for retry r is a pure
+	// function of (JitterSeed, r) — a splitmix64 counter stream, the same
+	// primitive behind the trial-seed schedules — so a given retrier's
+	// delays are reproducible run to run while distinct seeds (e.g. per-job
+	// fingerprints) fan a fleet out across the window.
+	JitterSeed uint64
 }
 
 // Delay returns the wait before retry number `retry` (0-based):
-// min(Base<<retry, Cap). The doubling loop stops as soon as the cap is
-// reached, so large retry counts cannot overflow the shift.
+// min(Base<<retry, Cap), scaled into the jitter window when Jitter is set.
+// The doubling loop stops as soon as the cap is reached, so large retry
+// counts cannot overflow the shift.
 func (w Window) Delay(retry int) time.Duration {
 	d := w.Base
 	for i := 0; i < retry && d < w.Cap; i++ {
@@ -26,6 +45,15 @@ func (w Window) Delay(retry int) time.Duration {
 	}
 	if d > w.Cap {
 		d = w.Cap
+	}
+	if w.Jitter > 0 && d > 0 {
+		j := w.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// 53 mantissa bits of the counter draw → u uniform in [0,1).
+		u := float64(seedstream.Mix64(w.JitterSeed+uint64(retry))>>11) / (1 << 53)
+		d = time.Duration(float64(d) * (1 - j*u))
 	}
 	return d
 }

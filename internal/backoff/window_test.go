@@ -32,3 +32,43 @@ func TestWindowDelayNoShiftOverflow(t *testing.T) {
 		t.Fatalf("Delay(huge) = %v, want %v", got, time.Hour)
 	}
 }
+
+// TestWindowJitterDeterministicAndBounded: the jitter draw is a pure
+// function of (JitterSeed, retry), stays inside [(1-Jitter)·d, d], and the
+// zero value leaves the historical unjittered delays untouched.
+func TestWindowJitterDeterministicAndBounded(t *testing.T) {
+	plain := Window{Base: 10 * time.Millisecond, Cap: time.Second}
+	jit := Window{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.5, JitterSeed: 42}
+	same := Window{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.5, JitterSeed: 42}
+	other := Window{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.5, JitterSeed: 43}
+	differs := false
+	for retry := 0; retry < 12; retry++ {
+		d := plain.Delay(retry)
+		got := jit.Delay(retry)
+		if got != same.Delay(retry) {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", retry, got, same.Delay(retry))
+		}
+		if lo := time.Duration(float64(d) * 0.5); got < lo || got > d {
+			t.Fatalf("Delay(%d) = %v outside jitter window [%v, %v]", retry, got, lo, d)
+		}
+		if got != other.Delay(retry) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("distinct jitter seeds never diverged across 12 retries")
+	}
+}
+
+// TestWindowJitterClamped: a Jitter above 1 behaves as full-window jitter
+// (delays stay positive-or-zero and never exceed the unjittered delay).
+func TestWindowJitterClamped(t *testing.T) {
+	w := Window{Base: 8 * time.Millisecond, Cap: 64 * time.Millisecond, Jitter: 7.5, JitterSeed: 9}
+	plain := Window{Base: 8 * time.Millisecond, Cap: 64 * time.Millisecond}
+	for retry := 0; retry < 8; retry++ {
+		got := w.Delay(retry)
+		if got < 0 || got > plain.Delay(retry) {
+			t.Fatalf("Delay(%d) = %v outside [0, %v]", retry, got, plain.Delay(retry))
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"adhocconsensus/internal/cli"
+	"adhocconsensus/internal/jobs"
+	"adhocconsensus/internal/telemetry"
+)
+
+// Job-level fault injectors for the supervisor's execution seam
+// (jobs.Options.Run): where the Sink and item wrappers above fault
+// individual records and work items, these fault whole job attempts — the
+// layer the supervisor's retry, circuit-breaker, and panic-containment
+// behaviors live at. Counters are process-wide per wrapper and atomic, so
+// an injector can be shared across a supervisor's attempts.
+
+// FailAttempts wraps a job run function to fail its first n calls with a
+// transient sink-class error (exit code 3 — the class the supervisor
+// retries), then delegate. The counter spans jobs: n=2 fails the first two
+// attempts the supervisor makes through this wrapper, whichever jobs they
+// belong to.
+func FailAttempts(run jobs.RunFunc, n int) jobs.RunFunc {
+	var calls atomic.Int64
+	return func(ctx context.Context, spec jobs.Spec, info io.Writer) (*telemetry.Report, error) {
+		if c := calls.Add(1); c <= int64(n) {
+			return nil, cli.WithExit(cli.ExitSink, fmt.Errorf("chaos: injected transient failure on attempt %d", c))
+		}
+		return run(ctx, spec, info)
+	}
+}
+
+// PanicAttempts wraps a job run function to panic on its first n calls —
+// the crash the supervisor's containment shell must survive (quarantining
+// the job, not killing the daemon).
+func PanicAttempts(run jobs.RunFunc, n int) jobs.RunFunc {
+	var calls atomic.Int64
+	return func(ctx context.Context, spec jobs.Spec, info io.Writer) (*telemetry.Report, error) {
+		if c := calls.Add(1); c <= int64(n) {
+			panic(fmt.Sprintf("chaos: injected panic on attempt %d", c))
+		}
+		return run(ctx, spec, info)
+	}
+}
+
+// RejectAttempts wraps a job run function to fail its first n calls with a
+// non-transient reject (exit code 4 — the class the supervisor quarantines
+// immediately, no retries).
+func RejectAttempts(run jobs.RunFunc, n int) jobs.RunFunc {
+	var calls atomic.Int64
+	return func(ctx context.Context, spec jobs.Spec, info io.Writer) (*telemetry.Report, error) {
+		if c := calls.Add(1); c <= int64(n) {
+			return nil, cli.WithExit(cli.ExitReject, fmt.Errorf("chaos: injected reject on attempt %d", c))
+		}
+		return run(ctx, spec, info)
+	}
+}

@@ -1,0 +1,98 @@
+package cli
+
+import (
+	"context"
+	"errors"
+
+	"adhocconsensus/internal/sim"
+)
+
+// Exit codes, uniform across the command-line tools (sweeprun subcommands
+// and the sweepd daemon). Typed errors from the sweep layer classify
+// themselves (ExitCodeOf); commands pin a code explicitly with WithExit
+// where the chain alone is ambiguous. Keeping one copy here is what lets
+// "sweeprun help exitcodes" document both binaries without drifting from
+// either implementation.
+const (
+	// ExitOK: success (for sweepd, a clean drain-and-shutdown).
+	ExitOK = 0
+	// ExitUsage: usage or configuration error.
+	ExitUsage = 1
+	// ExitTrial: the sweep completed but quarantined per-trial errors.
+	ExitTrial = 2
+	// ExitSink: sink/IO failure — the stream aborted, leaving a valid
+	// resumable prefix.
+	ExitSink = 3
+	// ExitReject: merge/verify/resume/report rejected its input files.
+	ExitReject = 4
+	// ExitInterrupt: clean interrupt — in-flight trials drained, tail
+	// flushed, resumable.
+	ExitInterrupt = 5
+)
+
+// ExitCodesHelp is the uniform exit-code table, printable on demand so
+// operators scripting around the tools do not have to read source comments.
+const ExitCodesHelp = `exit codes (uniform across sweeprun subcommands and sweepd):
+  0  success (sweepd: clean drain - every job finished or checkpointed)
+  1  usage or configuration error
+  2  the sweep completed but quarantined per-trial errors (panic, deadline)
+  3  sink/IO failure - the stream aborted, leaving a valid resumable prefix
+  4  merge/verify/resume/report rejected its input files
+  5  clean interrupt - in-flight trials drained, tail flushed, resumable
+
+sweepd maps the same vocabulary onto jobs: a job whose run exits 2 still
+completes (its quarantine records are in the stream), 3 retries under
+backoff, 4 quarantines the job immediately (its spec cannot produce the
+file on disk), and a drain checkpoints every running job for the next
+start to resume.
+`
+
+// ExitError pins an exit code onto an error chain.
+type ExitError struct {
+	Code int
+	Err  error
+}
+
+func (e *ExitError) Error() string { return e.Err.Error() }
+
+func (e *ExitError) Unwrap() error { return e.Err }
+
+// WithExit wraps err with an explicit exit code (nil stays nil).
+func WithExit(code int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ExitError{Code: code, Err: err}
+}
+
+// ExitCodeOf classifies an error chain into the documented exit codes: an
+// explicit pin wins, then the interrupt, sink, and per-trial markers from
+// the sweep layer; anything else is a usage/configuration error.
+func ExitCodeOf(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	var ee *ExitError
+	if errors.As(err, &ee) {
+		return ee.Code
+	}
+	if IsInterrupt(err) {
+		return ExitInterrupt
+	}
+	var se *sim.SinkError
+	if errors.As(err, &se) {
+		return ExitSink
+	}
+	var te *sim.TrialError
+	if errors.As(err, &te) {
+		return ExitTrial
+	}
+	return ExitUsage
+}
+
+// IsInterrupt reports whether the error chain records a cooperative
+// cancellation (the sweep drained and the stream holds a valid prefix).
+func IsInterrupt(err error) bool {
+	var ce *sim.CanceledError
+	return errors.As(err, &ce) || errors.Is(err, context.Canceled)
+}

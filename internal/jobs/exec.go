@@ -1,0 +1,167 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"adhocconsensus/internal/cli"
+	"adhocconsensus/internal/sim"
+	"adhocconsensus/internal/telemetry"
+)
+
+// Outcome is what streaming a segment plan produced: the per-segment report
+// accounting plus the run's classification errors. TrialErr is the first
+// per-trial error (the run still completed; exit code 2); AbortErr is
+// whatever stopped the stream early (a sink failure or a cooperative
+// cancellation), nil when it ran to the end.
+type Outcome struct {
+	Segments []telemetry.ReportSegment
+	Causes   telemetry.ReportQuarantine
+	TrialErr error
+	AbortErr error
+}
+
+// Err collapses the outcome into the run's single reportable error:
+// an abort dominates, then the first per-trial error, then nil.
+func (o Outcome) Err() error {
+	if o.AbortErr != nil {
+		return o.AbortErr
+	}
+	return o.TrialErr
+}
+
+// Stream executes a segment plan against w: each segment streams its trials
+// from its skip on, per-trial errors (quarantined panics, deadline overruns)
+// do not stop the run — later segments still execute and the first such
+// error lands in TrialErr. Everything else — sink failures, interrupts —
+// aborts, leaving the flushed valid prefix on disk. onEnter (when non-nil)
+// observes each segment as it starts, for progress rendering.
+//
+// The per-segment Executed/Quarantined/RecordBytes accounting is built from
+// deltas of the process-global sink counters, which is why a supervisor
+// must not interleave two Streams — the Supervisor's single execution slot
+// exists to keep this accounting exact.
+func Stream(ctx context.Context, segs []Segment, skips []int, w io.Writer, onEnter func(name string)) Outcome {
+	sm := telemetry.SinkIO()
+	tm := telemetry.Sim()
+	panicBase, deadlineBase := tm.QuarantinePanic.Load(), tm.QuarantineDeadline.Load()
+	out := Outcome{Segments: make([]telemetry.ReportSegment, 0, len(segs))}
+	for i, s := range segs {
+		if onEnter != nil {
+			onEnter(s.Name)
+		}
+		segStart := time.Now()
+		recBase, byteBase, quarBase := sm.Records.Load(), sm.Bytes.Load(), sm.Quarantined.Load()
+		err := s.Stream(ctx, skips[i], w)
+		out.Segments = append(out.Segments, telemetry.ReportSegment{
+			Name:        s.Name,
+			Schedule:    s.Schedule,
+			Planned:     s.Length,
+			Salvaged:    skips[i],
+			Executed:    int(sm.Records.Load() - recBase),
+			Quarantined: int(sm.Quarantined.Load() - quarBase),
+			WallNs:      time.Since(segStart).Nanoseconds(),
+			RecordBytes: sm.Bytes.Load() - byteBase,
+		})
+		if err == nil {
+			continue
+		}
+		err = fmt.Errorf("%s: %w", s.Name, err)
+		var te *sim.TrialError
+		if errors.As(err, &te) {
+			if out.TrialErr == nil {
+				out.TrialErr = err
+			}
+			continue
+		}
+		out.AbortErr = err
+		break
+	}
+	out.Causes = telemetry.ReportQuarantine{
+		Panic:    int(tm.QuarantinePanic.Load() - panicBase),
+		Deadline: int(tm.QuarantineDeadline.Load() - deadlineBase),
+	}
+	return out
+}
+
+// StatusOf classifies a finished run for its report.
+func StatusOf(abortErr, trialErr error) string {
+	switch {
+	case abortErr != nil && cli.IsInterrupt(abortErr):
+		return telemetry.StatusInterrupted
+	case abortErr != nil:
+		return telemetry.StatusAborted
+	case trialErr != nil:
+		return telemetry.StatusTrialErrors
+	default:
+		return telemetry.StatusOK
+	}
+}
+
+// BuildReport assembles the run report from the segment accounting and the
+// live registry. The by-cause quarantine split comes from the sweep
+// runner's counters; causes it cannot see (work-item pipelines classify
+// their own errors, records that never reached the sink) land in Other, so
+// the causes always sum to the sink-observed total the validator checks.
+func BuildReport(command, status string, wall time.Duration, segs []telemetry.ReportSegment, causes telemetry.ReportQuarantine) *telemetry.Report {
+	rep := &telemetry.Report{
+		Schema:    telemetry.ReportSchema,
+		Command:   command,
+		Status:    status,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		WallNs:    wall.Nanoseconds(),
+		Segments:  segs,
+	}
+	for _, s := range segs {
+		rep.Trials.Planned += s.Planned
+		rep.Trials.Salvaged += s.Salvaged
+		rep.Trials.Executed += s.Executed
+		rep.Trials.Quarantined.Total += s.Quarantined
+	}
+	total := rep.Trials.Quarantined.Total
+	if causes.Panic > total {
+		causes.Panic = total
+	}
+	if causes.Deadline > total-causes.Panic {
+		causes.Deadline = total - causes.Panic
+	}
+	causes.Other = total - causes.Panic - causes.Deadline
+	causes.Total = total
+	rep.Trials.Quarantined = causes
+	if c := EngineCalibrationSnapshot(); c != nil {
+		rep.Calibration = c
+	}
+	if reg := telemetry.Default(); reg != nil {
+		rep.Histograms = make(map[string]telemetry.HistogramSnapshot)
+		rep.Metrics = make(map[string]any)
+		for name, v := range reg.Snapshot() {
+			if h, ok := v.(telemetry.HistogramSnapshot); ok {
+				if h.Count > 0 {
+					rep.Histograms[name] = h
+				}
+				continue
+			}
+			rep.Metrics[name] = v
+		}
+	}
+	return rep
+}
+
+// EngineCalibrationSnapshot reads the calibration gauges back; nil when the
+// engine never calibrated (a run that stayed sequential end to end).
+func EngineCalibrationSnapshot() *telemetry.ReportCalibration {
+	em := telemetry.Engine()
+	w := em.CalWorkers.Load()
+	if w == 0 {
+		return nil
+	}
+	return &telemetry.ReportCalibration{
+		Workers:   int(w),
+		MinProcs:  int(em.CalMinProcs.Load()),
+		BarrierNs: float64(em.CalBarrierNs.Load()),
+		StepNs:    float64(em.CalStepNs.Load()),
+	}
+}

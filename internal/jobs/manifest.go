@@ -1,0 +1,134 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// manifestSchema versions the on-disk queue manifest.
+const manifestSchema = 1
+
+// ManifestName is the manifest's filename inside Options.Dir.
+const ManifestName = "jobs.manifest.json"
+
+// manifest is the recoverable queue state: every known job's spec and
+// lifecycle position. It deliberately excludes run reports (they live next
+// to the shard files) — the manifest is an index, small enough to rewrite
+// atomically on every state change.
+type manifest struct {
+	Schema int           `json:"schema"`
+	NextID int64         `json:"next_id"`
+	Jobs   []manifestJob `json:"jobs"`
+}
+
+type manifestJob struct {
+	ID          int64  `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	State       State  `json:"state"`
+	Attempts    int    `json:"attempts"`
+	Error       string `json:"error,omitempty"`
+	ExitCode    int    `json:"exit_code,omitempty"`
+	Spec        Spec   `json:"spec"`
+}
+
+// persist writes the manifest atomically (temp file + rename), so a kill
+// mid-write leaves the previous manifest intact instead of a torn one. A
+// no-op without a Dir. Persistence failures are reported to Info rather
+// than failing the supervisor: losing the manifest degrades restart
+// recovery, not the running jobs' durability — the shard files are the
+// source of truth either way.
+func (s *Supervisor) persist() {
+	if s.opts.Dir == "" {
+		return
+	}
+	s.mu.Lock()
+	m := manifest{Schema: manifestSchema, NextID: s.nextID}
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		m.Jobs = append(m.Jobs, manifestJob{
+			ID:          j.ID,
+			Fingerprint: j.Fingerprint,
+			State:       j.State,
+			Attempts:    j.Attempts,
+			Error:       j.Err,
+			ExitCode:    j.ExitCode,
+			Spec:        j.Spec,
+		})
+	}
+	s.mu.Unlock()
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err == nil {
+		path := filepath.Join(s.opts.Dir, ManifestName)
+		tmp := path + ".tmp"
+		if err = os.WriteFile(tmp, append(b, '\n'), 0o644); err == nil {
+			err = os.Rename(tmp, path)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(s.opts.Info, "jobs: manifest not persisted: %v\n", err)
+	}
+}
+
+// loadManifest reloads a previous process's manifest: queued, running, and
+// checkpointed jobs re-enter the queue (re-execution salvages whatever
+// prefix their shard files hold — a job killed mid-run resumes, it does not
+// redo), terminal jobs reload for status. A missing manifest is a fresh
+// start; a torn or alien one is an error — refusing to guess beats silently
+// dropping recoverable work.
+func (s *Supervisor) loadManifest() error {
+	path := filepath.Join(s.opts.Dir, ManifestName)
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobs: manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return fmt.Errorf("jobs: manifest %s does not parse: %w", path, err)
+	}
+	if m.Schema != manifestSchema {
+		return fmt.Errorf("jobs: manifest schema %d, this build reads %d", m.Schema, manifestSchema)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, mj := range m.Jobs {
+		j := &Job{
+			ID:          mj.ID,
+			Spec:        mj.Spec,
+			Fingerprint: mj.Fingerprint,
+			State:       mj.State,
+			Attempts:    mj.Attempts,
+			Err:         mj.Error,
+			ExitCode:    mj.ExitCode,
+		}
+		j.Spec.Normalize()
+		switch mj.State {
+		case StateQueued, StateRunning, StateCheckpointed:
+			// Recoverable: back into the queue. Attempt counts reset — a
+			// restart is a fresh budget, not a continuation of the breaker.
+			j.State = StateQueued
+			j.Attempts = 0
+			if dup, _ := s.q.push(j); dup != nil {
+				continue
+			}
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if j.ID > s.nextID {
+			s.nextID = j.ID
+		}
+	}
+	if m.NextID > s.nextID {
+		s.nextID = m.NextID
+	}
+	return nil
+}

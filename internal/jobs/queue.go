@@ -1,0 +1,93 @@
+package jobs
+
+import (
+	"sync"
+
+	"adhocconsensus/internal/telemetry"
+)
+
+// queue is the bounded, fingerprint-deduplicating admission queue (the
+// mempool pattern): FIFO order, one slot per fingerprint, and a
+// deterministic eviction policy when full — the OLDEST queued job is
+// displaced to admit the newest, ring-buffer style, so the queue's contents
+// under a burst are a pure function of the submission sequence. The
+// supervisor owns dedup against the RUNNING job; the queue only knows what
+// is queued.
+//
+// Every behavior is published to the jobs metric set: dedup hits,
+// evictions, depth, and the depth high-water mark.
+type queue struct {
+	mu       sync.Mutex
+	capacity int
+	order    []*Job
+	byFP     map[string]*Job
+}
+
+func newQueue(capacity int) *queue {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &queue{capacity: capacity, byFP: make(map[string]*Job)}
+}
+
+// push admits j, returning (dup, evicted): dup is the already-queued job
+// with the same fingerprint (j was NOT admitted — the submission coalesces
+// onto it), evicted is the job displaced to make room (nil when the queue
+// had a free slot). Exactly one of the admission outcomes happens per call.
+func (q *queue) push(j *Job) (dup, evicted *Job) {
+	m := telemetry.Jobs()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if d, ok := q.byFP[j.Fingerprint]; ok {
+		m.DedupHits.Inc()
+		return d, nil
+	}
+	if len(q.order) >= q.capacity {
+		evicted = q.order[0]
+		q.order = q.order[1:]
+		delete(q.byFP, evicted.Fingerprint)
+		m.Evicted.Inc()
+	}
+	q.order = append(q.order, j)
+	q.byFP[j.Fingerprint] = j
+	m.Admitted.Inc()
+	m.QueueDepth.Set(int64(len(q.order)))
+	m.QueueHighWater.Observe(int64(len(q.order)))
+	return nil, evicted
+}
+
+// pop removes and returns the head of the queue, nil when empty.
+func (q *queue) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.order) == 0 {
+		return nil
+	}
+	j := q.order[0]
+	q.order = q.order[1:]
+	delete(q.byFP, j.Fingerprint)
+	telemetry.Jobs().QueueDepth.Set(int64(len(q.order)))
+	return j
+}
+
+// remove extracts the queued job with the given ID, nil when not queued.
+func (q *queue) remove(id int64) *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.order {
+		if j.ID == id {
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			delete(q.byFP, j.Fingerprint)
+			telemetry.Jobs().QueueDepth.Set(int64(len(q.order)))
+			return j
+		}
+	}
+	return nil
+}
+
+// len reports the queued-job count.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.order)
+}

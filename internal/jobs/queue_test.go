@@ -1,0 +1,92 @@
+package jobs
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/telemetry"
+)
+
+func qjob(id int64, fp string) *Job {
+	return &Job{ID: id, Fingerprint: fp, State: StateQueued}
+}
+
+// TestQueueDedup: a second push with a live fingerprint coalesces onto the
+// queued job instead of admitting a duplicate, and the hit is counted.
+func TestQueueDedup(t *testing.T) {
+	telemetry.Enable()
+	m := telemetry.Jobs()
+	hitsBase := m.DedupHits.Load()
+	q := newQueue(4)
+	a := qjob(1, "fp-a")
+	if dup, evicted := q.push(a); dup != nil || evicted != nil {
+		t.Fatalf("first push: dup=%v evicted=%v", dup, evicted)
+	}
+	dup, evicted := q.push(qjob(2, "fp-a"))
+	if dup != a || evicted != nil {
+		t.Fatalf("duplicate push: dup=%v evicted=%v, want coalesce onto job 1", dup, evicted)
+	}
+	if q.len() != 1 {
+		t.Fatalf("queue holds %d jobs after dedup, want 1", q.len())
+	}
+	if got := m.DedupHits.Load() - hitsBase; got != 1 {
+		t.Fatalf("dedup hits counter moved by %d, want 1", got)
+	}
+	// Pop releases the fingerprint: the same spec can queue again.
+	if q.pop() != a {
+		t.Fatal("pop did not return the queued job")
+	}
+	if dup, _ := q.push(qjob(3, "fp-a")); dup != nil {
+		t.Fatal("fingerprint not released by pop")
+	}
+}
+
+// TestQueueBoundedEviction: a full queue deterministically evicts its
+// oldest member to admit the newest; depth and eviction metrics track it.
+func TestQueueBoundedEviction(t *testing.T) {
+	telemetry.Enable()
+	m := telemetry.Jobs()
+	evictBase := m.Evicted.Load()
+	q := newQueue(2)
+	a, b, c := qjob(1, "a"), qjob(2, "b"), qjob(3, "c")
+	q.push(a)
+	q.push(b)
+	dup, evicted := q.push(c)
+	if dup != nil || evicted != a {
+		t.Fatalf("push into full queue: dup=%v evicted=%v, want oldest (job 1) out", dup, evicted)
+	}
+	if got := m.Evicted.Load() - evictBase; got != 1 {
+		t.Fatalf("evicted counter moved by %d, want 1", got)
+	}
+	if q.len() != 2 {
+		t.Fatalf("depth %d after eviction, want 2", q.len())
+	}
+	if got := m.QueueDepth.Load(); got != 2 {
+		t.Fatalf("depth gauge %d, want 2", got)
+	}
+	// FIFO order survives: b (now oldest) pops first, then c.
+	if q.pop() != b || q.pop() != c || q.pop() != nil {
+		t.Fatal("pop order broken after eviction")
+	}
+	// The evicted fingerprint is free again.
+	if dup, _ := q.push(qjob(4, "a")); dup != nil {
+		t.Fatal("evicted fingerprint not released")
+	}
+}
+
+// TestQueueRemove: cancellation extracts a queued job by ID and frees its
+// fingerprint; a miss is nil.
+func TestQueueRemove(t *testing.T) {
+	q := newQueue(4)
+	a, b := qjob(1, "a"), qjob(2, "b")
+	q.push(a)
+	q.push(b)
+	if q.remove(99) != nil {
+		t.Fatal("removed a job that was never queued")
+	}
+	if q.remove(1) != a || q.len() != 1 {
+		t.Fatal("remove by ID broken")
+	}
+	if dup, _ := q.push(qjob(3, "a")); dup != nil {
+		t.Fatal("removed fingerprint not released")
+	}
+}

@@ -1,0 +1,75 @@
+package jobs
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"adhocconsensus/internal/cli"
+	"adhocconsensus/internal/sink"
+	"adhocconsensus/internal/telemetry"
+)
+
+// Salvage reopens a partial shard file, salvages its valid record prefix,
+// verifies the prefix against the invocation's planned record sequence,
+// truncates the torn tail, and fills skips with how many of each segment's
+// trials are already durable. The returned file is positioned at the
+// truncation point, ready for appending. A missing file is an empty prefix:
+// resuming a run that never started is a fresh run — which is what lets the
+// supervisor run every attempt through this one path, first or retried.
+func Salvage(path string, segs []Segment, skips []int, out io.Writer) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, cli.WithExit(cli.ExitSink, err)
+	}
+	recs, valid, torn := sink.ReadRecordsPartial(f)
+	sm := telemetry.SinkIO()
+	sm.SalvagedRecords.Add(uint64(len(recs)))
+	if torn != nil {
+		fmt.Fprintf(out, "resume %s: discarding torn tail at byte %d (line %d): %v\n",
+			path, torn.Offset, torn.Line, torn.Err)
+		sm.TornTails.Inc()
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
+		sm.DiscardedBytes.Add(uint64(fi.Size() - valid))
+	}
+	// The salvaged records must be exactly the plan's prefix: delivery is
+	// strictly ordered, so a valid byte prefix that does not align with the
+	// plan means the file was produced by a different invocation (other
+	// -exp/-trials set, shard layout, seed, or build) and appending to it
+	// would corrupt the shard.
+	pos := 0
+	for si := range segs {
+		m := 0
+		for m < segs[si].Length && pos < len(recs) {
+			if err := segs[si].Verify(m, recs[pos]); err != nil {
+				f.Close()
+				return nil, cli.WithExit(cli.ExitReject,
+					fmt.Errorf("resume %s: record %d: %w", path, pos+1, err))
+			}
+			m++
+			pos++
+		}
+		skips[si] = m
+	}
+	if pos < len(recs) {
+		f.Close()
+		return nil, cli.WithExit(cli.ExitReject,
+			fmt.Errorf("resume %s: file carries %d record(s) beyond what this invocation produces — different -exp/-trials or -shard?", path, len(recs)-pos))
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, cli.WithExit(cli.ExitSink, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, cli.WithExit(cli.ExitSink, err)
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Length
+	}
+	fmt.Fprintf(out, "resume %s: %d of %d trial(s) durable, %d to run\n",
+		path, len(recs), total, total-len(recs))
+	return f, nil
+}

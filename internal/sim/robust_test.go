@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"fmt"
 	stdruntime "runtime"
 	"strings"
 	"sync/atomic"
@@ -200,6 +201,49 @@ func TestSweepToCtxCancellation(t *testing.T) {
 	if ce.Total != len(grid) || ce.Done != len(s.got) || ce.Done < s.k || ce.Done >= len(grid) {
 		t.Fatalf("CanceledError{Done: %d, Total: %d} with %d delivered (grid %d)",
 			ce.Done, ce.Total, len(s.got), len(grid))
+	}
+	for i, r := range s.got {
+		if r.Index != i {
+			t.Fatalf("delivered prefix not contiguous at %d: %+v", i, r)
+		}
+	}
+}
+
+// canceledSink accepts k results, then refuses the next with an error whose
+// chain reaches context.Canceled — the shape a context-aware retry wrapper
+// (sink.Retry with Ctx set) produces when a shutdown drain aborts its
+// backoff sleep.
+type canceledSink struct {
+	k   int
+	got []Result
+}
+
+func (s *canceledSink) Consume(r Result) error {
+	if len(s.got) == s.k {
+		return fmt.Errorf("retry aborted mid-backoff: %w", context.Canceled)
+	}
+	s.got = append(s.got, r)
+	return nil
+}
+
+// TestSweepToCanceledSinkClassifiesAsCancellation: a sink error that wraps
+// context.Canceled classifies as a cooperative cancellation (*CanceledError
+// with prefix accounting), not as a *SinkError — the delivered prefix is a
+// valid resumable stream, exactly as if the sweep's own context had ended.
+func TestSweepToCanceledSinkClassifiesAsCancellation(t *testing.T) {
+	grid := quarantineGrid(-1)
+	s := &canceledSink{k: 3}
+	err := Runner{Workers: 2}.SweepTo(grid, s)
+	var ce *CanceledError
+	if !errors.As(err, &ce) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want CanceledError wrapping context.Canceled", err)
+	}
+	var se *SinkError
+	if errors.As(err, &se) {
+		t.Fatalf("canceled sink misreported as an IO failure: %v", err)
+	}
+	if ce.Done != s.k || ce.Total != len(grid) {
+		t.Fatalf("CanceledError{Done: %d, Total: %d}, want {%d, %d}", ce.Done, ce.Total, s.k, len(grid))
 	}
 	for i, r := range s.got {
 		if r.Index != i {

@@ -286,9 +286,11 @@ func (r Runner) sweepTo(ctx context.Context, n int, fn func(i int) Result, sink 
 	var (
 		aborted  atomic.Bool
 		mu       sync.Mutex
-		next     int
-		firstErr error // first per-trial Err, by slot order
-		sinkErr  error // first Consume error; aborts the sweep
+		next      int
+		delivered int   // records the sink accepted (= next unless Consume failed)
+		firstErr  error // first per-trial Err, by slot order
+		sinkErr   error // first Consume error; aborts the sweep
+		rawErr    error // that Consume error, unwrapped of the SinkError envelope
 	)
 	// Telemetry is read once here; every metric call below is a nil-receiver
 	// no-op when disabled. The reorder-window occupancy high-water mark is
@@ -329,7 +331,10 @@ func (r Runner) sweepTo(ctx context.Context, n int, fn func(i int) Result, sink 
 			if sinkErr == nil {
 				if err := sink.Consume(out); err != nil {
 					sinkErr = &SinkError{Err: err}
+					rawErr = err
 					aborted.Store(true)
+				} else {
+					delivered++
 				}
 			}
 			next++
@@ -340,6 +345,19 @@ func (r Runner) sweepTo(ctx context.Context, n int, fn func(i int) Result, sink 
 	})
 	tm.ReorderHighWater.Observe(int64(maxOcc))
 	if sinkErr != nil {
+		// A sink that refused a record BECAUSE a context ended (a
+		// context-aware retry wrapper aborting its backoff sleep during a
+		// shutdown drain) is a cooperative cancellation, not an IO failure:
+		// the delivered prefix is exactly what SweepToCtx's own
+		// cancellation leaves behind, so it classifies the same way —
+		// CanceledError, resumable, exit code 5 rather than 3. The raw
+		// Consume error is wrapped (not the SinkError envelope) so the
+		// result does NOT classify as an IO failure, and Done counts only
+		// the records the sink actually accepted — the refused record was
+		// never written.
+		if errors.Is(rawErr, context.Canceled) || errors.Is(rawErr, context.DeadlineExceeded) {
+			return &CanceledError{Done: delivered, Total: n, Err: rawErr}
+		}
 		return sinkErr
 	}
 	if ctxErr != nil {

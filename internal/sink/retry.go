@@ -1,6 +1,7 @@
 package sink
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -93,7 +94,35 @@ type Retry struct {
 	// Sleep replaces time.Sleep between attempts; tests and the chaos
 	// harness substitute an instant clock.
 	Sleep func(time.Duration)
+	// Ctx, when non-nil, bounds the backoff waits: a retry loop that is
+	// sleeping out its window when the context ends (a shutdown drain, a
+	// canceled job) aborts the wait immediately and returns a
+	// *CanceledError instead of holding the drain hostage for the rest of
+	// the window. The in-flight Consume attempt itself is never
+	// interrupted — only the sleeps between attempts are.
+	Ctx context.Context
 }
+
+// CanceledError reports a retry loop abandoned between attempts because its
+// context ended. It unwraps to the context's error, so
+// errors.Is(err, context.Canceled) classifies a shutdown-aborted write the
+// same way a canceled sweep is classified (sweeprun exit code 5, not 3:
+// the stream still holds a valid resumable prefix — the failed record was
+// never written).
+type CanceledError struct {
+	// Attempts is how many Consume attempts ran before the abort.
+	Attempts int
+	// Last is the transient error the loop was backing off from.
+	Last error
+	// Err is the context's error.
+	Err error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sink: retry canceled after %d attempt(s) (last error: %v): %v", e.Attempts, e.Last, e.Err)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Err }
 
 // Consume implements Sink.
 func (r *Retry) Consume(res sim.Result) error {
@@ -101,16 +130,14 @@ func (r *Retry) Consume(res sim.Result) error {
 	if retryable == nil {
 		retryable = IsRetryable
 	}
-	sleep := r.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
 	attempts := r.Policy.attempts()
 	var err error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			telemetry.SinkIO().RetryAttempts.Inc()
-			sleep(r.Policy.delay(a - 1))
+			if werr := r.wait(r.Policy.delay(a - 1)); werr != nil {
+				return &CanceledError{Attempts: a, Last: err, Err: werr}
+			}
 		}
 		if err = r.Base.Consume(res); err == nil {
 			return nil
@@ -120,6 +147,34 @@ func (r *Retry) Consume(res sim.Result) error {
 		}
 	}
 	return fmt.Errorf("sink: giving up after %d attempts: %w", attempts, err)
+}
+
+// wait sleeps for d, aborting early with the context's error when Ctx ends
+// first. A substituted Sleep still observes cancellation: the context is
+// checked before handing the wait over, so instant-clock tests and a
+// drain-aborted loop compose.
+func (r *Retry) wait(d time.Duration) error {
+	if r.Ctx != nil {
+		if err := r.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if r.Sleep != nil {
+		r.Sleep(d)
+		return nil
+	}
+	if r.Ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-r.Ctx.Done():
+		return r.Ctx.Err()
+	}
 }
 
 // Flush implements Flusher by flushing the wrapped sink.

@@ -1,6 +1,7 @@
 package sink
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -83,6 +84,62 @@ func TestRetryGivesUp(t *testing.T) {
 	}
 	if !IsRetryable(err) {
 		t.Fatalf("give-up error lost the retryable mark: %v", err)
+	}
+}
+
+// TestRetryCancelAbortsBackoffSleep: a context that ends while the loop is
+// sleeping out its window aborts the wait immediately and surfaces a typed
+// *CanceledError that classifies as a cooperative cancellation.
+func TestRetryCancelAbortsBackoffSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	base := &flakySink{failures: 100, retryable: true}
+	r := &Retry{
+		Base: base,
+		// A backoff window far beyond the test's patience: only an aborted
+		// sleep lets the Consume return promptly.
+		Policy: RetryPolicy{MaxAttempts: 5, Base: time.Hour, Cap: time.Hour},
+		Ctx:    ctx,
+	}
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := r.Consume(sim.Result{Index: 3})
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancel did not abort the backoff sleep (took %v)", elapsed)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %v, want *CanceledError", err)
+	}
+	if ce.Attempts != 1 || ce.Last == nil {
+		t.Fatalf("canceled error accounting: %+v", ce)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled error does not unwrap to context.Canceled: %v", err)
+	}
+	if base.calls != 1 {
+		t.Fatalf("Consume attempted %d times after cancel, want 1", base.calls)
+	}
+}
+
+// TestRetryPreCanceledContextSkipsSleep: with the context already done, the
+// first retry aborts before sleeping even when Sleep is substituted.
+func TestRetryPreCanceledContextSkipsSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := &flakySink{failures: 100, retryable: true}
+	r := &Retry{
+		Base:   base,
+		Policy: RetryPolicy{MaxAttempts: 5, Base: time.Hour, Cap: time.Hour},
+		Ctx:    ctx,
+		Sleep:  func(time.Duration) { t.Fatal("slept under a canceled context") },
+	}
+	err := r.Consume(sim.Result{})
+	var ce *CanceledError
+	if !errors.As(err, &ce) || base.calls != 1 {
+		t.Fatalf("err %v after %d calls, want *CanceledError after 1", err, base.calls)
 	}
 }
 

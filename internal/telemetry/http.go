@@ -27,6 +27,15 @@ type Server struct {
 // no authentication; anything beyond localhost needs transport security
 // from the deployment.
 func Serve(addr string) (*Server, error) {
+	return ServeWith(addr, nil)
+}
+
+// ServeWith is Serve with a hook to mount extra handlers on the same
+// listener: register (when non-nil) runs against the mux after the standard
+// /metrics and /debug/pprof/* routes are installed, so a daemon (sweepd's
+// job API) shares the telemetry endpoint instead of opening a second port.
+// Registered paths must not collide with the standard routes.
+func ServeWith(addr string, register func(*http.ServeMux)) (*Server, error) {
 	if strings.HasPrefix(addr, ":") {
 		addr = "127.0.0.1" + addr
 	}
@@ -41,6 +50,9 @@ func Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if register != nil {
+		register(mux)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)

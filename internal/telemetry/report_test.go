@@ -100,6 +100,78 @@ func TestReportInterruptedAllowsPartial(t *testing.T) {
 	}
 }
 
+// TestReportZeroPlannedSegment: a segment that planned zero trials (an
+// experiment whose grid degenerated, or a shard that owns no indices) is a
+// legal report — zero planned/salvaged/executed/quarantined is internally
+// consistent and survives the write/parse round trip.
+func TestReportZeroPlannedSegment(t *testing.T) {
+	r := validReport()
+	r.Segments = append(r.Segments, ReportSegment{Name: "empty", Schedule: 2})
+	if err := r.Validate(); err != nil {
+		t.Fatalf("zero-planned segment rejected: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "zero.report.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReport(data)
+	if err != nil {
+		t.Fatalf("zero-planned segment did not round-trip: %v", err)
+	}
+	if len(got.Segments) != 3 || got.Segments[2] != r.Segments[2] {
+		t.Fatalf("round trip mismatch: %+v", got.Segments)
+	}
+
+	// An entirely empty run — zero segments, zero totals — is likewise
+	// valid with status ok: nothing was planned and nothing is missing.
+	empty := &Report{Schema: ReportSchema, Command: "sweeprun run", Status: StatusOK}
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty run rejected: %v", err)
+	}
+}
+
+// TestReportFullyQuarantinedRun: a run where every executed trial
+// quarantined still produces a schema-valid report (status trial-errors)
+// that ParseReport round-trips — the worst chaos soak outcome is evidence,
+// not a crash.
+func TestReportFullyQuarantinedRun(t *testing.T) {
+	r := &Report{
+		Schema:  ReportSchema,
+		Command: "sweeprun run",
+		Status:  StatusTrialErrors,
+		WallNs:  999,
+		Trials: ReportTrials{
+			Planned: 6, Executed: 6,
+			Quarantined: ReportQuarantine{Total: 6, Panic: 4, Deadline: 1, Other: 1},
+		},
+		Segments: []ReportSegment{
+			{Name: "T3", Schedule: 2, Planned: 6, Executed: 6, Quarantined: 6, WallNs: 999},
+		},
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fully quarantined run rejected: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "q.report.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReport(data)
+	if err != nil {
+		t.Fatalf("fully quarantined report did not round-trip: %v", err)
+	}
+	if got.Trials.Quarantined != r.Trials.Quarantined || got.Status != StatusTrialErrors {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
 func TestParseReportRejectsGarbage(t *testing.T) {
 	if _, err := ParseReport([]byte("not json")); err == nil {
 		t.Fatal("garbage parsed")

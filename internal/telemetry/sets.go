@@ -69,16 +69,55 @@ type SinkMetrics struct {
 	DiscardedBytes  *Counter
 }
 
+// JobsMetrics is the job-supervision metric set (internal/jobs): the bounded
+// admission queue, the per-job retry loop, and the drain path each publish
+// their load-bearing behaviors here so queue pressure and crash containment
+// are observable, not just logged.
+type JobsMetrics struct {
+	// Submitted counts admission attempts; Admitted the subset that entered
+	// the queue; DedupHits submissions coalesced onto an already-queued
+	// fingerprint; Evicted jobs displaced by the bounded queue's
+	// deterministic eviction; Rejected submissions refused outright (queue
+	// full of running/unevictable work, or a malformed spec).
+	Submitted *Counter
+	Admitted  *Counter
+	DedupHits *Counter
+	Evicted   *Counter
+	Rejected  *Counter
+	// QueueDepth is the current number of queued (not yet running) jobs;
+	// QueueHighWater its high-water mark.
+	QueueDepth     *Gauge
+	QueueHighWater *Max
+	// Completed/Quarantined/Canceled count terminal job outcomes;
+	// Checkpointed counts jobs parked resumable mid-run (drain or
+	// cooperative cancellation with durable progress).
+	Completed    *Counter
+	Quarantined  *Counter
+	Canceled     *Counter
+	Checkpointed *Counter
+	// Attempts counts job executions including retries; Retries the subset
+	// after a transient failure; RetryDelayNs the backoff waits the
+	// supervisor actually slept.
+	Attempts     *Counter
+	Retries      *Counter
+	RetryDelayNs *Histogram
+	// DrainNs measures graceful-shutdown latency: SIGTERM (or Close) to
+	// last checkpoint flushed and manifest persisted.
+	DrainNs *Histogram
+}
+
 var (
 	enableOnce sync.Once
 	defaultReg atomic.Pointer[Registry]
 	engineSet  atomic.Pointer[EngineMetrics]
 	simSet     atomic.Pointer[SimMetrics]
 	sinkSet    atomic.Pointer[SinkMetrics]
+	jobsSet    atomic.Pointer[JobsMetrics]
 
 	zeroEngine EngineMetrics
 	zeroSim    SimMetrics
 	zeroSink   SinkMetrics
+	zeroJobs   JobsMetrics
 )
 
 // Enable turns telemetry on for the process: it builds the default registry,
@@ -122,6 +161,23 @@ func Enable() *Registry {
 			TornTails:       r.Counter("sink.resume.torn_tails"),
 			DiscardedBytes:  r.Counter("sink.resume.discarded_bytes"),
 		})
+		jobsSet.Store(&JobsMetrics{
+			Submitted:      r.Counter("jobs.submitted"),
+			Admitted:       r.Counter("jobs.admitted"),
+			DedupHits:      r.Counter("jobs.dedup_hits"),
+			Evicted:        r.Counter("jobs.evicted"),
+			Rejected:       r.Counter("jobs.rejected"),
+			QueueDepth:     r.Gauge("jobs.queue.depth"),
+			QueueHighWater: r.Max("jobs.queue.highwater"),
+			Completed:      r.Counter("jobs.completed"),
+			Quarantined:    r.Counter("jobs.quarantined"),
+			Canceled:       r.Counter("jobs.canceled"),
+			Checkpointed:   r.Counter("jobs.checkpointed"),
+			Attempts:       r.Counter("jobs.attempts"),
+			Retries:        r.Counter("jobs.retries"),
+			RetryDelayNs:   r.Histogram("jobs.retry.delay_ns"),
+			DrainNs:        r.Histogram("jobs.drain_ns"),
+		})
 		defaultReg.Store(r)
 	})
 	return defaultReg.Load()
@@ -158,4 +214,13 @@ func SinkIO() *SinkMetrics {
 		return m
 	}
 	return &zeroSink
+}
+
+// Jobs returns the job-supervision metric set (all-nil zero set while
+// disabled).
+func Jobs() *JobsMetrics {
+	if m := jobsSet.Load(); m != nil {
+		return m
+	}
+	return &zeroJobs
 }
