@@ -10,15 +10,34 @@
 // uninterrupted command-line run (the CI chaos soak SIGKILLs a daemon
 // mid-job and proves it with cmp).
 //
-// The job API shares the telemetry listener: alongside /metrics and
-// /debug/pprof/, -addr serves
+// The job API shares the telemetry listener: alongside /metrics (which
+// accepts ?name= to fetch one registry subtree) and /debug/pprof/, -addr
+// serves
 //
-//	POST /jobs              submit a job spec (JSON), returns its status
-//	GET  /jobs              list every known job, submission order
-//	GET  /jobs/{id}         one job's status document (telemetry run-report
-//	                        schema rides along verbatim once an attempt ran)
-//	POST /jobs/{id}/cancel  cancel a queued or running job
-//	GET  /healthz           liveness + drain state
+//	POST /jobs                  submit a job spec (JSON), returns its status
+//	GET  /jobs                  list every known job, admission order
+//	GET  /jobs/{id}             one job's status document (telemetry
+//	                            run-report schema rides along verbatim once
+//	                            an attempt ran)
+//	POST /jobs/{id}/cancel      cancel a queued or running job
+//	GET  /jobs/{id}/events      SSE: the job's structured event journal
+//	                            (spans and point events) plus its per-trial
+//	                            records, streamed live as they become
+//	                            durable; a finished job replays its
+//	                            persisted journal ("sweeprun tail" is the
+//	                            terminal client)
+//	GET  /jobs/{id}/results     experiment tables / trial statistics
+//	                            rendered from the durable records through
+//	                            internal/replay — no re-simulation
+//	GET  /jobs/{id}/flagged     quarantined/undecided/violation trials
+//	                            (?flag= selectors, JSON)
+//	GET  /healthz               liveness + drain state
+//
+// Every job attempt also persists its event journal to <out>.events.jsonl
+// next to the shard file and run report; -journal sizes the in-memory ring
+// (0 disables journaling, and with it the journal half of /events). The
+// journal is an observer: shard outputs are byte-identical with it on or
+// off, watched or unwatched.
 //
 // A spec is the JSON shape of a "sweeprun run" invocation:
 //
@@ -45,12 +64,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
 	"syscall"
 	"time"
 
 	"adhocconsensus/internal/backoff"
 	"adhocconsensus/internal/cli"
+	"adhocconsensus/internal/events"
 	"adhocconsensus/internal/jobs"
 	"adhocconsensus/internal/telemetry"
 )
@@ -84,6 +103,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		drainWait = fs.Duration("drain-timeout", time.Minute, "how long a shutdown signal waits for the running job to checkpoint before giving up")
 		quiet     = fs.Bool("quiet", false, "suppress informational output")
 		table     = fs.Bool("exitcodes", false, "print the shared exit-code table and exit")
+		journal   = fs.Int("journal", 8192, "event-journal ring capacity (rounded up to a power of two); 0 disables the journal and per-job .events.jsonl exports")
+		sseBuf    = fs.Int("sse-buffer", 1024, "per-client journal buffer for /jobs/{id}/events; a client that falls further behind loses events (reported as 'lagged')")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +120,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *quiet {
 		info = io.Discard
 	}
+	if *journal > 0 {
+		// Not one-way like telemetry.Enable: each daemon run (sequential
+		// in-process test daemons included) installs a fresh journal and
+		// removes it on exit, after which the streaming handlers degrade to
+		// records-only.
+		events.Activate(events.New(events.Options{Capacity: *journal}))
+		defer events.Activate(nil)
+	}
 
 	sup, err := jobs.New(jobs.Options{
 		QueueCap:    *queueCap,
@@ -111,7 +140,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return cli.WithExit(cli.ExitReject, err)
 	}
 	srv, err := telemetry.ServeWith(*addr, func(mux *http.ServeMux) {
-		registerJobAPI(mux, sup)
+		registerJobAPI(mux, sup, *sseBuf)
 	})
 	if err != nil {
 		return err
@@ -133,7 +162,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 }
 
 // registerJobAPI mounts the job routes on the shared telemetry mux.
-func registerJobAPI(mux *http.ServeMux, sup *jobs.Supervisor) {
+func registerJobAPI(mux *http.ServeMux, sup *jobs.Supervisor, sseBuf int) {
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec jobs.Spec
 		dec := json.NewDecoder(r.Body)
@@ -153,9 +182,9 @@ func registerJobAPI(mux *http.ServeMux, sup *jobs.Supervisor) {
 		writeJSON(w, http.StatusOK, sup.Jobs())
 	})
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+		id, err := jobID(r)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		st, ok := sup.Job(id)
@@ -166,9 +195,9 @@ func registerJobAPI(mux *http.ServeMux, sup *jobs.Supervisor) {
 		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+		id, err := jobID(r)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		st, err := sup.Cancel(id)
@@ -177,6 +206,30 @@ func registerJobAPI(mux *http.ServeMux, sup *jobs.Supervisor) {
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id, err := jobID(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		handleEvents(w, r, sup, id, sseBuf)
+	})
+	mux.HandleFunc("GET /jobs/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		id, err := jobID(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		handleResults(w, r, sup, id)
+	})
+	mux.HandleFunc("GET /jobs/{id}/flagged", func(w http.ResponseWriter, r *http.Request) {
+		id, err := jobID(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		handleFlagged(w, r, sup, id)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": len(sup.Jobs())})

@@ -44,6 +44,14 @@
 // model's legality constraints, and (with -bundle) writes per-trial trace
 // bundles. Any failed audit exits non-zero.
 //
+// "sweeprun tail ADDR JOB" follows a sweepd job from the terminal: it
+// connects to the daemon's GET /jobs/{id}/events stream and renders the
+// job's structured event journal (job/segment/trial-batch spans, admit/
+// retry/salvage/quarantine/... points) interleaved with its per-trial
+// records as they become durable; -json passes the raw JSONL through
+// instead. Tailing a finished job replays its persisted journal. The
+// stream is read-only — tailing never perturbs the job's output.
+//
 // A run is observable while it executes and after it finishes. "run
 // -progress" renders a live stderr line (trials/s, ETA, quarantine counts
 // per segment); "-quiet" suppresses it and all informational output, and
@@ -102,6 +110,7 @@ import (
 
 	"adhocconsensus"
 	"adhocconsensus/internal/cli"
+	"adhocconsensus/internal/events"
 	"adhocconsensus/internal/experiments"
 	"adhocconsensus/internal/jobs"
 	"adhocconsensus/internal/replay"
@@ -150,7 +159,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sweeprun run|merge|replay|verify|report|help [flags]")
+		return fmt.Errorf("usage: sweeprun run|merge|replay|verify|report|tail|help [flags]")
 	}
 	switch args[0] {
 	case "run":
@@ -163,18 +172,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return verifyCmd(args[1:], out)
 	case "report":
 		return reportCmd(args[1:], out)
+	case "tail":
+		return tailCmd(ctx, args[1:], out)
 	case "help":
 		return helpCmd(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want run, merge, replay, verify, report, or help)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want run, merge, replay, verify, report, tail, or help)", args[0])
 	}
 }
 
 // helpCmd is the "help" subcommand: topic help beyond -h flag listings.
 func helpCmd(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		fmt.Fprint(out, "usage: sweeprun run|merge|replay|verify|report|help [flags]\n\n"+
-			"help topics:\n  sweeprun help exitcodes   the uniform exit-code table\n\n"+
+		fmt.Fprint(out, "usage: sweeprun run|merge|replay|verify|report|tail|help [flags]\n\n"+
+			"help topics:\n  sweeprun help exitcodes   the uniform exit-code table\n"+
+			"  sweeprun help events      the event journal and sweepd's streaming endpoints\n\n"+
 			"per-subcommand flags: sweeprun <subcommand> -h\n")
 		return nil
 	}
@@ -182,10 +194,43 @@ func helpCmd(args []string, out io.Writer) error {
 	case "exitcodes":
 		fmt.Fprint(out, cli.ExitCodesHelp)
 		return nil
+	case "events":
+		fmt.Fprint(out, eventsHelp)
+		return nil
 	default:
-		return fmt.Errorf("unknown help topic %q (want exitcodes)", args[0])
+		return fmt.Errorf("unknown help topic %q (want exitcodes or events)", args[0])
 	}
 }
+
+// eventsHelp documents the event journal's surfaces — shared vocabulary
+// between "sweeprun run -events", "sweeprun tail", and sweepd's endpoints.
+const eventsHelp = `The structured event journal (internal/events) records a run's narrative:
+hierarchical spans (job -> segment -> trial-batch, as <scope>.begin/.end
+pairs sharing a span id) and point events (job.admit, job.dedupe,
+job.evict, job.retry, job.checkpoint, job.cancel, job.quarantine, drain,
+salvage, torn_tail, quarantine with cause=panic|deadline|other, sink.flush,
+sink.retry), each stamped with a monotonic sequence number. It is strictly
+read-only: shard files are byte-identical with the journal on or off.
+
+  sweeprun run -events -o FILE ...   also writes FILE.events.jsonl, the
+                                     durable journal of the attempt that
+                                     produced FILE (job id 0 standalone)
+
+Against a sweepd daemon (which journals every job attempt the same way):
+
+  sweeprun tail ADDR JOB             stream GET /jobs/{JOB}/events: journal
+                                     events plus per-trial records, live;
+                                     a finished job replays its persisted
+                                     journal (-json for raw JSONL)
+  GET /jobs/{id}/results             tables rendered from durable records
+                                     via internal/replay (?quiet for
+                                     PASS/FAIL lines) -- no re-simulation
+  GET /jobs/{id}/flagged             quarantined/undecided/violation
+                                     trials as JSON (?flag= selectors:
+                                     quarantined, undecided, violations,
+                                     slowest[=K])
+  GET /metrics?name=PREFIX           one registry subtree (e.g. events.)
+`
 
 // reportCmd is the "report" subcommand: parse and schema-validate run
 // reports (<out>.report.json) and print a one-line summary per file. An
@@ -255,6 +300,7 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 		quiet    = fs.Bool("quiet", false, "suppress informational output, including -progress (quiet always wins when both are set)")
 		telAddr  = fs.String("telemetry-addr", "", "serve /metrics (JSON) and /debug/pprof/ on this address for the run's duration; a host-less address like :9190 binds loopback only")
 		repPath  = fs.String("report", "", "write the machine-readable run report here; 'none' disables it (default: <out>.report.json when -o is set)")
+		eventsOn = fs.Bool("events", false, "record the structured event journal; with -o it persists to <out>.events.jsonl (see 'sweeprun help events'); read-only — the shard file is byte-identical either way")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -353,6 +399,27 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 		info = io.Discard
 	}
 
+	// The journal brackets a standalone run as job 0: BeginJob before the
+	// salvage path so resume events (salvage, torn_tail) land inside the job
+	// span, EndJob with the run's status after the stream finishes. The
+	// blocking export makes <out>.events.jsonl lossless.
+	var jal *events.Journal
+	var jspan uint64
+	var exp *events.Export
+	if *eventsOn {
+		jal = events.New(events.Options{})
+		events.Activate(jal)
+		defer events.Activate(nil)
+		if *output != "" {
+			exp, err = events.StartExport(jal, *output+".events.jsonl", 0)
+			if err != nil {
+				return withExit(exitSink, err)
+			}
+			defer exp.Close()
+		}
+		jspan = jal.BeginJob(0)
+	}
+
 	w := out
 	skips := make([]int, len(segs))
 	if *output != "" {
@@ -406,6 +473,12 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 			fmt.Fprintf(info, "run report %s not written: %v\n", reportPath, werr)
 		} else {
 			fmt.Fprintf(info, "report: %s\n", reportPath)
+		}
+	}
+	if jal != nil {
+		jal.EndJob(jspan, jobs.StatusOf(oc.AbortErr, oc.TrialErr))
+		if cerr := exp.Close(); cerr != nil && oc.Err() == nil {
+			return withExit(exitSink, fmt.Errorf("event journal %s.events.jsonl: %w", *output, cerr))
 		}
 	}
 	if oc.AbortErr != nil {
@@ -770,29 +843,16 @@ func mergeTrials(recs []sink.Record, out io.Writer, quiet bool) error {
 	return nil
 }
 
-// parseSelector decodes the -flag spec: comma-separated selector names.
+// parseSelector decodes the -flag spec through the shared replay syntax,
+// rejecting the one selector verify cannot honor: quarantined records
+// carry no digest to re-execute (sweepd's flagged endpoint serves them).
 func parseSelector(spec string) (replay.Selector, error) {
-	var sel replay.Selector
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		switch {
-		case part == "undecided":
-			sel.Undecided = true
-		case part == "violations":
-			sel.Violations = true
-		case part == "recheck":
-			sel.Recheck = true
-		case strings.HasPrefix(part, "slowest="):
-			k, err := strconv.Atoi(strings.TrimPrefix(part, "slowest="))
-			if err != nil || k < 1 {
-				return sel, fmt.Errorf("bad selector %q (want slowest=K, K >= 1)", part)
-			}
-			sel.TopSlowest = k
-		case part == "slowest":
-			sel.TopSlowest = 1
-		default:
-			return sel, fmt.Errorf("unknown selector %q (want undecided, violations, slowest[=K], recheck)", part)
-		}
+	sel, err := replay.ParseSelector(spec)
+	if err != nil {
+		return sel, err
+	}
+	if sel.Quarantined {
+		return sel, fmt.Errorf("selector \"quarantined\" picks records without digests — nothing to verify; inspect them via sweepd's /jobs/{id}/flagged or 'sweeprun replay'")
 	}
 	return sel, nil
 }

@@ -273,6 +273,35 @@
 // or running with the endpoint live, leaves shard bytes identical at any
 // worker count.
 //
+// Counters are aggregate truth; internal/events is the narrative truth
+// beside them: a structured event journal of hierarchical spans (job →
+// segment → trial-batch, emitted at per-trial granularity and coarser —
+// never per-round) and point events (job.admit/dedupe/evict/retry/
+// checkpoint/cancel/quarantine, drain, salvage, torn_tail, quarantine
+// with cause=panic|deadline|other, sink.flush, sink.retry), each carrying
+// a monotonic sequence number and an injectable-clock timestamp. The
+// journal is a bounded lock-free ring with fan-out subscriptions — a
+// blocking lossless mode feeds the durable per-attempt export
+// (<out>.events.jsonl, whose event counts reconcile exactly with the run
+// report's counters), and a non-blocking mode serves live watchers under
+// an explicit slow-consumer drop policy (drops surface in events.dropped
+// and per-subscription). Like telemetry it is an observer: journaling on,
+// exported, and subscribed leaves shard bytes identical at any worker
+// count, and the engine/sink allocation audits hold with a subscriber
+// attached.
+//
+// The daemon turns that journal into a query surface. sweepd serves, per
+// job: GET /jobs/{id}/events — one SSE connection streaming the journal
+// and the per-trial records as they become durable (a finished job
+// replays its persisted journal; "sweeprun tail ADDR JOB" is the terminal
+// client); GET /jobs/{id}/results — experiment tables and trial
+// statistics rendered from the durable records through internal/replay,
+// no re-simulation; GET /jobs/{id}/flagged — quarantined/undecided/
+// violation trials selected by the shared replay.Selector syntax; and
+// /metrics?name=PREFIX — one registry subtree, histogram buckets labeled
+// with human-readable bounds ("sweeprun help events" summarizes the
+// surfaces).
+//
 // # Job supervision
 //
 // The batch CLI has a daemon face: cmd/sweepd accepts sweep-shard jobs

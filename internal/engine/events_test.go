@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"testing"
+
+	"adhocconsensus/internal/events"
+	"adhocconsensus/internal/model"
+)
+
+// TestDecisionsOnlyAllocsWithJournalLive re-asserts the engine's headline
+// zero-steady-state-allocation contract with an active journal and a live
+// subscriber. The engine emits no events at all — per-round granularity is
+// banned from the journal — so the round loop must cost exactly the same
+// with observability attached.
+func TestDecisionsOnlyAllocsWithJournalLive(t *testing.T) {
+	jal := events.New(events.Options{})
+	events.Activate(jal)
+	defer events.Activate(nil)
+	sub := jal.Subscribe(64, false)
+	defer sub.Close()
+
+	run := func(rounds int) func() {
+		return func() {
+			d1 := &decideAfter{value: 1, round: 1}
+			d2 := &decideAfter{value: 1, round: 1}
+			if _, err := Run(Config{
+				Procs:          map[model.ProcessID]model.Automaton{1: d1, 2: d2},
+				MaxRounds:      rounds,
+				RunFullHorizon: true,
+				Trace:          TraceDecisionsOnly,
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	run(8)() // warm the receive-set pool
+	short := testing.AllocsPerRun(20, run(8))
+	long := testing.AllocsPerRun(20, run(520))
+	if perRound := (long - short) / 512; perRound > 0.05 {
+		t.Fatalf("with the journal live, steady state allocates %.2f objects/round (short %.0f, long %.0f), want 0",
+			perRound, short, long)
+	}
+	if jal.Seq() != 0 {
+		t.Fatalf("the engine emitted %d journal events — per-round emission is banned", jal.Seq())
+	}
+}

@@ -1,0 +1,31 @@
+// Package events is the pipeline's structured event journal: the narrative
+// complement to package telemetry's aggregate counters. Where telemetry
+// answers "how many", the journal answers "what happened, in what order" —
+// an append-only sequence of hierarchical spans (job → segment →
+// trial-batch) and point events (admit, dedupe, evict, retry, salvage,
+// torn-tail, quarantine-by-cause, checkpoint, flush, drain), each stamped
+// with a process-monotonic sequence number and a wall-clock time from an
+// injectable clock.
+//
+// The journal is allocation-conscious, not allocation-free: emitting an
+// event costs one small heap allocation (the ring stores *Event so readers
+// never race a slot rewrite) plus atomic stores. Emission granularity is
+// bounded — per-trial at the very finest (quarantines), never per-round —
+// and trial progress is rate-limited into batch spans, so a 200k-trial
+// sweep journals hundreds of events, not hundreds of thousands. The
+// engine's zero-steady-state-allocation and byte-identity contracts are
+// unaffected: the journal only observes, it never sits on the record path.
+//
+// A Journal fans out to subscribers with an explicit slow-consumer policy:
+// non-blocking subscriptions drop events when the consumer's buffer is
+// full (drops are counted per subscription and in telemetry under
+// events.*), while blocking subscriptions — used by the durable JSONL
+// exporter — never lose events and instead apply backpressure to the
+// emitter. Follow stitches ring history and a live subscription into one
+// gap-free stream for late joiners.
+//
+// Like telemetry, the package has a process-global activation point:
+// Activate installs a journal, Active returns it (nil when none), and
+// every method is nil-receiver safe, so instrumented packages emit
+// unconditionally and pay a single atomic load when journaling is off.
+package events

@@ -1,0 +1,7 @@
+//go:build race
+
+package events
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where allocation counts are noise.
+const raceEnabled = true

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"adhocconsensus/internal/cli"
+	"adhocconsensus/internal/events"
 	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/telemetry"
 )
@@ -47,6 +48,7 @@ func (o Outcome) Err() error {
 func Stream(ctx context.Context, segs []Segment, skips []int, w io.Writer, onEnter func(name string)) Outcome {
 	sm := telemetry.SinkIO()
 	tm := telemetry.Sim()
+	jal := events.Active()
 	panicBase, deadlineBase := tm.QuarantinePanic.Load(), tm.QuarantineDeadline.Load()
 	out := Outcome{Segments: make([]telemetry.ReportSegment, 0, len(segs))}
 	for i, s := range segs {
@@ -55,28 +57,34 @@ func Stream(ctx context.Context, segs []Segment, skips []int, w io.Writer, onEnt
 		}
 		segStart := time.Now()
 		recBase, byteBase, quarBase := sm.Records.Load(), sm.Bytes.Load(), sm.Quarantined.Load()
+		span := jal.BeginSegment(s.Name)
 		err := s.Stream(ctx, skips[i], w)
+		executed := int(sm.Records.Load() - recBase)
 		out.Segments = append(out.Segments, telemetry.ReportSegment{
 			Name:        s.Name,
 			Schedule:    s.Schedule,
 			Planned:     s.Length,
 			Salvaged:    skips[i],
-			Executed:    int(sm.Records.Load() - recBase),
+			Executed:    executed,
 			Quarantined: int(sm.Quarantined.Load() - quarBase),
 			WallNs:      time.Since(segStart).Nanoseconds(),
 			RecordBytes: sm.Bytes.Load() - byteBase,
 		})
 		if err == nil {
+			jal.EndSegment(span, int64(executed), "")
 			continue
 		}
 		err = fmt.Errorf("%s: %w", s.Name, err)
 		var te *sim.TrialError
 		if errors.As(err, &te) {
+			// Per-trial errors do not stop the run; the segment completed.
+			jal.EndSegment(span, int64(executed), "")
 			if out.TrialErr == nil {
 				out.TrialErr = err
 			}
 			continue
 		}
+		jal.EndSegment(span, int64(executed), "abort")
 		out.AbortErr = err
 		break
 	}

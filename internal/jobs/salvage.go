@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"adhocconsensus/internal/cli"
+	"adhocconsensus/internal/events"
 	"adhocconsensus/internal/sink"
 	"adhocconsensus/internal/telemetry"
 )
@@ -24,14 +25,18 @@ func Salvage(path string, segs []Segment, skips []int, out io.Writer) (*os.File,
 	}
 	recs, valid, torn := sink.ReadRecordsPartial(f)
 	sm := telemetry.SinkIO()
+	jal := events.Active()
 	sm.SalvagedRecords.Add(uint64(len(recs)))
+	var discarded int64
+	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
+		discarded = fi.Size() - valid
+		sm.DiscardedBytes.Add(uint64(discarded))
+	}
 	if torn != nil {
 		fmt.Fprintf(out, "resume %s: discarding torn tail at byte %d (line %d): %v\n",
 			path, torn.Offset, torn.Line, torn.Err)
 		sm.TornTails.Inc()
-	}
-	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
-		sm.DiscardedBytes.Add(uint64(fi.Size() - valid))
+		jal.Point(events.TypeTornTail, events.NoTrial, discarded, "")
 	}
 	// The salvaged records must be exactly the plan's prefix: delivery is
 	// strictly ordered, so a valid byte prefix that does not align with the
@@ -71,5 +76,8 @@ func Salvage(path string, segs []Segment, skips []int, out io.Writer) (*os.File,
 	}
 	fmt.Fprintf(out, "resume %s: %d of %d trial(s) durable, %d to run\n",
 		path, len(recs), total, total-len(recs))
+	// One salvage point per attempt, N = records resumed: the event the run
+	// report's Trials.Salvaged reconciles against count-for-count.
+	jal.Point(events.TypeSalvage, events.NoTrial, int64(len(recs)), "")
 	return f, nil
 }

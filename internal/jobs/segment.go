@@ -10,6 +10,7 @@ import (
 
 	"adhocconsensus"
 	"adhocconsensus/internal/cli"
+	"adhocconsensus/internal/events"
 	"adhocconsensus/internal/experiments"
 	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/sink"
@@ -174,6 +175,7 @@ func streamWorkItems(ctx context.Context, exp string, items []sink.WorkItem, run
 			rec := sink.RecordOfItem(exp, item, outs[next])
 			if err := errs[next]; err != nil {
 				rec.Out, rec.Err = "", err.Error()
+				events.Active().Point(events.TypeQuarantine, int64(item.Index), 0, sim.QuarantineCause(err))
 				if firstErr == nil {
 					firstErr = &sim.TrialError{Index: item.Index, Name: item.Kind, Err: err}
 				}

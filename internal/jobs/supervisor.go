@@ -4,12 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"time"
 
 	"adhocconsensus/internal/backoff"
 	"adhocconsensus/internal/cli"
+	"adhocconsensus/internal/events"
 	"adhocconsensus/internal/seedstream"
 	"adhocconsensus/internal/telemetry"
 )
@@ -143,10 +143,12 @@ func (s *Supervisor) kick() {
 // Submissions are refused while draining.
 func (s *Supervisor) Submit(spec Spec) (Status, error) {
 	m := telemetry.Jobs()
+	jal := events.Active()
 	m.Submitted.Inc()
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		m.Rejected.Inc()
+		jal.PointJob(events.TypeReject, 0, 0)
 		return Status{}, err
 	}
 	// Compile eagerly: a spec that cannot build its plan (unknown
@@ -154,6 +156,7 @@ func (s *Supervisor) Submit(spec Spec) (Status, error) {
 	// quarantined after queueing.
 	if _, err := BuildSegments(spec); err != nil {
 		m.Rejected.Inc()
+		jal.PointJob(events.TypeReject, 0, 0)
 		return Status{}, err
 	}
 	fp := spec.Fingerprint()
@@ -164,12 +167,14 @@ func (s *Supervisor) Submit(spec Spec) (Status, error) {
 	if s.draining {
 		s.mu.Unlock()
 		m.Rejected.Inc()
+		jal.PointJob(events.TypeReject, 0, 0)
 		return Status{}, fmt.Errorf("jobs: supervisor is draining")
 	}
 	if r := s.running; r != nil && r.Fingerprint == fp {
 		st := r.status()
 		s.mu.Unlock()
 		m.DedupHits.Inc()
+		jal.PointJob(events.TypeDedupe, st.ID, 0)
 		return st, nil
 	}
 	s.nextID++
@@ -180,17 +185,24 @@ func (s *Supervisor) Submit(spec Spec) (Status, error) {
 		s.nextID--
 		st := dup.status()
 		s.mu.Unlock()
+		jal.PointJob(events.TypeDedupe, st.ID, 0)
 		return st, nil
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	var evictedID int64
 	if evicted != nil {
 		evicted.State = StateCanceled
 		evicted.Err = "evicted: admission queue full"
+		evictedID = evicted.ID
 		telemetry.Jobs().Canceled.Inc()
 	}
 	st := j.status()
 	s.mu.Unlock()
+	jal.PointJob(events.TypeAdmit, j.ID, 0)
+	if evictedID != 0 {
+		jal.PointJob(events.TypeEvict, evictedID, 0)
+	}
 	s.persist()
 	s.kick()
 	return st, nil
@@ -207,8 +219,10 @@ func (s *Supervisor) Cancel(id int64) (Status, error) {
 		s.mu.Unlock()
 		return Status{}, fmt.Errorf("jobs: no job %d", id)
 	}
+	canceled := false
 	switch j.State {
 	case StateQueued:
+		canceled = true
 		if s.q.remove(id) != nil {
 			j.State = StateCanceled
 			telemetry.Jobs().Canceled.Inc()
@@ -218,6 +232,7 @@ func (s *Supervisor) Cancel(id int64) (Status, error) {
 			j.cancelRequested = true
 		}
 	case StateRunning:
+		canceled = true
 		j.cancelRequested = true
 		if s.running == j && s.cancelRun != nil {
 			s.cancelRun()
@@ -225,6 +240,9 @@ func (s *Supervisor) Cancel(id int64) (Status, error) {
 	}
 	st := j.status()
 	s.mu.Unlock()
+	if canceled {
+		events.Active().PointJob(events.TypeCancel, id, 0)
+	}
 	s.persist()
 	return st, nil
 }
@@ -240,7 +258,10 @@ func (s *Supervisor) Job(id int64) (Status, bool) {
 	return j.status(), true
 }
 
-// Jobs returns every known job's snapshot in submission order.
+// Jobs returns every known job's snapshot in admission-sequence order —
+// s.order, which persists through the manifest, so the listing is
+// deterministic within a daemon's life and across its restarts (the seed's
+// map-iteration listing shuffled per call).
 func (s *Supervisor) Jobs() []Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -250,7 +271,6 @@ func (s *Supervisor) Jobs() []Status {
 			out = append(out, j.status())
 		}
 	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
 }
 
@@ -263,6 +283,7 @@ func (s *Supervisor) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	events.Active().Point(events.TypeDrain, events.NoTrial, 0, "")
 	s.drain() // cancels the running attempt's context through baseCtx
 	s.kick()
 	select {
@@ -327,6 +348,21 @@ func (s *Supervisor) runJob(j *Job) {
 		s.persist()
 
 		m.Attempts.Inc()
+		// Bracket the attempt in a job span and a durable journal export next
+		// to the shard file. The export truncates per attempt — like the run
+		// report, the persisted journal describes the attempt that produced
+		// the current shard bytes, so its event counts reconcile exactly with
+		// that report's counters.
+		jal := events.Active()
+		var exp *events.Export
+		var jspan uint64
+		if jal != nil {
+			exp, _ = events.StartExport(jal, j.Spec.Out+".events.jsonl", j.ID)
+			if j.Attempts > 0 {
+				jal.PointJob(events.TypeRetry, j.ID, int64(j.Attempts))
+			}
+			jspan = jal.BeginJob(j.ID)
+		}
 		rep, err := s.execute(runCtx, j.Spec)
 		cancel()
 		code := cli.ExitCodeOf(err)
@@ -365,6 +401,8 @@ func (s *Supervisor) runJob(j *Job) {
 			d := w.Delay(retry)
 			j.State = StateQueued
 			s.mu.Unlock()
+			jal.EndJob(jspan, string(StateQueued))
+			_ = exp.Close()
 			s.persist()
 			m.Retries.Inc()
 			m.RetryDelayNs.Observe(uint64(d.Nanoseconds()))
@@ -378,6 +416,7 @@ func (s *Supervisor) runJob(j *Job) {
 				j.State = StateCheckpointed
 				m.Checkpointed.Inc()
 				s.mu.Unlock()
+				jal.PointJob(events.TypeCheckpoint, j.ID, 0)
 				s.persist()
 				return
 			}
@@ -388,7 +427,16 @@ func (s *Supervisor) runJob(j *Job) {
 			j.State = StateQuarantined
 			m.Quarantined.Inc()
 		}
+		state := j.State
 		s.mu.Unlock()
+		switch state {
+		case StateCheckpointed:
+			jal.PointJob(events.TypeCheckpoint, j.ID, 0)
+		case StateQuarantined:
+			jal.PointJob(events.TypeJobQuarantine, j.ID, 0)
+		}
+		jal.EndJob(jspan, string(state))
+		_ = exp.Close()
 		s.persist()
 		return
 	}

@@ -3,6 +3,7 @@ package replay
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"adhocconsensus/internal/engine"
@@ -29,6 +30,42 @@ type Selector struct {
 	// audit sweep. Flagged mismatches then get the TraceFull treatment like
 	// every other selection.
 	Recheck bool
+	// Quarantined flags trials recorded with an error — panicked, overrun,
+	// or otherwise failed executions. They carry no digest, so they are
+	// selectable for inspection (sweepd's flagged endpoint) but not for
+	// re-execution.
+	Quarantined bool
+}
+
+// ParseSelector decodes a comma-separated selector spec ("undecided,
+// violations,slowest=3,recheck,quarantined") — the shared syntax of
+// sweeprun verify's -flag and sweepd's /jobs/{id}/flagged?flag= query.
+func ParseSelector(spec string) (Selector, error) {
+	var sel Selector
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "undecided":
+			sel.Undecided = true
+		case part == "violations":
+			sel.Violations = true
+		case part == "recheck":
+			sel.Recheck = true
+		case part == "quarantined":
+			sel.Quarantined = true
+		case strings.HasPrefix(part, "slowest="):
+			k, err := strconv.Atoi(strings.TrimPrefix(part, "slowest="))
+			if err != nil || k < 1 {
+				return sel, fmt.Errorf("bad selector %q (want slowest=K, K >= 1)", part)
+			}
+			sel.TopSlowest = k
+		case part == "slowest":
+			sel.TopSlowest = 1
+		default:
+			return sel, fmt.Errorf("unknown selector %q (want undecided, violations, slowest[=K], recheck, quarantined)", part)
+		}
+	}
+	return sel, nil
 }
 
 // Anomalies selects undecided trials, safety violations, and the single
@@ -51,7 +88,12 @@ func FlagRecords(recs []sink.Record, sel Selector) []Flagged {
 	reasons := make(map[int][]string)
 	for _, rec := range recs {
 		if rec.Err != "" {
-			continue // errored trials recorded no digest to audit
+			// Errored trials recorded no digest to audit; Quarantined is the
+			// one selector that targets them (inspection, not re-execution).
+			if sel.Quarantined {
+				reasons[rec.Index] = append(reasons[rec.Index], "quarantined")
+			}
+			continue
 		}
 		if sel.Undecided && !rec.AllDecided {
 			reasons[rec.Index] = append(reasons[rec.Index], "undecided")

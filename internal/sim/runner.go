@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"adhocconsensus/internal/engine"
+	"adhocconsensus/internal/events"
 	"adhocconsensus/internal/model"
 	"adhocconsensus/internal/telemetry"
 )
@@ -284,8 +285,8 @@ func (r Runner) sweepTo(ctx context.Context, n int, fn func(i int) Result, sink 
 	buf := make([]Result, n)
 	done := make([]bool, n)
 	var (
-		aborted  atomic.Bool
-		mu       sync.Mutex
+		aborted   atomic.Bool
+		mu        sync.Mutex
 		next      int
 		delivered int   // records the sink accepted (= next unless Consume failed)
 		firstErr  error // first per-trial Err, by slot order
@@ -298,6 +299,17 @@ func (r Runner) sweepTo(ctx context.Context, n int, fn func(i int) Result, sink 
 	// sweep, so the hot path pays no extra atomics.
 	tm := telemetry.Sim()
 	doneCount, maxOcc := 0, 0
+	// The event journal is likewise read once. Emission is per-trial at the
+	// very finest — quarantine points — and trial progress is rate-limited
+	// into batch spans of jal.BatchEvery() delivered trials, so journal
+	// volume stays bounded and the record hot path is untouched. Batch state
+	// lives under the reorder mutex, where delivery is already serial.
+	jal := events.Active()
+	var (
+		batchSpan  uint64
+		batchFirst int64
+		batchN     int64
+	)
 	ctxErr := r.MapCtx(ctx, n, func(i int) {
 		if aborted.Load() {
 			return
@@ -322,8 +334,16 @@ func (r Runner) sweepTo(ctx context.Context, n int, fn func(i int) Result, sink 
 		for next < n && done[next] {
 			out := buf[next]
 			buf[next] = Result{} // release the trial's memory once delivered
+			if jal != nil {
+				if batchSpan == 0 {
+					batchFirst, batchN = int64(out.Index), 0
+					batchSpan = jal.BeginBatch(batchFirst)
+				}
+				batchN++
+			}
 			if out.Err != nil {
 				quarantineCounter(tm, out.Err).Inc()
+				jal.Point(events.TypeQuarantine, int64(out.Index), 0, QuarantineCause(out.Err))
 				if firstErr == nil {
 					firstErr = &TrialError{Index: out.Index, Name: out.Name, Err: out.Err}
 				}
@@ -338,11 +358,18 @@ func (r Runner) sweepTo(ctx context.Context, n int, fn func(i int) Result, sink 
 				}
 			}
 			next++
+			if jal != nil && batchN >= int64(jal.BatchEvery()) {
+				jal.EndBatch(batchSpan, batchFirst, batchN)
+				batchSpan, batchN = 0, 0
+			}
 		}
 		if occ := doneCount - next; occ > maxOcc {
 			maxOcc = occ
 		}
 	})
+	if batchSpan != 0 {
+		jal.EndBatch(batchSpan, batchFirst, batchN)
+	}
 	tm.ReorderHighWater.Observe(int64(maxOcc))
 	if sinkErr != nil {
 		// A sink that refused a record BECAUSE a context ended (a
@@ -372,14 +399,28 @@ func (r Runner) sweepTo(ctx context.Context, n int, fn func(i int) Result, sink 
 // everything else (configuration or execution errors). The returned counter
 // may be nil (telemetry disabled); Inc on a nil counter is a no-op.
 func quarantineCounter(tm *telemetry.SimMetrics, err error) *telemetry.Counter {
+	switch QuarantineCause(err) {
+	case events.CausePanic:
+		return tm.QuarantinePanic
+	case events.CauseDeadline:
+		return tm.QuarantineDeadline
+	default:
+		return tm.QuarantineOther
+	}
+}
+
+// QuarantineCause names a quarantined trial's cause with the journal's
+// constants — the single classification both the telemetry counters and
+// the event stream report, so they always reconcile.
+func QuarantineCause(err error) string {
 	var pe *engine.PanicError
 	var de *DeadlineError
 	switch {
 	case errors.As(err, &pe):
-		return tm.QuarantinePanic
+		return events.CausePanic
 	case errors.As(err, &de):
-		return tm.QuarantineDeadline
+		return events.CauseDeadline
 	default:
-		return tm.QuarantineOther
+		return events.CauseOther
 	}
 }

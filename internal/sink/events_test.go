@@ -1,0 +1,87 @@
+package sink
+
+import (
+	"io"
+	"testing"
+
+	"adhocconsensus/internal/events"
+	"adhocconsensus/internal/model"
+	"adhocconsensus/internal/sim"
+	"adhocconsensus/internal/telemetry"
+)
+
+// TestJSONLConsumeAllocsWithJournalLive repeats the steady-state
+// zero-allocation contract with an active journal AND a live subscriber:
+// the record hot path emits nothing — journal events come from flushes and
+// retries only — so attaching observability must not cost a single
+// allocation per record.
+func TestJSONLConsumeAllocsWithJournalLive(t *testing.T) {
+	telemetry.Enable()
+	jal := events.New(events.Options{})
+	events.Activate(jal)
+	defer events.Activate(nil)
+	sub := jal.Subscribe(64, false)
+	defer sub.Close()
+
+	grid := testGrid()
+	params := make([]Params, len(grid))
+	for i, s := range grid {
+		params[i] = ParamsOf(s)
+	}
+	j := NewJSONL(io.Discard)
+	j.Exp = "alloc"
+	j.Params = func(i int) Params { return params[i%len(params)] }
+	res := sim.Result{
+		Index: 0, Name: "sink/trial", Seed: 42, Rounds: 100, AllDecided: true,
+		Decisions: 4, DecidedValues: []model.Value{3}, LastDecisionRound: 99,
+		AgreementOK: true, ValidityOK: true, TerminationOK: true,
+	}
+	for i := 0; i < len(params); i++ {
+		res.Index = i
+		if err := j.Consume(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := jal.Seq()
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		res.Index = i % len(params)
+		i++
+		if err := j.Consume(res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("with the journal live, JSONL.Consume allocates %.1f times per record, want 0", allocs)
+	}
+	if jal.Seq() != base {
+		t.Fatalf("Consume emitted %d journal events — the record hot path must stay silent", jal.Seq()-base)
+	}
+}
+
+// TestFlushEmitsJournalPoint: each Flush lands one sink.flush point carrying
+// the byte count it pushed out.
+func TestFlushEmitsJournalPoint(t *testing.T) {
+	jal := events.New(events.Options{})
+	events.Activate(jal)
+	defer events.Activate(nil)
+
+	j := NewJSONL(io.Discard)
+	j.Exp = "flush"
+	if err := j.Consume(sim.Result{Index: 0, Name: "sink/flush", AllDecided: true, DecidedValues: []model.Value{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs := jal.Snapshot(0)
+	c := events.CountTypes(evs)
+	if c[events.TypeFlush] != 1 {
+		t.Fatalf("journal after one Flush: %v, want one sink.flush point", c)
+	}
+	for _, e := range evs {
+		if e.Type == events.TypeFlush && e.N <= 0 {
+			t.Errorf("flush point carries %d buffered bytes, want > 0", e.N)
+		}
+	}
+}

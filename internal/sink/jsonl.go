@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"adhocconsensus/internal/events"
 	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/telemetry"
 )
@@ -94,14 +95,19 @@ func (j *JSONL) WriteRecord(rec Record) error {
 
 // Flush implements Flusher.
 func (j *JSONL) Flush() error {
+	buffered := int64(j.w.Buffered())
 	sm := telemetry.SinkIO()
 	if sm.FlushNs == nil {
-		return j.w.Flush()
+		err := j.w.Flush()
+		events.Active().Point(events.TypeFlush, events.NoTrial, buffered, "")
+		return err
 	}
 	start := time.Now()
 	err := j.w.Flush()
 	sm.FlushNs.Observe(uint64(time.Since(start)))
 	sm.Flushes.Inc()
+	// The journal's flush point carries the bytes this flush pushed out.
+	events.Active().Point(events.TypeFlush, events.NoTrial, buffered, "")
 	return err
 }
 

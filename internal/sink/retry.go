@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"adhocconsensus/internal/backoff"
+	"adhocconsensus/internal/events"
 	"adhocconsensus/internal/sim"
 	"adhocconsensus/internal/telemetry"
 )
@@ -135,6 +136,7 @@ func (r *Retry) Consume(res sim.Result) error {
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			telemetry.SinkIO().RetryAttempts.Inc()
+			events.Active().Point(events.TypeSinkRetry, int64(res.Index), int64(a), "")
 			if werr := r.wait(r.Policy.delay(a - 1)); werr != nil {
 				return &CanceledError{Attempts: a, Last: err, Err: werr}
 			}

@@ -41,9 +41,11 @@ func ServeWith(addr string, register func(*http.ServeMux)) (*Server, error) {
 	}
 	reg := Enable()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		_ = reg.WriteJSON(w)
+		// ?name= filters to one registry subtree by prefix, e.g.
+		// /metrics?name=sink. or /metrics?name=jobs.queue.
+		_ = reg.WriteJSONPrefix(w, r.URL.Query().Get("name"))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestBucketLabel(t *testing.T) {
+	cases := []struct {
+		le   uint64
+		dur  bool
+		want string
+	}{
+		{511, false, "<=512"},
+		{math.MaxUint64, false, "<=max"},
+		{math.MaxUint64, true, "<=max"},
+		{63, true, "<=64ns"},
+		{1023, true, "<=1.02us"},
+		{(1 << 20) - 1, true, "<=1.05ms"},
+		{(1 << 30) - 1, true, "<=1.07s"},
+		{(1 << 20) - 1, false, "<=1.05e+06"},
+	}
+	for _, c := range cases {
+		if got := bucketLabel(c.le, c.dur); got != c.want {
+			t.Errorf("bucketLabel(%d, dur=%t) = %q, want %q", c.le, c.dur, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotLabelsHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("work.wall_ns").Observe(800)
+	r.Histogram("work.rounds").Observe(300)
+	snap := r.Snapshot()
+	ns := snap["work.wall_ns"].(HistogramSnapshot)
+	if len(ns.Buckets) != 1 || ns.Buckets[0].Label != "<=1.02us" {
+		t.Errorf("_ns histogram labeled %+v, want one bucket <=1.02us", ns.Buckets)
+	}
+	plain := snap["work.rounds"].(HistogramSnapshot)
+	if len(plain.Buckets) != 1 || plain.Buckets[0].Label != "<=512" {
+		t.Errorf("count histogram labeled %+v, want one bucket <=512", plain.Buckets)
+	}
+}
+
+func TestWriteJSONPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("alpha.one").Inc()
+	r.Counter("alpha.two").Add(2)
+	r.Counter("beta.three").Add(3)
+
+	var b bytes.Buffer
+	if err := r.WriteJSONPrefix(&b, "alpha."); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(b.Bytes(), &snap); err != nil {
+		t.Fatalf("filtered output not JSON: %v\n%s", err, b.Bytes())
+	}
+	if len(snap) != 2 || snap["alpha.one"] == nil || snap["alpha.two"] == nil {
+		t.Errorf("prefix alpha. selected %v, want exactly alpha.one and alpha.two", snap)
+	}
+	if snap["beta.three"] != nil {
+		t.Errorf("prefix filter leaked beta.three: %v", snap)
+	}
+
+	b.Reset()
+	if err := r.WriteJSONPrefix(&b, "nope."); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "{}\n" {
+		t.Errorf("empty match wrote %q, want {}\\n", b.String())
+	}
+
+	// The unfiltered path is WriteJSON — same output as an empty prefix.
+	var full, empty bytes.Buffer
+	if err := r.WriteJSON(&full); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSONPrefix(&empty, ""); err != nil {
+		t.Fatal(err)
+	}
+	if full.String() != empty.String() {
+		t.Errorf("WriteJSON and empty-prefix outputs differ:\n%s\n%s", full.String(), empty.String())
+	}
+}
+
+func TestMetricsEndpointNameFilter(t *testing.T) {
+	s, err := Serve(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	Engine().Rounds.Add(1)
+
+	get := func(q string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + "/metrics" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics%s status %d", q, resp.StatusCode)
+		}
+		return body
+	}
+
+	var snap map[string]any
+	if err := json.Unmarshal(get("?name=engine."), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("?name=engine. returned nothing")
+	}
+	for name := range snap {
+		if !strings.HasPrefix(name, "engine.") {
+			t.Errorf("?name=engine. leaked %q", name)
+		}
+	}
+	if body := get("?name=no.such.subtree."); string(body) != "{}\n" {
+		t.Errorf("unmatched filter returned %q, want {}\\n", body)
+	}
+}

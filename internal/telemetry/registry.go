@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -79,7 +80,7 @@ func (r *Registry) Snapshot() map[string]any {
 		case *Max:
 			out[name] = v.Load()
 		case *Histogram:
-			out[name] = v.Snapshot()
+			out[name] = v.Snapshot().Labeled(name)
 		}
 	}
 	return out
@@ -89,12 +90,25 @@ func (r *Registry) Snapshot() map[string]any {
 // order — expvar-style, but deterministic, so /metrics output diffs
 // cleanly and tests can assert on it.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.WriteJSONPrefix(w, "")
+}
+
+// WriteJSONPrefix is WriteJSON restricted to metric names with the given
+// prefix — the /metrics?name= subtree filter. An empty prefix writes the
+// full snapshot; a prefix matching nothing writes an empty object.
+func (r *Registry) WriteJSONPrefix(w io.Writer, prefix string) error {
 	snap := r.Snapshot()
 	names := make([]string, 0, len(snap))
 	for name := range snap {
-		names = append(names, name)
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
+	if len(names) == 0 {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
 	if _, err := io.WriteString(w, "{\n"); err != nil {
 		return err
 	}

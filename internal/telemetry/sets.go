@@ -106,6 +106,21 @@ type JobsMetrics struct {
 	DrainNs *Histogram
 }
 
+// EventsMetrics is the structured-event journal's metric set
+// (internal/events): emission volume, the slow-consumer drop policy's
+// discards, durable-export lines, and the live subscriber count.
+type EventsMetrics struct {
+	// Emitted counts journal events published to the ring; Dropped the
+	// events a non-blocking subscription's full buffer discarded (the
+	// explicit slow-consumer policy); Persisted the lines the durable
+	// JSONL exporter wrote.
+	Emitted   *Counter
+	Dropped   *Counter
+	Persisted *Counter
+	// Subscribers is the current fan-out subscription count.
+	Subscribers *Gauge
+}
+
 var (
 	enableOnce sync.Once
 	defaultReg atomic.Pointer[Registry]
@@ -113,11 +128,13 @@ var (
 	simSet     atomic.Pointer[SimMetrics]
 	sinkSet    atomic.Pointer[SinkMetrics]
 	jobsSet    atomic.Pointer[JobsMetrics]
+	eventsSet  atomic.Pointer[EventsMetrics]
 
 	zeroEngine EngineMetrics
 	zeroSim    SimMetrics
 	zeroSink   SinkMetrics
 	zeroJobs   JobsMetrics
+	zeroEvents EventsMetrics
 )
 
 // Enable turns telemetry on for the process: it builds the default registry,
@@ -178,6 +195,12 @@ func Enable() *Registry {
 			RetryDelayNs:   r.Histogram("jobs.retry.delay_ns"),
 			DrainNs:        r.Histogram("jobs.drain_ns"),
 		})
+		eventsSet.Store(&EventsMetrics{
+			Emitted:     r.Counter("events.emitted"),
+			Dropped:     r.Counter("events.dropped"),
+			Persisted:   r.Counter("events.persisted"),
+			Subscribers: r.Gauge("events.subscribers"),
+		})
 		defaultReg.Store(r)
 	})
 	return defaultReg.Load()
@@ -223,4 +246,13 @@ func Jobs() *JobsMetrics {
 		return m
 	}
 	return &zeroJobs
+}
+
+// Events returns the event-journal metric set (all-nil zero set while
+// disabled).
+func Events() *EventsMetrics {
+	if m := eventsSet.Load(); m != nil {
+		return m
+	}
+	return &zeroEvents
 }

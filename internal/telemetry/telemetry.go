@@ -1,8 +1,10 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
+	"strings"
 	"sync/atomic"
 )
 
@@ -125,6 +127,9 @@ func (h *Histogram) Count() uint64 {
 type HistogramBucket struct {
 	// Le is the bucket's inclusive upper bound, 2^k - 1.
 	Le uint64 `json:"le"`
+	// Label is Le rendered human-readable ("<=1.02us", "<=511"), filled by
+	// Labeled when the snapshot is published under a metric name.
+	Label string `json:"label,omitempty"`
 	// Count is the number of observations in the bucket.
 	Count uint64 `json:"count"`
 }
@@ -167,4 +172,42 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Buckets = append(s.Buckets, HistogramBucket{Le: le, Count: n})
 	}
 	return s
+}
+
+// Labeled fills each bucket's human-readable Label from the metric's name:
+// *_ns histograms render as durations, everything else as counts. The
+// receiver's bucket slice is freshly built by Snapshot, so mutating it in
+// place is safe.
+func (s HistogramSnapshot) Labeled(name string) HistogramSnapshot {
+	dur := strings.HasSuffix(name, "_ns")
+	for i := range s.Buckets {
+		s.Buckets[i].Label = bucketLabel(s.Buckets[i].Le, dur)
+	}
+	return s
+}
+
+// bucketLabel renders a log2 bucket bound. Bounds are 2^k - 1; the label
+// shows 2^k in the natural unit, which reads better than the raw bound
+// ("<=1.02us" rather than "le":1023).
+func bucketLabel(le uint64, dur bool) string {
+	if le == math.MaxUint64 {
+		return "<=max"
+	}
+	hi := le + 1
+	if dur {
+		switch {
+		case hi < 1_000:
+			return fmt.Sprintf("<=%dns", hi)
+		case hi < 1_000_000:
+			return fmt.Sprintf("<=%.3gus", float64(hi)/1e3)
+		case hi < 1_000_000_000:
+			return fmt.Sprintf("<=%.3gms", float64(hi)/1e6)
+		default:
+			return fmt.Sprintf("<=%.3gs", float64(hi)/1e9)
+		}
+	}
+	if hi < 1_000_000 {
+		return fmt.Sprintf("<=%d", hi)
+	}
+	return fmt.Sprintf("<=%.3g", float64(hi))
 }
